@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the hot paths of the PriSTI stack:
+//! attention forward/backward, message passing, one reverse diffusion step,
+//! linear interpolation, and a full noise-prediction forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_data::interpolate::linear_interpolate;
+use st_diffusion::{p_sample_step, DiffusionSchedule};
+use st_graph::{random_plane_layout, SensorGraph};
+use st_tensor::graph::Graph;
+use st_tensor::ndarray::NdArray;
+use st_tensor::nn::{Mpnn, MultiHeadAttention};
+use st_tensor::param::ParamStore;
+use std::hint::black_box;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let attn = MultiHeadAttention::new(&mut store, "a", 32, 4, &mut rng);
+    let x_val = NdArray::randn(&[8, 24, 32], &mut rng);
+
+    c.bench_function("attention_forward_8x24x32", |b| {
+        b.iter(|| {
+            let mut g = Graph::new_eval(&store);
+            let x = g.input(black_box(x_val.clone()));
+            let y = attn.forward_self(&mut g, x);
+            black_box(g.value(y).data()[0])
+        })
+    });
+
+    c.bench_function("attention_forward_backward_8x24x32", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&store);
+            let x = g.input(black_box(x_val.clone()));
+            let y = attn.forward_self(&mut g, x);
+            let t = g.input(NdArray::zeros(&[8, 24, 32]));
+            let m = g.input(NdArray::ones(&[8, 24, 32]));
+            let loss = g.mse_masked(y, t, m);
+            black_box(g.backward(loss).len())
+        })
+    });
+}
+
+fn bench_mpnn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph = SensorGraph::from_coords(random_plane_layout(36, 40.0, 3), 0.1);
+    let (fwd, bwd) = graph.transition_matrices();
+    let mut store = ParamStore::new();
+    let mpnn = Mpnn::new(&mut store, "mp", 32, vec![fwd, bwd], 36, 2, 8, &mut rng);
+    let x_val = NdArray::randn(&[24, 36, 32], &mut rng);
+
+    c.bench_function("mpnn_forward_24x36x32", |b| {
+        b.iter(|| {
+            let mut g = Graph::new_eval(&store);
+            let x = g.input(black_box(x_val.clone()));
+            let y = mpnn.forward(&mut g, x);
+            black_box(g.value(y).data()[0])
+        })
+    });
+}
+
+fn bench_diffusion_step(c: &mut Criterion) {
+    let schedule = DiffusionSchedule::pristi_default(50);
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = NdArray::randn(&[8, 36, 24], &mut rng);
+    let eps = NdArray::randn(&[8, 36, 24], &mut rng);
+
+    c.bench_function("p_sample_step_8x36x24", |b| {
+        b.iter(|| black_box(p_sample_step(&x, &eps, &schedule, 25, &mut rng)))
+    });
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let values = NdArray::randn(&[36, 48], &mut rng);
+    let mask = NdArray::rand_uniform(&[36, 48], 0.0, 1.0, &mut rng).map(|v| f32::from(v > 0.3));
+
+    c.bench_function("linear_interpolate_36x48", |b| {
+        b.iter(|| black_box(linear_interpolate(&values, &mask, 0.0)))
+    });
+}
+
+fn bench_full_noise_predictor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let graph = SensorGraph::from_coords(random_plane_layout(24, 30.0, 7), 0.1);
+    let mut cfg = pristi_core::PristiConfig::small();
+    cfg.d_model = 16;
+    cfg.heads = 4;
+    cfg.layers = 2;
+    cfg.time_emb_dim = 32;
+    cfg.node_emb_dim = 8;
+    cfg.step_emb_dim = 32;
+    cfg.virtual_nodes = 8;
+    let model = pristi_core::PristiModel::new(cfg, &graph, 24, &mut rng);
+    let noisy = NdArray::randn(&[4, 24, 24], &mut rng);
+    let cond = NdArray::randn(&[4, 24, 24], &mut rng);
+
+    c.bench_function("pristi_eps_theta_forward_4x24x24", |b| {
+        b.iter(|| black_box(model.predict_eps_eval(&noisy, &cond, 10)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_attention,
+    bench_mpnn,
+    bench_diffusion_step,
+    bench_interpolation,
+    bench_full_noise_predictor
+);
+criterion_main!(benches);

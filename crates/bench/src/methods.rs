@@ -1,0 +1,296 @@
+//! Method runners: a uniform interface over the 13 classical/deep baselines
+//! (`st-baselines`) and the diffusion models (PriSTI, CSDI and the Table VI
+//! ablations from `pristi-core`).
+
+use crate::datasets::Setting;
+use crate::scale::Scale;
+use pristi_core::{impute_window, ModelVariant, PristiConfig, TrainConfig, TrainedModel};
+use pristi_core::train::{train, MaskStrategyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_baselines::batf::BatfImputer;
+use st_baselines::brits::{BritsConfig, BritsImputer};
+use st_baselines::grin::{GrinConfig, GrinImputer};
+use st_baselines::kalman::KalmanImputer;
+use st_baselines::mice::MiceImputer;
+use st_baselines::rgain::{RgainConfig, RgainImputer};
+use st_baselines::simple::{DailyAverageImputer, KnnImputer, LinearImputer, MeanImputer};
+use st_baselines::trmf::TrmfImputer;
+use st_baselines::var::VarImputer;
+use st_baselines::{visible, Imputer};
+use st_data::dataset::Split;
+use st_data::SpatioTemporalDataset;
+use st_tensor::NdArray;
+use std::time::Instant;
+
+/// Build every deterministic baseline with scale-appropriate budgets.
+pub fn deterministic_imputers(scale: Scale, setting: Setting) -> Vec<Box<dyn Imputer>> {
+    let window_len = if setting.is_aqi() { 36 } else { 24 };
+    let rnn_epochs = scale.rnn_epochs();
+    vec![
+        Box::new(MeanImputer),
+        Box::new(DailyAverageImputer),
+        Box::new(KnnImputer::default()),
+        Box::new(LinearImputer),
+        Box::new(KalmanImputer::default()),
+        Box::new(MiceImputer::default()),
+        Box::new(VarImputer::default()),
+        Box::new(TrmfImputer::default()),
+        Box::new(BatfImputer::default()),
+        Box::new(RgainImputer::new(RgainConfig {
+            epochs: rnn_epochs,
+            window_len,
+            window_stride: window_len / 2,
+            ..Default::default()
+        })),
+        Box::new(BritsImputer::new(BritsConfig {
+            epochs: rnn_epochs,
+            window_len,
+            window_stride: window_len / 2,
+            ..Default::default()
+        })),
+        Box::new(GrinImputer::new(GrinConfig {
+            epochs: rnn_epochs,
+            window_len,
+            window_stride: window_len / 2,
+            ..Default::default()
+        })),
+    ]
+}
+
+/// Run a deterministic baseline; returns the imputed panel and wall-clock.
+pub fn run_deterministic(
+    imp: &mut dyn Imputer,
+    data: &SpatioTemporalDataset,
+) -> (NdArray, f64) {
+    let start = Instant::now();
+    let panel = imp.fit_impute(data);
+    (panel, start.elapsed().as_secs_f64())
+}
+
+/// Model configuration for a setting at a scale (with variant switches).
+pub fn diffusion_model_cfg(scale: Scale, _setting: Setting, variant: ModelVariant) -> PristiConfig {
+    let (d, layers, heads) = match scale {
+        Scale::Smoke => (8, 1, 2),
+        Scale::Fast => (16, 2, 4),
+        Scale::Full => (32, 3, 8),
+    };
+    let mut cfg = PristiConfig {
+        d_model: d,
+        heads,
+        layers,
+        t_steps: scale.t_steps(),
+        virtual_nodes: 16,
+        time_emb_dim: 32,
+        node_emb_dim: 8,
+        step_emb_dim: 32,
+        adaptive_dim: 4,
+        ..PristiConfig::default()
+    };
+    cfg = cfg.with_variant(variant);
+    cfg.validate();
+    cfg
+}
+
+/// Training configuration for a setting at a scale, matching the paper's
+/// strategy table (hybrid+historical on AQI, hybrid+block on block-missing,
+/// point on point-missing).
+pub fn diffusion_train_cfg(scale: Scale, setting: Setting) -> TrainConfig {
+    let window_len = if setting.is_aqi() { 36 } else { 24 };
+    let strategy = if setting.is_aqi() {
+        MaskStrategyKind::HybridHistorical
+    } else if setting.is_block() {
+        MaskStrategyKind::HybridBlock
+    } else {
+        MaskStrategyKind::Point
+    };
+    TrainConfig {
+        epochs: scale.diffusion_epochs(),
+        batch_size: 8,
+        lr: 1e-3,
+        window_len,
+        // denser windows on the short AQI panel so each epoch sees enough
+        // gradient steps
+        window_stride: if setting.is_aqi() { window_len / 3 } else { window_len / 2 },
+        strategy,
+        clip_norm: 5.0,
+        seed: 1234,
+        verbose: false,
+    }
+}
+
+/// Result of training and running a diffusion model.
+pub struct DiffusionOutcome {
+    /// Median-imputed `[T, N]` panel (visible values pass through).
+    pub panel_median: NdArray,
+    /// Per-sample imputed panels (for CRPS / quantiles).
+    pub sample_panels: Vec<NdArray>,
+    /// Training wall-clock seconds.
+    pub train_secs: f64,
+    /// Inference (ensemble sampling) wall-clock seconds.
+    pub infer_secs: f64,
+    /// The trained model bundle.
+    pub trained: TrainedModel,
+}
+
+/// Train a diffusion variant and impute the panel.
+///
+/// When `full_panel` is false only the test split's windows are imputed
+/// (sufficient for Tables III/IV/VI); when true the entire panel is covered
+/// (needed for the Table V downstream task).
+pub fn run_diffusion(
+    variant: ModelVariant,
+    data: &SpatioTemporalDataset,
+    setting: Setting,
+    scale: Scale,
+    n_samples: usize,
+    full_panel: bool,
+) -> DiffusionOutcome {
+    let model_cfg = diffusion_model_cfg(scale, setting, variant);
+    let train_cfg = diffusion_train_cfg(scale, setting);
+    run_diffusion_with(variant, data, model_cfg, train_cfg, n_samples, full_panel)
+}
+
+/// Like [`run_diffusion`] but with explicit configurations (used by the
+/// hyperparameter-sensitivity experiment, Fig. 8).
+pub fn run_diffusion_with(
+    _variant: ModelVariant,
+    data: &SpatioTemporalDataset,
+    model_cfg: PristiConfig,
+    train_cfg: TrainConfig,
+    n_samples: usize,
+    full_panel: bool,
+) -> DiffusionOutcome {
+    let t0 = Instant::now();
+    let trained = train(data, model_cfg, &train_cfg);
+    let train_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (panel_median, sample_panels) =
+        impute_panel_with_trained(&trained, data, n_samples, full_panel);
+    let infer_secs = t1.elapsed().as_secs_f64();
+    DiffusionOutcome { panel_median, sample_panels, train_secs, infer_secs, trained }
+}
+
+/// Impute a panel with an already-trained diffusion model; returns the
+/// median panel and per-sample panels. Used directly by the sensitivity
+/// experiments (Fig. 5) where one trained model is evaluated under many
+/// different evaluation masks.
+pub fn impute_panel_with_trained(
+    trained: &TrainedModel,
+    data: &SpatioTemporalDataset,
+    n_samples: usize,
+    full_panel: bool,
+) -> (NdArray, Vec<NdArray>) {
+    let len = trained.model.window_len();
+    let (vals, mask) = visible(data);
+    let mut panel_median = vals.clone();
+    let mut sample_panels = vec![vals.clone(); n_samples];
+
+    let t_len = data.n_steps();
+    let n = data.n_nodes();
+    let (range_start, range_end) =
+        if full_panel { (0usize, t_len) } else { data.split_range(Split::Test) };
+    let mut starts: Vec<usize> = (range_start..=(range_end - len)).step_by(len).collect();
+    if starts.last() != Some(&(range_end - len)) {
+        starts.push(range_end - len);
+    }
+
+    let mut rng = StdRng::seed_from_u64(4321);
+    for t0w in starts {
+        let w = data.window_at(t0w, len);
+        let res = impute_window(trained, &w, n_samples, &mut rng);
+        let med = res.median();
+        for l in 0..len {
+            for i in 0..n {
+                let idx = (t0w + l) * n + i;
+                if mask.data()[idx] == 0.0 {
+                    panel_median.data_mut()[idx] = med.data()[i * len + l];
+                    for (s, sp) in sample_panels.iter_mut().enumerate() {
+                        sp.data_mut()[idx] = res.samples[s].data()[i * len + l];
+                    }
+                }
+            }
+        }
+    }
+    (panel_median, sample_panels)
+}
+
+/// Normalised CRPS over a split's eval positions from sample panels.
+///
+/// Follows the CSDI/PriSTI convention of dividing the mean CRPS by the mean
+/// absolute target value, which is what makes the paper's Table IV numbers
+/// dimensionless (~0.01–0.3).
+pub fn crps_of_panels(
+    data: &SpatioTemporalDataset,
+    samples: &[NdArray],
+    split: Split,
+) -> f64 {
+    let (start, end) = data.split_range(split);
+    let n = data.n_nodes();
+    let p = (end - start) * n;
+    let mut flat = Vec::with_capacity(samples.len() * p);
+    for s in samples {
+        flat.extend_from_slice(&s.data()[start * n..end * n]);
+    }
+    let target = &data.values.data()[start * n..end * n];
+    let mask = &data.eval_mask.data()[start * n..end * n];
+    let raw = st_metrics::crps_ensemble(&flat, samples.len(), target, mask);
+    let mut abs_sum = 0.0f64;
+    let mut count = 0.0f64;
+    for (&t, &m) in target.iter().zip(mask) {
+        if m > 0.0 {
+            abs_sum += t.abs() as f64;
+            count += 1.0;
+        }
+    }
+    if count == 0.0 || abs_sum == 0.0 {
+        raw
+    } else {
+        raw / (abs_sum / count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::build_dataset;
+    use st_baselines::evaluate_panel;
+
+    #[test]
+    fn smoke_diffusion_pipeline_runs() {
+        let data = build_dataset(Setting::MetrLaPoint, Scale::Smoke);
+        let out = run_diffusion(ModelVariant::Pristi, &data, Setting::MetrLaPoint, Scale::Smoke, 3, false);
+        assert_eq!(out.sample_panels.len(), 3);
+        let err = evaluate_panel(&data, &out.panel_median, Split::Test);
+        assert!(err.count() > 0.0, "no eval positions scored");
+        assert!(err.mae().is_finite());
+        let crps = crps_of_panels(&data, &out.sample_panels, Split::Test);
+        assert!(crps.is_finite() && crps >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_list_has_twelve_methods() {
+        let imps = deterministic_imputers(Scale::Smoke, Setting::MetrLaPoint);
+        assert_eq!(imps.len(), 12);
+        let names: Vec<_> = imps.iter().map(|i| i.name()).collect();
+        assert!(names.contains(&"MEAN"));
+        assert!(names.contains(&"GRIN"));
+        assert!(names.contains(&"rGAIN"));
+    }
+
+    #[test]
+    fn strategies_follow_paper_table() {
+        assert!(matches!(
+            diffusion_train_cfg(Scale::Fast, Setting::AqiSimulatedFailure).strategy,
+            MaskStrategyKind::HybridHistorical
+        ));
+        assert!(matches!(
+            diffusion_train_cfg(Scale::Fast, Setting::MetrLaBlock).strategy,
+            MaskStrategyKind::HybridBlock
+        ));
+        assert!(matches!(
+            diffusion_train_cfg(Scale::Fast, Setting::PemsBayPoint).strategy,
+            MaskStrategyKind::Point
+        ));
+    }
+}

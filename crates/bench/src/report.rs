@@ -1,0 +1,131 @@
+//! Text-table rendering and CSV output for the experiment binaries.
+
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[i]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", c, width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV to `results/<name>.csv` (creating the directory).
+    pub fn save_csv(&self, name: &str) -> std::io::Result<()> {
+        let mut csv = String::new();
+        csv.push_str(&self.header.join(","));
+        csv.push('\n');
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        write_csv(name, &csv)
+    }
+}
+
+/// Write raw CSV content into `results/<name>.csv`.
+pub fn write_csv(name: &str, content: &str) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}.csv")), content)
+}
+
+/// Format a float with 2–4 significant decimals depending on magnitude.
+pub fn fmt_metric(v: f64) -> String {
+    if !v.is_finite() {
+        "n/a".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["Method", "MAE"]);
+        t.row(vec!["MEAN".into(), "53.48".into()]);
+        t.row(vec!["PriSTI".into(), "9.03".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("MEAN"));
+        assert!(s.contains("9.03"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_bad_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(123.456), "123.5");
+        assert_eq!(fmt_metric(9.031), "9.03");
+        assert_eq!(fmt_metric(0.0123), "0.0123");
+        assert_eq!(fmt_metric(f64::NAN), "n/a");
+    }
+}

@@ -1,0 +1,135 @@
+//! Experiment scale profiles.
+//!
+//! The paper trains 200–300 epochs on months of data with a GPU; this
+//! harness reproduces the experiment *shapes* on a CPU. `PRISTI_SCALE`
+//! selects how much compute to spend:
+//!
+//! * `smoke` — seconds; sanity-checks that every pipeline runs end to end;
+//! * `fast` (default) — minutes; enough training for the paper's method
+//!   ordering to emerge;
+//! * `full` — tens of minutes; larger panels and more epochs/samples.
+
+use std::fmt;
+
+/// Compute budget for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke test.
+    Smoke,
+    /// Default minutes-scale run.
+    Fast,
+    /// Extended run.
+    Full,
+}
+
+impl Scale {
+    /// Read from the `PRISTI_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("PRISTI_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "smoke" => Scale::Smoke,
+            "full" => Scale::Full,
+            _ => Scale::Fast,
+        }
+    }
+
+    /// Days of synthetic data for the air-quality panel.
+    pub fn aqi_days(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Fast => 28,
+            Scale::Full => 56,
+        }
+    }
+
+    /// Days of synthetic data for the traffic panels.
+    pub fn traffic_days(self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Fast => 6,
+            Scale::Full => 14,
+        }
+    }
+
+    /// Node count for the METR-LA-like panel (paper: 207).
+    pub fn metr_nodes(self) -> usize {
+        match self {
+            Scale::Smoke => 12,
+            Scale::Fast => 24,
+            Scale::Full => 48,
+        }
+    }
+
+    /// Node count for the PEMS-BAY-like panel (paper: 325).
+    pub fn bay_nodes(self) -> usize {
+        match self {
+            Scale::Smoke => 14,
+            Scale::Fast => 28,
+            Scale::Full => 56,
+        }
+    }
+
+    /// Diffusion-model training epochs.
+    pub fn diffusion_epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Fast => 45,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Recurrent-baseline training epochs.
+    pub fn rnn_epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Fast => 15,
+            Scale::Full => 40,
+        }
+    }
+
+    /// Posterior samples for probabilistic evaluation (paper: 100).
+    pub fn n_samples(self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Fast => 12,
+            Scale::Full => 32,
+        }
+    }
+
+    /// Diffusion steps `T` (paper: 50 traffic / 100 AQI).
+    pub fn t_steps(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Fast => 35,
+            Scale::Full => 50,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Smoke => write!(f, "smoke"),
+            Scale::Fast => write!(f, "fast"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_budgets() {
+        assert!(Scale::Smoke.aqi_days() < Scale::Fast.aqi_days());
+        assert!(Scale::Fast.aqi_days() < Scale::Full.aqi_days());
+        assert!(Scale::Smoke.diffusion_epochs() < Scale::Full.diffusion_epochs());
+        assert!(Scale::Smoke.n_samples() < Scale::Full.n_samples());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Scale::Fast.to_string(), "fast");
+        assert_eq!(Scale::Smoke.to_string(), "smoke");
+    }
+}

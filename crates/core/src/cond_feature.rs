@@ -1,0 +1,185 @@
+//! Conditional feature extraction module `γ(·)` (paper Eq. 5).
+//!
+//! A *wide* single block that extracts the global context prior `H^pri` from
+//! the interpolated conditional information:
+//!
+//! ```text
+//! H^pri = MLP( φ_SA(H) + φ_TA(H) + φ_MP(H, A) )
+//! φ_SA  = Norm(Attn_spa(H) + H)     — spatial global self-attention
+//! φ_TA  = Norm(Attn_tem(H) + H)     — temporal self-attention
+//! φ_MP  = Norm(MPNN(H, A) + H)      — graph message passing
+//! ```
+//!
+//! All three branches read the same noise-free input, so `H^pri` contains
+//! temporal, global-spatial and geographic structure but no diffusion noise.
+
+use rand::Rng;
+use st_graph::SensorGraph;
+use st_tensor::graph::{Graph, Tx};
+use st_tensor::nn::{LayerNorm, Mlp, Mpnn, MultiHeadAttention};
+use st_tensor::param::ParamStore;
+
+/// Reshape helpers shared by the PriSTI modules: a `[B, N, L, d]` hidden
+/// state viewed per-node over time (temporal) or per-step over nodes
+/// (spatial).
+pub(crate) mod shapes {
+    use super::*;
+
+    /// `[B, N, L, d] -> [B*N, L, d]`.
+    pub fn to_temporal(g: &mut Graph<'_>, x: Tx, b: usize, n: usize, l: usize, d: usize) -> Tx {
+        g.reshape(x, &[b * n, l, d])
+    }
+
+    /// `[B*N, L, d] -> [B, N, L, d]`.
+    pub fn from_temporal(g: &mut Graph<'_>, x: Tx, b: usize, n: usize, l: usize, d: usize) -> Tx {
+        g.reshape(x, &[b, n, l, d])
+    }
+
+    /// `[B, N, L, d] -> [B*L, N, d]`.
+    pub fn to_spatial(g: &mut Graph<'_>, x: Tx, b: usize, n: usize, l: usize, d: usize) -> Tx {
+        let p = g.permute(x, &[0, 2, 1, 3]); // [B, L, N, d]
+        g.reshape(p, &[b * l, n, d])
+    }
+
+    /// `[B*L, N, d] -> [B, N, L, d]`.
+    pub fn from_spatial(g: &mut Graph<'_>, x: Tx, b: usize, n: usize, l: usize, d: usize) -> Tx {
+        let r = g.reshape(x, &[b, l, n, d]);
+        g.permute(r, &[0, 2, 1, 3])
+    }
+}
+
+/// The conditional feature extraction module.
+#[derive(Debug, Clone)]
+pub struct CondFeatureModule {
+    attn_spa: MultiHeadAttention,
+    norm_spa: LayerNorm,
+    attn_tem: MultiHeadAttention,
+    norm_tem: LayerNorm,
+    mpnn: Mpnn,
+    norm_mp: LayerNorm,
+    mlp: Mlp,
+    d_model: usize,
+}
+
+impl CondFeatureModule {
+    /// Register the module's parameters under `name`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        graph: &SensorGraph,
+        mpnn_order: usize,
+        adaptive_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let (fwd, bwd) = graph.transition_matrices();
+        Self {
+            attn_spa: MultiHeadAttention::new(store, &format!("{name}.attn_spa"), d_model, heads, rng),
+            norm_spa: LayerNorm::new(store, &format!("{name}.norm_spa"), d_model),
+            attn_tem: MultiHeadAttention::new(store, &format!("{name}.attn_tem"), d_model, heads, rng),
+            norm_tem: LayerNorm::new(store, &format!("{name}.norm_tem"), d_model),
+            mpnn: Mpnn::new(
+                store,
+                &format!("{name}.mpnn"),
+                d_model,
+                vec![fwd, bwd],
+                graph.n_nodes(),
+                mpnn_order,
+                adaptive_dim,
+                rng,
+            ),
+            norm_mp: LayerNorm::new(store, &format!("{name}.norm_mp"), d_model),
+            mlp: Mlp::new(store, &format!("{name}.mlp"), d_model, d_model, d_model, rng),
+            d_model,
+        }
+    }
+
+    /// Compute `H^pri` from `h [B, N, L, d]`.
+    pub fn forward(&self, g: &mut Graph<'_>, h: Tx, b: usize, n: usize, l: usize) -> Tx {
+        let d = self.d_model;
+
+        // φ_TA: temporal self-attention with residual + norm.
+        let ht = shapes::to_temporal(g, h, b, n, l, d);
+        let at = self.attn_tem.forward_self(g, ht);
+        let rt = g.add(at, ht);
+        let nt = self.norm_tem.forward(g, rt);
+        let phi_ta = shapes::from_temporal(g, nt, b, n, l, d);
+
+        // φ_SA: spatial self-attention with residual + norm.
+        let hs = shapes::to_spatial(g, h, b, n, l, d);
+        let asp = self.attn_spa.forward_self(g, hs);
+        let rs = g.add(asp, hs);
+        let ns = self.norm_spa.forward(g, rs);
+        let phi_sa = shapes::from_spatial(g, ns, b, n, l, d);
+
+        // φ_MP: message passing with residual + norm.
+        let hm = shapes::to_spatial(g, h, b, n, l, d);
+        let am = self.mpnn.forward(g, hm);
+        let rm = g.add(am, hm);
+        let nm = self.norm_mp.forward(g, rm);
+        let phi_mp = shapes::from_spatial(g, nm, b, n, l, d);
+
+        let sum1 = g.add(phi_sa, phi_ta);
+        let sum = g.add(sum1, phi_mp);
+        self.mlp.forward(g, sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use st_graph::random_plane_layout;
+    use st_tensor::ndarray::NdArray;
+
+    fn module(n: usize, d: usize) -> (ParamStore, CondFeatureModule) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let graph = SensorGraph::from_coords(random_plane_layout(n, 20.0, 1), 0.1);
+        let mut store = ParamStore::new();
+        let m = CondFeatureModule::new(&mut store, "cf", d, 2, &graph, 2, 4, &mut rng);
+        (store, m)
+    }
+
+    #[test]
+    fn forward_shape_preserved() {
+        let (store, m) = module(5, 8);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut g = Graph::new(&store);
+        let h = g.input(NdArray::randn(&[2, 5, 6, 8], &mut rng));
+        let out = m.forward(&mut g, h, 2, 5, 6);
+        assert_eq!(g.shape(out), &[2, 5, 6, 8]);
+    }
+
+    #[test]
+    fn all_branches_receive_gradients() {
+        let (store, m) = module(4, 8);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = Graph::new(&store);
+        let h = g.input(NdArray::randn(&[1, 4, 5, 8], &mut rng));
+        let out = m.forward(&mut g, h, 1, 4, 5);
+        let t = g.input(NdArray::zeros(&[1, 4, 5, 8]));
+        let mk = g.input(NdArray::ones(&[1, 4, 5, 8]));
+        let loss = g.mse_masked(out, t, mk);
+        let grads = g.backward(loss);
+        for p in ["cf.attn_spa.wq.w", "cf.attn_tem.wq.w", "cf.mpnn.proj.w", "cf.mlp.l1.w", "cf.norm_spa.gain"] {
+            assert!(grads.get(p).is_some(), "no gradient for {p}");
+        }
+    }
+
+    #[test]
+    fn shape_helpers_round_trip() {
+        let store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[2, 3, 4, 5], &mut rng));
+        let t = shapes::to_temporal(&mut g, x, 2, 3, 4, 5);
+        let back = shapes::from_temporal(&mut g, t, 2, 3, 4, 5);
+        assert_eq!(g.value(back), g.value(x));
+        let s = shapes::to_spatial(&mut g, x, 2, 3, 4, 5);
+        let back2 = shapes::from_spatial(&mut g, s, 2, 3, 4, 5);
+        assert_eq!(g.value(back2), g.value(x));
+    }
+}

@@ -1,0 +1,243 @@
+//! Model configuration, including every ablation of Table VI and the CSDI
+//! comparator as switches over the same components.
+
+use st_diffusion::BetaSchedule;
+
+/// Named model variants used throughout the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// Full PriSTI.
+    Pristi,
+    /// `mix-STI`: no interpolation and no conditional feature module — the
+    /// noise estimator sees raw observed values concatenated with noise.
+    MixSti,
+    /// `w/o CF`: interpolation kept, conditional feature module removed
+    /// (attention weights computed from the noisy input itself).
+    WithoutCondFeature,
+    /// `w/o spa`: spatial dependency learning module `γ_S` removed.
+    WithoutSpatial,
+    /// `w/o tem`: temporal dependency learning module `γ_T` removed.
+    WithoutTemporal,
+    /// `w/o MPNN`: message passing removed from `γ_S`.
+    WithoutMpnn,
+    /// `w/o Attn`: spatial global attention removed from `γ_S`.
+    WithoutAttention,
+    /// CSDI baseline: no interpolation, no prior, no graph — temporal and
+    /// feature (spatial) self-attention on the mixed input, as in Tashiro
+    /// et al. (NeurIPS 2021).
+    Csdi,
+}
+
+impl ModelVariant {
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelVariant::Pristi => "PriSTI",
+            ModelVariant::MixSti => "mix-STI",
+            ModelVariant::WithoutCondFeature => "w/o CF",
+            ModelVariant::WithoutSpatial => "w/o spa",
+            ModelVariant::WithoutTemporal => "w/o tem",
+            ModelVariant::WithoutMpnn => "w/o MPNN",
+            ModelVariant::WithoutAttention => "w/o Attn",
+            ModelVariant::Csdi => "CSDI",
+        }
+    }
+
+    /// All Table VI rows (the six ablations plus full PriSTI).
+    pub fn ablation_rows() -> [ModelVariant; 7] {
+        [
+            ModelVariant::MixSti,
+            ModelVariant::WithoutCondFeature,
+            ModelVariant::WithoutSpatial,
+            ModelVariant::WithoutTemporal,
+            ModelVariant::WithoutMpnn,
+            ModelVariant::WithoutAttention,
+            ModelVariant::Pristi,
+        ]
+    }
+}
+
+/// Hyperparameters of the noise prediction model and its diffusion process
+/// (paper Table II), plus the ablation switches.
+#[derive(Debug, Clone)]
+pub struct PristiConfig {
+    /// Channel size `d` (paper: 64).
+    pub d_model: usize,
+    /// Number of attention heads (paper: 8).
+    pub heads: usize,
+    /// Number of noise-estimation layers (paper: 4).
+    pub layers: usize,
+    /// Diffusion steps `T` (paper: 50 traffic / 100 air quality).
+    pub t_steps: usize,
+    /// Minimum noise level β₁ (paper: 1e-4).
+    pub beta_min: f64,
+    /// Maximum noise level β_T (paper: 0.2).
+    pub beta_max: f64,
+    /// Noise schedule shape (paper: quadratic, Eq. 13).
+    pub schedule: BetaSchedule,
+    /// Number of virtual nodes `k` for spatial-attention downsampling
+    /// (paper: 16 AQI / 64 traffic); no downsampling when `k >= N`.
+    pub virtual_nodes: usize,
+    /// Sinusoidal temporal-encoding width (paper: 128).
+    pub time_emb_dim: usize,
+    /// Learnable node-embedding width (paper: 16).
+    pub node_emb_dim: usize,
+    /// Diffusion-step embedding width (DiffWave convention: 128).
+    pub step_emb_dim: usize,
+    /// Diffusion-convolution order in the MPNN (Graph WaveNet: 2).
+    pub mpnn_order: usize,
+    /// Adaptive-adjacency embedding width (0 disables the adaptive matrix).
+    pub adaptive_dim: usize,
+    /// Use linear interpolation to build the conditional information 𝒳.
+    pub use_interpolation: bool,
+    /// Use the conditional feature extraction module (prior-weighted attention).
+    pub use_cond_feature: bool,
+    /// Keep the temporal dependency module `γ_T`.
+    pub use_temporal: bool,
+    /// Keep the spatial dependency module `γ_S`.
+    pub use_spatial: bool,
+    /// Keep message passing inside `γ_S`.
+    pub use_mpnn: bool,
+    /// Keep spatial global attention inside `γ_S`.
+    pub use_attention: bool,
+}
+
+impl Default for PristiConfig {
+    /// Paper-scale defaults (Table II, traffic datasets).
+    fn default() -> Self {
+        Self {
+            d_model: 64,
+            heads: 8,
+            layers: 4,
+            t_steps: 50,
+            beta_min: 1e-4,
+            beta_max: 0.2,
+            schedule: BetaSchedule::Quadratic,
+            virtual_nodes: 64,
+            time_emb_dim: 128,
+            node_emb_dim: 16,
+            step_emb_dim: 128,
+            mpnn_order: 2,
+            adaptive_dim: 8,
+            use_interpolation: true,
+            use_cond_feature: true,
+            use_temporal: true,
+            use_spatial: true,
+            use_mpnn: true,
+            use_attention: true,
+        }
+    }
+}
+
+impl PristiConfig {
+    /// A CPU-budget configuration used by the session-scale experiments:
+    /// same architecture, smaller widths.
+    pub fn small() -> Self {
+        Self {
+            d_model: 16,
+            heads: 4,
+            layers: 2,
+            t_steps: 30,
+            virtual_nodes: 16,
+            time_emb_dim: 32,
+            node_emb_dim: 8,
+            step_emb_dim: 32,
+            adaptive_dim: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Apply a variant's switches on top of this configuration.
+    pub fn with_variant(mut self, v: ModelVariant) -> Self {
+        match v {
+            ModelVariant::Pristi => {}
+            ModelVariant::MixSti => {
+                self.use_interpolation = false;
+                self.use_cond_feature = false;
+            }
+            ModelVariant::WithoutCondFeature => {
+                self.use_cond_feature = false;
+            }
+            ModelVariant::WithoutSpatial => {
+                self.use_spatial = false;
+            }
+            ModelVariant::WithoutTemporal => {
+                self.use_temporal = false;
+            }
+            ModelVariant::WithoutMpnn => {
+                self.use_mpnn = false;
+            }
+            ModelVariant::WithoutAttention => {
+                self.use_attention = false;
+            }
+            ModelVariant::Csdi => {
+                self.use_interpolation = false;
+                self.use_cond_feature = false;
+                self.use_mpnn = false;
+                self.adaptive_dim = 0;
+            }
+        }
+        self
+    }
+
+    /// Validate switch combinations that would leave the model degenerate.
+    pub fn validate(&self) {
+        assert!(self.d_model % self.heads == 0, "d_model must be divisible by heads");
+        assert!(self.layers >= 1, "need at least one noise-estimation layer");
+        assert!(
+            self.use_temporal || self.use_spatial,
+            "cannot remove both temporal and spatial modules"
+        );
+        assert!(
+            !self.use_spatial || self.use_mpnn || self.use_attention,
+            "spatial module needs at least one of MPNN / attention"
+        );
+        assert!(self.time_emb_dim % 2 == 0 && self.step_emb_dim % 2 == 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table2() {
+        let c = PristiConfig::default();
+        assert_eq!(c.d_model, 64);
+        assert_eq!(c.heads, 8);
+        assert_eq!(c.layers, 4);
+        assert_eq!(c.beta_min, 1e-4);
+        assert_eq!(c.beta_max, 0.2);
+        c.validate();
+    }
+
+    #[test]
+    fn variants_flip_expected_switches() {
+        let base = PristiConfig::small();
+        let m = base.clone().with_variant(ModelVariant::MixSti);
+        assert!(!m.use_interpolation && !m.use_cond_feature);
+        let cf = base.clone().with_variant(ModelVariant::WithoutCondFeature);
+        assert!(cf.use_interpolation && !cf.use_cond_feature);
+        let csdi = base.clone().with_variant(ModelVariant::Csdi);
+        assert!(!csdi.use_mpnn && csdi.adaptive_dim == 0);
+        for v in ModelVariant::ablation_rows() {
+            base.clone().with_variant(v).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "both temporal and spatial")]
+    fn degenerate_config_rejected() {
+        let mut c = PristiConfig::small();
+        c.use_temporal = false;
+        c.use_spatial = false;
+        c.validate();
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ModelVariant::MixSti.label(), "mix-STI");
+        assert_eq!(ModelVariant::WithoutCondFeature.label(), "w/o CF");
+        assert_eq!(ModelVariant::Csdi.label(), "CSDI");
+    }
+}

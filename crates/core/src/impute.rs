@@ -1,0 +1,291 @@
+//! Imputation process with a trained model (Algorithm 2).
+//!
+//! All missing values of a window become the imputation target; the reverse
+//! process starts from Gaussian noise and is guided by the interpolated
+//! conditional information. An ensemble of samples approximates the
+//! imputation distribution: the median is the deterministic imputation
+//! (evaluated by MAE/MSE) and the quantiles feed CRPS and the Fig. 6
+//! uncertainty bands.
+
+use crate::train::{build_cond, TrainedModel};
+use rand::rngs::StdRng;
+use st_data::dataset::Window;
+use st_diffusion::p_sample_step;
+use st_metrics::quantile_of_sorted;
+use st_tensor::ndarray::NdArray;
+
+/// The sample ensemble produced for one window.
+#[derive(Debug, Clone)]
+pub struct ImputationResult {
+    /// Denormalised samples, each `[N, L]`, covering every position (observed
+    /// positions are copied from the data).
+    pub samples: Vec<NdArray>,
+    /// Mask of positions that were imputed (1) rather than conditioned on.
+    pub target_mask: NdArray,
+}
+
+impl ImputationResult {
+    /// Per-position median across samples — the deterministic imputation.
+    pub fn median(&self) -> NdArray {
+        self.quantile(0.5)
+    }
+
+    /// Per-position quantile across samples.
+    pub fn quantile(&self, alpha: f64) -> NdArray {
+        let shape = self.samples[0].shape().to_vec();
+        let numel = self.samples[0].numel();
+        let mut out = NdArray::zeros(&shape);
+        let mut buf = vec![0.0f32; self.samples.len()];
+        for i in 0..numel {
+            for (s, sample) in self.samples.iter().enumerate() {
+                buf[s] = sample.data()[i];
+            }
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN in imputation sample"));
+            out.data_mut()[i] = quantile_of_sorted(&buf, alpha) as f32;
+        }
+        out
+    }
+
+    /// Flatten samples to the `[S, P]` layout expected by
+    /// [`st_metrics::crps_ensemble`].
+    pub fn samples_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.samples.len() * self.samples[0].numel());
+        for s in &self.samples {
+            out.extend_from_slice(s.data());
+        }
+        out
+    }
+
+    /// Number of samples in the ensemble.
+    pub fn n_samples(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// Impute one window with a trained model, generating `n_samples` posterior
+/// samples in a single batched reverse pass.
+pub fn impute_window(
+    trained: &TrainedModel,
+    window: &Window,
+    n_samples: usize,
+    rng: &mut StdRng,
+) -> ImputationResult {
+    impute_window_impl(trained, window, n_samples, None, rng)
+}
+
+/// Accelerated imputation: the same trained model sampled with `ddim_steps`
+/// deterministic DDIM steps instead of the full `T`-step ancestral loop
+/// (the efficiency direction named in the paper's conclusion). Quality
+/// degrades gracefully as `ddim_steps` shrinks; 8–12 steps typically match
+/// the full loop closely.
+pub fn impute_window_fast(
+    trained: &TrainedModel,
+    window: &Window,
+    n_samples: usize,
+    ddim_steps: usize,
+    rng: &mut StdRng,
+) -> ImputationResult {
+    impute_window_impl(trained, window, n_samples, Some(ddim_steps), rng)
+}
+
+fn impute_window_impl(
+    trained: &TrainedModel,
+    window: &Window,
+    n_samples: usize,
+    ddim_steps: Option<usize>,
+    rng: &mut StdRng,
+) -> ImputationResult {
+    assert!(n_samples >= 1, "need at least one sample");
+    let (n, l) = (window.n_nodes(), window.len());
+    assert_eq!(n, trained.model.n_nodes(), "window node count mismatch");
+    assert_eq!(l, trained.model.window_len(), "window length mismatch");
+
+    let mut values_z = window.values.clone();
+    trained.normalizer.normalize_window(&mut values_z);
+    let cond_mask = window.cond_mask();
+    // Everything not conditioned on is the imputation target (Algorithm 2:
+    // "the imputation target is all missing values").
+    let target_mask = cond_mask.map(|v| 1.0 - v);
+    let cond = build_cond(&values_z, &cond_mask, trained.model.cfg.use_interpolation);
+
+    // Batch the whole ensemble: [S, N, L] with the conditioner replicated.
+    let mut cond_b = NdArray::zeros(&[n_samples, n, l]);
+    let mut tmask_b = NdArray::zeros(&[n_samples, n, l]);
+    for s in 0..n_samples {
+        cond_b.data_mut()[s * n * l..(s + 1) * n * l].copy_from_slice(cond.data());
+        tmask_b.data_mut()[s * n * l..(s + 1) * n * l].copy_from_slice(target_mask.data());
+    }
+
+    let mut x = NdArray::randn(&[n_samples, n, l], rng).mul(&tmask_b);
+    match ddim_steps {
+        None => {
+            for t in (1..=trained.schedule.t_steps()).rev() {
+                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
+                x = p_sample_step(&x, &eps_hat, &trained.schedule, t, rng).mul(&tmask_b);
+            }
+        }
+        Some(steps) => {
+            let taus = st_diffusion::ddim_timesteps(trained.schedule.t_steps(), steps);
+            for i in (0..taus.len()).rev() {
+                let t = taus[i];
+                let t_prev = if i == 0 { 0 } else { taus[i - 1] };
+                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
+                x = st_diffusion::ddim_step(&x, &eps_hat, &trained.schedule, t, t_prev, 0.0, rng)
+                    .mul(&tmask_b);
+            }
+        }
+    }
+
+    // Merge with conditioned values, denormalise per sample.
+    let mut samples = Vec::with_capacity(n_samples);
+    let cond_part = values_z.mul(&cond_mask);
+    for s in 0..n_samples {
+        let mut sample = NdArray::zeros(&[n, l]);
+        sample
+            .data_mut()
+            .copy_from_slice(&x.data()[s * n * l..(s + 1) * n * l]);
+        let mut merged = sample.mul(&target_mask).add(&cond_part);
+        trained.normalizer.denormalize_window(&mut merged);
+        samples.push(merged);
+    }
+    ImputationResult { samples, target_mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PristiConfig;
+    use crate::train::{train, TrainConfig};
+    use rand::SeedableRng;
+    use st_data::dataset::Split;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+    use st_metrics::masked_mae;
+
+    fn tiny_cfg() -> PristiConfig {
+        let mut c = PristiConfig::small();
+        c.d_model = 8;
+        c.heads = 2;
+        c.layers = 1;
+        c.t_steps = 10;
+        c.time_emb_dim = 8;
+        c.node_emb_dim = 4;
+        c.step_emb_dim = 8;
+        c.virtual_nodes = 4;
+        c.adaptive_dim = 2;
+        c
+    }
+
+    fn trained_setup() -> (st_data::SpatioTemporalDataset, crate::train::TrainedModel) {
+        let mut data = generate_air_quality(&AirQualityConfig {
+            n_nodes: 8,
+            n_days: 8,
+            seed: 6,
+            ..Default::default()
+        });
+        data.eval_mask = inject_point_missing(&data.observed_mask, 0.2, 99);
+        let tc = TrainConfig {
+            epochs: 6,
+            batch_size: 4,
+            window_len: 12,
+            window_stride: 12,
+            seed: 4,
+            ..Default::default()
+        };
+        let trained = train(&data, tiny_cfg(), &tc);
+        (data, trained)
+    }
+
+    #[test]
+    fn imputation_preserves_observed_and_fills_missing() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = impute_window(&trained, w, 4, &mut rng);
+        assert_eq!(res.n_samples(), 4);
+        let med = res.median();
+        let cm = w.cond_mask();
+        for i in 0..med.numel() {
+            if cm.data()[i] > 0.0 {
+                assert!(
+                    (med.data()[i] - w.values.data()[i]).abs() < 1e-2,
+                    "observed value altered at {i}: {} vs {}",
+                    med.data()[i],
+                    w.values.data()[i]
+                );
+            } else {
+                assert!(med.data()[i].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = impute_window(&trained, w, 8, &mut rng);
+        let q05 = res.quantile(0.05);
+        let q50 = res.quantile(0.50);
+        let q95 = res.quantile(0.95);
+        for i in 0..q05.numel() {
+            assert!(q05.data()[i] <= q50.data()[i] + 1e-5);
+            assert!(q50.data()[i] <= q95.data()[i] + 1e-5);
+        }
+    }
+
+    #[test]
+    fn fast_ddim_imputation_close_to_full() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let mut r1 = StdRng::seed_from_u64(4);
+        let mut r2 = StdRng::seed_from_u64(4);
+        let full = impute_window(&trained, w, 6, &mut r1);
+        let fast = impute_window_fast(&trained, w, 6, 5, &mut r2);
+        assert_eq!(fast.n_samples(), 6);
+        // both valid imputations: finite, observed preserved
+        let cm = w.cond_mask();
+        for res in [&full, &fast] {
+            let med = res.median();
+            for i in 0..med.numel() {
+                assert!(med.data()[i].is_finite());
+                if cm.data()[i] > 0.0 {
+                    assert!((med.data()[i] - w.values.data()[i]).abs() < 1e-2);
+                }
+            }
+        }
+        // the DDIM median should be in the same ballpark as the full median
+        let mf = full.median();
+        let md = fast.median();
+        let mae = st_metrics::masked_mae(md.data(), mf.data(), w.eval.data());
+        assert!(mae.is_finite());
+    }
+
+    #[test]
+    fn trained_model_beats_wild_guess() {
+        // Even a briefly trained tiny model should beat imputing a constant
+        // far from the data range.
+        let (data, trained) = trained_setup();
+        let windows = data.windows(Split::Test, 12, 12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model_err = 0.0;
+        let mut naive_err = 0.0;
+        let mut count = 0;
+        for w in windows.iter().take(3) {
+            if w.eval.data().iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            let res = impute_window(&trained, w, 4, &mut rng);
+            let med = res.median();
+            model_err += masked_mae(med.data(), w.values.data(), w.eval.data());
+            let zeros = vec![0.0f32; med.numel()];
+            naive_err += masked_mae(&zeros, w.values.data(), w.eval.data());
+            count += 1;
+        }
+        assert!(count > 0, "no eval positions in test windows");
+        assert!(
+            model_err < naive_err,
+            "model MAE {model_err:.3} should beat zero-imputation {naive_err:.3}"
+        );
+    }
+}

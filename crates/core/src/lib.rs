@@ -1,0 +1,72 @@
+//! # pristi-core
+//!
+//! The paper's primary contribution: **PriSTI**, a conditional diffusion
+//! framework for spatiotemporal imputation (Liu et al., ICDE 2023),
+//! implemented from scratch on the `st-tensor` autodiff substrate.
+//!
+//! The model (Fig. 2 / Fig. 3 of the paper) consists of:
+//!
+//! * a **conditional feature extraction module** `γ(·)` ([`cond_feature`])
+//!   that turns linearly-interpolated observations into a global context
+//!   prior `H^pri` by mixing spatial attention, temporal attention and
+//!   graph message passing in a *wide* (single-layer, parallel) block
+//!   (Eq. 5);
+//! * a **noise estimation module** ([`noise_estimation`]) — a *deep* stack
+//!   of layers that first learn temporal dependencies (`γ_T`) and then
+//!   spatial ones (`γ_S`), with attention weights computed from `H^pri`
+//!   (Eqs. 6–8), virtual-node downsampling for the spatial attention
+//!   (Eq. 9), and DiffWave-style gated residual/skip connections;
+//! * **auxiliary information** `U` ([`aux`]) — sinusoidal temporal encoding
+//!   plus a learnable node embedding — and a diffusion-step embedding;
+//! * the **training loop** of Algorithm 1 ([`train`]) and the **imputation /
+//!   ensemble sampling** of Algorithm 2 ([`impute`]).
+//!
+//! Every ablation from Table VI (`mix-STI`, `w/o CF`, `w/o spa`, `w/o tem`,
+//! `w/o MPNN`, `w/o Attn`) and the CSDI comparator are expressed as
+//! [`config::PristiConfig`] switches over the same components, so the
+//! ablation study compares exactly what the paper compares.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pristi_core::train::{train, TrainConfig};
+//! use pristi_core::{impute_window, impute_window_fast, PristiConfig};
+//! use st_data::generators::{generate_air_quality, AirQualityConfig};
+//! use st_data::missing::inject_point_missing;
+//! use st_data::dataset::Split;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A synthetic air-quality panel with 25 % of observations hidden.
+//! let mut data = generate_air_quality(&AirQualityConfig::default());
+//! data.eval_mask = inject_point_missing(&data.observed_mask, 0.25, 7);
+//!
+//! // Train the full model (ablations: `PristiConfig::small().with_variant(..)`).
+//! let trained = train(&data, PristiConfig::small(), &TrainConfig::default());
+//!
+//! // Probabilistic imputation of a test window.
+//! let window = &data.windows(Split::Test, 24, 24)[0];
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let full = impute_window(&trained, window, 32, &mut rng);         // T-step DDPM
+//! let fast = impute_window_fast(&trained, window, 32, 8, &mut rng); // 8-step DDIM
+//! let (median, lo, hi) = (full.median(), full.quantile(0.05), full.quantile(0.95));
+//! # let _ = (median, lo, hi, fast);
+//! ```
+
+#![warn(missing_docs)]
+// Index-based loops over several parallel buffers are the clearest way to
+// write the numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod aux;
+pub mod cond_feature;
+pub mod config;
+pub mod impute;
+pub mod model;
+pub mod noise_estimation;
+pub mod train;
+
+pub use config::{ModelVariant, PristiConfig};
+pub use impute::{impute_window, impute_window_fast, ImputationResult};
+pub use model::PristiModel;
+pub use train::{train, TrainConfig, TrainedModel};

@@ -1,0 +1,278 @@
+//! Full noise prediction model `ε_θ(X̃ᵗ, 𝒳, A, t)` (paper Fig. 2).
+
+use crate::aux::{AuxInfo, StepEmbedding};
+use crate::cond_feature::CondFeatureModule;
+use crate::config::PristiConfig;
+use crate::noise_estimation::NoiseEstimationLayer;
+use rand::Rng;
+use st_graph::SensorGraph;
+use st_tensor::graph::{Graph, Tx};
+use st_tensor::ndarray::NdArray;
+use st_tensor::nn::Linear;
+use st_tensor::param::ParamStore;
+
+/// The assembled PriSTI noise predictor: input projections, auxiliary
+/// information, the conditional feature extraction module, a stack of noise
+/// estimation layers, and the two-convolution output head.
+pub struct PristiModel {
+    /// All learnable parameters.
+    pub store: ParamStore,
+    /// Model configuration (with ablation switches applied).
+    pub cfg: PristiConfig,
+    n_nodes: usize,
+    len: usize,
+    cond_proj: Linear,
+    input_proj: Linear,
+    aux: AuxInfo,
+    step_emb: StepEmbedding,
+    cond_feature: Option<CondFeatureModule>,
+    layers: Vec<NoiseEstimationLayer>,
+    out1: Linear,
+    out2: Linear,
+}
+
+impl PristiModel {
+    /// Build a model for a fixed sensor graph and window length.
+    pub fn new<R: Rng + ?Sized>(
+        cfg: PristiConfig,
+        graph: &SensorGraph,
+        len: usize,
+        rng: &mut R,
+    ) -> Self {
+        cfg.validate();
+        let mut store = ParamStore::new();
+        let d = cfg.d_model;
+        let n = graph.n_nodes();
+        let cond_proj = Linear::new(&mut store, "cond_proj", 1, d, rng);
+        let input_proj = Linear::new(&mut store, "input_proj", 2, d, rng);
+        let aux = AuxInfo::new(
+            &mut store,
+            "aux",
+            n,
+            len,
+            cfg.time_emb_dim,
+            cfg.node_emb_dim,
+            d,
+            rng,
+        );
+        let step_emb = StepEmbedding::new(&mut store, "step", cfg.step_emb_dim, d, rng);
+        let cond_feature = cfg.use_cond_feature.then(|| {
+            CondFeatureModule::new(
+                &mut store,
+                "cond_feat",
+                d,
+                cfg.heads,
+                graph,
+                cfg.mpnn_order,
+                cfg.adaptive_dim,
+                rng,
+            )
+        });
+        let layers = (0..cfg.layers)
+            .map(|i| NoiseEstimationLayer::new(&mut store, &format!("layer{i}"), &cfg, graph, rng))
+            .collect();
+        let out1 = Linear::new(&mut store, "out1", d, d, rng);
+        // DiffWave zero-initialises this projection; at CPU-scale budgets the
+        // zero head blocks upstream gradients for dozens of steps, so a small
+        // Xavier init converges markedly faster with no observed instability.
+        let out2 = Linear::new(&mut store, "out2", d, 1, rng);
+        Self {
+            store,
+            cfg,
+            n_nodes: n,
+            len,
+            cond_proj,
+            input_proj,
+            aux,
+            step_emb,
+            cond_feature,
+            layers,
+            out1,
+            out2,
+        }
+    }
+
+    /// Number of sensors the model was built for.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Window length the model was built for.
+    pub fn window_len(&self) -> usize {
+        self.len
+    }
+
+    /// Total scalar parameter count.
+    pub fn n_params(&self) -> usize {
+        self.store.numel()
+    }
+
+    /// Build the ε-prediction graph.
+    ///
+    /// * `noisy` — `[B, N, L]` noisy imputation target (zero off-target);
+    /// * `cond`  — `[B, N, L]` conditional information 𝒳 (interpolated
+    ///   observations, or masked raw observations for `mix-STI`/CSDI);
+    /// * `steps` — per-sample diffusion step indices, length `B`.
+    ///
+    /// Returns the predicted noise `[B, N, L]` on the tape.
+    pub fn predict_eps(&self, g: &mut Graph<'_>, noisy: Tx, cond: Tx, steps: &[usize]) -> Tx {
+        let (n, l) = (self.n_nodes, self.len);
+        let b = steps.len();
+        assert_eq!(g.shape(noisy), &[b, n, l], "noisy shape mismatch");
+        assert_eq!(g.shape(cond), &[b, n, l], "cond shape mismatch");
+
+        let cond4 = g.reshape(cond, &[b, n, l, 1]);
+        let noisy4 = g.reshape(noisy, &[b, n, l, 1]);
+        let u = self.aux.forward(g); // [N, L, d], broadcasts over batch
+
+        // Conditional feature H^pri (Eq. 5) from noise-free information.
+        let h_pri = self.cond_feature.as_ref().map(|cf| {
+            let h0 = self.cond_proj.forward(g, cond4);
+            let h = g.add(h0, u);
+            cf.forward(g, h, b, n, l)
+        });
+
+        // Noisy input H^in = Conv(𝒳 ‖ X̃ᵗ) (+ U).
+        let cat = g.concat_last(&[cond4, noisy4]);
+        let hin0 = self.input_proj.forward(g, cat);
+        let mut x = g.add(hin0, u);
+
+        let se = self.step_emb.forward(g, steps); // [B, d]
+
+        let mut skips: Vec<Tx> = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (res, skip) = layer.forward(g, x, h_pri, se, b, n, l);
+            x = res;
+            skips.push(skip);
+        }
+        let mut skip_sum = skips[0];
+        for &s in &skips[1..] {
+            skip_sum = g.add(skip_sum, s);
+        }
+        let scaled = g.scale(skip_sum, 1.0 / (self.layers.len() as f32).sqrt());
+        let a1 = g.relu(scaled);
+        let h1 = self.out1.forward(g, a1);
+        let a2 = g.relu(h1);
+        let out = self.out2.forward(g, a2); // [B, N, L, 1]
+        g.reshape(out, &[b, n, l])
+    }
+
+    /// Evaluation-mode convenience: predict noise for concrete arrays
+    /// (used by the reverse sampling loop).
+    pub fn predict_eps_eval(&self, noisy: &NdArray, cond: &NdArray, t: usize) -> NdArray {
+        let b = noisy.shape()[0];
+        let mut g = Graph::new_eval(&self.store);
+        let noisy_tx = g.input(noisy.clone());
+        let cond_tx = g.input(cond.clone());
+        let steps = vec![t; b];
+        let out = self.predict_eps(&mut g, noisy_tx, cond_tx, &steps);
+        g.value(out).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelVariant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use st_graph::random_plane_layout;
+
+    fn graph(n: usize) -> SensorGraph {
+        SensorGraph::from_coords(random_plane_layout(n, 20.0, 3), 0.1)
+    }
+
+    fn tiny_cfg() -> PristiConfig {
+        let mut c = PristiConfig::small();
+        c.d_model = 8;
+        c.heads = 2;
+        c.layers = 2;
+        c.t_steps = 10;
+        c.time_emb_dim = 8;
+        c.node_emb_dim = 4;
+        c.step_emb_dim = 8;
+        c.virtual_nodes = 3;
+        c.adaptive_dim = 2;
+        c
+    }
+
+    #[test]
+    fn forward_output_shape() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let model = PristiModel::new(tiny_cfg(), &graph(5), 6, &mut rng);
+        let mut g = Graph::new(&model.store);
+        let noisy = g.input(NdArray::randn(&[2, 5, 6], &mut rng));
+        let cond = g.input(NdArray::randn(&[2, 5, 6], &mut rng));
+        let out = model.predict_eps(&mut g, noisy, cond, &[3, 7]);
+        assert_eq!(g.shape(out), &[2, 5, 6]);
+    }
+
+    #[test]
+    fn untrained_head_outputs_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let model = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng);
+        let noisy = NdArray::randn(&[1, 4, 5], &mut rng);
+        let cond = NdArray::randn(&[1, 4, 5], &mut rng);
+        let out = model.predict_eps_eval(&noisy, &cond, 5);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        assert!(out.max_abs() < 50.0, "untrained output blew up: {}", out.max_abs());
+    }
+
+    #[test]
+    fn all_variants_forward() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for v in [
+            ModelVariant::Pristi,
+            ModelVariant::MixSti,
+            ModelVariant::WithoutCondFeature,
+            ModelVariant::WithoutSpatial,
+            ModelVariant::WithoutTemporal,
+            ModelVariant::WithoutMpnn,
+            ModelVariant::WithoutAttention,
+            ModelVariant::Csdi,
+        ] {
+            let cfg = tiny_cfg().with_variant(v);
+            let model = PristiModel::new(cfg, &graph(4), 5, &mut rng);
+            let noisy = NdArray::randn(&[1, 4, 5], &mut rng);
+            let cond = NdArray::randn(&[1, 4, 5], &mut rng);
+            let out = model.predict_eps_eval(&noisy, &cond, 2);
+            assert_eq!(out.shape(), &[1, 4, 5], "variant {v:?}");
+        }
+    }
+
+    #[test]
+    fn loss_backward_touches_most_params() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let model = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng);
+        let mut g = Graph::new(&model.store);
+        let noisy = g.input(NdArray::randn(&[2, 4, 5], &mut rng));
+        let cond = g.input(NdArray::randn(&[2, 4, 5], &mut rng));
+        let out = model.predict_eps(&mut g, noisy, cond, &[1, 9]);
+        let target = g.input(NdArray::randn(&[2, 4, 5], &mut rng));
+        let mask = g.input(NdArray::ones(&[2, 4, 5]));
+        let loss = g.mse_masked(out, target, mask);
+        let grads = g.backward(loss);
+        // out2 is zero-init so gradients through it are still defined; at
+        // minimum the output head and several layer params must be touched.
+        assert!(grads.get("out2.w").is_some());
+        assert!(grads.get("out1.w").is_some());
+        let n_with_grad = grads.len();
+        let n_params = model.store.len();
+        assert!(
+            n_with_grad * 2 >= n_params,
+            "only {n_with_grad} of {n_params} parameter tensors received gradients"
+        );
+    }
+
+    #[test]
+    fn variant_param_counts_ordered() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let full = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng);
+        let wo_cf =
+            PristiModel::new(tiny_cfg().with_variant(ModelVariant::WithoutCondFeature), &graph(4), 5, &mut rng);
+        let wo_spa =
+            PristiModel::new(tiny_cfg().with_variant(ModelVariant::WithoutSpatial), &graph(4), 5, &mut rng);
+        assert!(full.n_params() > wo_cf.n_params());
+        assert!(wo_cf.n_params() > wo_spa.n_params() || full.n_params() > wo_spa.n_params());
+    }
+}

@@ -1,0 +1,319 @@
+//! Training process of PriSTI (Algorithm 1).
+//!
+//! Each iteration: re-mask the observed values with a mask strategy to create
+//! the imputation target `X̃⁰`, build the interpolated conditional
+//! information `𝒳` from the remaining observations, sample a diffusion step
+//! and Gaussian noise, and regress the noise with the masked L2 objective of
+//! Eq. 4. The learning rate follows the paper's step decay (×0.1 at 75 %,
+//! ×0.1 at 90 % of epochs).
+
+use crate::config::PristiConfig;
+use crate::model::PristiModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use st_data::dataset::{SpatioTemporalDataset, Split, Window};
+use st_data::interpolate::linear_interpolate;
+use st_data::mask_strategy::MaskStrategy;
+use st_data::normalize::Normalizer;
+use st_diffusion::{q_sample, DiffusionSchedule};
+use st_tensor::graph::Graph;
+use st_tensor::ndarray::NdArray;
+use st_tensor::optim::{clip_grad_norm, pristi_lr, Adam};
+
+/// Which mask strategy to train with (Section IV-D "Training strategies").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskStrategyKind {
+    /// Point strategy (paper: point-missing traffic).
+    Point,
+    /// Hybrid of point and block (paper: block-missing traffic).
+    HybridBlock,
+    /// Hybrid of point and historical patterns (paper: AQI-36).
+    HybridHistorical,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training windows.
+    pub epochs: usize,
+    /// Windows per gradient step (paper: 16).
+    pub batch_size: usize,
+    /// Base learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Window length `L` (paper: 36 AQI / 24 traffic).
+    pub window_len: usize,
+    /// Stride between training windows.
+    pub window_stride: usize,
+    /// Mask strategy for creating training targets.
+    pub strategy: MaskStrategyKind,
+    /// Global gradient-norm clip.
+    pub clip_norm: f64,
+    /// RNG seed for masking / noise / shuffling.
+    pub seed: u64,
+    /// Print a line per epoch.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 20,
+            batch_size: 8,
+            lr: 1e-3,
+            window_len: 24,
+            window_stride: 12,
+            strategy: MaskStrategyKind::Point,
+            clip_norm: 5.0,
+            seed: 7,
+            verbose: false,
+        }
+    }
+}
+
+/// A trained model bundled with everything needed for imputation.
+pub struct TrainedModel {
+    /// The noise predictor.
+    pub model: PristiModel,
+    /// The diffusion schedule it was trained with.
+    pub schedule: DiffusionSchedule,
+    /// The per-node scaler fitted on the training split.
+    pub normalizer: Normalizer,
+    /// Mean training loss per epoch (for diagnostics and tests).
+    pub epoch_losses: Vec<f64>,
+}
+
+/// Train PriSTI (or any configured variant) on a dataset's training split.
+pub fn train(
+    data: &SpatioTemporalDataset,
+    model_cfg: PristiConfig,
+    tc: &TrainConfig,
+) -> TrainedModel {
+    let mut rng = StdRng::seed_from_u64(tc.seed);
+    let normalizer = Normalizer::fit(data);
+    let windows = data.windows(Split::Train, tc.window_len, tc.window_stride);
+    assert!(
+        !windows.is_empty(),
+        "no training windows: split too short for window_len {}",
+        tc.window_len
+    );
+    let strategy = build_strategy(tc.strategy, &windows);
+    let schedule = DiffusionSchedule::new(
+        model_cfg.schedule,
+        model_cfg.t_steps,
+        model_cfg.beta_min,
+        model_cfg.beta_max,
+    );
+    let mut model = PristiModel::new(model_cfg, &data.graph, tc.window_len, &mut rng);
+    let mut opt = Adam::new(tc.lr);
+    let mut epoch_losses = Vec::with_capacity(tc.epochs);
+
+    // Pre-normalise window values once.
+    let prepared: Vec<(NdArray, NdArray)> = windows
+        .iter()
+        .map(|w| {
+            let mut z = w.values.clone();
+            normalizer.normalize_window(&mut z);
+            (z, w.cond_mask())
+        })
+        .collect();
+
+    let mut order: Vec<usize> = (0..prepared.len()).collect();
+    for epoch in 0..tc.epochs {
+        opt.lr = pristi_lr(tc.lr, epoch, tc.epochs);
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut n_batches = 0usize;
+        for chunk in order.chunks(tc.batch_size) {
+            let loss = train_step(&mut model, &mut opt, &schedule, &prepared, chunk, &strategy, tc, &mut rng);
+            loss_sum += loss;
+            n_batches += 1;
+        }
+        let mean = loss_sum / n_batches.max(1) as f64;
+        epoch_losses.push(mean);
+        if tc.verbose {
+            println!("epoch {epoch:3}  loss {mean:.5}  lr {:.6}", opt.lr);
+        }
+    }
+    TrainedModel { model, schedule, normalizer, epoch_losses }
+}
+
+fn build_strategy(kind: MaskStrategyKind, windows: &[Window]) -> MaskStrategy {
+    match kind {
+        MaskStrategyKind::Point => MaskStrategy::Point,
+        MaskStrategyKind::HybridBlock => MaskStrategy::HybridBlock,
+        MaskStrategyKind::HybridHistorical => {
+            // Harvest observed-mask patterns from the training windows as the
+            // "historical missing patterns" library.
+            let patterns: Vec<NdArray> = windows.iter().map(|w| w.observed.clone()).collect();
+            MaskStrategy::HybridHistorical { patterns }
+        }
+    }
+}
+
+/// Build the conditional information 𝒳 for a window given values (normalised)
+/// and the conditioning mask, honouring the interpolation switch.
+pub(crate) fn build_cond(
+    values_z: &NdArray,
+    cond_mask: &NdArray,
+    use_interpolation: bool,
+) -> NdArray {
+    if use_interpolation {
+        linear_interpolate(values_z, cond_mask, 0.0)
+    } else {
+        values_z.mul(cond_mask)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_step(
+    model: &mut PristiModel,
+    opt: &mut Adam,
+    schedule: &DiffusionSchedule,
+    prepared: &[(NdArray, NdArray)],
+    chunk: &[usize],
+    strategy: &MaskStrategy,
+    tc: &TrainConfig,
+    rng: &mut StdRng,
+) -> f64 {
+    let b = chunk.len();
+    let (n, l) = {
+        let s = prepared[chunk[0]].0.shape();
+        (s[0], s[1])
+    };
+    let mut noisy = NdArray::zeros(&[b, n, l]);
+    let mut cond = NdArray::zeros(&[b, n, l]);
+    let mut eps_all = NdArray::zeros(&[b, n, l]);
+    let mut tmask = NdArray::zeros(&[b, n, l]);
+    let mut steps = Vec::with_capacity(b);
+
+    for (bi, &wi) in chunk.iter().enumerate() {
+        let (values_z, cond_observed) = &prepared[wi];
+        let target = strategy.sample(cond_observed, rng);
+        let cond_train = cond_observed.zip_map(&target, |o, t| if o > 0.0 && t == 0.0 { 1.0 } else { 0.0 });
+        let x0 = values_z.mul(&target);
+        let cond_w = build_cond(values_z, &cond_train, model.cfg.use_interpolation);
+        let t_step = rng.random_range(1..=schedule.t_steps());
+        let eps = NdArray::randn(&[n, l], rng);
+        let x_t = q_sample(&x0, &eps, schedule, t_step).mul(&target);
+        steps.push(t_step);
+        let base = bi * n * l;
+        noisy.data_mut()[base..base + n * l].copy_from_slice(x_t.data());
+        cond.data_mut()[base..base + n * l].copy_from_slice(cond_w.data());
+        eps_all.data_mut()[base..base + n * l].copy_from_slice(eps.data());
+        tmask.data_mut()[base..base + n * l].copy_from_slice(target.data());
+    }
+
+    let (loss_val, mut grads) = {
+        let mut g = Graph::new(&model.store);
+        let noisy_tx = g.input(noisy);
+        let cond_tx = g.input(cond);
+        let eps_hat = model.predict_eps(&mut g, noisy_tx, cond_tx, &steps);
+        let eps_tx = g.input(eps_all);
+        let mask_tx = g.input(tmask);
+        let loss = g.mse_masked(eps_hat, eps_tx, mask_tx);
+        (g.value(loss).data()[0] as f64, g.backward(loss))
+    };
+    clip_grad_norm(&mut grads, tc.clip_norm);
+    opt.step(&mut model.store, &grads);
+    loss_val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PristiConfig;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+
+    fn tiny_model_cfg() -> PristiConfig {
+        let mut c = PristiConfig::small();
+        c.d_model = 8;
+        c.heads = 2;
+        c.layers = 1;
+        c.t_steps = 10;
+        c.time_emb_dim = 8;
+        c.node_emb_dim = 4;
+        c.step_emb_dim = 8;
+        c.virtual_nodes = 4;
+        c.adaptive_dim = 2;
+        c
+    }
+
+    fn tiny_data() -> st_data::SpatioTemporalDataset {
+        // no pollution episodes: a smooth, learnable panel for smoke tests
+        generate_air_quality(&AirQualityConfig {
+            n_nodes: 8,
+            n_days: 6,
+            seed: 5,
+            episodes_per_week: 0.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let data = tiny_data();
+        let tc = TrainConfig {
+            epochs: 60,
+            batch_size: 4,
+            lr: 4e-3,
+            window_len: 12,
+            window_stride: 6,
+            seed: 1,
+            ..Default::default()
+        };
+        let trained = train(&data, tiny_model_cfg(), &tc);
+        assert_eq!(trained.epoch_losses.len(), 60);
+        // Per-epoch losses are noisy (random masks and diffusion steps), so
+        // compare early-vs-late averages. The ε-objective has a high floor —
+        // a large random fraction of each window is masked, so much of the
+        // noise is simply unpredictable — hence the modest thresholds.
+        let head: f64 = trained.epoch_losses[..5].iter().sum::<f64>() / 5.0;
+        let tail: f64 = trained.epoch_losses[55..].iter().sum::<f64>() / 5.0;
+        assert!(
+            tail < head,
+            "training loss should decrease: head {head:.4}, tail {tail:.4}"
+        );
+        // ε ~ N(0,1), so an untrained (zero-output) model has loss ≈ 1;
+        // learning on the smooth panel pulls clearly below that.
+        assert!(tail < 1.0, "late loss {tail:.4} not below noise floor");
+    }
+
+    #[test]
+    fn all_strategies_run() {
+        let data = tiny_data();
+        for strategy in [
+            MaskStrategyKind::Point,
+            MaskStrategyKind::HybridBlock,
+            MaskStrategyKind::HybridHistorical,
+        ] {
+            let tc = TrainConfig {
+                epochs: 1,
+                batch_size: 4,
+                window_len: 12,
+                window_stride: 24,
+                strategy,
+                seed: 2,
+                ..Default::default()
+            };
+            let trained = train(&data, tiny_model_cfg(), &tc);
+            assert!(trained.epoch_losses[0].is_finite(), "{strategy:?} produced NaN loss");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = tiny_data();
+        let tc = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            window_len: 12,
+            window_stride: 24,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = train(&data, tiny_model_cfg(), &tc);
+        let b = train(&data, tiny_model_cfg(), &tc);
+        assert_eq!(a.epoch_losses, b.epoch_losses);
+    }
+}

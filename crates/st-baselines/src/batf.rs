@@ -1,0 +1,229 @@
+//! BATF: Bayesian augmented tensor factorisation (Chen et al. 2019).
+//!
+//! Simplification (documented in DESIGN.md §3.7): we keep the *augmented
+//! factorisation* structure — explicit global mean, node bias and
+//! time-of-day bias capturing transportation domain knowledge, plus a
+//! low-rank interaction term — but fit it with alternating least squares
+//! instead of MCMC. The Bayesian machinery in the original mainly provides
+//! regularisation, which the ridge terms replicate.
+
+use crate::common::{visible, Imputer};
+use crate::linalg::cholesky_solve;
+use crate::trmf::symmetrise_add_ridge;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_data::dataset::SpatioTemporalDataset;
+use st_tensor::NdArray;
+
+/// Augmented factorisation imputer: `x[t,i] ≈ μ + θ_i + η_{tod(t)} + f_i·g_t`.
+#[derive(Debug)]
+pub struct BatfImputer {
+    /// Interaction rank.
+    pub rank: usize,
+    /// Number of ALS sweeps.
+    pub iters: usize,
+    /// Ridge penalty on the factors.
+    pub lambda: f64,
+}
+
+impl Default for BatfImputer {
+    fn default() -> Self {
+        Self { rank: 8, iters: 10, lambda: 2.0 }
+    }
+}
+
+impl Imputer for BatfImputer {
+    fn name(&self) -> &'static str {
+        "BATF"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let (vals, mask) = visible(data);
+        let (t_len, n) = (data.n_steps(), data.n_nodes());
+        let spd = data.steps_per_day;
+        let r = self.rank.min(n);
+
+        let mut mu = 0.0f64;
+        let mut theta = vec![0.0f64; n]; // node bias
+        let mut eta = vec![0.0f64; spd]; // time-of-day bias
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut f = NdArray::randn(&[n, r], &mut rng).scale(0.05);
+        let mut g = NdArray::randn(&[t_len, r], &mut rng).scale(0.05);
+
+        let lowrank = |f: &NdArray, g: &NdArray, t: usize, i: usize| -> f64 {
+            let fi = &f.data()[i * r..(i + 1) * r];
+            let gt = &g.data()[t * r..(t + 1) * r];
+            fi.iter().zip(gt).map(|(&a, &b)| a as f64 * b as f64).sum()
+        };
+
+        for _ in 0..self.iters {
+            // --- global mean ---
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for t in 0..t_len {
+                for i in 0..n {
+                    if mask.data()[t * n + i] > 0.0 {
+                        num += vals.data()[t * n + i] as f64
+                            - theta[i]
+                            - eta[t % spd]
+                            - lowrank(&f, &g, t, i);
+                        den += 1.0;
+                    }
+                }
+            }
+            mu = if den > 0.0 { num / den } else { 0.0 };
+
+            // --- node biases ---
+            for i in 0..n {
+                let mut num = 0.0;
+                let mut den = 1.0; // ridge toward 0
+                for t in 0..t_len {
+                    if mask.data()[t * n + i] > 0.0 {
+                        num += vals.data()[t * n + i] as f64
+                            - mu
+                            - eta[t % spd]
+                            - lowrank(&f, &g, t, i);
+                        den += 1.0;
+                    }
+                }
+                theta[i] = num / den;
+            }
+
+            // --- time-of-day biases ---
+            let mut num_tod = vec![0.0f64; spd];
+            let mut den_tod = vec![1.0f64; spd];
+            for t in 0..t_len {
+                let tod = t % spd;
+                for i in 0..n {
+                    if mask.data()[t * n + i] > 0.0 {
+                        num_tod[tod] += vals.data()[t * n + i] as f64
+                            - mu
+                            - theta[i]
+                            - lowrank(&f, &g, t, i);
+                        den_tod[tod] += 1.0;
+                    }
+                }
+            }
+            for tod in 0..spd {
+                eta[tod] = num_tod[tod] / den_tod[tod];
+            }
+
+            // --- low-rank interaction by ALS on the de-biased residual ---
+            let resid =
+                |t: usize, i: usize| -> f64 { vals.data()[t * n + i] as f64 - mu - theta[i] - eta[t % spd] };
+            for i in 0..n {
+                let mut a = vec![0.0f64; r * r];
+                let mut b = vec![0.0f64; r];
+                for t in 0..t_len {
+                    if mask.data()[t * n + i] == 0.0 {
+                        continue;
+                    }
+                    let gt = &g.data()[t * r..(t + 1) * r];
+                    let y = resid(t, i);
+                    for p in 0..r {
+                        b[p] += gt[p] as f64 * y;
+                        for q in p..r {
+                            a[p * r + q] += gt[p] as f64 * gt[q] as f64;
+                        }
+                    }
+                }
+                symmetrise_add_ridge(&mut a, r, self.lambda);
+                let sol = cholesky_solve(&mut a, &b, r);
+                for p in 0..r {
+                    f.data_mut()[i * r + p] = sol[p] as f32;
+                }
+            }
+            for t in 0..t_len {
+                let mut a = vec![0.0f64; r * r];
+                let mut b = vec![0.0f64; r];
+                for i in 0..n {
+                    if mask.data()[t * n + i] == 0.0 {
+                        continue;
+                    }
+                    let fi = &f.data()[i * r..(i + 1) * r];
+                    let y = resid(t, i);
+                    for p in 0..r {
+                        b[p] += fi[p] as f64 * y;
+                        for q in p..r {
+                            a[p * r + q] += fi[p] as f64 * fi[q] as f64;
+                        }
+                    }
+                }
+                symmetrise_add_ridge(&mut a, r, self.lambda);
+                let sol = cholesky_solve(&mut a, &b, r);
+                for p in 0..r {
+                    g.data_mut()[t * r + p] = sol[p] as f32;
+                }
+            }
+        }
+
+        let mut out = data.values.mul(&mask);
+        for t in 0..t_len {
+            for i in 0..n {
+                if mask.data()[t * n + i] == 0.0 {
+                    out.data_mut()[t * n + i] =
+                        (mu + theta[i] + eta[t % spd] + lowrank(&f, &g, t, i)) as f32;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::evaluate_panel;
+    use crate::simple::MeanImputer;
+    use st_data::dataset::Split;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+
+    #[test]
+    fn beats_mean_via_time_of_day_bias() {
+        let mut d = generate_air_quality(&AirQualityConfig {
+            n_nodes: 10,
+            n_days: 8,
+            seed: 41,
+            ..Default::default()
+        });
+        d.eval_mask = inject_point_missing(&d.observed_mask, 0.25, 43);
+        let mut batf = BatfImputer { iters: 6, ..Default::default() };
+        let out = batf.fit_impute(&d);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        let b_err = evaluate_panel(&d, &out, Split::Test).mae();
+        let m_err = evaluate_panel(&d, &MeanImputer.fit_impute(&d), Split::Test).mae();
+        assert!(b_err < m_err, "BATF {b_err:.3} vs MEAN {m_err:.3}");
+    }
+
+    #[test]
+    fn captures_pure_bias_structure_exactly() {
+        // x[t,i] = 5 + i + tod: the augmented biases alone should nail this.
+        let (t_len, n, spd) = (96, 6, 24);
+        let mut vals = NdArray::zeros(&[t_len, n]);
+        for t in 0..t_len {
+            for i in 0..n {
+                vals.data_mut()[t * n + i] = 5.0 + i as f32 + (t % spd) as f32 * 0.5;
+            }
+        }
+        let observed = NdArray::ones(&[t_len, n]);
+        let eval = inject_point_missing(&observed, 0.3, 5);
+        let d = SpatioTemporalDataset {
+            name: "bias".into(),
+            values: vals,
+            observed_mask: observed,
+            eval_mask: eval,
+            steps_per_day: spd,
+            graph: st_graph::SensorGraph::from_coords(
+                st_graph::random_plane_layout(n, 5.0, 2),
+                0.1,
+            ),
+            train_frac: 0.7,
+            valid_frac: 0.1,
+        };
+        let mut batf = BatfImputer { rank: 2, iters: 8, lambda: 0.5 };
+        let out = batf.fit_impute(&d);
+        let err = evaluate_panel(&d, &out, Split::Test).mae();
+        assert!(err < 0.1, "pure-bias data should be captured, MAE {err:.4}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared baseline interfaces and evaluation helpers.
+
+use st_data::dataset::{SpatioTemporalDataset, Split};
+use st_metrics::MaskedErrors;
+use st_tensor::NdArray;
+
+/// A deterministic imputation method.
+pub trait Imputer {
+    /// Method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Fit on the visible values of `data` and return a fully imputed
+    /// `[T, N]` panel. Implementations must never read values at positions
+    /// where `observed == 0` or `eval == 1`.
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray;
+}
+
+/// A probabilistic imputation method (evaluated by CRPS, Table IV).
+pub trait ProbabilisticImputer: Imputer {
+    /// Draw `n_samples` imputed panels (each `[T, N]`).
+    fn sample_ensemble(
+        &mut self,
+        data: &SpatioTemporalDataset,
+        n_samples: usize,
+        seed: u64,
+    ) -> Vec<NdArray>;
+}
+
+/// Extract what an imputer is allowed to see: values with hidden positions
+/// zeroed, and the visibility mask (`observed == 1 && eval == 0`).
+pub fn visible(data: &SpatioTemporalDataset) -> (NdArray, NdArray) {
+    let mask = data
+        .observed_mask
+        .zip_map(&data.eval_mask, |o, e| if o > 0.0 && e == 0.0 { 1.0 } else { 0.0 });
+    let values = data.values.mul(&mask);
+    (values, mask)
+}
+
+/// Score an imputed panel against the ground truth on the evaluation-masked
+/// positions of one split (the paper evaluates "only on the manually masked
+/// parts of the test set").
+pub fn evaluate_panel(
+    data: &SpatioTemporalDataset,
+    imputed: &NdArray,
+    split: Split,
+) -> MaskedErrors {
+    assert_eq!(imputed.shape(), data.values.shape(), "imputed panel shape mismatch");
+    let (start, end) = data.split_range(split);
+    let n = data.n_nodes();
+    let mut acc = MaskedErrors::new();
+    acc.update(
+        &imputed.data()[start * n..end * n],
+        &data.values.data()[start * n..end * n],
+        &data.eval_mask.data()[start * n..end * n],
+    );
+    acc
+}
+
+/// Cover the whole panel with windows of length `len` (non-overlapping, with
+/// one extra right-aligned window for the tail), let `impute` fill each
+/// `[N, L]` window, and stitch results into a `[T, N]` panel. Visible values
+/// pass through unchanged.
+pub fn impute_panel_by_windows(
+    data: &SpatioTemporalDataset,
+    len: usize,
+    mut impute: impl FnMut(&st_data::dataset::Window) -> NdArray,
+) -> NdArray {
+    let (t_len, n) = (data.n_steps(), data.n_nodes());
+    assert!(t_len >= len, "panel shorter than window");
+    let (vals, mask) = visible(data);
+    let mut out = vals.clone();
+    let mut starts: Vec<usize> = (0..=(t_len - len)).step_by(len).collect();
+    if starts.last() != Some(&(t_len - len)) {
+        starts.push(t_len - len);
+    }
+    for t0 in starts {
+        let w = data.window_at(t0, len);
+        let filled = impute(&w); // [N, L]
+        assert_eq!(filled.shape(), &[n, len], "window imputation shape mismatch");
+        for l in 0..len {
+            for i in 0..n {
+                let idx = (t0 + l) * n + i;
+                if mask.data()[idx] == 0.0 {
+                    out.data_mut()[idx] = filled.data()[i * len + l];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::{random_plane_layout, SensorGraph};
+
+    fn dataset() -> SpatioTemporalDataset {
+        let (t, n) = (40, 3);
+        let mut observed = NdArray::ones(&[t, n]);
+        observed.data_mut()[4] = 0.0;
+        let mut eval = NdArray::zeros(&[t, n]);
+        eval.data_mut()[100] = 1.0; // t=33 (test split), n=1
+        eval.data_mut()[7] = 1.0; // train split position
+        SpatioTemporalDataset {
+            name: "t".into(),
+            values: NdArray::from_vec(&[t, n], (0..t * n).map(|i| i as f32).collect()),
+            observed_mask: observed,
+            eval_mask: eval,
+            steps_per_day: 24,
+            graph: SensorGraph::from_coords(random_plane_layout(n, 5.0, 1), 0.1),
+            train_frac: 0.7,
+            valid_frac: 0.1,
+        }
+    }
+
+    #[test]
+    fn visible_hides_eval_and_unobserved() {
+        let d = dataset();
+        let (vals, mask) = visible(&d);
+        assert_eq!(mask.data()[4], 0.0);
+        assert_eq!(mask.data()[100], 0.0);
+        assert_eq!(mask.data()[7], 0.0);
+        assert_eq!(mask.data()[5], 1.0);
+        assert_eq!(vals.data()[100], 0.0);
+        assert_eq!(vals.data()[5], 5.0);
+    }
+
+    #[test]
+    fn evaluate_only_on_split_eval_positions() {
+        let d = dataset();
+        // perfect everywhere except the test-split eval position
+        let mut imputed = d.values.clone();
+        imputed.data_mut()[100] += 2.0;
+        imputed.data_mut()[7] += 100.0; // train-split eval: must not count in Test
+        let acc = evaluate_panel(&d, &imputed, Split::Test);
+        assert_eq!(acc.count(), 1.0);
+        assert!((acc.mae() - 2.0).abs() < 1e-6);
+        let acc_train = evaluate_panel(&d, &imputed, Split::Train);
+        assert!((acc_train.mae() - 100.0).abs() < 1e-6);
+    }
+}

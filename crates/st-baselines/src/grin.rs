@@ -1,0 +1,313 @@
+//! GRIN: graph recurrent imputation network (Cini et al., ICLR 2022).
+//!
+//! Compact but structurally faithful re-implementation: a bidirectional
+//! recurrent architecture whose per-node GRU (shared weights) is interleaved
+//! with graph message passing on the hidden state, with a two-stage decoder —
+//! a first-stage prediction from the recurrent state and a second-stage
+//! prediction from the spatially refined state — trained on observed values
+//! from both directions.
+//! Simplification: one MPNN hop per step and a linear readout instead of the
+//! full spatial decoder MLP stack (documented in DESIGN.md §3.7).
+
+use crate::common::{impute_panel_by_windows, Imputer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use st_data::dataset::{SpatioTemporalDataset, Split, Window};
+use st_data::normalize::Normalizer;
+use st_graph::SensorGraph;
+use st_tensor::graph::{Graph, Tx};
+use st_tensor::ndarray::NdArray;
+use st_tensor::nn::{GruCell, Linear, Mpnn};
+use st_tensor::optim::{clip_grad_norm, Adam};
+use st_tensor::param::ParamStore;
+
+/// Training hyperparameters for GRIN.
+#[derive(Debug, Clone)]
+pub struct GrinConfig {
+    /// Hidden width per node.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Windows per gradient step.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Window length.
+    pub window_len: usize,
+    /// Stride between training windows.
+    pub window_stride: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GrinConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 24,
+            epochs: 12,
+            batch_size: 4,
+            lr: 5e-3,
+            window_len: 24,
+            window_stride: 12,
+            seed: 13,
+        }
+    }
+}
+
+/// The GRIN imputer.
+pub struct GrinImputer {
+    /// Hyperparameters.
+    pub cfg: GrinConfig,
+    state: Option<GrinState>,
+}
+
+struct GrinState {
+    store: ParamStore,
+    fwd: GrinDirection,
+    bwd: GrinDirection,
+    normalizer: Normalizer,
+}
+
+struct GrinDirection {
+    gru: GruCell,
+    mpnn: Mpnn,
+    read1: Linear,
+    read2: Linear,
+}
+
+impl GrinDirection {
+    fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        hidden: usize,
+        graph: &SensorGraph,
+        rng: &mut StdRng,
+    ) -> Self {
+        let (fwd_m, bwd_m) = graph.transition_matrices();
+        Self {
+            gru: GruCell::new(store, &format!("{prefix}.gru"), 2, hidden, rng),
+            mpnn: Mpnn::new(
+                store,
+                &format!("{prefix}.mpnn"),
+                hidden,
+                vec![fwd_m, bwd_m],
+                graph.n_nodes(),
+                1,
+                0,
+                rng,
+            ),
+            read1: Linear::new(store, &format!("{prefix}.read1"), hidden, 1, rng),
+            read2: Linear::new(store, &format!("{prefix}.read2"), hidden, 1, rng),
+        }
+    }
+
+    /// Unroll over a window. `xs`/`ms` are per-step `[B, N, 1]` inputs in
+    /// this direction's time order. Returns second-stage predictions per step
+    /// and the direction's training loss.
+    fn unroll(
+        &self,
+        g: &mut Graph<'_>,
+        xs: &[Tx],
+        ms: &[Tx],
+        b: usize,
+        n: usize,
+        hidden: usize,
+    ) -> (Vec<Tx>, Tx) {
+        let mut h = g.input(NdArray::zeros(&[b, n, hidden]));
+        let mut preds = Vec::with_capacity(xs.len());
+        let mut losses = Vec::with_capacity(xs.len() * 2);
+        for t in 0..xs.len() {
+            // first-stage prediction from the recurrent state
+            let x1 = self.read1.forward(g, h); // [B, N, 1]
+            // spatial refinement of the hidden state ([B, N, d] as-is);
+            // bounded with tanh so the refined state fed back into the GRU
+            // cannot grow geometrically across the unroll
+            let h_sp = self.mpnn.forward(g, h);
+            let h_sum = g.add(h, h_sp);
+            let h_ref = g.tanh(h_sum);
+            let x2 = self.read2.forward(g, h_ref); // [B, N, 1]
+            preds.push(x2);
+            losses.push(g.mae_masked(x1, xs[t], ms[t]));
+            losses.push(g.mae_masked(x2, xs[t], ms[t]));
+            // fill input with the second-stage estimate and step the GRU
+            let mx = g.mul(ms[t], xs[t]);
+            let ones = g.input(NdArray::ones(&[b, n, 1]));
+            let inv = g.sub(ones, ms[t]);
+            let fill = g.mul(inv, x2);
+            let x_c = g.add(mx, fill);
+            let inp = g.concat_last(&[x_c, ms[t]]); // [B, N, 2]
+            let inp2 = g.reshape(inp, &[b * n, 2]);
+            let h2 = g.reshape(h_ref, &[b * n, hidden]);
+            let h_next = self.gru.step(g, inp2, h2);
+            h = g.reshape(h_next, &[b, n, hidden]);
+        }
+        let mut total = losses[0];
+        for &l in &losses[1..] {
+            total = g.add(total, l);
+        }
+        (preds, total)
+    }
+}
+
+impl GrinImputer {
+    /// Create an untrained GRIN imputer.
+    pub fn new(cfg: GrinConfig) -> Self {
+        Self { cfg, state: None }
+    }
+
+    /// Impute a (possibly differently-masked) panel with the already-trained
+    /// model. Panics if `fit_impute` has not been called.
+    pub fn impute_panel(&self, data: &SpatioTemporalDataset) -> NdArray {
+        let st = self.state.as_ref().expect("GRIN not trained yet");
+        let hidden = self.cfg.hidden;
+        impute_panel_by_windows(data, self.cfg.window_len, |w| impute_one(st, w, hidden))
+    }
+}
+
+impl Default for GrinImputer {
+    fn default() -> Self {
+        Self::new(GrinConfig::default())
+    }
+}
+
+fn window_steps(g: &mut Graph<'_>, ws: &[NdArray], l: usize, reverse: bool) -> Vec<Tx> {
+    let b = ws.len();
+    let n = ws[0].shape()[0];
+    (0..l)
+        .map(|t| {
+            let src_t = if reverse { l - 1 - t } else { t };
+            let mut arr = NdArray::zeros(&[b, n, 1]);
+            for (bi, w) in ws.iter().enumerate() {
+                for i in 0..n {
+                    arr.data_mut()[bi * n + i] = w.data()[i * l + src_t];
+                }
+            }
+            g.input(arr)
+        })
+        .collect()
+}
+
+fn run(
+    state: (&ParamStore, &GrinDirection, &GrinDirection),
+    vals: &[NdArray],
+    masks: &[NdArray],
+    hidden: usize,
+    l: usize,
+    train: bool,
+) -> (Vec<NdArray>, st_tensor::graph::Gradients) {
+    let (store, fwd, bwd) = state;
+    let b = vals.len();
+    let n = vals[0].shape()[0];
+    let mut g = if train { Graph::new(store) } else { Graph::new_eval(store) };
+    let xs_f = window_steps(&mut g, vals, l, false);
+    let ms_f = window_steps(&mut g, masks, l, false);
+    let xs_b = window_steps(&mut g, vals, l, true);
+    let ms_b = window_steps(&mut g, masks, l, true);
+    let (pf, loss_f) = fwd.unroll(&mut g, &xs_f, &ms_f, b, n, hidden);
+    let (pb, loss_b) = bwd.unroll(&mut g, &xs_b, &ms_b, b, n, hidden);
+    let loss = g.add(loss_f, loss_b);
+    let preds: Vec<NdArray> = (0..l)
+        .map(|t| {
+            let a = g.value(pf[t]);
+            let c = g.value(pb[l - 1 - t]);
+            a.zip_map(c, |x, y| 0.5 * (x + y))
+        })
+        .collect();
+    let grads = if train { g.backward(loss) } else { st_tensor::graph::Gradients::default() };
+    (preds, grads)
+}
+
+impl Imputer for GrinImputer {
+    fn name(&self) -> &'static str {
+        "GRIN"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let cfg = self.cfg.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let normalizer = Normalizer::fit(data);
+        let mut store = ParamStore::new();
+        let fwd = GrinDirection::new(&mut store, "fwd", cfg.hidden, &data.graph, &mut rng);
+        let bwd = GrinDirection::new(&mut store, "bwd", cfg.hidden, &data.graph, &mut rng);
+        let mut opt = Adam::new(cfg.lr);
+
+        let windows = data.windows(Split::Train, cfg.window_len, cfg.window_stride);
+        assert!(!windows.is_empty(), "GRIN: no training windows");
+        let prepared: Vec<(NdArray, NdArray)> = windows
+            .iter()
+            .map(|w| {
+                let mut z = w.values.clone();
+                normalizer.normalize_window(&mut z);
+                let m = w.cond_mask();
+                (z.mul(&m), m)
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..prepared.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                let vals: Vec<NdArray> = chunk.iter().map(|&i| prepared[i].0.clone()).collect();
+                let masks: Vec<NdArray> = chunk.iter().map(|&i| prepared[i].1.clone()).collect();
+                let (_, mut grads) =
+                    run((&store, &fwd, &bwd), &vals, &masks, cfg.hidden, cfg.window_len, true);
+                clip_grad_norm(&mut grads, 5.0);
+                opt.step(&mut store, &grads);
+            }
+        }
+
+        self.state = Some(GrinState { store, fwd, bwd, normalizer });
+        let st = self.state.as_ref().unwrap();
+        impute_panel_by_windows(data, cfg.window_len, |w| impute_one(st, w, cfg.hidden))
+    }
+}
+
+fn impute_one(st: &GrinState, w: &Window, hidden: usize) -> NdArray {
+    let (n, l) = (w.n_nodes(), w.len());
+    let mut z = w.values.clone();
+    st.normalizer.normalize_window(&mut z);
+    let m = w.cond_mask();
+    let zv = z.mul(&m);
+    let (preds, _) = run((&st.store, &st.fwd, &st.bwd), &[zv], &[m], hidden, l, false);
+    let mut out = NdArray::zeros(&[n, l]);
+    for (t, p) in preds.iter().enumerate() {
+        for i in 0..n {
+            out.data_mut()[i * l + t] = p.data()[i];
+        }
+    }
+    st.normalizer.denormalize_window(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::evaluate_panel;
+    use crate::simple::MeanImputer;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+
+    #[test]
+    fn grin_trains_and_beats_mean() {
+        let mut d = generate_air_quality(&AirQualityConfig {
+            n_nodes: 6,
+            n_days: 8,
+            seed: 61,
+            ..Default::default()
+        });
+        d.eval_mask = inject_point_missing(&d.observed_mask, 0.25, 67);
+        let mut grin = GrinImputer::new(GrinConfig {
+            hidden: 12,
+            epochs: 6,
+            window_len: 12,
+            window_stride: 12,
+            ..Default::default()
+        });
+        let out = grin.fit_impute(&d);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        let g_err = evaluate_panel(&d, &out, Split::Test).mae();
+        let m_err = evaluate_panel(&d, &MeanImputer.fit_impute(&d), Split::Test).mae();
+        assert!(g_err < m_err, "GRIN {g_err:.3} vs MEAN {m_err:.3}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # st-baselines
+//!
+//! Every comparison method from the paper's Table III/IV, re-implemented in
+//! Rust on the same substrates as PriSTI:
+//!
+//! | group | methods | module |
+//! |---|---|---|
+//! | statistic | MEAN, DA, KNN, Lin-ITP | [`simple`] |
+//! | classic ML | KF (Kalman smoother), MICE, VAR(1) | [`kalman`], [`mice`], [`var`] |
+//! | matrix factorisation | TRMF, BATF | [`trmf`], [`batf`] |
+//! | deep autoregressive | BRITS, GRIN | [`brits`], [`grin`] |
+//! | deep generative | rGAIN, V-RIN, GP-VAE | [`rgain`], [`vrin`], [`gpvae`] |
+//!
+//! (CSDI and PriSTI itself live in `pristi-core`, sharing components.)
+//! Simplifications relative to the original implementations are documented
+//! per-module and in DESIGN.md §3.7.
+//!
+//! All methods implement [`Imputer`]: fit on the visible values (observed and
+//! not evaluation-masked) and return a fully imputed `[T, N]` panel.
+
+#![warn(missing_docs)]
+// Index-based loops over several parallel buffers are the clearest way to
+// write the numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod batf;
+pub mod brits;
+pub mod common;
+pub mod gpvae;
+pub mod grin;
+pub mod kalman;
+pub mod linalg;
+pub mod mice;
+pub mod rgain;
+pub mod simple;
+pub mod trmf;
+pub mod var;
+pub mod vrin;
+
+pub use common::{evaluate_panel, visible, Imputer, ProbabilisticImputer};

@@ -1,0 +1,113 @@
+//! Small dense linear-algebra helpers (Cholesky ridge solves) used by the
+//! MICE / VAR / TRMF / BATF baselines.
+
+/// Solve the ridge system `(XᵀX + λI) β = Xᵀy` for each target column.
+///
+/// `x` is `[rows, p]` row-major, `y` is `[rows]`. Returns `β` of length `p`.
+pub fn ridge_solve(x: &[f32], y: &[f32], rows: usize, p: usize, lambda: f32) -> Vec<f32> {
+    assert_eq!(x.len(), rows * p);
+    assert_eq!(y.len(), rows);
+    let mut xtx = vec![0.0f64; p * p];
+    let mut xty = vec![0.0f64; p];
+    for r in 0..rows {
+        let xr = &x[r * p..(r + 1) * p];
+        for i in 0..p {
+            let xi = xr[i] as f64;
+            if xi == 0.0 {
+                continue;
+            }
+            xty[i] += xi * y[r] as f64;
+            for j in i..p {
+                xtx[i * p + j] += xi * xr[j] as f64;
+            }
+        }
+    }
+    for i in 0..p {
+        for j in 0..i {
+            xtx[i * p + j] = xtx[j * p + i];
+        }
+        xtx[i * p + i] += lambda as f64;
+    }
+    let beta = cholesky_solve(&mut xtx, &xty, p);
+    beta.into_iter().map(|v| v as f32).collect()
+}
+
+/// Solve `A x = b` for symmetric positive-definite `A` (destroys `a`).
+pub fn cholesky_solve(a: &mut [f64], b: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    // Cholesky factorisation A = L Lᵀ, stored in the lower triangle of `a`.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                // Guard against indefiniteness from accumulated error.
+                a[i * n + j] = sum.max(1e-12).sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+    }
+    // Forward substitution L z = b
+    let mut z = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= a[i * n + k] * z[k];
+        }
+        z[i] = sum / a[i * n + i];
+    }
+    // Back substitution Lᵀ x = z
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..n {
+            sum -= a[k * n + i] * x[k];
+        }
+        x[i] = sum / a[i * n + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [6, 5] -> x = [1, 1]
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let x = cholesky_solve(&mut a, &[6.0, 5.0], 2);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ridge_recovers_linear_coefficients() {
+        // y = 2*x0 - 3*x1 with many samples and tiny lambda
+        let rows = 200;
+        let mut x = Vec::with_capacity(rows * 2);
+        let mut y = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let a = ((r * 37) % 17) as f32 / 17.0 - 0.5;
+            let b = ((r * 61) % 23) as f32 / 23.0 - 0.5;
+            x.push(a);
+            x.push(b);
+            y.push(2.0 * a - 3.0 * b);
+        }
+        let beta = ridge_solve(&x, &y, rows, 2, 1e-6);
+        assert!((beta[0] - 2.0).abs() < 1e-3, "{beta:?}");
+        assert!((beta[1] + 3.0).abs() < 1e-3, "{beta:?}");
+    }
+
+    #[test]
+    fn large_lambda_shrinks_to_zero() {
+        let x = vec![1.0f32; 10];
+        let y = vec![5.0f32; 10];
+        let beta = ridge_solve(&x, &y, 10, 1, 1e9);
+        assert!(beta[0].abs() < 1e-3);
+    }
+}

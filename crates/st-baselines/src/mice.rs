@@ -1,0 +1,152 @@
+//! MICE: multiple imputation by chained equations (White et al. 2011).
+//!
+//! Each round regresses every node's series on all other nodes' current
+//! filled values with a ridge regressor, then replaces the missing entries
+//! with the fitted values. Rows are subsampled for the regression to keep
+//! the normal-equation solves fast at panel scale.
+
+use crate::common::{visible, Imputer};
+use crate::linalg::ridge_solve;
+use st_data::dataset::SpatioTemporalDataset;
+use st_tensor::NdArray;
+
+/// Chained-equations imputer with ridge regressors.
+#[derive(Debug)]
+pub struct MiceImputer {
+    /// Number of chained rounds.
+    pub rounds: usize,
+    /// Ridge penalty.
+    pub lambda: f32,
+    /// Maximum number of time rows used per regression.
+    pub max_rows: usize,
+}
+
+impl Default for MiceImputer {
+    fn default() -> Self {
+        Self { rounds: 3, lambda: 1.0, max_rows: 1500 }
+    }
+}
+
+impl Imputer for MiceImputer {
+    fn name(&self) -> &'static str {
+        "MICE"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let (vals, mask) = visible(data);
+        let (t_len, n) = (data.n_steps(), data.n_nodes());
+
+        // Initial fill: node means.
+        let mut mean = vec![0.0f64; n];
+        let mut cnt = vec![0.0f64; n];
+        for t in 0..t_len {
+            for i in 0..n {
+                if mask.data()[t * n + i] > 0.0 {
+                    mean[i] += vals.data()[t * n + i] as f64;
+                    cnt[i] += 1.0;
+                }
+            }
+        }
+        for i in 0..n {
+            if cnt[i] > 0.0 {
+                mean[i] /= cnt[i];
+            }
+        }
+        let mut filled = vals.clone();
+        for t in 0..t_len {
+            for i in 0..n {
+                if mask.data()[t * n + i] == 0.0 {
+                    filled.data_mut()[t * n + i] = mean[i] as f32;
+                }
+            }
+        }
+
+        let row_step = (t_len / self.max_rows).max(1);
+        for _round in 0..self.rounds {
+            for i in 0..n {
+                // Gather regression rows: times where node i is visible.
+                let mut x = Vec::new();
+                let mut y = Vec::new();
+                let mut rows = 0usize;
+                let mut t = 0usize;
+                while t < t_len {
+                    if mask.data()[t * n + i] > 0.0 {
+                        for j in 0..n {
+                            if j != i {
+                                x.push(filled.data()[t * n + j]);
+                            }
+                        }
+                        x.push(1.0); // intercept
+                        y.push(vals.data()[t * n + i]);
+                        rows += 1;
+                    }
+                    t += row_step;
+                }
+                if rows < n {
+                    continue; // not enough data to regress this node
+                }
+                let beta = ridge_solve(&x, &y, rows, n, self.lambda);
+                // Predict the missing entries of node i.
+                for t in 0..t_len {
+                    if mask.data()[t * n + i] == 0.0 {
+                        let mut pred = beta[n - 1]; // intercept
+                        let mut bi = 0usize;
+                        for j in 0..n {
+                            if j != i {
+                                pred += beta[bi] * filled.data()[t * n + j];
+                                bi += 1;
+                            }
+                        }
+                        filled.data_mut()[t * n + i] = pred;
+                    }
+                }
+            }
+        }
+        filled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::evaluate_panel;
+    use crate::simple::MeanImputer;
+    use st_data::dataset::Split;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+
+    fn dataset() -> SpatioTemporalDataset {
+        let mut d = generate_air_quality(&AirQualityConfig {
+            n_nodes: 10,
+            n_days: 10,
+            seed: 13,
+            ..Default::default()
+        });
+        d.eval_mask = inject_point_missing(&d.observed_mask, 0.25, 17);
+        d
+    }
+
+    #[test]
+    fn fills_all_positions() {
+        let d = dataset();
+        let out = MiceImputer::default().fit_impute(&d);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn beats_node_means_on_correlated_data() {
+        let d = dataset();
+        let mice = evaluate_panel(&d, &MiceImputer::default().fit_impute(&d), Split::Test).mae();
+        let mean = evaluate_panel(&d, &MeanImputer.fit_impute(&d), Split::Test).mae();
+        assert!(mice < mean, "MICE {mice:.3} vs MEAN {mean:.3}");
+    }
+
+    #[test]
+    fn more_rounds_do_not_blow_up() {
+        let d = dataset();
+        let mut m = MiceImputer { rounds: 5, ..Default::default() };
+        let out = m.fit_impute(&d);
+        let err = evaluate_panel(&d, &out, Split::Test).mae();
+        assert!(err.is_finite() && err < 100.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Statistic baselines: MEAN, DA (daily average), KNN and Lin-ITP
+//! (paper Section IV-B, methods 1–4).
+
+use crate::common::{visible, Imputer};
+use st_data::dataset::{SpatioTemporalDataset, Split};
+use st_data::interpolate::linear_interpolate;
+use st_tensor::NdArray;
+
+/// MEAN: impute with each node's historical (training-split) average.
+#[derive(Debug, Default)]
+pub struct MeanImputer;
+
+impl Imputer for MeanImputer {
+    fn name(&self) -> &'static str {
+        "MEAN"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let (vals, mask) = visible(data);
+        let n = data.n_nodes();
+        let (tr0, tr1) = data.split_range(Split::Train);
+        let mut mean = vec![0.0f64; n];
+        let mut cnt = vec![0.0f64; n];
+        for t in tr0..tr1 {
+            for i in 0..n {
+                if mask.data()[t * n + i] > 0.0 {
+                    mean[i] += vals.data()[t * n + i] as f64;
+                    cnt[i] += 1.0;
+                }
+            }
+        }
+        let global = {
+            let s: f64 = mean.iter().sum();
+            let c: f64 = cnt.iter().sum();
+            if c > 0.0 {
+                s / c
+            } else {
+                0.0
+            }
+        };
+        for i in 0..n {
+            mean[i] = if cnt[i] > 0.0 { mean[i] / cnt[i] } else { global };
+        }
+        let mut out = data.values.mul(&mask);
+        for t in 0..data.n_steps() {
+            for i in 0..n {
+                if mask.data()[t * n + i] == 0.0 {
+                    out.data_mut()[t * n + i] = mean[i] as f32;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// DA: impute with the per-node average at the same time of day.
+#[derive(Debug, Default)]
+pub struct DailyAverageImputer;
+
+impl Imputer for DailyAverageImputer {
+    fn name(&self) -> &'static str {
+        "DA"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let (vals, mask) = visible(data);
+        let n = data.n_nodes();
+        let spd = data.steps_per_day;
+        let mut sum = vec![0.0f64; n * spd];
+        let mut cnt = vec![0.0f64; n * spd];
+        for t in 0..data.n_steps() {
+            let tod = t % spd;
+            for i in 0..n {
+                if mask.data()[t * n + i] > 0.0 {
+                    sum[i * spd + tod] += vals.data()[t * n + i] as f64;
+                    cnt[i * spd + tod] += 1.0;
+                }
+            }
+        }
+        // Node-level fallback when a (node, tod) cell is empty.
+        let mut node_mean = vec![0.0f64; n];
+        for i in 0..n {
+            let s: f64 = sum[i * spd..(i + 1) * spd].iter().sum();
+            let c: f64 = cnt[i * spd..(i + 1) * spd].iter().sum();
+            node_mean[i] = if c > 0.0 { s / c } else { 0.0 };
+        }
+        let mut out = data.values.mul(&mask);
+        for t in 0..data.n_steps() {
+            let tod = t % spd;
+            for i in 0..n {
+                if mask.data()[t * n + i] == 0.0 {
+                    let c = cnt[i * spd + tod];
+                    out.data_mut()[t * n + i] = if c > 0.0 {
+                        (sum[i * spd + tod] / c) as f32
+                    } else {
+                        node_mean[i] as f32
+                    };
+                }
+            }
+        }
+        out
+    }
+}
+
+/// KNN: impute with the average of the `k` geographically nearest nodes that
+/// have a visible value at the same time step.
+#[derive(Debug)]
+pub struct KnnImputer {
+    /// Number of neighbours.
+    pub k: usize,
+}
+
+impl Default for KnnImputer {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+impl Imputer for KnnImputer {
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let (vals, mask) = visible(data);
+        let n = data.n_nodes();
+        // Precompute each node's neighbours sorted by distance.
+        let neighbours: Vec<Vec<usize>> =
+            (0..n).map(|i| data.graph.nearest_neighbors(i, n - 1)).collect();
+        // Node means as a final fallback.
+        let mut mean = vec![0.0f64; n];
+        let mut cnt = vec![0.0f64; n];
+        for t in 0..data.n_steps() {
+            for i in 0..n {
+                if mask.data()[t * n + i] > 0.0 {
+                    mean[i] += vals.data()[t * n + i] as f64;
+                    cnt[i] += 1.0;
+                }
+            }
+        }
+        for i in 0..n {
+            if cnt[i] > 0.0 {
+                mean[i] /= cnt[i];
+            }
+        }
+        let mut out = data.values.mul(&mask);
+        for t in 0..data.n_steps() {
+            for i in 0..n {
+                if mask.data()[t * n + i] > 0.0 {
+                    continue;
+                }
+                let mut acc = 0.0f64;
+                let mut found = 0usize;
+                for &j in &neighbours[i] {
+                    if mask.data()[t * n + j] > 0.0 {
+                        acc += vals.data()[t * n + j] as f64;
+                        found += 1;
+                        if found == self.k {
+                            break;
+                        }
+                    }
+                }
+                out.data_mut()[t * n + i] =
+                    if found > 0 { (acc / found as f64) as f32 } else { mean[i] as f32 };
+            }
+        }
+        out
+    }
+}
+
+/// Lin-ITP: per-node linear interpolation along time (torchcde equivalent).
+#[derive(Debug, Default)]
+pub struct LinearImputer;
+
+impl Imputer for LinearImputer {
+    fn name(&self) -> &'static str {
+        "Lin-ITP"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let (vals, mask) = visible(data);
+        // linear_interpolate works on [N, L]; transpose the [T, N] panel.
+        let vt = vals.transpose2d();
+        let mt = mask.transpose2d();
+        let filled = linear_interpolate(&vt, &mt, 0.0);
+        filled.transpose2d()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::evaluate_panel;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+
+    fn dataset() -> SpatioTemporalDataset {
+        // dense network so spatial neighbours are genuinely informative
+        let mut d = generate_air_quality(&AirQualityConfig {
+            n_nodes: 24,
+            n_days: 10,
+            seed: 77,
+            ..Default::default()
+        });
+        d.eval_mask = inject_point_missing(&d.observed_mask, 0.25, 123);
+        d
+    }
+
+    #[test]
+    fn all_simple_imputers_fill_everything() {
+        let d = dataset();
+        let mut imps: Vec<Box<dyn Imputer>> = vec![
+            Box::new(MeanImputer),
+            Box::new(DailyAverageImputer),
+            Box::new(KnnImputer::default()),
+            Box::new(LinearImputer),
+        ];
+        for imp in &mut imps {
+            let out = imp.fit_impute(&d);
+            assert_eq!(out.shape(), d.values.shape());
+            assert!(out.data().iter().all(|v| v.is_finite()), "{} produced NaN", imp.name());
+        }
+    }
+
+    #[test]
+    fn ranking_interp_beats_mean_beats_nothing() {
+        // On smooth diurnal data: Lin-ITP < DA <= MEAN in MAE (paper's Table III order).
+        let d = dataset();
+        let mae = |imp: &mut dyn Imputer| {
+            let out = imp.fit_impute(&d);
+            evaluate_panel(&d, &out, Split::Test).mae()
+        };
+        let m_mean = mae(&mut MeanImputer);
+        let m_da = mae(&mut DailyAverageImputer);
+        let m_lin = mae(&mut LinearImputer);
+        // Lin-ITP dominates on point missing (paper Table III shows the same
+        // order); MEAN vs DA flips by dataset even in the paper, so only
+        // require DA to be in the same ballpark as MEAN.
+        assert!(m_lin < m_da, "Lin-ITP {m_lin:.3} should beat DA {m_da:.3}");
+        assert!(m_lin < m_mean, "Lin-ITP {m_lin:.3} should beat MEAN {m_mean:.3}");
+        assert!(m_da < 1.3 * m_mean, "DA {m_da:.3} wildly worse than MEAN {m_mean:.3}");
+    }
+
+    #[test]
+    fn knn_uses_neighbours() {
+        let d = dataset();
+        let mut knn = KnnImputer { k: 3 };
+        let out = knn.fit_impute(&d);
+        let err = evaluate_panel(&d, &out, Split::Test).mae();
+        let mean_err = evaluate_panel(&d, &MeanImputer.fit_impute(&d), Split::Test).mae();
+        // Spatially correlated data → KNN clearly better than node means.
+        assert!(err < mean_err, "KNN {err:.3} vs MEAN {mean_err:.3}");
+    }
+
+    #[test]
+    fn visible_values_pass_through() {
+        let d = dataset();
+        let out = MeanImputer.fit_impute(&d);
+        let (vals, mask) = visible(&d);
+        for i in 0..out.numel() {
+            if mask.data()[i] > 0.0 {
+                assert_eq!(out.data()[i], vals.data()[i]);
+            }
+        }
+    }
+}

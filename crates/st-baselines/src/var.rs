@@ -1,0 +1,134 @@
+//! VAR: first-order vector-autoregressive single-step predictor
+//! (paper Section IV-B method 7), ridge-fit on visible consecutive pairs.
+
+use crate::common::{visible, Imputer};
+use crate::linalg::ridge_solve;
+use st_data::dataset::SpatioTemporalDataset;
+use st_tensor::NdArray;
+
+/// VAR(1) imputer: `X_t ≈ A X_{t−1} + b`, applied forward over the panel.
+#[derive(Debug)]
+pub struct VarImputer {
+    /// Ridge penalty for the per-node regressions.
+    pub lambda: f32,
+}
+
+impl Default for VarImputer {
+    fn default() -> Self {
+        Self { lambda: 5.0 }
+    }
+}
+
+impl Imputer for VarImputer {
+    fn name(&self) -> &'static str {
+        "VAR"
+    }
+
+    fn fit_impute(&mut self, data: &SpatioTemporalDataset) -> NdArray {
+        let (vals, mask) = visible(data);
+        let (t_len, n) = (data.n_steps(), data.n_nodes());
+
+        // Node means for initial fill of regressor rows.
+        let mut mean = vec![0.0f32; n];
+        let mut cnt = vec![0.0f32; n];
+        for t in 0..t_len {
+            for i in 0..n {
+                if mask.data()[t * n + i] > 0.0 {
+                    mean[i] += vals.data()[t * n + i];
+                    cnt[i] += 1.0;
+                }
+            }
+        }
+        for i in 0..n {
+            if cnt[i] > 0.0 {
+                mean[i] /= cnt[i];
+            }
+        }
+        // mean-filled lagged design (in deviation form to absorb the bias)
+        let filled_at = |t: usize, j: usize| -> f32 {
+            if mask.data()[t * n + j] > 0.0 {
+                vals.data()[t * n + j] - mean[j]
+            } else {
+                0.0
+            }
+        };
+
+        // Fit row i of A: target node i at t, regressors all nodes at t-1.
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            let mut rows = 0usize;
+            for t in 1..t_len {
+                if mask.data()[t * n + i] > 0.0 {
+                    for j in 0..n {
+                        x.push(filled_at(t - 1, j));
+                    }
+                    y.push(vals.data()[t * n + i] - mean[i]);
+                    rows += 1;
+                }
+            }
+            if rows < n {
+                continue;
+            }
+            let beta = ridge_solve(&x, &y, rows, n, self.lambda);
+            a[i * n..(i + 1) * n].copy_from_slice(&beta);
+        }
+
+        // Forward imputation: missing entries predicted from the previous
+        // (possibly imputed) state's deviations.
+        let mut out = data.values.mul(&mask);
+        let mut prev_dev = vec![0.0f32; n];
+        for t in 0..t_len {
+            for i in 0..n {
+                if mask.data()[t * n + i] == 0.0 {
+                    let mut pred = 0.0f32;
+                    for j in 0..n {
+                        pred += a[i * n + j] * prev_dev[j];
+                    }
+                    out.data_mut()[t * n + i] = mean[i] + pred;
+                }
+            }
+            for j in 0..n {
+                prev_dev[j] = out.data()[t * n + j] - mean[j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::evaluate_panel;
+    use crate::simple::MeanImputer;
+    use st_data::dataset::Split;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+
+    fn dataset() -> SpatioTemporalDataset {
+        let mut d = generate_air_quality(&AirQualityConfig {
+            n_nodes: 10,
+            n_days: 10,
+            seed: 19,
+            ..Default::default()
+        });
+        d.eval_mask = inject_point_missing(&d.observed_mask, 0.25, 29);
+        d
+    }
+
+    #[test]
+    fn fills_and_stays_finite() {
+        let d = dataset();
+        let out = VarImputer::default().fit_impute(&d);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn beats_mean_on_autocorrelated_data() {
+        let d = dataset();
+        let var = evaluate_panel(&d, &VarImputer::default().fit_impute(&d), Split::Test).mae();
+        let mean = evaluate_panel(&d, &MeanImputer.fit_impute(&d), Split::Test).mae();
+        assert!(var < mean, "VAR {var:.3} vs MEAN {mean:.3}");
+    }
+}

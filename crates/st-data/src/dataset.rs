@@ -1,0 +1,302 @@
+//! The central dataset container and window extraction.
+
+use st_graph::SensorGraph;
+use st_tensor::NdArray;
+
+/// Which portion of the time axis a window comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Training portion.
+    Train,
+    /// Validation portion.
+    Valid,
+    /// Test portion (where evaluation masks live).
+    Test,
+}
+
+/// A complete spatiotemporal panel.
+///
+/// * `values[t, n]` — ground-truth signal (synthetic generators know the truth
+///   even at "missing" positions, which is what lets us score imputations);
+/// * `observed_mask[t, n]` — 1 where a real deployment would have a reading
+///   (original missing = 0);
+/// * `eval_mask[t, n]` — 1 where a value was *manually* masked for evaluation
+///   (the imputation target `X̃`); evaluation positions are always a subset of
+///   observed ones, mirroring the paper's protocol of hiding known values.
+#[derive(Debug, Clone)]
+pub struct SpatioTemporalDataset {
+    /// Human-readable dataset name (e.g. `"aqi36-like"`).
+    pub name: String,
+    /// Ground-truth values, `[T, N]` time-major.
+    pub values: NdArray,
+    /// Original observation mask, `[T, N]`.
+    pub observed_mask: NdArray,
+    /// Manually injected evaluation mask, `[T, N]`.
+    pub eval_mask: NdArray,
+    /// Steps per day (24 for hourly, 288 for 5-minute data).
+    pub steps_per_day: usize,
+    /// The sensor network.
+    pub graph: SensorGraph,
+    /// Fraction of the time axis used for training.
+    pub train_frac: f64,
+    /// Fraction used for validation (the remainder is test).
+    pub valid_frac: f64,
+}
+
+/// One training/evaluation sample: an `[N, L]` slice of the panel.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Ground-truth values `[N, L]`.
+    pub values: NdArray,
+    /// Observed mask `[N, L]` (1 = sensor reported a value).
+    pub observed: NdArray,
+    /// Evaluation-target mask `[N, L]` (1 = manually hidden, to be imputed).
+    pub eval: NdArray,
+    /// Absolute index of the window's first time step in the full panel.
+    pub t_start: usize,
+}
+
+impl Window {
+    /// Mask of values the model may condition on: observed and *not* hidden
+    /// for evaluation.
+    pub fn cond_mask(&self) -> NdArray {
+        self.observed.zip_map(&self.eval, |o, e| if o > 0.0 && e == 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.values.shape()[0]
+    }
+
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.values.shape()[1]
+    }
+
+    /// True when the window has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpatioTemporalDataset {
+    /// Number of time steps.
+    pub fn n_steps(&self) -> usize {
+        self.values.shape()[0]
+    }
+
+    /// Number of sensors.
+    pub fn n_nodes(&self) -> usize {
+        self.values.shape()[1]
+    }
+
+    /// `[start, end)` time range of a split.
+    pub fn split_range(&self, split: Split) -> (usize, usize) {
+        let t = self.n_steps();
+        let train_end = (t as f64 * self.train_frac).round() as usize;
+        let valid_end = (t as f64 * (self.train_frac + self.valid_frac)).round() as usize;
+        match split {
+            Split::Train => (0, train_end),
+            Split::Valid => (train_end, valid_end),
+            Split::Test => (valid_end, t),
+        }
+    }
+
+    /// Extract consecutive windows of length `len` with the given `stride`
+    /// from a split. Windows never straddle the split boundary.
+    pub fn windows(&self, split: Split, len: usize, stride: usize) -> Vec<Window> {
+        assert!(len > 0 && stride > 0, "window len and stride must be positive");
+        let (start, end) = self.split_range(split);
+        let mut out = Vec::new();
+        if end < start + len {
+            return out;
+        }
+        let mut t0 = start;
+        while t0 + len <= end {
+            out.push(self.window_at(t0, len));
+            t0 += stride;
+        }
+        out
+    }
+
+    /// Extract one `[N, L]` window starting at absolute step `t0`.
+    pub fn window_at(&self, t0: usize, len: usize) -> Window {
+        let (t, n) = (self.n_steps(), self.n_nodes());
+        assert!(t0 + len <= t, "window [{t0}, {}) exceeds panel length {t}", t0 + len);
+        let mut values = NdArray::zeros(&[n, len]);
+        let mut observed = NdArray::zeros(&[n, len]);
+        let mut eval = NdArray::zeros(&[n, len]);
+        for l in 0..len {
+            for i in 0..n {
+                let src = (t0 + l) * n + i;
+                values.data_mut()[i * len + l] = self.values.data()[src];
+                observed.data_mut()[i * len + l] = self.observed_mask.data()[src];
+                eval.data_mut()[i * len + l] = self.eval_mask.data()[src];
+            }
+        }
+        Window { values, observed, eval, t_start: t0 }
+    }
+
+    /// Fraction of positions that are missing from the sensors' perspective
+    /// (original missing plus manual eval masking) over a split.
+    pub fn missing_fraction(&self, split: Split) -> f64 {
+        let (start, end) = self.split_range(split);
+        let n = self.n_nodes();
+        let mut missing = 0usize;
+        let mut total = 0usize;
+        for t in start..end {
+            for i in 0..n {
+                let idx = t * n + i;
+                total += 1;
+                if self.observed_mask.data()[idx] == 0.0 || self.eval_mask.data()[idx] > 0.0 {
+                    missing += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            missing as f64 / total as f64
+        }
+    }
+
+    /// Fraction of observed positions that were manually masked for
+    /// evaluation over a split (the paper reports these percentages in
+    /// Table III's header).
+    pub fn eval_fraction(&self, split: Split) -> f64 {
+        let (start, end) = self.split_range(split);
+        let n = self.n_nodes();
+        let mut masked = 0usize;
+        let mut total = 0usize;
+        for t in start..end {
+            for i in 0..n {
+                let idx = t * n + i;
+                if self.observed_mask.data()[idx] > 0.0 {
+                    total += 1;
+                    if self.eval_mask.data()[idx] > 0.0 {
+                        masked += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            masked as f64 / total as f64
+        }
+    }
+
+    /// Validate internal invariants (shapes agree, eval ⊆ observed). Panics
+    /// with a descriptive message if violated; used by generators and tests.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.values.shape(), self.observed_mask.shape(), "mask shape mismatch");
+        assert_eq!(self.values.shape(), self.eval_mask.shape(), "eval mask shape mismatch");
+        assert_eq!(self.n_nodes(), self.graph.n_nodes(), "graph size mismatch");
+        assert!(self.train_frac > 0.0 && self.train_frac + self.valid_frac < 1.0);
+        for (i, (&e, &o)) in
+            self.eval_mask.data().iter().zip(self.observed_mask.data()).enumerate()
+        {
+            assert!(
+                e == 0.0 || o > 0.0,
+                "eval mask set at position {i} where nothing was observed"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::{random_plane_layout, SensorGraph};
+
+    fn tiny_dataset() -> SpatioTemporalDataset {
+        let n = 4;
+        let t = 100;
+        let graph = SensorGraph::from_coords(random_plane_layout(n, 10.0, 1), 0.1);
+        let values =
+            NdArray::from_vec(&[t, n], (0..t * n).map(|i| i as f32 * 0.1).collect());
+        let mut observed = NdArray::ones(&[t, n]);
+        observed.data_mut()[5] = 0.0;
+        let mut eval = NdArray::zeros(&[t, n]);
+        eval.data_mut()[8] = 1.0;
+        SpatioTemporalDataset {
+            name: "tiny".into(),
+            values,
+            observed_mask: observed,
+            eval_mask: eval,
+            steps_per_day: 24,
+            graph,
+            train_frac: 0.7,
+            valid_frac: 0.1,
+        }
+    }
+
+    #[test]
+    fn split_ranges_partition_time() {
+        let d = tiny_dataset();
+        let (a0, a1) = d.split_range(Split::Train);
+        let (b0, b1) = d.split_range(Split::Valid);
+        let (c0, c1) = d.split_range(Split::Test);
+        assert_eq!(a0, 0);
+        assert_eq!(a1, b0);
+        assert_eq!(b1, c0);
+        assert_eq!(c1, 100);
+        assert_eq!(a1, 70);
+        assert_eq!(b1, 80);
+    }
+
+    #[test]
+    fn windows_do_not_straddle_split() {
+        let d = tiny_dataset();
+        let ws = d.windows(Split::Valid, 6, 2);
+        assert!(!ws.is_empty());
+        for w in &ws {
+            assert!(w.t_start >= 70 && w.t_start + 6 <= 80);
+        }
+    }
+
+    #[test]
+    fn window_transposes_correctly() {
+        let d = tiny_dataset();
+        let w = d.window_at(10, 5);
+        assert_eq!(w.values.shape(), &[4, 5]);
+        // values[t,n] = (t*4+n)*0.1; window element [n=2, l=3] = value at t=13,n=2
+        let expect = (13 * 4 + 2) as f32 * 0.1;
+        assert!((w.values.at(&[2, 3]) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cond_mask_excludes_eval_and_unobserved() {
+        let d = tiny_dataset();
+        let w = d.window_at(0, 4);
+        let cm = w.cond_mask();
+        // position (t=1,n=1) -> flat 5 was unobserved -> window [n=1, l=1]
+        assert_eq!(cm.at(&[1, 1]), 0.0);
+        // position flat 8 -> t=2, n=0 eval-masked -> window [n=0, l=2]
+        assert_eq!(cm.at(&[0, 2]), 0.0);
+        assert_eq!(w.observed.at(&[0, 2]), 1.0);
+        // a normal position is conditionable
+        assert_eq!(cm.at(&[3, 3]), 1.0);
+    }
+
+    #[test]
+    fn invariants_hold_for_tiny() {
+        tiny_dataset().check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "eval mask set")]
+    fn invariant_catches_eval_outside_observed() {
+        let mut d = tiny_dataset();
+        d.eval_mask.data_mut()[5] = 1.0; // position 5 is unobserved
+        d.check_invariants();
+    }
+
+    #[test]
+    fn eval_fraction_counts_manual_masks() {
+        let d = tiny_dataset();
+        // one eval position in train split of 70*4=280 positions, 279 observed
+        let f = d.eval_fraction(Split::Train);
+        assert!((f - 1.0 / 279.0).abs() < 1e-9);
+    }
+}

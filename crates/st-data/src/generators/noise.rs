@@ -1,0 +1,109 @@
+//! Spatially correlated AR(1) noise shared by the generators.
+
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+use st_tensor::NdArray;
+
+/// Generate `[T, N]` noise with per-step spatial mixing and temporal AR(1)
+/// persistence:
+///
+/// `g_t = rho * g_{t-1} + (0.5·I + 0.5·P) ξ_t`,  `ξ_t ~ N(0, std²)`
+///
+/// where `P` is a row-stochastic `[N, N]` transition matrix, so neighbouring
+/// sensors receive correlated innovations.
+pub fn spatially_correlated_ar1(
+    t: usize,
+    transition: &NdArray,
+    rho: f32,
+    std: f32,
+    rng: &mut StdRng,
+) -> NdArray {
+    let n = transition.shape()[0];
+    assert_eq!(transition.shape(), &[n, n]);
+    assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+    let normal = Normal::new(0.0f32, std).expect("valid normal");
+    let mut out = NdArray::zeros(&[t, n]);
+    let mut state = vec![0.0f32; n];
+    let mut xi = vec![0.0f32; n];
+    let mut mixed = vec![0.0f32; n];
+    for ti in 0..t {
+        for x in xi.iter_mut() {
+            *x = normal.sample(rng);
+        }
+        // mixed = 0.5 xi + 0.5 P xi
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += transition.data()[i * n + j] * xi[j];
+            }
+            mixed[i] = 0.5 * xi[i] + 0.5 * acc;
+        }
+        for i in 0..n {
+            state[i] = rho * state[i] + mixed[i];
+            out.data_mut()[ti * n + i] = state[i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn uniform_transition(n: usize) -> NdArray {
+        NdArray::full(&[n, n], 1.0 / n as f32)
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let p = uniform_transition(4);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = spatially_correlated_ar1(50, &p, 0.8, 1.0, &mut r1);
+        let b = spatially_correlated_ar1(50, &p, 0.8, 1.0, &mut r2);
+        assert_eq!(a.shape(), &[50, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn temporal_autocorrelation_positive() {
+        let p = uniform_transition(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = spatially_correlated_ar1(5000, &p, 0.9, 1.0, &mut rng);
+        // lag-1 autocorrelation of node 0 should be near rho
+        let series: Vec<f32> = (0..5000).map(|t| g.data()[t * 3]).collect();
+        let mean = series.iter().sum::<f32>() / series.len() as f32;
+        let var: f32 =
+            series.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / series.len() as f32;
+        let cov: f32 = series
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f32>()
+            / (series.len() - 1) as f32;
+        let ac = cov / var;
+        assert!(ac > 0.7, "autocorrelation too low: {ac}");
+    }
+
+    #[test]
+    fn spatial_correlation_from_mixing() {
+        // strong mixing → nodes correlated
+        let p = uniform_transition(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = spatially_correlated_ar1(5000, &p, 0.0, 1.0, &mut rng);
+        let a: Vec<f32> = (0..5000).map(|t| g.data()[t * 2]).collect();
+        let b: Vec<f32> = (0..5000).map(|t| g.data()[t * 2 + 1]).collect();
+        let corr = correlation(&a, &b);
+        assert!(corr > 0.4, "spatial correlation too low: {corr}");
+    }
+
+    fn correlation(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len() as f32;
+        let ma = a.iter().sum::<f32>() / n;
+        let mb = b.iter().sum::<f32>() / n;
+        let cov: f32 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum::<f32>() / n;
+        let va: f32 = a.iter().map(|&x| (x - ma) * (x - ma)).sum::<f32>() / n;
+        let vb: f32 = b.iter().map(|&y| (y - mb) * (y - mb)).sum::<f32>() / n;
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}

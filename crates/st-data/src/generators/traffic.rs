@@ -1,0 +1,237 @@
+//! Traffic-speed panels standing in for METR-LA and PEMS-BAY: 5-minute
+//! loop-detector speeds along a synthetic highway, with AM/PM rush-hour dips,
+//! congestion incidents that propagate to graph neighbours with distance-
+//! dependent lag (the shockwave structure GRIN and PriSTI exploit), and each
+//! dataset's documented original-missing rate.
+
+use crate::dataset::SpatioTemporalDataset;
+use crate::generators::air_quality::original_missing_mask;
+use crate::generators::noise::spatially_correlated_ar1;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use st_graph::{highway_chain_layout, SensorGraph};
+use st_tensor::NdArray;
+
+/// Which real dataset the generated panel mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficProfile {
+    /// METR-LA-like: noisier, more incidents, 8.10 % original missing.
+    MetrLa,
+    /// PEMS-BAY-like: smoother, fewer incidents, 0.02 % original missing.
+    PemsBay,
+}
+
+/// Configuration for the traffic generator.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Which profile to mimic.
+    pub profile: TrafficProfile,
+    /// Number of loop detectors (paper: 207 / 325; defaults scaled down).
+    pub n_nodes: usize,
+    /// Number of simulated days.
+    pub n_days: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fraction of the time axis used for training.
+    pub train_frac: f64,
+    /// Fraction used for validation.
+    pub valid_frac: f64,
+}
+
+impl TrafficConfig {
+    /// METR-LA-like defaults (48 nodes, 14 days).
+    pub fn metr_la() -> Self {
+        Self {
+            profile: TrafficProfile::MetrLa,
+            n_nodes: 48,
+            n_days: 14,
+            seed: 207,
+            train_frac: 0.7,
+            valid_frac: 0.1,
+        }
+    }
+
+    /// PEMS-BAY-like defaults (56 nodes, 14 days).
+    pub fn pems_bay() -> Self {
+        Self {
+            profile: TrafficProfile::PemsBay,
+            n_nodes: 56,
+            n_days: 14,
+            seed: 325,
+            train_frac: 0.7,
+            valid_frac: 0.1,
+        }
+    }
+}
+
+/// Generate a traffic-speed dataset (5-minute sampling, `steps_per_day = 288`).
+pub fn generate_traffic(cfg: &TrafficConfig) -> SpatioTemporalDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n_nodes;
+    let spd = 288usize;
+    let t = cfg.n_days * spd;
+    let coords = highway_chain_layout(n, 1.5, cfg.seed.wrapping_mul(17).wrapping_add(3));
+    let graph = SensorGraph::from_coords(coords, 0.1);
+    let (fwd, _) = graph.transition_matrices();
+
+    let (noise_std, incidents_per_day, missing_rate, name) = match cfg.profile {
+        TrafficProfile::MetrLa => (2.6f32, 3.0f64, 0.081, "metr-la-like"),
+        TrafficProfile::PemsBay => (1.4f32, 1.2f64, 0.0002, "pems-bay-like"),
+    };
+
+    // Per-node free-flow speed and rush-hour susceptibility.
+    let free_flow: Vec<f32> = (0..n).map(|_| rng.random_range(58.0..70.0)).collect();
+    let rush_am: Vec<f32> = (0..n).map(|_| rng.random_range(5.0..30.0)).collect();
+    let rush_pm: Vec<f32> = (0..n).map(|_| rng.random_range(8.0..35.0)).collect();
+
+    let mut values = NdArray::zeros(&[t, n]);
+    for ti in 0..t {
+        let hour = (ti % spd) as f32 * 24.0 / spd as f32;
+        let day = ti / spd;
+        let weekend = day % 7 >= 5;
+        let am = gaussian_bump(hour, 8.0, 1.3);
+        let pm = gaussian_bump(hour, 17.5, 1.6);
+        let weekday_factor = if weekend { 0.35 } else { 1.0 };
+        for i in 0..n {
+            let dip = weekday_factor * (rush_am[i] * am + rush_pm[i] * pm);
+            values.data_mut()[ti * n + i] = free_flow[i] - dip;
+        }
+    }
+
+    // Congestion incidents: start at a node, spread to close nodes with a lag
+    // proportional to distance (≈ shockwave at ~20 km/h upstream).
+    let incident_prob_per_step = incidents_per_day / spd as f64;
+    for ti in 0..t {
+        if rng.random::<f64>() < incident_prob_per_step {
+            let center = rng.random_range(0..n);
+            let severity: f32 = rng.random_range(15.0..40.0);
+            let duration = rng.random_range(6..36usize); // 30 min – 3 h
+            for (i, c) in graph.coords.iter().enumerate() {
+                let d_km = graph.coords[center].distance(c);
+                let w = (-d_km * d_km / 16.0).exp() as f32;
+                if w < 0.05 {
+                    continue;
+                }
+                let lag = (d_km / 1.7).round() as usize; // steps of propagation delay
+                for dt in 0..duration {
+                    let tt = ti + lag + dt;
+                    if tt >= t {
+                        break;
+                    }
+                    let half = duration as f32 / 2.0;
+                    let prog = 1.0 - ((dt as f32 - half).abs() / half);
+                    values.data_mut()[tt * n + i] -= severity * w * prog;
+                }
+            }
+        }
+    }
+
+    // Two noise components, then clamping to a physical range:
+    // a slow spatially-correlated drift, and a temporally *rough* but
+    // spatially smooth fluctuation (shared congestion jitter along the road —
+    // predictable from neighbours at the same instant but not from a node's
+    // own past, which is what separates spatial models from interpolation).
+    let slow = spatially_correlated_ar1(t, &fwd, 0.7, noise_std * 0.6, &mut rng);
+    let rough = spatially_correlated_ar1(t, &fwd, 0.1, noise_std, &mut rng);
+    for ((v, &s), &r) in values.data_mut().iter_mut().zip(slow.data()).zip(rough.data()) {
+        *v = (*v + s + r).clamp(3.0, 75.0);
+    }
+
+    let observed_mask = original_missing_mask(t, n, missing_rate, &mut rng);
+
+    let data = SpatioTemporalDataset {
+        name: name.into(),
+        values,
+        observed_mask,
+        eval_mask: NdArray::zeros(&[t, n]),
+        steps_per_day: spd,
+        graph,
+        train_frac: cfg.train_frac,
+        valid_frac: cfg.valid_frac,
+    };
+    data.check_invariants();
+    data
+}
+
+fn gaussian_bump(hour: f32, center: f32, width: f32) -> f32 {
+    let d = hour - center;
+    (-d * d / (2.0 * width * width)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(profile: TrafficProfile) -> TrafficConfig {
+        TrafficConfig {
+            profile,
+            n_nodes: 16,
+            n_days: 4,
+            seed: 11,
+            train_frac: 0.7,
+            valid_frac: 0.1,
+        }
+    }
+
+    #[test]
+    fn shapes_and_invariants() {
+        let d = generate_traffic(&small(TrafficProfile::MetrLa));
+        assert_eq!(d.n_nodes(), 16);
+        assert_eq!(d.n_steps(), 4 * 288);
+        assert_eq!(d.steps_per_day, 288);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn speeds_in_physical_range() {
+        let d = generate_traffic(&small(TrafficProfile::MetrLa));
+        assert!(d.values.data().iter().all(|&v| (3.0..=75.0).contains(&v)));
+    }
+
+    #[test]
+    fn rush_hour_slower_than_night() {
+        let d = generate_traffic(&small(TrafficProfile::MetrLa));
+        let n = d.n_nodes();
+        let spd = 288;
+        // average speed at 8am (step 96) on day 0-3 weekdays vs 3am (step 36)
+        let mut rush = 0.0f64;
+        let mut night = 0.0f64;
+        let mut cnt = 0.0;
+        for day in 0..4 {
+            if day % 7 >= 5 {
+                continue;
+            }
+            for i in 0..n {
+                rush += d.values.data()[(day * spd + 96) * n + i] as f64;
+                night += d.values.data()[(day * spd + 36) * n + i] as f64;
+                cnt += 1.0;
+            }
+        }
+        assert!(rush / cnt < night / cnt - 3.0, "no rush-hour dip: {} vs {}", rush / cnt, night / cnt);
+    }
+
+    #[test]
+    fn pems_profile_smoother_and_denser() {
+        let la = generate_traffic(&small(TrafficProfile::MetrLa));
+        let bay = generate_traffic(&small(TrafficProfile::PemsBay));
+        let missing = |d: &SpatioTemporalDataset| {
+            1.0 - d.observed_mask.data().iter().map(|&v| v as f64).sum::<f64>()
+                / d.observed_mask.numel() as f64
+        };
+        assert!(missing(&la) > missing(&bay), "METR-LA-like should have more original missing");
+        assert!(missing(&bay) < 0.01);
+    }
+
+    #[test]
+    fn names_match_profiles() {
+        assert_eq!(generate_traffic(&small(TrafficProfile::MetrLa)).name, "metr-la-like");
+        assert_eq!(generate_traffic(&small(TrafficProfile::PemsBay)).name, "pems-bay-like");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate_traffic(&small(TrafficProfile::MetrLa));
+        let b = generate_traffic(&small(TrafficProfile::MetrLa));
+        assert_eq!(a.values, b.values);
+    }
+}

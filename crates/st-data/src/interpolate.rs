@@ -1,0 +1,115 @@
+//! Per-node linear interpolation along time.
+//!
+//! This single routine plays two roles in the paper: it is PriSTI's
+//! `Interpolate(·)` conditioner, producing the "coarse yet effective"
+//! conditional information `𝒳` (Section III-B1), and it is the Lin-ITP
+//! baseline (torchcde's linear interpolation). Edge behaviour matches
+//! torchcde: constant extrapolation before the first / after the last
+//! observation; a node with no observations at all falls back to `fallback`
+//! (0 in normalised space, i.e. the training mean).
+
+use st_tensor::NdArray;
+
+/// Linearly interpolate a `[N, L]` window along its time axis.
+///
+/// `mask[n, l] > 0` marks positions whose `values` are trusted; all other
+/// positions are filled. Returns a fully dense `[N, L]` array.
+pub fn linear_interpolate(values: &NdArray, mask: &NdArray, fallback: f32) -> NdArray {
+    assert_eq!(values.shape(), mask.shape(), "values/mask shape mismatch");
+    assert_eq!(values.ndim(), 2, "expected [N, L]");
+    let (n, l) = (values.shape()[0], values.shape()[1]);
+    let mut out = values.clone();
+    for i in 0..n {
+        let row_mask = &mask.data()[i * l..(i + 1) * l];
+        let observed: Vec<usize> = (0..l).filter(|&t| row_mask[t] > 0.0).collect();
+        let row = &mut out.data_mut()[i * l..(i + 1) * l];
+        if observed.is_empty() {
+            for v in row.iter_mut() {
+                *v = fallback;
+            }
+            continue;
+        }
+        // constant extrapolation at the edges
+        let first = observed[0];
+        let last = *observed.last().unwrap();
+        for t in 0..first {
+            row[t] = row[first];
+        }
+        for t in (last + 1)..l {
+            row[t] = row[last];
+        }
+        // linear segments between consecutive observations
+        for w in observed.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b - a <= 1 {
+                continue;
+            }
+            let va = row[a];
+            let vb = row[b];
+            let span = (b - a) as f32;
+            for t in (a + 1)..b {
+                let frac = (t - a) as f32 / span;
+                row[t] = va + frac * (vb - va);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interp(vals: Vec<f32>, mask: Vec<f32>) -> Vec<f32> {
+        let l = vals.len();
+        let v = NdArray::from_vec(&[1, l], vals);
+        let m = NdArray::from_vec(&[1, l], mask);
+        linear_interpolate(&v, &m, 0.0).into_vec()
+    }
+
+    #[test]
+    fn exact_on_observed_positions() {
+        let out = interp(vec![1.0, 9.0, 3.0, 9.0, 5.0], vec![1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[2], 3.0);
+        assert_eq!(out[4], 5.0);
+    }
+
+    #[test]
+    fn midpoints_are_linear() {
+        let out = interp(vec![0.0, -1.0, 4.0], vec![1.0, 0.0, 1.0]);
+        assert!((out[1] - 2.0).abs() < 1e-6);
+        let out = interp(vec![0.0, 0.0, 0.0, 3.0], vec![1.0, 0.0, 0.0, 1.0]);
+        assert!((out[1] - 1.0).abs() < 1e-6);
+        assert!((out[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_extrapolation_at_edges() {
+        let out = interp(vec![9.0, 9.0, 5.0, 7.0, 9.0], vec![0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(out[0], 5.0);
+        assert_eq!(out[1], 5.0);
+        assert_eq!(out[4], 7.0);
+    }
+
+    #[test]
+    fn unobserved_node_gets_fallback() {
+        let v = NdArray::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 9.0, 9.0, 9.0]);
+        let m = NdArray::from_vec(&[2, 3], vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+        let out = linear_interpolate(&v, &m, -7.5);
+        assert_eq!(&out.data()[3..], &[-7.5, -7.5, -7.5]);
+        assert_eq!(&out.data()[..3], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fully_observed_is_identity() {
+        let out = interp(vec![3.0, 1.0, 4.0, 1.0], vec![1.0; 4]);
+        assert_eq!(out, vec![3.0, 1.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn single_observation_fills_constant() {
+        let out = interp(vec![0.0, 2.5, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(out, vec![2.5, 2.5, 2.5, 2.5]);
+    }
+}

@@ -1,0 +1,268 @@
+//! CSV import/export so the library can be used on real sensor exports, not
+//! just the synthetic generators.
+//!
+//! Format (long/tidy or wide both supported):
+//!
+//! * **wide** — header `time,<name1>,<name2>,…`; one row per time step;
+//!   empty cells or `nan` mark missing values;
+//! * **coords** — header `sensor,x,y`; one row per sensor, kilometres.
+//!
+//! Values parse as `f32`; the time column is kept only for ordering and may
+//! be any string.
+
+use crate::dataset::SpatioTemporalDataset;
+use st_graph::layout::Coord;
+use st_graph::SensorGraph;
+use st_tensor::NdArray;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Malformed(m) => write!(f, "malformed csv: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// A parsed wide-format panel: sensor names, values and observed mask.
+#[derive(Debug, Clone)]
+pub struct CsvPanel {
+    /// Column names (sensor identifiers).
+    pub sensors: Vec<String>,
+    /// Values `[T, N]`; missing cells hold 0.0 and are 0 in `observed`.
+    pub values: NdArray,
+    /// Observed mask `[T, N]`.
+    pub observed: NdArray,
+}
+
+/// Parse a wide-format panel from CSV text.
+pub fn parse_panel_csv(text: &str) -> Result<CsvPanel, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| CsvError::Malformed("empty file".into()))?;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    if cols.len() < 2 {
+        return Err(CsvError::Malformed("need a time column and at least one sensor".into()));
+    }
+    let sensors: Vec<String> = cols[1..].iter().map(|s| s.to_string()).collect();
+    let n = sensors.len();
+    let mut values = Vec::new();
+    let mut observed = Vec::new();
+    let mut t = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != n + 1 {
+            return Err(CsvError::Malformed(format!(
+                "row {} has {} cells, expected {}",
+                lineno + 2,
+                cells.len(),
+                n + 1
+            )));
+        }
+        for cell in &cells[1..] {
+            if cell.is_empty() || cell.eq_ignore_ascii_case("nan") {
+                values.push(0.0);
+                observed.push(0.0);
+            } else {
+                let v: f32 = cell.parse().map_err(|_| {
+                    CsvError::Malformed(format!("row {}: bad number `{cell}`", lineno + 2))
+                })?;
+                if v.is_finite() {
+                    values.push(v);
+                    observed.push(1.0);
+                } else {
+                    values.push(0.0);
+                    observed.push(0.0);
+                }
+            }
+        }
+        t += 1;
+    }
+    if t == 0 {
+        return Err(CsvError::Malformed("no data rows".into()));
+    }
+    Ok(CsvPanel {
+        sensors,
+        values: NdArray::from_vec(&[t, n], values),
+        observed: NdArray::from_vec(&[t, n], observed),
+    })
+}
+
+/// Parse sensor coordinates (`sensor,x,y`) from CSV text, matched by name
+/// against `sensors` (order need not match the panel).
+pub fn parse_coords_csv(text: &str, sensors: &[String]) -> Result<Vec<Coord>, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let _header = lines.next().ok_or_else(|| CsvError::Malformed("empty coords file".into()))?;
+    let mut by_name = std::collections::HashMap::new();
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != 3 {
+            return Err(CsvError::Malformed(format!(
+                "coords row {} has {} cells, expected 3",
+                lineno + 2,
+                cells.len()
+            )));
+        }
+        let x: f64 = cells[1]
+            .parse()
+            .map_err(|_| CsvError::Malformed(format!("bad x `{}`", cells[1])))?;
+        let y: f64 = cells[2]
+            .parse()
+            .map_err(|_| CsvError::Malformed(format!("bad y `{}`", cells[2])))?;
+        by_name.insert(cells[0].to_string(), Coord { x, y });
+    }
+    sensors
+        .iter()
+        .map(|s| {
+            by_name
+                .get(s)
+                .copied()
+                .ok_or_else(|| CsvError::Malformed(format!("no coordinates for sensor `{s}`")))
+        })
+        .collect()
+}
+
+/// Load a dataset from a panel CSV and a coordinates CSV on disk.
+///
+/// `eval_mask` starts empty: on real data there is no ground truth for the
+/// original missing values, so evaluation masks (if any) must be injected by
+/// the caller with [`crate::missing`].
+pub fn load_dataset(
+    panel_path: &Path,
+    coords_path: &Path,
+    steps_per_day: usize,
+) -> Result<SpatioTemporalDataset, CsvError> {
+    let panel = parse_panel_csv(&std::fs::read_to_string(panel_path)?)?;
+    let coords = parse_coords_csv(&std::fs::read_to_string(coords_path)?, &panel.sensors)?;
+    let graph = SensorGraph::from_coords(coords, 0.1);
+    let (t, n) = (panel.values.shape()[0], panel.values.shape()[1]);
+    let data = SpatioTemporalDataset {
+        name: panel_path.file_stem().and_then(|s| s.to_str()).unwrap_or("csv").to_string(),
+        values: panel.values,
+        observed_mask: panel.observed,
+        eval_mask: NdArray::zeros(&[t, n]),
+        steps_per_day,
+        graph,
+        train_frac: 0.7,
+        valid_frac: 0.1,
+    };
+    data.check_invariants();
+    Ok(data)
+}
+
+/// Serialise an imputed `[T, N]` panel back to wide CSV (time column is the
+/// step index).
+pub fn panel_to_csv(panel: &NdArray, sensors: &[String]) -> String {
+    let (t, n) = (panel.shape()[0], panel.shape()[1]);
+    assert_eq!(n, sensors.len(), "sensor-name count mismatch");
+    let mut out = String::with_capacity(t * n * 8);
+    out.push_str("time");
+    for s in sensors {
+        out.push(',');
+        out.push_str(s);
+    }
+    out.push('\n');
+    for ti in 0..t {
+        let _ = write!(out, "{ti}");
+        for i in 0..n {
+            let _ = write!(out, ",{:.4}", panel.data()[ti * n + i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PANEL: &str = "time,s1,s2,s3\n\
+        2024-01-01T00:00,1.0,2.0,3.0\n\
+        2024-01-01T01:00,1.5,,3.5\n\
+        2024-01-01T02:00,nan,2.5,4.0\n";
+
+    const COORDS: &str = "sensor,x,y\ns3,2.0,0.0\ns1,0.0,0.0\ns2,1.0,1.0\n";
+
+    #[test]
+    fn parses_wide_panel_with_missing() {
+        let p = parse_panel_csv(PANEL).unwrap();
+        assert_eq!(p.sensors, vec!["s1", "s2", "s3"]);
+        assert_eq!(p.values.shape(), &[3, 3]);
+        assert_eq!(p.values.at(&[0, 0]), 1.0);
+        assert_eq!(p.observed.at(&[1, 1]), 0.0, "empty cell must be missing");
+        assert_eq!(p.observed.at(&[2, 0]), 0.0, "nan must be missing");
+        assert_eq!(p.values.at(&[2, 2]), 4.0);
+    }
+
+    #[test]
+    fn coords_matched_by_name_any_order() {
+        let p = parse_panel_csv(PANEL).unwrap();
+        let coords = parse_coords_csv(COORDS, &p.sensors).unwrap();
+        assert_eq!(coords[0].x, 0.0); // s1
+        assert_eq!(coords[1].x, 1.0); // s2
+        assert_eq!(coords[2].x, 2.0); // s3
+    }
+
+    #[test]
+    fn missing_coordinate_is_an_error() {
+        let p = parse_panel_csv(PANEL).unwrap();
+        let err = parse_coords_csv("sensor,x,y\ns1,0,0\n", &p.sensors).unwrap_err();
+        assert!(err.to_string().contains("s2"));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = parse_panel_csv("time,a,b\n0,1.0\n").unwrap_err();
+        assert!(matches!(err, CsvError::Malformed(_)));
+    }
+
+    #[test]
+    fn bad_number_rejected_with_location() {
+        let err = parse_panel_csv("time,a\n0,xyz\n").unwrap_err();
+        assert!(err.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let p = parse_panel_csv(PANEL).unwrap();
+        let text = panel_to_csv(&p.values, &p.sensors);
+        let back = parse_panel_csv(&text).unwrap();
+        assert_eq!(back.values.shape(), p.values.shape());
+        for (a, b) in back.values.data().iter().zip(p.values.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn load_dataset_end_to_end() {
+        let dir = std::env::temp_dir().join("pristi_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let panel_path = dir.join("panel.csv");
+        let coords_path = dir.join("coords.csv");
+        std::fs::write(&panel_path, PANEL).unwrap();
+        std::fs::write(&coords_path, COORDS).unwrap();
+        let d = load_dataset(&panel_path, &coords_path, 24).unwrap();
+        assert_eq!(d.n_steps(), 3);
+        assert_eq!(d.n_nodes(), 3);
+        assert_eq!(d.graph.n_nodes(), 3);
+        assert_eq!(d.observed_mask.at(&[1, 1]), 0.0);
+    }
+}

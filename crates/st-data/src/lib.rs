@@ -1,0 +1,30 @@
+//! # st-data
+//!
+//! Data substrate for PriSTI-rs: synthetic spatiotemporal datasets standing in
+//! for AQI-36 / METR-LA / PEMS-BAY (see DESIGN.md §1 for the substitution
+//! argument), evaluation-mask injection for the paper's three missing
+//! patterns, the training mask strategies of Section III-A, per-node linear
+//! interpolation (the `Interpolate(·)` conditioner and the Lin-ITP baseline),
+//! windowing and normalisation.
+//!
+//! Conventions: full series are stored time-major `[T, N]`; training windows
+//! are node-major `[N, L]` as in the paper's notation.
+
+#![warn(missing_docs)]
+// Index-based loops over several parallel buffers are the clearest way to
+// write the numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod dataset;
+pub mod generators;
+pub mod interpolate;
+pub mod io;
+pub mod mask_strategy;
+pub mod missing;
+pub mod normalize;
+
+pub use dataset::{SpatioTemporalDataset, Split, Window};
+pub use interpolate::linear_interpolate;
+pub use mask_strategy::MaskStrategy;
+pub use normalize::Normalizer;

@@ -1,0 +1,209 @@
+//! Training mask strategies (Section III-A, "Training strategies" of IV-D).
+//!
+//! During training, observed values in each window are randomly re-masked to
+//! become the imputation target `X̃⁰`; the remainder stays as conditioning
+//! information. The paper uses three strategies and matches them to the test
+//! missing pattern: *hybrid + historical* on AQI-36, *hybrid + block* on
+//! block-missing traffic, *point* on point-missing traffic.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use st_tensor::NdArray;
+
+/// A training mask strategy producing target masks over observed positions.
+#[derive(Debug, Clone)]
+pub enum MaskStrategy {
+    /// Draw `m ~ U[0,100]%` and mask `m%` of observed values.
+    Point,
+    /// Per-node contiguous runs of length `[L/2, L]` with probability
+    /// `p ~ U[0, 0.15]`, plus 5 % random points.
+    Block,
+    /// 50 % point / 50 % block.
+    HybridBlock,
+    /// 50 % point / 50 % a historical missing pattern drawn from `patterns`
+    /// (observed masks of other training samples; their *complement* becomes
+    /// the target).
+    HybridHistorical {
+        /// Library of `[N, L]` observed masks harvested from the training set.
+        patterns: Vec<NdArray>,
+    },
+}
+
+impl MaskStrategy {
+    /// Produce a target mask for one `[N, L]` window.
+    ///
+    /// `cond_observed` has 1 where a value is available for training;
+    /// returned mask has 1 on positions selected as the imputation target
+    /// (always a subset of `cond_observed`). Guarantees at least one target
+    /// position when any position is observed.
+    pub fn sample(&self, cond_observed: &NdArray, rng: &mut StdRng) -> NdArray {
+        let mask = match self {
+            MaskStrategy::Point => point_mask(cond_observed, rng),
+            MaskStrategy::Block => block_mask(cond_observed, rng),
+            MaskStrategy::HybridBlock => {
+                if rng.random::<f64>() < 0.5 {
+                    point_mask(cond_observed, rng)
+                } else {
+                    block_mask(cond_observed, rng)
+                }
+            }
+            MaskStrategy::HybridHistorical { patterns } => {
+                if patterns.is_empty() || rng.random::<f64>() < 0.5 {
+                    point_mask(cond_observed, rng)
+                } else {
+                    historical_mask(cond_observed, patterns, rng)
+                }
+            }
+        };
+        ensure_nonempty(mask, cond_observed, rng)
+    }
+}
+
+fn point_mask(observed: &NdArray, rng: &mut StdRng) -> NdArray {
+    let rate = rng.random::<f64>(); // m ~ U[0, 100]%
+    let mut out = NdArray::zeros(observed.shape());
+    for (o, &obs) in out.data_mut().iter_mut().zip(observed.data()) {
+        if obs > 0.0 && rng.random::<f64>() < rate {
+            *o = 1.0;
+        }
+    }
+    out
+}
+
+fn block_mask(observed: &NdArray, rng: &mut StdRng) -> NdArray {
+    let (n, l) = (observed.shape()[0], observed.shape()[1]);
+    let mut out = NdArray::zeros(observed.shape());
+    let p = rng.random::<f64>() * 0.15;
+    for i in 0..n {
+        if rng.random::<f64>() < p {
+            let len = rng.random_range((l / 2).max(1)..=l);
+            let start = rng.random_range(0..=(l - len));
+            for t in start..start + len {
+                if observed.data()[i * l + t] > 0.0 {
+                    out.data_mut()[i * l + t] = 1.0;
+                }
+            }
+        }
+    }
+    // plus 5% random observed points
+    for (o, &obs) in out.data_mut().iter_mut().zip(observed.data()) {
+        if obs > 0.0 && rng.random::<f64>() < 0.05 {
+            *o = 1.0;
+        }
+    }
+    out
+}
+
+fn historical_mask(observed: &NdArray, patterns: &[NdArray], rng: &mut StdRng) -> NdArray {
+    let pat = &patterns[rng.random_range(0..patterns.len())];
+    assert_eq!(pat.shape(), observed.shape(), "historical pattern shape mismatch");
+    // Positions missing in the historical pattern but observed here become targets.
+    observed.zip_map(pat, |obs, hist| if obs > 0.0 && hist == 0.0 { 1.0 } else { 0.0 })
+}
+
+fn ensure_nonempty(mut mask: NdArray, observed: &NdArray, rng: &mut StdRng) -> NdArray {
+    if mask.data().iter().any(|&v| v > 0.0) {
+        return mask;
+    }
+    let candidates: Vec<usize> = observed
+        .data()
+        .iter()
+        .enumerate()
+        .filter(|(_, &o)| o > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if !candidates.is_empty() {
+        let pick = candidates[rng.random_range(0..candidates.len())];
+        mask.data_mut()[pick] = 1.0;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn point_mask_subset_of_observed() {
+        let mut observed = NdArray::ones(&[6, 12]);
+        for i in 0..20 {
+            observed.data_mut()[i * 3] = 0.0;
+        }
+        let mut r = rng(1);
+        for _ in 0..20 {
+            let m = MaskStrategy::Point.sample(&observed, &mut r);
+            for (&mv, &ov) in m.data().iter().zip(observed.data()) {
+                assert!(mv == 0.0 || ov > 0.0, "target outside observed");
+            }
+        }
+    }
+
+    #[test]
+    fn block_mask_produces_long_runs_sometimes() {
+        let observed = NdArray::ones(&[8, 24]);
+        let mut r = rng(2);
+        let mut max_run = 0usize;
+        for _ in 0..200 {
+            let m = MaskStrategy::Block.sample(&observed, &mut r);
+            for i in 0..8 {
+                let mut run = 0;
+                for t in 0..24 {
+                    if m.data()[i * 24 + t] > 0.0 {
+                        run += 1;
+                        max_run = max_run.max(run);
+                    } else {
+                        run = 0;
+                    }
+                }
+            }
+        }
+        assert!(max_run >= 12, "block strategy never produced a long run (max {max_run})");
+    }
+
+    #[test]
+    fn always_at_least_one_target() {
+        let observed = NdArray::ones(&[4, 8]);
+        let mut r = rng(3);
+        for strat in [MaskStrategy::Point, MaskStrategy::Block, MaskStrategy::HybridBlock] {
+            for _ in 0..100 {
+                let m = strat.sample(&observed, &mut r);
+                assert!(m.data().iter().any(|&v| v > 0.0), "{strat:?} produced empty target");
+            }
+        }
+    }
+
+    #[test]
+    fn historical_uses_pattern_complement() {
+        let observed = NdArray::ones(&[2, 4]);
+        let mut pat = NdArray::ones(&[2, 4]);
+        pat.data_mut()[1] = 0.0;
+        pat.data_mut()[6] = 0.0;
+        let strat = MaskStrategy::HybridHistorical { patterns: vec![pat] };
+        let mut r = rng(4);
+        // run until the historical branch is taken
+        let mut hit = false;
+        for _ in 0..50 {
+            let m = strat.sample(&observed, &mut r);
+            if m.data()[1] == 1.0 && m.data()[6] == 1.0 {
+                let count: f32 = m.data().iter().sum();
+                assert_eq!(count, 2.0);
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "historical branch never selected");
+    }
+
+    #[test]
+    fn empty_observed_yields_empty_mask() {
+        let observed = NdArray::zeros(&[3, 5]);
+        let mut r = rng(5);
+        let m = MaskStrategy::Point.sample(&observed, &mut r);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-node standardisation fitted on training-split observed values only
+//! (no information leak from validation/test or from masked positions).
+
+use crate::dataset::{SpatioTemporalDataset, Split};
+use st_tensor::NdArray;
+
+/// Per-node mean/std scaler.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    /// Per-node means, length `N`.
+    pub mean: Vec<f32>,
+    /// Per-node standard deviations (floored at a small epsilon), length `N`.
+    pub std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fit on the training split of a dataset, using only positions that are
+    /// observed and not eval-masked.
+    pub fn fit(data: &SpatioTemporalDataset) -> Self {
+        let n = data.n_nodes();
+        let (start, end) = data.split_range(Split::Train);
+        let mut sum = vec![0.0f64; n];
+        let mut sum_sq = vec![0.0f64; n];
+        let mut count = vec![0.0f64; n];
+        for t in start..end {
+            for i in 0..n {
+                let idx = t * n + i;
+                if data.observed_mask.data()[idx] > 0.0 && data.eval_mask.data()[idx] == 0.0 {
+                    let v = data.values.data()[idx] as f64;
+                    sum[i] += v;
+                    sum_sq[i] += v * v;
+                    count[i] += 1.0;
+                }
+            }
+        }
+        // Nodes with no training observations fall back to global statistics.
+        let total: f64 = count.iter().sum();
+        let gmean = if total > 0.0 { sum.iter().sum::<f64>() / total } else { 0.0 };
+        let gvar = if total > 0.0 {
+            (sum_sq.iter().sum::<f64>() / total - gmean * gmean).max(1e-8)
+        } else {
+            1.0
+        };
+        let mut mean = vec![0.0f32; n];
+        let mut std = vec![1.0f32; n];
+        for i in 0..n {
+            if count[i] > 1.0 {
+                let m = sum[i] / count[i];
+                let v = (sum_sq[i] / count[i] - m * m).max(1e-8);
+                mean[i] = m as f32;
+                std[i] = (v.sqrt() as f32).max(1e-4);
+            } else {
+                mean[i] = gmean as f32;
+                std[i] = (gvar.sqrt() as f32).max(1e-4);
+            }
+        }
+        Self { mean, std }
+    }
+
+    /// Normalise an `[N, L]` window in place.
+    pub fn normalize_window(&self, w: &mut NdArray) {
+        let (n, l) = (w.shape()[0], w.shape()[1]);
+        assert_eq!(n, self.mean.len(), "normalizer node count mismatch");
+        for i in 0..n {
+            let (m, s) = (self.mean[i], self.std[i]);
+            for v in &mut w.data_mut()[i * l..(i + 1) * l] {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+
+    /// Invert normalisation on an `[N, L]` window in place.
+    pub fn denormalize_window(&self, w: &mut NdArray) {
+        let (n, l) = (w.shape()[0], w.shape()[1]);
+        assert_eq!(n, self.mean.len(), "normalizer node count mismatch");
+        for i in 0..n {
+            let (m, s) = (self.mean[i], self.std[i]);
+            for v in &mut w.data_mut()[i * l..(i + 1) * l] {
+                *v = *v * s + m;
+            }
+        }
+    }
+
+    /// Normalise a single value for node `i`.
+    pub fn normalize_value(&self, i: usize, v: f32) -> f32 {
+        (v - self.mean[i]) / self.std[i]
+    }
+
+    /// Denormalise a single value for node `i`.
+    pub fn denormalize_value(&self, i: usize, v: f32) -> f32 {
+        v * self.std[i] + self.mean[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::{random_plane_layout, SensorGraph};
+
+    fn dataset_with_values(vals: Vec<f32>, t: usize, n: usize) -> SpatioTemporalDataset {
+        SpatioTemporalDataset {
+            name: "t".into(),
+            values: NdArray::from_vec(&[t, n], vals),
+            observed_mask: NdArray::ones(&[t, n]),
+            eval_mask: NdArray::zeros(&[t, n]),
+            steps_per_day: 24,
+            graph: SensorGraph::from_coords(random_plane_layout(n, 10.0, 1), 0.1),
+            train_frac: 0.8,
+            valid_frac: 0.1,
+        }
+    }
+
+    #[test]
+    fn fit_recovers_mean_and_std() {
+        // node 0 constant 10 (std floored), node 1 alternating 0/2 (mean 1, std 1)
+        let t = 100;
+        let mut vals = vec![0.0f32; t * 2];
+        for ti in 0..t {
+            vals[ti * 2] = 10.0;
+            vals[ti * 2 + 1] = if ti % 2 == 0 { 0.0 } else { 2.0 };
+        }
+        let d = dataset_with_values(vals, t, 2);
+        let norm = Normalizer::fit(&d);
+        assert!((norm.mean[0] - 10.0).abs() < 1e-4);
+        assert!((norm.mean[1] - 1.0).abs() < 1e-4);
+        assert!((norm.std[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn round_trip_window() {
+        let t = 50;
+        let n = 3;
+        let vals: Vec<f32> = (0..t * n).map(|i| (i as f32 * 0.37).sin() * 5.0 + 20.0).collect();
+        let d = dataset_with_values(vals, t, n);
+        let norm = Normalizer::fit(&d);
+        let w = d.window_at(10, 8);
+        let mut z = w.values.clone();
+        norm.normalize_window(&mut z);
+        let mut back = z.clone();
+        norm.denormalize_window(&mut back);
+        for (a, b) in back.data().iter().zip(w.values.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eval_masked_positions_do_not_leak_into_stats() {
+        let t = 20;
+        let mut d = dataset_with_values(vec![1.0; t * 2], t, 2);
+        // poison some values but eval-mask them; stats must ignore them
+        for ti in 0..5 {
+            d.values.data_mut()[ti * 2] = 1e6;
+            d.eval_mask.data_mut()[ti * 2] = 1.0;
+        }
+        let norm = Normalizer::fit(&d);
+        assert!((norm.mean[0] - 1.0).abs() < 1e-4, "mean leaked: {}", norm.mean[0]);
+    }
+
+    #[test]
+    fn single_value_round_trip() {
+        let d = dataset_with_values((0..40).map(|i| i as f32).collect(), 20, 2);
+        let norm = Normalizer::fit(&d);
+        let z = norm.normalize_value(1, 7.0);
+        assert!((norm.denormalize_value(1, z) - 7.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the data substrate: interpolation, mask
+//! strategies, missing injection and normalisation invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_data::generators::{generate_air_quality, AirQualityConfig};
+use st_data::interpolate::linear_interpolate;
+use st_data::mask_strategy::MaskStrategy;
+use st_data::missing::{eval_rate, inject_block_missing, inject_point_missing};
+use st_data::normalize::Normalizer;
+use st_tensor::NdArray;
+
+fn window_and_mask() -> impl Strategy<Value = (NdArray, NdArray)> {
+    (1usize..6, 2usize..16, 0u64..500).prop_map(|(n, l, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals = NdArray::randn(&[n, l], &mut rng).scale(5.0);
+        let mask_data: Vec<f32> = (0..n * l)
+            .map(|i| if (seed as usize + i * 7).is_multiple_of(3) { 0.0 } else { 1.0 })
+            .collect();
+        (vals, NdArray::from_vec(&[n, l], mask_data))
+    })
+}
+
+proptest! {
+    /// Interpolation never alters observed values and always produces finite
+    /// output within the per-row observed range (linear interpolation of a
+    /// bounded set cannot overshoot).
+    #[test]
+    fn interpolation_exact_and_bounded((vals, mask) in window_and_mask()) {
+        let out = linear_interpolate(&vals, &mask, 0.0);
+        let (n, l) = (vals.shape()[0], vals.shape()[1]);
+        for i in 0..n {
+            let observed: Vec<f32> = (0..l)
+                .filter(|&t| mask.at(&[i, t]) > 0.0)
+                .map(|t| vals.at(&[i, t]))
+                .collect();
+            for t in 0..l {
+                let v = out.at(&[i, t]);
+                prop_assert!(v.is_finite());
+                if mask.at(&[i, t]) > 0.0 {
+                    prop_assert_eq!(v, vals.at(&[i, t]));
+                } else if !observed.is_empty() {
+                    let lo = observed.iter().cloned().fold(f32::MAX, f32::min);
+                    let hi = observed.iter().cloned().fold(f32::MIN, f32::max);
+                    prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4,
+                        "interp {v} outside observed range [{lo}, {hi}]");
+                }
+            }
+        }
+    }
+
+    /// Every mask strategy produces targets strictly inside the observed set
+    /// and leaves at least one conditioning value when more than one value
+    /// is observed.
+    #[test]
+    fn strategies_respect_observed((_vals, mask) in window_and_mask(), seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for strat in [MaskStrategy::Point, MaskStrategy::Block, MaskStrategy::HybridBlock] {
+            let target = strat.sample(&mask, &mut rng);
+            for (t, o) in target.data().iter().zip(mask.data()) {
+                prop_assert!(*t == 0.0 || *o > 0.0, "target outside observed");
+            }
+        }
+    }
+
+    /// Point injection rate is monotone in the requested rate.
+    #[test]
+    fn point_injection_monotone(seed in 0u64..100) {
+        let obs = NdArray::ones(&[200, 10]);
+        let lo = inject_point_missing(&obs, 0.1, seed);
+        let hi = inject_point_missing(&obs, 0.5, seed.wrapping_add(1));
+        prop_assert!(eval_rate(&obs, &lo) < eval_rate(&obs, &hi));
+    }
+
+    /// Block injection never exceeds the observed set and produces non-trivial
+    /// coverage for non-trivial parameters.
+    #[test]
+    fn block_injection_within_observed(seed in 0u64..100) {
+        let mut obs = NdArray::ones(&[300, 6]);
+        for i in 0..100 {
+            obs.data_mut()[i * 6] = 0.0;
+        }
+        let eval = inject_block_missing(&obs, 0.05, 0.01, 4, 12, seed);
+        for (e, o) in eval.data().iter().zip(obs.data()) {
+            prop_assert!(*e == 0.0 || *o > 0.0);
+        }
+        prop_assert!(eval_rate(&obs, &eval) > 0.0);
+    }
+
+    /// Normalize/denormalize is the identity (up to f32 rounding) on any
+    /// window of any dataset.
+    #[test]
+    fn normalizer_round_trip(seed in 0u64..50, t0 in 0usize..100) {
+        let data = generate_air_quality(&AirQualityConfig {
+            n_nodes: 6,
+            n_days: 7,
+            seed,
+            ..Default::default()
+        });
+        let norm = Normalizer::fit(&data);
+        let t0 = t0.min(data.n_steps() - 12);
+        let w = data.window_at(t0, 12);
+        let mut z = w.values.clone();
+        norm.normalize_window(&mut z);
+        norm.denormalize_window(&mut z);
+        for (a, b) in z.data().iter().zip(w.values.data()) {
+            prop_assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// Window extraction indexes correctly: every window element equals the
+    /// corresponding panel element.
+    #[test]
+    fn windows_match_panel(seed in 0u64..50, t0 in 0usize..80, len in 4usize..16) {
+        let data = generate_air_quality(&AirQualityConfig {
+            n_nodes: 5,
+            n_days: 6,
+            seed,
+            ..Default::default()
+        });
+        let t0 = t0.min(data.n_steps() - len);
+        let w = data.window_at(t0, len);
+        let n = data.n_nodes();
+        for i in 0..n {
+            for t in 0..len {
+                prop_assert_eq!(w.values.at(&[i, t]), data.values.data()[(t0 + t) * n + i]);
+                prop_assert_eq!(w.observed.at(&[i, t]), data.observed_mask.data()[(t0 + t) * n + i]);
+            }
+        }
+    }
+}

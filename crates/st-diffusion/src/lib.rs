@@ -1,0 +1,22 @@
+//! # st-diffusion
+//!
+//! Denoising-diffusion machinery (Ho et al. 2020) as used by PriSTI and CSDI
+//! for conditional spatiotemporal imputation: noise schedules (including the
+//! paper's quadratic schedule, Eq. 13), the forward noising process
+//! `q(X̃ᵗ | X̃⁰)`, and the reverse sampling loop of Algorithm 2, generic over
+//! a [`NoisePredictor`] so the same loop drives PriSTI, CSDI and ablated
+//! variants.
+
+#![warn(missing_docs)]
+// Index-based loops over several parallel buffers are the clearest way to
+// write the numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod ddim;
+pub mod ddpm;
+pub mod schedule;
+
+pub use ddim::{ddim_sample, ddim_step, ddim_timesteps};
+pub use ddpm::{p_sample_step, q_sample, reverse_sample, NoisePredictor};
+pub use schedule::{BetaSchedule, DiffusionSchedule};

@@ -1,0 +1,160 @@
+//! Noise-level schedules.
+//!
+//! The paper adopts the quadratic schedule of CSDI (Eq. 13):
+//! `β_t = ((T−t)/(T−1) √β₁ + (t−1)/(T−1) √β_T)²` — note that despite the
+//! name this interpolates the *square roots* of the endpoints linearly.
+//! A plain linear schedule is included for ablation comparisons.
+
+/// How `β_t` progresses from `beta_min` to `beta_max` over `T` steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BetaSchedule {
+    /// The paper's quadratic schedule (Eq. 13), default for all experiments.
+    Quadratic,
+    /// Linear interpolation `β_t = β₁ + (t−1)/(T−1)(β_T − β₁)`.
+    Linear,
+}
+
+/// Precomputed diffusion constants for `T` steps.
+///
+/// Indexing convention: `beta(t)`, `alpha(t)`, `alpha_bar(t)` accept
+/// `t ∈ 1..=T` as in the paper's notation.
+#[derive(Debug, Clone)]
+pub struct DiffusionSchedule {
+    betas: Vec<f64>,
+    alphas: Vec<f64>,
+    alpha_bars: Vec<f64>,
+}
+
+impl DiffusionSchedule {
+    /// Build a schedule with `t_steps` steps from `beta_min` (β₁) to
+    /// `beta_max` (β_T). The paper uses β₁=1e-4, β_T=0.2, T=50–100.
+    pub fn new(kind: BetaSchedule, t_steps: usize, beta_min: f64, beta_max: f64) -> Self {
+        assert!(t_steps >= 2, "need at least 2 diffusion steps");
+        assert!(
+            0.0 < beta_min && beta_min <= beta_max && beta_max < 1.0,
+            "invalid beta range [{beta_min}, {beta_max}]"
+        );
+        let betas: Vec<f64> = (1..=t_steps)
+            .map(|t| {
+                let frac = (t - 1) as f64 / (t_steps - 1) as f64;
+                match kind {
+                    BetaSchedule::Quadratic => {
+                        let s = (1.0 - frac) * beta_min.sqrt() + frac * beta_max.sqrt();
+                        s * s
+                    }
+                    BetaSchedule::Linear => beta_min + frac * (beta_max - beta_min),
+                }
+            })
+            .collect();
+        let alphas: Vec<f64> = betas.iter().map(|b| 1.0 - b).collect();
+        let mut alpha_bars = Vec::with_capacity(t_steps);
+        let mut prod = 1.0;
+        for &a in &alphas {
+            prod *= a;
+            alpha_bars.push(prod);
+        }
+        Self { betas, alphas, alpha_bars }
+    }
+
+    /// The paper's default schedule for a given number of steps
+    /// (quadratic, β₁ = 1e-4, β_T = 0.2).
+    pub fn pristi_default(t_steps: usize) -> Self {
+        Self::new(BetaSchedule::Quadratic, t_steps, 1e-4, 0.2)
+    }
+
+    /// Number of diffusion steps `T`.
+    pub fn t_steps(&self) -> usize {
+        self.betas.len()
+    }
+
+    /// `β_t` for `t ∈ 1..=T`.
+    pub fn beta(&self, t: usize) -> f64 {
+        self.betas[self.idx(t)]
+    }
+
+    /// `α_t = 1 − β_t`.
+    pub fn alpha(&self, t: usize) -> f64 {
+        self.alphas[self.idx(t)]
+    }
+
+    /// `ᾱ_t = ∏_{i≤t} α_i`.
+    pub fn alpha_bar(&self, t: usize) -> f64 {
+        self.alpha_bars[self.idx(t)]
+    }
+
+    /// Reverse-process variance `σ_t² = (1−ᾱ_{t−1})/(1−ᾱ_t) · β_t`
+    /// (with `ᾱ₀ = 1`, so `σ₁² = 0`).
+    pub fn sigma_sq(&self, t: usize) -> f64 {
+        let ab_prev = if t <= 1 { 1.0 } else { self.alpha_bar(t - 1) };
+        (1.0 - ab_prev) / (1.0 - self.alpha_bar(t)) * self.beta(t)
+    }
+
+    fn idx(&self, t: usize) -> usize {
+        assert!(
+            (1..=self.t_steps()).contains(&t),
+            "diffusion step {t} out of range 1..={}",
+            self.t_steps()
+        );
+        t - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_config() {
+        let s = DiffusionSchedule::pristi_default(50);
+        assert!((s.beta(1) - 1e-4).abs() < 1e-12);
+        assert!((s.beta(50) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betas_monotone_increasing() {
+        for kind in [BetaSchedule::Quadratic, BetaSchedule::Linear] {
+            let s = DiffusionSchedule::new(kind, 100, 1e-4, 0.2);
+            for t in 2..=100 {
+                assert!(s.beta(t) > s.beta(t - 1), "{kind:?} not increasing at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_bar_decreasing_to_small() {
+        let s = DiffusionSchedule::pristi_default(100);
+        for t in 2..=100 {
+            assert!(s.alpha_bar(t) < s.alpha_bar(t - 1));
+        }
+        assert!(s.alpha_bar(100) < 0.01, "ᾱ_T = {} should be near 0", s.alpha_bar(100));
+    }
+
+    #[test]
+    fn quadratic_interpolates_sqrt() {
+        let s = DiffusionSchedule::new(BetaSchedule::Quadratic, 3, 0.01, 0.09);
+        // midpoint: ((sqrt(0.01)+sqrt(0.09))/2)^2 = (0.2)^2 = 0.04
+        assert!((s.beta(2) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_first_step_zero() {
+        let s = DiffusionSchedule::pristi_default(50);
+        assert_eq!(s.sigma_sq(1), 0.0);
+        for t in 2..=50 {
+            assert!(s.sigma_sq(t) > 0.0);
+            assert!(s.sigma_sq(t) <= s.beta(t) + 1e-12, "σ² must not exceed β");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn step_zero_rejected() {
+        DiffusionSchedule::pristi_default(10).beta(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid beta range")]
+    fn bad_range_rejected() {
+        DiffusionSchedule::new(BetaSchedule::Linear, 10, 0.2, 0.1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the diffusion machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_diffusion::{p_sample_step, q_sample, BetaSchedule, DiffusionSchedule};
+use st_tensor::NdArray;
+
+proptest! {
+    /// Schedules are valid for any (sane) parameterisation: β increasing in
+    /// (0,1), ᾱ strictly decreasing, σ² within [0, β].
+    #[test]
+    fn schedule_invariants(t_steps in 2usize..200, beta_min in 1e-5f64..1e-2, spread in 1.5f64..100.0, quad in prop::bool::ANY) {
+        let beta_max = (beta_min * spread).min(0.5);
+        let kind = if quad { BetaSchedule::Quadratic } else { BetaSchedule::Linear };
+        let s = DiffusionSchedule::new(kind, t_steps, beta_min, beta_max);
+        let mut prev_ab = 1.0f64;
+        for t in 1..=t_steps {
+            let b = s.beta(t);
+            prop_assert!(b > 0.0 && b < 1.0);
+            if t > 1 {
+                prop_assert!(b >= s.beta(t - 1) - 1e-15, "β not nondecreasing at {t}");
+            }
+            let ab = s.alpha_bar(t);
+            prop_assert!(ab < prev_ab);
+            prev_ab = ab;
+            let sig = s.sigma_sq(t);
+            prop_assert!((0.0..=b + 1e-12).contains(&sig));
+        }
+    }
+
+    /// q_sample is exact: x_t = √ᾱ·x₀ + √(1−ᾱ)·ε element-wise.
+    #[test]
+    fn q_sample_formula(t in 1usize..50, x0v in -5.0f32..5.0, ev in -3.0f32..3.0) {
+        let s = DiffusionSchedule::pristi_default(50);
+        let x0 = NdArray::full(&[4], x0v);
+        let eps = NdArray::full(&[4], ev);
+        let xt = q_sample(&x0, &eps, &s, t);
+        let ab = s.alpha_bar(t) as f32;
+        let expect = ab.sqrt() * x0v + (1.0 - ab).sqrt() * ev;
+        for &v in xt.data() {
+            prop_assert!((v - expect).abs() < 1e-5);
+        }
+    }
+
+    /// One reverse step with a perfect ε estimate at t=1 recovers x₀ exactly
+    /// (σ₁ = 0, so the step is deterministic).
+    #[test]
+    fn final_step_inverts_forward(x0v in -5.0f32..5.0, ev in -3.0f32..3.0, seed in 0u64..100) {
+        let s = DiffusionSchedule::pristi_default(20);
+        let x0 = NdArray::full(&[3], x0v);
+        let eps = NdArray::full(&[3], ev);
+        let x1 = q_sample(&x0, &eps, &s, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let back = p_sample_step(&x1, &eps, &s, 1, &mut rng);
+        for &v in back.data() {
+            prop_assert!((v - x0v).abs() < 1e-3, "{v} vs {x0v}");
+        }
+    }
+
+    /// The reverse step is monotone in the noise estimate: over-estimating ε
+    /// pushes the next iterate down, under-estimating pushes it up.
+    #[test]
+    fn reverse_step_monotone_in_eps(t in 2usize..20, xv in -3.0f32..3.0) {
+        let s = DiffusionSchedule::pristi_default(20);
+        let x = NdArray::full(&[2], xv);
+        let lo = NdArray::full(&[2], -1.0);
+        let hi = NdArray::full(&[2], 1.0);
+        // same rng seed → same injected noise; difference comes from ε̂ only
+        let a = p_sample_step(&x, &lo, &s, t, &mut StdRng::seed_from_u64(7));
+        let b = p_sample_step(&x, &hi, &s, t, &mut StdRng::seed_from_u64(7));
+        prop_assert!(a.data()[0] > b.data()[0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Adjacency construction: thresholded Gaussian kernel (paper Section IV-A)
+//! and the bidirectional transition matrices used for diffusion convolution.
+
+use crate::layout::Coord;
+use st_tensor::NdArray;
+
+/// A sensor network: coordinates plus a weighted adjacency matrix.
+#[derive(Debug, Clone)]
+pub struct SensorGraph {
+    /// Sensor coordinates (km).
+    pub coords: Vec<Coord>,
+    /// Weighted adjacency `[N, N]`, zero diagonal.
+    pub adjacency: NdArray,
+}
+
+impl SensorGraph {
+    /// Build from coordinates with the thresholded Gaussian kernel, using the
+    /// distance standard deviation as the kernel width and dropping edges
+    /// whose weight falls below `threshold` (the common 0.1 convention).
+    pub fn from_coords(coords: Vec<Coord>, threshold: f64) -> Self {
+        let adjacency = gaussian_kernel_adjacency(&coords, threshold);
+        Self { coords, adjacency }
+    }
+
+    /// Number of sensors.
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Weighted degree (connectivity) of each node: row sums of `A`.
+    pub fn connectivity(&self) -> Vec<f64> {
+        let n = self.n_nodes();
+        (0..n)
+            .map(|i| self.adjacency.data()[i * n..(i + 1) * n].iter().map(|&w| w as f64).sum())
+            .collect()
+    }
+
+    /// Index of the node with the highest weighted degree (Fig. 7's
+    /// "highest connectivity" station).
+    pub fn most_connected(&self) -> usize {
+        argmax(&self.connectivity())
+    }
+
+    /// Index of the node with the lowest weighted degree.
+    pub fn least_connected(&self) -> usize {
+        argmin(&self.connectivity())
+    }
+
+    /// `k` nearest neighbours of node `i` by geographic distance.
+    pub fn nearest_neighbors(&self, i: usize, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n_nodes()).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| {
+            self.coords[i]
+                .distance(&self.coords[a])
+                .partial_cmp(&self.coords[i].distance(&self.coords[b]))
+                .unwrap()
+        });
+        order.truncate(k);
+        order
+    }
+
+    /// Forward/backward transition matrices for diffusion convolution.
+    pub fn transition_matrices(&self) -> (NdArray, NdArray) {
+        transition_matrices(&self.adjacency)
+    }
+}
+
+/// Thresholded Gaussian kernel adjacency (Shuman et al. 2013):
+/// `W_ij = exp(-dist(i,j)² / σ²)` if `i ≠ j` and the weight exceeds
+/// `threshold`, else 0, where `σ` is the standard deviation of all pairwise
+/// distances.
+pub fn gaussian_kernel_adjacency(coords: &[Coord], threshold: f64) -> NdArray {
+    let n = coords.len();
+    assert!(n > 1, "need at least two sensors");
+    let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            dists.push(coords[i].distance(&coords[j]));
+        }
+    }
+    let mean = dists.iter().sum::<f64>() / dists.len() as f64;
+    let var = dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len() as f64;
+    let sigma2 = var.max(1e-12);
+
+    let mut a = NdArray::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = coords[i].distance(&coords[j]);
+            let w = (-d * d / sigma2).exp();
+            if w > threshold {
+                a.data_mut()[i * n + j] = w as f32;
+            }
+        }
+    }
+    a
+}
+
+/// Row-normalised forward transition matrix `P = D⁻¹A` and backward
+/// `P' = D'⁻¹Aᵀ` (Graph WaveNet / DCRNN convention). Rows with zero degree
+/// become self-loops so the matrices stay stochastic.
+pub fn transition_matrices(adjacency: &NdArray) -> (NdArray, NdArray) {
+    assert_eq!(adjacency.ndim(), 2);
+    let n = adjacency.shape()[0];
+    assert_eq!(adjacency.shape(), &[n, n]);
+    let fwd = row_normalise(adjacency, n);
+    let at = adjacency.transpose2d();
+    let bwd = row_normalise(&at, n);
+    (fwd, bwd)
+}
+
+fn row_normalise(a: &NdArray, n: usize) -> NdArray {
+    let mut out = a.clone();
+    for i in 0..n {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        let s: f32 = row.iter().sum();
+        if s > 0.0 {
+            for v in row.iter_mut() {
+                *v /= s;
+            }
+        } else {
+            row[i] = 1.0;
+        }
+    }
+    out
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
+}
+
+fn argmin(v: &[f64]) -> usize {
+    v.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{highway_chain_layout, random_plane_layout};
+
+    #[test]
+    fn adjacency_symmetric_zero_diag_nonneg() {
+        let coords = random_plane_layout(20, 30.0, 3);
+        let a = gaussian_kernel_adjacency(&coords, 0.1);
+        let n = 20;
+        for i in 0..n {
+            assert_eq!(a.data()[i * n + i], 0.0, "diagonal must be zero");
+            for j in 0..n {
+                let w = a.data()[i * n + j];
+                assert!((0.0..=1.0).contains(&w));
+                assert!((w - a.data()[j * n + i]).abs() < 1e-6, "must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_sparsifies() {
+        let coords = random_plane_layout(24, 30.0, 4);
+        let dense = gaussian_kernel_adjacency(&coords, 0.0);
+        let sparse = gaussian_kernel_adjacency(&coords, 0.5);
+        let nnz = |a: &NdArray| a.data().iter().filter(|&&w| w > 0.0).count();
+        assert!(nnz(&sparse) < nnz(&dense));
+    }
+
+    #[test]
+    fn closer_pairs_get_higher_weight() {
+        let coords = vec![
+            Coord { x: 0.0, y: 0.0 },
+            Coord { x: 1.0, y: 0.0 },
+            Coord { x: 10.0, y: 0.0 },
+        ];
+        let a = gaussian_kernel_adjacency(&coords, 0.0);
+        assert!(a.at(&[0, 1]) > a.at(&[0, 2]));
+    }
+
+    #[test]
+    fn transition_rows_stochastic() {
+        let coords = highway_chain_layout(16, 1.0, 5);
+        let g = SensorGraph::from_coords(coords, 0.1);
+        let (fwd, bwd) = g.transition_matrices();
+        for mat in [&fwd, &bwd] {
+            for i in 0..16 {
+                let s: f32 = mat.data()[i * 16..(i + 1) * 16].iter().sum();
+                assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+                assert!(mat.data()[i * 16..(i + 1) * 16].iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_gets_self_loop() {
+        let mut a = NdArray::zeros(&[3, 3]);
+        *a.at_mut(&[0, 1]) = 1.0;
+        *a.at_mut(&[1, 0]) = 1.0;
+        let (fwd, _) = transition_matrices(&a);
+        assert_eq!(fwd.at(&[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn connectivity_extremes() {
+        let coords = random_plane_layout(36, 40.0, 6);
+        let g = SensorGraph::from_coords(coords, 0.1);
+        let conn = g.connectivity();
+        let hi = g.most_connected();
+        let lo = g.least_connected();
+        assert!(conn[hi] >= conn[lo]);
+        assert!(hi != lo);
+    }
+
+    #[test]
+    fn nearest_neighbors_sorted_by_distance() {
+        let coords = random_plane_layout(12, 20.0, 7);
+        let g = SensorGraph::from_coords(coords.clone(), 0.0);
+        let nn = g.nearest_neighbors(0, 5);
+        assert_eq!(nn.len(), 5);
+        for w in nn.windows(2) {
+            assert!(
+                coords[0].distance(&coords[w[0]]) <= coords[0].distance(&coords[w[1]]) + 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Synthetic sensor placements.
+//!
+//! The paper's datasets place sensors either across a metropolitan area
+//! (AQI-36 monitoring stations) or along highways (METR-LA / PEMS-BAY loop
+//! detectors). Two layout generators reproduce those geometries.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// 2-D sensor coordinates in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coord {
+    /// East–west position (km).
+    pub x: f64,
+    /// North–south position (km).
+    pub y: f64,
+}
+
+impl Coord {
+    /// Euclidean distance to another coordinate.
+    pub fn distance(&self, other: &Coord) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Scatter `n` sensors uniformly over an `extent × extent` km square with a
+/// mild clustering tendency (air-quality stations cluster in urban cores).
+pub fn random_plane_layout(n: usize, extent: f64, seed: u64) -> Vec<Coord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_clusters = (n / 8).clamp(1, 6);
+    let centers: Vec<Coord> = (0..n_clusters)
+        .map(|_| Coord {
+            x: rng.random_range(0.2 * extent..0.8 * extent),
+            y: rng.random_range(0.2 * extent..0.8 * extent),
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < 0.6 {
+                let c = centers[rng.random_range(0..n_clusters)];
+                Coord {
+                    x: (c.x + rng.random_range(-0.12 * extent..0.12 * extent))
+                        .clamp(0.0, extent),
+                    y: (c.y + rng.random_range(-0.12 * extent..0.12 * extent))
+                        .clamp(0.0, extent),
+                }
+            } else {
+                Coord {
+                    x: rng.random_range(0.0..extent),
+                    y: rng.random_range(0.0..extent),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Place `n` sensors along a branching highway: a main corridor with a couple
+/// of branches, mimicking loop-detector deployments. Consecutive sensors along
+/// a branch are near neighbours, giving the strong "upstream/downstream"
+/// spatial structure traffic models exploit.
+pub fn highway_chain_layout(n: usize, spacing_km: f64, seed: u64) -> Vec<Coord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n);
+    // Main corridor heading roughly east with curvature.
+    let main_len = (2 * n) / 3;
+    let mut pos = Coord { x: 0.0, y: 0.0 };
+    let mut heading: f64 = 0.0;
+    for _ in 0..main_len.min(n) {
+        coords.push(pos);
+        heading += rng.random_range(-0.25..0.25);
+        pos = Coord {
+            x: pos.x + spacing_km * heading.cos(),
+            y: pos.y + spacing_km * heading.sin(),
+        };
+    }
+    // Branches split from random points on the corridor.
+    while coords.len() < n {
+        let origin = coords[rng.random_range(0..main_len.min(coords.len()))];
+        let mut bpos = origin;
+        let mut bheading: f64 = rng.random_range(0.8..2.4);
+        let blen = rng.random_range(3..(n / 4).max(4));
+        for _ in 0..blen {
+            if coords.len() >= n {
+                break;
+            }
+            bheading += rng.random_range(-0.2..0.2);
+            bpos = Coord {
+                x: bpos.x + spacing_km * bheading.cos(),
+                y: bpos.y + spacing_km * bheading.sin(),
+            };
+            coords.push(bpos);
+        }
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_layout_in_bounds() {
+        let coords = random_plane_layout(36, 40.0, 1);
+        assert_eq!(coords.len(), 36);
+        for c in &coords {
+            assert!((0.0..=40.0).contains(&c.x));
+            assert!((0.0..=40.0).contains(&c.y));
+        }
+    }
+
+    #[test]
+    fn plane_layout_deterministic() {
+        assert_eq!(random_plane_layout(10, 20.0, 5), random_plane_layout(10, 20.0, 5));
+        assert_ne!(random_plane_layout(10, 20.0, 5), random_plane_layout(10, 20.0, 6));
+    }
+
+    #[test]
+    fn highway_layout_consecutive_sensors_close() {
+        let coords = highway_chain_layout(48, 1.5, 2);
+        assert_eq!(coords.len(), 48);
+        // sensors along the main corridor are ~spacing apart
+        for w in coords[..20].windows(2) {
+            let d = w[0].distance(&w[1]);
+            assert!(d < 3.0, "consecutive corridor sensors too far apart: {d}");
+        }
+    }
+
+    #[test]
+    fn distance_symmetry_and_identity() {
+        let a = Coord { x: 1.0, y: 2.0 };
+        let b = Coord { x: 4.0, y: 6.0 };
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,19 @@
+//! # st-graph
+//!
+//! Sensor-network graphs for spatiotemporal imputation: node layouts,
+//! geographic distances, the thresholded-Gaussian-kernel adjacency used by
+//! the paper for all three datasets (following Shuman et al. 2013, ref [25]),
+//! and the forward/backward transition matrices consumed by the
+//! Graph-WaveNet-style message passing in `st-tensor::nn::Mpnn`.
+
+#![warn(missing_docs)]
+// Index-based loops over several parallel buffers are the clearest way to
+// write the numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod adjacency;
+pub mod layout;
+
+pub use adjacency::{gaussian_kernel_adjacency, transition_matrices, SensorGraph};
+pub use layout::{highway_chain_layout, random_plane_layout};

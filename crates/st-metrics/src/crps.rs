@@ -1,0 +1,138 @@
+//! Continuous Ranked Probability Score (paper Eqs. 10–12).
+//!
+//! The imputation distribution is approximated by a sample ensemble; CRPS is
+//! computed from the quantile loss `Λ_α(q, x) = (α − 𝟙[x < q])(x − q)`
+//! discretised at the 19 quantile levels `0.05, 0.10, …, 0.95`, matching the
+//! CSDI/PriSTI evaluation protocol exactly.
+
+/// Quantile levels used in the paper (0.05 ticks).
+pub const QUANTILE_LEVELS: [f64; 19] = [
+    0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75,
+    0.80, 0.85, 0.90, 0.95,
+];
+
+/// Linear-interpolation quantile of an ascending-sorted slice.
+pub fn quantile_of_sorted(sorted: &[f32], alpha: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample set");
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of range: {alpha}");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0] as f64;
+    }
+    let pos = alpha * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+/// CRPS of a single missing value `x` against an (unsorted) sample ensemble.
+pub fn crps_single(samples: &mut [f32], x: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CRPS sample"));
+    let mut acc = 0.0;
+    for &alpha in &QUANTILE_LEVELS {
+        let q = quantile_of_sorted(samples, alpha);
+        let indicator = if x < q { 1.0 } else { 0.0 };
+        acc += 2.0 * (alpha - indicator) * (x - q);
+    }
+    acc / QUANTILE_LEVELS.len() as f64
+}
+
+/// Mean CRPS over all masked positions.
+///
+/// `samples` is `[S, P]` flattened (S ensembles over P positions); `target`
+/// and `mask` are length `P`. Positions with `mask <= 0` are skipped.
+pub fn crps_ensemble(samples: &[f32], n_samples: usize, target: &[f32], mask: &[f32]) -> f64 {
+    let p = target.len();
+    assert_eq!(samples.len(), n_samples * p, "ensemble size mismatch");
+    assert_eq!(mask.len(), p, "mask length mismatch");
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    let mut buf = vec![0.0f32; n_samples];
+    for i in 0..p {
+        if mask[i] <= 0.0 {
+            continue;
+        }
+        for s in 0..n_samples {
+            buf[s] = samples[s * p + i];
+        }
+        acc += crps_single(&mut buf, target[i] as f64);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_sorted_interpolate() {
+        let s = [0.0f32, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_of_sorted(&s, 0.0), 0.0);
+        assert_eq!(quantile_of_sorted(&s, 1.0), 4.0);
+        assert_eq!(quantile_of_sorted(&s, 0.5), 2.0);
+        assert!((quantile_of_sorted(&s, 0.25) - 1.0).abs() < 1e-12);
+        assert!((quantile_of_sorted(&s, 0.1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crps_zero_for_point_mass_on_target() {
+        let mut s = vec![3.0f32; 50];
+        let v = crps_single(&mut s, 3.0);
+        assert!(v.abs() < 1e-9, "point mass at target should give ~0 CRPS, got {v}");
+    }
+
+    #[test]
+    fn crps_grows_with_distance() {
+        let mut near = vec![0.0f32; 30];
+        let mut far = vec![0.0f32; 30];
+        let c_near = crps_single(&mut near, 1.0);
+        let c_far = crps_single(&mut far, 5.0);
+        assert!(c_far > c_near);
+    }
+
+    #[test]
+    fn crps_prefers_sharp_correct_over_diffuse() {
+        // Both centred on the target, but one is tighter.
+        let mut sharp: Vec<f32> = (0..100).map(|i| (i as f32 - 49.5) * 0.01).collect();
+        let mut diffuse: Vec<f32> = (0..100).map(|i| (i as f32 - 49.5) * 0.2).collect();
+        let cs = crps_single(&mut sharp, 0.0);
+        let cd = crps_single(&mut diffuse, 0.0);
+        assert!(cs < cd, "sharp {cs} should beat diffuse {cd}");
+    }
+
+    #[test]
+    fn ensemble_respects_mask() {
+        // 2 samples, 2 positions; second position masked out and wildly wrong.
+        let samples = vec![1.0f32, 100.0, 1.0, 100.0];
+        let target = vec![1.0f32, 0.0];
+        let mask = vec![1.0f32, 0.0];
+        let v = crps_ensemble(&samples, 2, &target, &mask);
+        assert!(v.abs() < 1e-9, "masked-out position leaked into CRPS: {v}");
+    }
+
+    #[test]
+    fn ensemble_empty_mask_zero() {
+        let samples = vec![1.0f32, 2.0];
+        let target = vec![0.0f32];
+        let mask = vec![0.0f32];
+        assert_eq!(crps_ensemble(&samples, 2, &target, &mask), 0.0);
+    }
+
+    /// CRPS should approximate E|X - x| - E|X - X'|/2 for a sample ensemble.
+    #[test]
+    fn crps_close_to_energy_form() {
+        // Uniform ensemble on [0,1], target 0.5.
+        let n = 200;
+        let mut s: Vec<f32> = (0..n).map(|i| i as f32 / (n - 1) as f32).collect();
+        let c = crps_single(&mut s, 0.5);
+        // closed form for U(0,1), x=0.5: E|X-0.5| = 0.25, E|X-X'| = 1/3
+        let expected = 0.25 - 1.0 / 6.0;
+        assert!((c - expected).abs() < 0.02, "crps {c} vs energy form {expected}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Masked deterministic error metrics.
+//!
+//! All evaluations in the paper are computed **only on the manually masked
+//! positions of the test set** (Section IV-D), so every metric here takes an
+//! evaluation mask with 1 marking positions that count.
+
+/// Accumulator for masked absolute and squared errors, usable across batches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaskedErrors {
+    abs_sum: f64,
+    sq_sum: f64,
+    count: f64,
+}
+
+impl MaskedErrors {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate a batch of predictions against targets where `mask > 0`.
+    pub fn update(&mut self, pred: &[f32], target: &[f32], mask: &[f32]) {
+        assert_eq!(pred.len(), target.len(), "pred/target length mismatch");
+        assert_eq!(pred.len(), mask.len(), "pred/mask length mismatch");
+        for ((&p, &t), &m) in pred.iter().zip(target).zip(mask) {
+            if m > 0.0 {
+                let d = (p - t) as f64;
+                self.abs_sum += d.abs();
+                self.sq_sum += d * d;
+                self.count += 1.0;
+            }
+        }
+    }
+
+    /// Number of evaluated positions.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// Mean absolute error over accumulated positions.
+    pub fn mae(&self) -> f64 {
+        if self.count == 0.0 {
+            0.0
+        } else {
+            self.abs_sum / self.count
+        }
+    }
+
+    /// Mean squared error over accumulated positions.
+    pub fn mse(&self) -> f64 {
+        if self.count == 0.0 {
+            0.0
+        } else {
+            self.sq_sum / self.count
+        }
+    }
+
+    /// Root mean squared error.
+    pub fn rmse(&self) -> f64 {
+        self.mse().sqrt()
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &MaskedErrors) {
+        self.abs_sum += other.abs_sum;
+        self.sq_sum += other.sq_sum;
+        self.count += other.count;
+    }
+}
+
+/// One-shot masked MAE.
+pub fn masked_mae(pred: &[f32], target: &[f32], mask: &[f32]) -> f64 {
+    let mut acc = MaskedErrors::new();
+    acc.update(pred, target, mask);
+    acc.mae()
+}
+
+/// One-shot masked MSE.
+pub fn masked_mse(pred: &[f32], target: &[f32], mask: &[f32]) -> f64 {
+    let mut acc = MaskedErrors::new();
+    acc.update(pred, target, mask);
+    acc.mse()
+}
+
+/// One-shot masked RMSE.
+pub fn masked_rmse(pred: &[f32], target: &[f32], mask: &[f32]) -> f64 {
+    masked_mse(pred, target, mask).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let pred = [1.0, 2.0, 5.0];
+        let target = [1.0, 4.0, 1.0];
+        let mask = [1.0, 1.0, 1.0];
+        assert!((masked_mae(&pred, &target, &mask) - 2.0).abs() < 1e-12);
+        assert!((masked_mse(&pred, &target, &mask) - (4.0 + 16.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_excludes_positions() {
+        let pred = [0.0, 100.0];
+        let target = [0.0, 0.0];
+        let mask = [1.0, 0.0];
+        assert_eq!(masked_mae(&pred, &target, &mask), 0.0);
+        assert_eq!(masked_mse(&pred, &target, &mask), 0.0);
+    }
+
+    #[test]
+    fn empty_mask_is_zero_not_nan() {
+        let acc = MaskedErrors::new();
+        assert_eq!(acc.mae(), 0.0);
+        assert_eq!(acc.mse(), 0.0);
+        assert_eq!(acc.rmse(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let pred = [1.0f32, 2.0, 3.0, 4.0];
+        let target = [0.0f32, 0.0, 0.0, 0.0];
+        let mask = [1.0f32, 1.0, 0.0, 1.0];
+        let mut whole = MaskedErrors::new();
+        whole.update(&pred, &target, &mask);
+        let mut a = MaskedErrors::new();
+        a.update(&pred[..2], &target[..2], &mask[..2]);
+        let mut b = MaskedErrors::new();
+        b.update(&pred[2..], &target[2..], &mask[2..]);
+        a.merge(&b);
+        assert_eq!(whole.mae(), a.mae());
+        assert_eq!(whole.mse(), a.mse());
+        assert_eq!(whole.count(), a.count());
+    }
+
+    #[test]
+    fn rmse_is_sqrt_mse() {
+        let pred = [3.0f32, -1.0];
+        let target = [0.0f32, 0.0];
+        let mask = [1.0f32, 1.0];
+        let mse = masked_mse(&pred, &target, &mask);
+        assert!((masked_rmse(&pred, &target, &mask) - mse.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use st_metrics::{crps_single, masked_mae, masked_mse, quantile_of_sorted, MaskedErrors};
+
+proptest! {
+    /// CRPS is non-negative for any ensemble and target.
+    #[test]
+    fn crps_non_negative(samples in prop::collection::vec(-100.0f32..100.0, 2..40), x in -100.0f64..100.0) {
+        let mut s = samples;
+        prop_assert!(crps_single(&mut s, x) >= -1e-9);
+    }
+
+    /// CRPS is translation-equivariant: shifting samples and target together
+    /// leaves it unchanged.
+    #[test]
+    fn crps_translation_invariant(samples in prop::collection::vec(-50.0f32..50.0, 3..30), x in -50.0f64..50.0, shift in -20.0f32..20.0) {
+        let mut a = samples.clone();
+        let mut b: Vec<f32> = samples.iter().map(|v| v + shift).collect();
+        let ca = crps_single(&mut a, x);
+        let cb = crps_single(&mut b, x + shift as f64);
+        prop_assert!((ca - cb).abs() < 1e-3 * (1.0 + ca.abs()), "{ca} vs {cb}");
+    }
+
+    /// CRPS scales linearly with the data scale.
+    #[test]
+    fn crps_scale_equivariant(samples in prop::collection::vec(-20.0f32..20.0, 3..30), x in -20.0f64..20.0, c in 0.5f32..5.0) {
+        let mut a = samples.clone();
+        let mut b: Vec<f32> = samples.iter().map(|v| v * c).collect();
+        let ca = crps_single(&mut a, x);
+        let cb = crps_single(&mut b, x * c as f64);
+        prop_assert!((cb - ca * c as f64).abs() < 1e-2 * (1.0 + cb.abs()), "{cb} vs {}", ca * c as f64);
+    }
+
+    /// Quantiles are monotone in alpha and bounded by the sample range.
+    #[test]
+    fn quantiles_monotone_and_bounded(mut samples in prop::collection::vec(-100.0f32..100.0, 1..30)) {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::MIN;
+        for i in 0..=10 {
+            let alpha = i as f64 / 10.0;
+            let q = quantile_of_sorted(&samples, alpha);
+            prop_assert!(q >= prev - 1e-9, "quantiles not monotone");
+            prop_assert!(q >= samples[0] as f64 - 1e-6);
+            prop_assert!(q <= *samples.last().unwrap() as f64 + 1e-6);
+            prev = q;
+        }
+    }
+
+    /// MAE² ≤ MSE (Jensen) on any fully-masked data.
+    #[test]
+    fn mae_squared_below_mse(pred in prop::collection::vec(-50.0f32..50.0, 1..50), seed in 0u64..100) {
+        let target: Vec<f32> = pred.iter().enumerate().map(|(i, &p)| p + ((seed as f32 + i as f32).sin() * 5.0)).collect();
+        let mask = vec![1.0f32; pred.len()];
+        let mae = masked_mae(&pred, &target, &mask);
+        let mse = masked_mse(&pred, &target, &mask);
+        prop_assert!(mae * mae <= mse + 1e-6, "MAE² {} > MSE {}", mae * mae, mse);
+    }
+
+    /// Accumulating in any split order gives the same totals.
+    #[test]
+    fn accumulator_order_independent(vals in prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 2..40), cut in 1usize..39) {
+        let cut = cut.min(vals.len() - 1);
+        let pred: Vec<f32> = vals.iter().map(|v| v.0).collect();
+        let tgt: Vec<f32> = vals.iter().map(|v| v.1).collect();
+        let mask = vec![1.0f32; vals.len()];
+        let mut whole = MaskedErrors::new();
+        whole.update(&pred, &tgt, &mask);
+        let mut a = MaskedErrors::new();
+        a.update(&pred[..cut], &tgt[..cut], &mask[..cut]);
+        let mut b = MaskedErrors::new();
+        b.update(&pred[cut..], &tgt[cut..], &mask[cut..]);
+        a.merge(&b);
+        prop_assert!((whole.mae() - a.mae()).abs() < 1e-9);
+        prop_assert!((whole.mse() - a.mse()).abs() < 1e-9);
+    }
+
+    /// A degenerate (single-value) ensemble at the target scores ~0; moving
+    /// the ensemble away strictly increases CRPS.
+    #[test]
+    fn crps_increases_with_distance(x in -10.0f64..10.0, d1 in 0.1f64..5.0, d2 in 5.1f64..20.0) {
+        let mut near = vec![(x + d1) as f32; 10];
+        let mut far = vec![(x + d2) as f32; 10];
+        prop_assert!(crps_single(&mut near, x) < crps_single(&mut far, x));
+    }
+}

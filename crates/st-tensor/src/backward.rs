@@ -1,0 +1,327 @@
+//! Gradient rules for every tape operation.
+//!
+//! [`backprop`] seeds the loss node with gradient 1 and walks the arena in
+//! reverse topological order (which, for an append-only tape, is simply
+//! reverse index order), accumulating into each input's gradient slot.
+
+use crate::graph::{sigmoid_f, Gradients, Node, Op, Tx};
+use crate::ndarray::{matmul_transb_kernel, NdArray};
+
+/// Compute parameter gradients for the scalar node `loss`.
+pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
+    let mut grads: Vec<Option<NdArray>> = vec![None; nodes.len()];
+    grads[loss.0] = Some(NdArray::ones(nodes[loss.0].value.shape()));
+    let mut out = Gradients::default();
+
+    for i in (0..=loss.0).rev() {
+        let Some(g) = grads[i].take() else { continue };
+        match &nodes[i].op {
+            Op::Input => {}
+            Op::Param(name) => out.insert_or_add(name, &g),
+            Op::Add(a, b) => {
+                acc(&mut grads, nodes, *a, &g.reduce_to_shape(nodes[a.0].value.shape()));
+                acc(&mut grads, nodes, *b, &g.reduce_to_shape(nodes[b.0].value.shape()));
+            }
+            Op::Sub(a, b) => {
+                acc(&mut grads, nodes, *a, &g.reduce_to_shape(nodes[a.0].value.shape()));
+                let gb = g.scale(-1.0).reduce_to_shape(nodes[b.0].value.shape());
+                acc(&mut grads, nodes, *b, &gb);
+            }
+            Op::Mul(a, b) => {
+                let ga = g.mul(&nodes[b.0].value).reduce_to_shape(nodes[a.0].value.shape());
+                let gb = g.mul(&nodes[a.0].value).reduce_to_shape(nodes[b.0].value.shape());
+                acc(&mut grads, nodes, *a, &ga);
+                acc(&mut grads, nodes, *b, &gb);
+            }
+            Op::Scale(a, c) => acc(&mut grads, nodes, *a, &g.scale(*c)),
+            Op::AddScalar(a) => acc(&mut grads, nodes, *a, &g),
+            Op::Exp(a) => {
+                // d exp(x) = exp(x) dx; the forward value *is* exp(x).
+                acc(&mut grads, nodes, *a, &g.mul(&nodes[i].value));
+            }
+            Op::Matmul(a, b) => {
+                let ga = g.matmul_transb(&nodes[b.0].value);
+                let gb = nodes[a.0].value.matmul_transa(&g);
+                acc(&mut grads, nodes, *a, &ga);
+                acc(&mut grads, nodes, *b, &gb);
+            }
+            Op::BatchMatmul(a, b) => {
+                let ga = g.batch_matmul_transb(&nodes[b.0].value);
+                let gb = nodes[a.0].value.batch_matmul_transa(&g);
+                acc(&mut grads, nodes, *a, &ga);
+                acc(&mut grads, nodes, *b, &gb);
+            }
+            Op::BatchMatmulTransB(a, b) => {
+                // out = a @ b^T; ga = g @ b; gb = g^T @ a
+                let ga = g.batch_matmul(&nodes[b.0].value);
+                let gb = g.batch_matmul_transa(&nodes[a.0].value);
+                acc(&mut grads, nodes, *a, &ga);
+                acc(&mut grads, nodes, *b, &gb);
+            }
+            Op::SharedLeftMatmul { s, x } => {
+                // out[b] = S @ x[b]; gx[b] = S^T @ g[b]; gS = sum_b g[b] @ x[b]^T
+                let sv = &nodes[s.0].value;
+                let xv = &nodes[x.0].value;
+                let st = sv.transpose2d();
+                let gx = g.matmul_shared_left(&st);
+                let (bs, n, d) = (xv.shape()[0], sv.shape()[0], xv.shape()[2]);
+                let np = sv.shape()[1];
+                let mut gs = NdArray::zeros(&[n, np]);
+                for bi in 0..bs {
+                    matmul_transb_kernel(
+                        gs.data_mut(),
+                        &g.data()[bi * n * d..(bi + 1) * n * d],
+                        &xv.data()[bi * np * d..(bi + 1) * np * d],
+                        n,
+                        d,
+                        np,
+                    );
+                }
+                acc(&mut grads, nodes, *x, &gx);
+                acc(&mut grads, nodes, *s, &gs);
+            }
+            Op::Permute(a, perm) => {
+                let inv = invert_perm(perm);
+                acc(&mut grads, nodes, *a, &g.permuted(&inv));
+            }
+            Op::Reshape(a) => {
+                acc(&mut grads, nodes, *a, &g.reshaped(nodes[a.0].value.shape()));
+            }
+            Op::ConcatLast(parts) => {
+                let mut start = 0usize;
+                for p in parts {
+                    let w = *nodes[p.0].value.shape().last().unwrap();
+                    acc(&mut grads, nodes, *p, &g.slice_last(start, w));
+                    start += w;
+                }
+            }
+            Op::SliceLast { x, start, len } => {
+                let xshape = nodes[x.0].value.shape();
+                let last = *xshape.last().unwrap();
+                let rows = nodes[x.0].value.numel() / last;
+                let mut gx = NdArray::zeros(xshape);
+                for r in 0..rows {
+                    gx.data_mut()[r * last + start..r * last + start + len]
+                        .copy_from_slice(&g.data()[r * len..(r + 1) * len]);
+                }
+                acc(&mut grads, nodes, *x, &gx);
+            }
+            Op::SoftmaxLast(a) => {
+                // y = softmax(x); dx = y * (g - sum(g*y)) per row.
+                let y = &nodes[i].value;
+                let d = *y.shape().last().unwrap();
+                let rows = y.numel() / d;
+                let mut gx = NdArray::zeros(y.shape());
+                for r in 0..rows {
+                    let yrow = &y.data()[r * d..(r + 1) * d];
+                    let grow = &g.data()[r * d..(r + 1) * d];
+                    let dot: f32 = yrow.iter().zip(grow).map(|(&yv, &gv)| yv * gv).sum();
+                    let orow = &mut gx.data_mut()[r * d..(r + 1) * d];
+                    for ((o, &yv), &gv) in orow.iter_mut().zip(yrow).zip(grow) {
+                        *o = yv * (gv - dot);
+                    }
+                }
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::Relu(a) => {
+                let gx = g.zip_map(&nodes[a.0].value, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::LeakyRelu(a, slope) => {
+                let s = *slope;
+                let gx = g.zip_map(&nodes[a.0].value, |gv, xv| if xv > 0.0 { gv } else { s * gv });
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::Sigmoid(a) => {
+                let gx = g.zip_map(&nodes[i].value, |gv, yv| gv * yv * (1.0 - yv));
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::Tanh(a) => {
+                let gx = g.zip_map(&nodes[i].value, |gv, yv| gv * (1.0 - yv * yv));
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::Silu(a) => {
+                let gx = g.zip_map(&nodes[a.0].value, |gv, xv| {
+                    let s = sigmoid_f(xv);
+                    gv * s * (1.0 + xv * (1.0 - s))
+                });
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::Softplus(a) => {
+                let gx = g.zip_map(&nodes[a.0].value, |gv, xv| gv * sigmoid_f(xv));
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::LayerNorm { x, gain, bias, eps } => {
+                layer_norm_backward(nodes, &mut grads, &mut out, &g, *x, *gain, *bias, *eps);
+            }
+            Op::Dropout { x, mask } => {
+                acc(&mut grads, nodes, *x, &g.mul(mask));
+            }
+            Op::SumAll(a) => {
+                let gv = g.data()[0];
+                acc(&mut grads, nodes, *a, &NdArray::full(nodes[a.0].value.shape(), gv));
+            }
+            Op::MeanAll(a) => {
+                let n = nodes[a.0].value.numel().max(1);
+                let gv = g.data()[0] / n as f32;
+                acc(&mut grads, nodes, *a, &NdArray::full(nodes[a.0].value.shape(), gv));
+            }
+            Op::MseMasked { pred, target, mask } => {
+                let p = &nodes[pred.0].value;
+                let t = &nodes[target.0].value;
+                let m = &nodes[mask.0].value;
+                let denom = m.sum().max(1.0) as f32;
+                let gv = g.data()[0];
+                let mut gp = NdArray::zeros(p.shape());
+                for (((o, &pv), &tv), &mv) in
+                    gp.data_mut().iter_mut().zip(p.data()).zip(t.data()).zip(m.data())
+                {
+                    *o = gv * 2.0 * mv * (pv - tv) / denom;
+                }
+                acc(&mut grads, nodes, *pred, &gp);
+            }
+            Op::MaeMasked { pred, target, mask } => {
+                let p = &nodes[pred.0].value;
+                let t = &nodes[target.0].value;
+                let m = &nodes[mask.0].value;
+                let denom = m.sum().max(1.0) as f32;
+                let gv = g.data()[0];
+                let mut gp = NdArray::zeros(p.shape());
+                for (((o, &pv), &tv), &mv) in
+                    gp.data_mut().iter_mut().zip(p.data()).zip(t.data()).zip(m.data())
+                {
+                    *o = gv * mv * (pv - tv).signum() / denom;
+                }
+                acc(&mut grads, nodes, *pred, &gp);
+            }
+            Op::Conv1dCausal { x, w, b, dilation } => {
+                conv1d_backward(nodes, &mut grads, &g, *x, *w, *b, *dilation);
+            }
+        }
+    }
+    out
+}
+
+fn acc(grads: &mut [Option<NdArray>], nodes: &[Node], t: Tx, g: &NdArray) {
+    debug_assert_eq!(
+        nodes[t.0].value.shape(),
+        g.shape(),
+        "gradient shape mismatch for node {} ({:?})",
+        t.0,
+        nodes[t.0].op
+    );
+    match &mut grads[t.0] {
+        Some(existing) => existing.axpy(1.0, g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+fn invert_perm(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+#[allow(clippy::too_many_arguments)]
+fn layer_norm_backward(
+    nodes: &[Node],
+    grads: &mut [Option<NdArray>],
+    out: &mut Gradients,
+    g: &NdArray,
+    x: Tx,
+    gain: Tx,
+    bias: Tx,
+    eps: f32,
+) {
+    let xv = &nodes[x.0].value;
+    let gv = &nodes[gain.0].value;
+    let d = *xv.shape().last().unwrap();
+    let rows = xv.numel() / d;
+    let mut gx = NdArray::zeros(xv.shape());
+    let mut ggain = NdArray::zeros(&[d]);
+    let mut gbias = NdArray::zeros(&[d]);
+    for r in 0..rows {
+        let xrow = &xv.data()[r * d..(r + 1) * d];
+        let grow = &g.data()[r * d..(r + 1) * d];
+        let mean = xrow.iter().sum::<f32>() / d as f32;
+        let var = xrow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        // xhat and dxhat
+        let mut sum_dxhat = 0.0f32;
+        let mut sum_dxhat_xhat = 0.0f32;
+        let mut xhat = vec![0.0f32; d];
+        let mut dxhat = vec![0.0f32; d];
+        for j in 0..d {
+            xhat[j] = (xrow[j] - mean) * inv;
+            dxhat[j] = grow[j] * gv.data()[j];
+            sum_dxhat += dxhat[j];
+            sum_dxhat_xhat += dxhat[j] * xhat[j];
+            ggain.data_mut()[j] += grow[j] * xhat[j];
+            gbias.data_mut()[j] += grow[j];
+        }
+        let inv_d = 1.0 / d as f32;
+        let gxrow = &mut gx.data_mut()[r * d..(r + 1) * d];
+        for j in 0..d {
+            gxrow[j] = inv * (dxhat[j] - inv_d * sum_dxhat - xhat[j] * inv_d * sum_dxhat_xhat);
+        }
+    }
+    acc(grads, nodes, x, &gx);
+    // gain/bias may themselves be params or computed tensors; accumulate normally.
+    match &nodes[gain.0].op {
+        Op::Param(name) => out.insert_or_add(name, &ggain),
+        _ => acc(grads, nodes, gain, &ggain),
+    }
+    match &nodes[bias.0].op {
+        Op::Param(name) => out.insert_or_add(name, &gbias),
+        _ => acc(grads, nodes, bias, &gbias),
+    }
+}
+
+fn conv1d_backward(
+    nodes: &[Node],
+    grads: &mut [Option<NdArray>],
+    g: &NdArray,
+    x: Tx,
+    w: Tx,
+    b: Tx,
+    dilation: usize,
+) {
+    let xv = &nodes[x.0].value;
+    let wv = &nodes[w.0].value;
+    let (bs, l, cin) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+    let (k, _, cout) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+    let mut gx = NdArray::zeros(xv.shape());
+    let mut gw = NdArray::zeros(wv.shape());
+    let mut gb = NdArray::zeros(&[cout]);
+    let xd = xv.data();
+    let wd = wv.data();
+    let gd = g.data();
+    for bi in 0..bs {
+        for t in 0..l {
+            let grow = &gd[(bi * l + t) * cout..(bi * l + t + 1) * cout];
+            for (co, &gvv) in grow.iter().enumerate() {
+                gb.data_mut()[co] += gvv;
+            }
+            for ki in 0..k {
+                let Some(src) = t.checked_sub(ki * dilation) else { break };
+                let xrow = &xd[(bi * l + src) * cin..(bi * l + src + 1) * cin];
+                let gxrow_base = (bi * l + src) * cin;
+                for ci in 0..cin {
+                    let wrow = &wd[(ki * cin + ci) * cout..(ki * cin + ci + 1) * cout];
+                    let mut acc_gx = 0.0f32;
+                    let gw_base = (ki * cin + ci) * cout;
+                    for (co, &gvv) in grow.iter().enumerate() {
+                        acc_gx += gvv * wrow[co];
+                        gw.data_mut()[gw_base + co] += gvv * xrow[ci];
+                    }
+                    gx.data_mut()[gxrow_base + ci] += acc_gx;
+                }
+            }
+        }
+    }
+    acc(grads, nodes, x, &gx);
+    acc(grads, nodes, w, &gw);
+    acc(grads, nodes, b, &gb);
+}

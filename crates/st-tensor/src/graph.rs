@@ -1,0 +1,507 @@
+//! Reverse-mode automatic differentiation tape.
+//!
+//! A [`Graph`] records every operation of one forward pass as a node in an
+//! arena; [`Graph::backward`] then walks the arena in reverse, applying the
+//! gradient rule of each op (see [`crate::backward`]). Tensors are plain
+//! indices ([`Tx`]) into the arena, which keeps the API `Copy`-friendly and
+//! avoids interior mutability entirely: the tape is single-threaded by
+//! design (one tape per training step).
+
+use crate::backward::backprop;
+use crate::ndarray::NdArray;
+use crate::param::ParamStore;
+use rand::{Rng, RngExt as _};
+use std::collections::HashMap;
+
+/// Handle to a tensor on the tape (an index into the node arena).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Tx(pub(crate) usize);
+
+/// Recorded operation; inputs are tape indices, auxiliary data is stored inline.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Leaf with no gradient (data, targets, masks, precomputed features).
+    Input,
+    /// Leaf whose gradient is collected under the given parameter name.
+    Param(String),
+    Add(Tx, Tx),
+    Sub(Tx, Tx),
+    Mul(Tx, Tx),
+    Scale(Tx, f32),
+    AddScalar(Tx),
+    Exp(Tx),
+    Matmul(Tx, Tx),
+    BatchMatmul(Tx, Tx),
+    BatchMatmulTransB(Tx, Tx),
+    SharedLeftMatmul { s: Tx, x: Tx },
+    Permute(Tx, Vec<usize>),
+    Reshape(Tx),
+    ConcatLast(Vec<Tx>),
+    SliceLast { x: Tx, start: usize, len: usize },
+    SoftmaxLast(Tx),
+    Relu(Tx),
+    LeakyRelu(Tx, f32),
+    Sigmoid(Tx),
+    Tanh(Tx),
+    Silu(Tx),
+    Softplus(Tx),
+    LayerNorm { x: Tx, gain: Tx, bias: Tx, eps: f32 },
+    Dropout { x: Tx, mask: NdArray },
+    SumAll(Tx),
+    MeanAll(Tx),
+    MseMasked { pred: Tx, target: Tx, mask: Tx },
+    MaeMasked { pred: Tx, target: Tx, mask: Tx },
+    Conv1dCausal { x: Tx, w: Tx, b: Tx, dilation: usize },
+}
+
+pub(crate) struct Node {
+    pub value: NdArray,
+    pub op: Op,
+}
+
+/// Gradients produced by a backward pass, keyed by parameter name.
+#[derive(Debug, Default)]
+pub struct Gradients {
+    by_param: HashMap<String, NdArray>,
+}
+
+impl Gradients {
+    /// Gradient for a named parameter, if it participated in the loss.
+    pub fn get(&self, name: &str) -> Option<&NdArray> {
+        self.by_param.get(name)
+    }
+
+    /// Iterate over `(name, grad)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &NdArray)> {
+        self.by_param.iter()
+    }
+
+    /// Number of parameters that received a gradient.
+    pub fn len(&self) -> usize {
+        self.by_param.len()
+    }
+
+    /// True when no parameter received a gradient.
+    pub fn is_empty(&self) -> bool {
+        self.by_param.is_empty()
+    }
+
+    /// Global L2 norm across all parameter gradients.
+    pub fn global_norm(&self) -> f64 {
+        self.by_param
+            .values()
+            .map(|g| g.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scale every gradient in place (used by gradient clipping).
+    pub fn scale_all(&mut self, c: f32) {
+        for g in self.by_param.values_mut() {
+            g.map_inplace(|x| x * c);
+        }
+    }
+
+    /// Keep only gradients whose parameter name starts with `prefix` (used by
+    /// the GAN baselines to update generator and discriminator parameters
+    /// with their own losses).
+    pub fn retain_prefix(&mut self, prefix: &str) {
+        self.by_param.retain(|name, _| name.starts_with(prefix));
+    }
+
+    pub(crate) fn insert_or_add(&mut self, name: &str, grad: &NdArray) {
+        match self.by_param.get_mut(name) {
+            Some(g) => g.axpy(1.0, grad),
+            None => {
+                self.by_param.insert(name.to_string(), grad.clone());
+            }
+        }
+    }
+}
+
+/// One forward pass worth of autodiff tape.
+pub struct Graph<'s> {
+    store: &'s ParamStore,
+    pub(crate) nodes: Vec<Node>,
+    train: bool,
+}
+
+impl<'s> Graph<'s> {
+    /// Create an empty tape that resolves parameters from `store`.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self { store, nodes: Vec::with_capacity(256), train: true }
+    }
+
+    /// Create a tape in evaluation mode (dropout becomes identity).
+    pub fn new_eval(store: &'s ParamStore) -> Self {
+        Self { store, nodes: Vec::with_capacity(256), train: false }
+    }
+
+    /// Whether this tape runs in training mode.
+    pub fn is_train(&self) -> bool {
+        self.train
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: NdArray, op: Op) -> Tx {
+        debug_assert!(!value.has_non_finite() || matches!(op, Op::Input), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value, op });
+        Tx(self.nodes.len() - 1)
+    }
+
+    /// The value currently held by a tensor.
+    pub fn value(&self, t: Tx) -> &NdArray {
+        &self.nodes[t.0].value
+    }
+
+    /// Shape of a tensor.
+    pub fn shape(&self, t: Tx) -> &[usize] {
+        self.nodes[t.0].value.shape()
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Add a non-differentiable leaf (data, mask, target, conditioner).
+    pub fn input(&mut self, value: NdArray) -> Tx {
+        self.push(value, Op::Input)
+    }
+
+    /// Fetch a named parameter from the store as a differentiable leaf.
+    pub fn param(&mut self, name: &str) -> Tx {
+        let value = self
+            .store
+            .get(name)
+            .unwrap_or_else(|| panic!("parameter `{name}` not found in store"))
+            .clone();
+        self.push(value, Op::Param(name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise arithmetic (with broadcasting)
+    // ------------------------------------------------------------------
+
+    /// `a + b` with NumPy broadcasting.
+    pub fn add(&mut self, a: Tx, b: Tx) -> Tx {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `a - b` with NumPy broadcasting.
+    pub fn sub(&mut self, a: Tx, b: Tx) -> Tx {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// `a * b` element-wise with NumPy broadcasting.
+    pub fn mul(&mut self, a: Tx, b: Tx) -> Tx {
+        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// `a * c` for scalar `c`.
+    pub fn scale(&mut self, a: Tx, c: f32) -> Tx {
+        let v = self.nodes[a.0].value.scale(c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// `a + c` for scalar `c`.
+    pub fn add_scalar(&mut self, a: Tx, c: f32) -> Tx {
+        let v = self.nodes[a.0].value.add_scalar(c);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: Tx) -> Tx {
+        let v = self.nodes[a.0].value.map(|x| x.exp());
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Element-wise square (recorded as `a * a`).
+    pub fn square(&mut self, a: Tx) -> Tx {
+        self.mul(a, a)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// 2-D matmul `[m,k] @ [k,n]`.
+    pub fn matmul(&mut self, a: Tx, b: Tx) -> Tx {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Batched matmul `[B,m,k] @ [B,k,n]`.
+    pub fn batch_matmul(&mut self, a: Tx, b: Tx) -> Tx {
+        let v = self.nodes[a.0].value.batch_matmul(&self.nodes[b.0].value);
+        self.push(v, Op::BatchMatmul(a, b))
+    }
+
+    /// Batched matmul with transposed rhs `[B,m,k] @ [B,n,k]^T` (attention scores).
+    pub fn batch_matmul_transb(&mut self, a: Tx, b: Tx) -> Tx {
+        let v = self.nodes[a.0].value.batch_matmul_transb(&self.nodes[b.0].value);
+        self.push(v, Op::BatchMatmulTransB(a, b))
+    }
+
+    /// `s [n,n'] @ x[b]` for every batch of `x [B,n',d]` (graph convolution).
+    pub fn shared_left_matmul(&mut self, s: Tx, x: Tx) -> Tx {
+        let v = self.nodes[x.0].value.matmul_shared_left(&self.nodes[s.0].value);
+        self.push(v, Op::SharedLeftMatmul { s, x })
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Permute axes.
+    pub fn permute(&mut self, a: Tx, perm: &[usize]) -> Tx {
+        let v = self.nodes[a.0].value.permuted(perm);
+        self.push(v, Op::Permute(a, perm.to_vec()))
+    }
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&mut self, a: Tx, shape: &[usize]) -> Tx {
+        let v = self.nodes[a.0].value.reshaped(shape);
+        self.push(v, Op::Reshape(a))
+    }
+
+    /// Concatenate along the last axis.
+    pub fn concat_last(&mut self, parts: &[Tx]) -> Tx {
+        let arrays: Vec<&NdArray> = parts.iter().map(|t| &self.nodes[t.0].value).collect();
+        let v = NdArray::concat_last(&arrays);
+        self.push(v, Op::ConcatLast(parts.to_vec()))
+    }
+
+    /// Slice `[start, start+len)` of the last axis.
+    pub fn slice_last(&mut self, a: Tx, start: usize, len: usize) -> Tx {
+        let v = self.nodes[a.0].value.slice_last(start, len);
+        self.push(v, Op::SliceLast { x: a, start, len })
+    }
+
+    // ------------------------------------------------------------------
+    // Nonlinearities
+    // ------------------------------------------------------------------
+
+    /// Softmax over the last axis.
+    pub fn softmax_last(&mut self, a: Tx) -> Tx {
+        let v = self.nodes[a.0].value.softmax_last();
+        self.push(v, Op::SoftmaxLast(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Tx) -> Tx {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: Tx, slope: f32) -> Tx {
+        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a, slope))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Tx) -> Tx {
+        let v = self.nodes[a.0].value.map(sigmoid_f);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Tx) -> Tx {
+        let v = self.nodes[a.0].value.map(|x| x.tanh());
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// SiLU / swish: `x * sigmoid(x)`.
+    pub fn silu(&mut self, a: Tx) -> Tx {
+        let v = self.nodes[a.0].value.map(|x| x * sigmoid_f(x));
+        self.push(v, Op::Silu(a))
+    }
+
+    /// Numerically stable softplus `log(1 + exp(x))` (used by the
+    /// binary-cross-entropy-from-logits losses of the GAN baselines).
+    pub fn softplus(&mut self, a: Tx) -> Tx {
+        let v = self.nodes[a.0].value.map(softplus_f);
+        self.push(v, Op::Softplus(a))
+    }
+
+    /// Layer normalisation over the last axis with learnable gain and bias.
+    pub fn layer_norm(&mut self, x: Tx, gain: Tx, bias: Tx, eps: f32) -> Tx {
+        let xv = &self.nodes[x.0].value;
+        let d = *xv.shape().last().expect("layer_norm needs rank >= 1");
+        assert_eq!(self.nodes[gain.0].value.shape(), &[d], "layer_norm gain shape");
+        assert_eq!(self.nodes[bias.0].value.shape(), &[d], "layer_norm bias shape");
+        let rows = xv.numel() / d;
+        let mut out = xv.clone();
+        let gv = self.nodes[gain.0].value.data();
+        let bv = self.nodes[bias.0].value.data();
+        for r in 0..rows {
+            let row = &mut out.data_mut()[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = gv[j] * (*v - mean) * inv + bv[j];
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gain, bias, eps })
+    }
+
+    /// Inverted dropout: identity in eval mode; in train mode zeroes with
+    /// probability `p` and scales survivors by `1/(1-p)`.
+    pub fn dropout<R: Rng + ?Sized>(&mut self, x: Tx, p: f32, rng: &mut R) -> Tx {
+        if !self.train || p <= 0.0 {
+            return x;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let shape = self.nodes[x.0].value.shape().to_vec();
+        let mask_data: Vec<f32> =
+            (0..self.nodes[x.0].value.numel()).map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 }).collect();
+        let mask = NdArray::from_vec(&shape, mask_data);
+        let v = self.nodes[x.0].value.mul(&mask);
+        self.push(v, Op::Dropout { x, mask })
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions and losses
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (scalar result, shape `[1]`).
+    pub fn sum_all(&mut self, a: Tx) -> Tx {
+        let v = NdArray::scalar(self.nodes[a.0].value.sum() as f32);
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements (scalar result, shape `[1]`).
+    pub fn mean_all(&mut self, a: Tx) -> Tx {
+        let v = NdArray::scalar(self.nodes[a.0].value.mean() as f32);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Masked mean-squared error: `sum(mask*(pred-target)^2) / max(sum(mask), 1)`.
+    ///
+    /// Gradient flows only into `pred`.
+    pub fn mse_masked(&mut self, pred: Tx, target: Tx, mask: Tx) -> Tx {
+        let p = &self.nodes[pred.0].value;
+        let t = &self.nodes[target.0].value;
+        let m = &self.nodes[mask.0].value;
+        assert_eq!(p.shape(), t.shape(), "mse_masked pred/target shapes");
+        assert_eq!(p.shape(), m.shape(), "mse_masked pred/mask shapes");
+        let denom = m.sum().max(1.0);
+        let mut acc = 0.0f64;
+        for ((&pv, &tv), &mv) in p.data().iter().zip(t.data()).zip(m.data()) {
+            let d = (pv - tv) as f64;
+            acc += mv as f64 * d * d;
+        }
+        let v = NdArray::scalar((acc / denom) as f32);
+        self.push(v, Op::MseMasked { pred, target, mask })
+    }
+
+    /// Masked mean-absolute error: `sum(mask*|pred-target|) / max(sum(mask), 1)`.
+    ///
+    /// Gradient (subgradient at 0) flows only into `pred`.
+    pub fn mae_masked(&mut self, pred: Tx, target: Tx, mask: Tx) -> Tx {
+        let p = &self.nodes[pred.0].value;
+        let t = &self.nodes[target.0].value;
+        let m = &self.nodes[mask.0].value;
+        assert_eq!(p.shape(), t.shape(), "mae_masked pred/target shapes");
+        assert_eq!(p.shape(), m.shape(), "mae_masked pred/mask shapes");
+        let denom = m.sum().max(1.0);
+        let mut acc = 0.0f64;
+        for ((&pv, &tv), &mv) in p.data().iter().zip(t.data()).zip(m.data()) {
+            acc += mv as f64 * (pv - tv).abs() as f64;
+        }
+        let v = NdArray::scalar((acc / denom) as f32);
+        self.push(v, Op::MaeMasked { pred, target, mask })
+    }
+
+    /// Causal dilated 1-D convolution along the middle (time) axis.
+    ///
+    /// `x [B, L, Cin]`, `w [K, Cin, Cout]`, `b [Cout]`; the output at time `l`
+    /// sees inputs `l, l-dilation, ..., l-(K-1)*dilation` (zero-padded left).
+    pub fn conv1d_causal(&mut self, x: Tx, w: Tx, b: Tx, dilation: usize) -> Tx {
+        let xv = &self.nodes[x.0].value;
+        let wv = &self.nodes[w.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(xv.ndim(), 3, "conv1d input must be [B,L,Cin]");
+        assert_eq!(wv.ndim(), 3, "conv1d weight must be [K,Cin,Cout]");
+        let (bs, l, cin) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        let (k, cin2, cout) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+        assert_eq!(cin, cin2, "conv1d channel mismatch");
+        assert_eq!(bv.shape(), &[cout], "conv1d bias shape");
+        let mut out = NdArray::zeros(&[bs, l, cout]);
+        let xd = xv.data();
+        let wd = wv.data();
+        let od = out.data_mut();
+        for bi in 0..bs {
+            for t in 0..l {
+                let orow = &mut od[(bi * l + t) * cout..(bi * l + t + 1) * cout];
+                orow.copy_from_slice(bv.data());
+                for ki in 0..k {
+                    let Some(src) = t.checked_sub(ki * dilation) else { break };
+                    let xrow = &xd[(bi * l + src) * cin..(bi * l + src + 1) * cin];
+                    for (ci, &xval) in xrow.iter().enumerate() {
+                        if xval == 0.0 {
+                            continue;
+                        }
+                        let wrow = &wd[(ki * cin + ci) * cout..(ki * cin + ci + 1) * cout];
+                        for (o, &wv_) in orow.iter_mut().zip(wrow) {
+                            *o += xval * wv_;
+                        }
+                    }
+                }
+            }
+        }
+        self.push(out, Op::Conv1dCausal { x, w, b, dilation })
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Run reverse-mode differentiation from scalar `loss`, returning
+    /// gradients for every named parameter that influenced it.
+    pub fn backward(&self, loss: Tx) -> Gradients {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss, got shape {:?}",
+            self.nodes[loss.0].value.shape()
+        );
+        backprop(&self.nodes, loss)
+    }
+}
+
+#[inline]
+pub(crate) fn softplus_f(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[inline]
+pub(crate) fn sigmoid_f(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}

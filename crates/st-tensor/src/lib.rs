@@ -1,0 +1,40 @@
+//! # st-tensor
+//!
+//! A from-scratch dense-tensor and reverse-mode automatic-differentiation
+//! substrate for the PriSTI-rs workspace.
+//!
+//! No external deep-learning framework is used anywhere in this project: the
+//! paper's model (graph-attention conditional diffusion) and all deep
+//! baselines are built on the primitives in this crate:
+//!
+//! * [`ndarray::NdArray`] — row-major `f32` arrays with broadcasting,
+//!   (batched) matmul, permutation and softmax;
+//! * [`graph::Graph`] — an autodiff tape recording one forward pass, with
+//!   [`graph::Graph::backward`] producing per-parameter gradients;
+//! * [`nn`] — layers: linear / 1×1 conv, layer norm, multi-head attention
+//!   (including PriSTI's prior-weighted and virtual-node variants), the
+//!   Graph-WaveNet MPNN, gated activation, GRU cell, dilated causal conv and
+//!   sinusoidal embeddings;
+//! * [`param::ParamStore`] / [`optim::Adam`] — named parameter storage and
+//!   optimisation with the paper's step-decay learning-rate schedule.
+//!
+//! Every op's gradient is verified against central finite differences in the
+//! crate's property-test suite (`tests/gradcheck.rs`).
+
+#![warn(missing_docs)]
+// Index-based loops over several parallel buffers are the clearest way to
+// write the numeric kernels in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod backward;
+pub mod graph;
+pub mod ndarray;
+pub mod nn;
+pub mod optim;
+pub mod param;
+
+pub use graph::{Gradients, Graph, Tx};
+pub use ndarray::NdArray;
+pub use optim::{clip_grad_norm, pristi_lr, Adam};
+pub use param::ParamStore;

@@ -1,0 +1,847 @@
+//! Dense, row-major, f32 n-dimensional array.
+//!
+//! This is the storage type underneath the autodiff [`Graph`](crate::graph::Graph).
+//! It deliberately supports only the operations the PriSTI computation graph
+//! needs (element-wise arithmetic with NumPy-style broadcasting, 2-D and
+//! batched 3-D matrix multiplication, permutation, concatenation, softmax),
+//! implemented with cache-friendly loops rather than a general einsum engine.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NdArray {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl NdArray {
+    /// Create an array of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Create an array of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Create an array filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![value; n] }
+    }
+
+    /// Create a rank-0-like scalar stored as shape `[1]`.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![1], data: vec![value] }
+    }
+
+    /// Create an array from a flat buffer; panics if sizes disagree.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "NdArray::from_vec: shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Standard-normal random array.
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Self {
+        let dist = Normal::new(0.0f32, 1.0).expect("valid normal");
+        let n = shape.iter().product();
+        let data = (0..n).map(|_| dist.sample(rng)).collect();
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Uniform random array over `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let dist = Uniform::new(lo, hi).expect("valid uniform range");
+        let n = shape.iter().product();
+        let data = (0..n).map(|_| dist.sample(rng)).collect();
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// The shape of the array.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the flat data buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_of(&self.shape)
+    }
+
+    /// Element accessor by multi-index (debug/test convenience; not for hot loops).
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Mutable element accessor by multi-index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let i = self.flat_index(idx);
+        &mut self.data[i]
+    }
+
+    fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
+        let strides = self.strides();
+        idx.iter()
+            .zip(&self.shape)
+            .zip(&strides)
+            .map(|((&i, &d), &s)| {
+                assert!(i < d, "index {i} out of bounds for dim of size {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// Return a copy with a new shape (same number of elements).
+    pub fn reshaped(&self, shape: &[usize]) -> NdArray {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.numel(),
+            "reshape from {:?} to {shape:?} changes element count",
+            self.shape
+        );
+        NdArray { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// In-place reshape (no data movement).
+    pub fn reshape_inplace(&mut self, shape: &[usize]) {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.numel(),
+            "reshape from {:?} to {shape:?} changes element count",
+            self.shape
+        );
+        self.shape = shape.to_vec();
+    }
+
+    /// Apply `f` element-wise, producing a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
+        NdArray { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Apply `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise combine two same-shaped arrays.
+    pub fn zip_map(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        NdArray { shape: self.shape.clone(), data }
+    }
+
+    /// Sum of all elements (accumulated in f64 for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum absolute value (0 for empty arrays).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    // ---------------------------------------------------------------------
+    // Broadcasting element-wise arithmetic
+    // ---------------------------------------------------------------------
+
+    /// NumPy-style broadcast binary operation.
+    pub fn broadcast_binary(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+        if self.shape == other.shape {
+            return self.zip_map(other, f);
+        }
+        let out_shape = broadcast_shape(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape)
+        });
+        let mut out = NdArray::zeros(&out_shape);
+        let a_strides = broadcast_strides(&self.shape, &out_shape);
+        let b_strides = broadcast_strides(&other.shape, &out_shape);
+        let mut idx = vec![0usize; out_shape.len()];
+        for o in out.data.iter_mut() {
+            let mut ai = 0;
+            let mut bi = 0;
+            for (d, &i) in idx.iter().enumerate() {
+                ai += i * a_strides[d];
+                bi += i * b_strides[d];
+            }
+            *o = f(self.data[ai], other.data[bi]);
+            // increment multi-index
+            for d in (0..out_shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition with broadcasting.
+    pub fn add(&self, other: &NdArray) -> NdArray {
+        self.broadcast_binary(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction with broadcasting.
+    pub fn sub(&self, other: &NdArray) -> NdArray {
+        self.broadcast_binary(other, |a, b| a - b)
+    }
+
+    /// Element-wise multiplication with broadcasting.
+    pub fn mul(&self, other: &NdArray) -> NdArray {
+        self.broadcast_binary(other, |a, b| a * b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, c: f32) -> NdArray {
+        self.map(|x| x * c)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> NdArray {
+        self.map(|x| x + c)
+    }
+
+    /// Accumulate `other * scale` into `self` (same shape).
+    pub fn axpy(&mut self, scale: f32, other: &NdArray) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Sum `self` down to `target_shape` (inverse of broadcasting).
+    ///
+    /// `target_shape` must be broadcast-compatible with `self.shape` and
+    /// obtainable from it by summing over expanded axes.
+    pub fn reduce_to_shape(&self, target_shape: &[usize]) -> NdArray {
+        if self.shape == target_shape {
+            return self.clone();
+        }
+        let out_rank = self.ndim();
+        // Left-pad target with 1s to the same rank.
+        let mut padded = vec![1usize; out_rank];
+        let offset = out_rank - target_shape.len();
+        padded[offset..].copy_from_slice(target_shape);
+
+        let mut out = NdArray::zeros(&padded);
+        let out_strides = out.strides();
+        let src_shape = self.shape.clone();
+        let mut idx = vec![0usize; out_rank];
+        for &v in &self.data {
+            let mut oi = 0;
+            for d in 0..out_rank {
+                let i = if padded[d] == 1 { 0 } else { idx[d] };
+                oi += i * out_strides[d];
+            }
+            out.data[oi] += v;
+            for d in (0..out_rank).rev() {
+                idx[d] += 1;
+                if idx[d] < src_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out.reshape_inplace(target_shape);
+        out
+    }
+
+    // ---------------------------------------------------------------------
+    // Matrix multiplication
+    // ---------------------------------------------------------------------
+
+    /// 2-D matrix product `self [m,k] @ other [k,n] -> [m,n]`.
+    pub fn matmul(&self, other: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = NdArray::zeros(&[m, n]);
+        matmul_kernel(&mut out.data, &self.data, &other.data, m, k, n);
+        out
+    }
+
+    /// 2-D product with transposed rhs: `self [m,k] @ other^T` where `other [n,k]`.
+    pub fn matmul_transb(&self, other: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(other.ndim(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_transb inner dims: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = NdArray::zeros(&[m, n]);
+        matmul_transb_kernel(&mut out.data, &self.data, &other.data, m, k, n);
+        out
+    }
+
+    /// 2-D product with transposed lhs: `self^T @ other` where `self [k,m]`, `other [k,n]`.
+    pub fn matmul_transa(&self, other: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(other.ndim(), 2);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_transa inner dims: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = NdArray::zeros(&[m, n]);
+        matmul_transa_kernel(&mut out.data, &self.data, &other.data, m, k, n);
+        out
+    }
+
+    /// Batched 3-D matmul: `[B,m,k] @ [B,k,n] -> [B,m,n]`.
+    pub fn batch_matmul(&self, other: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 3, "batch_matmul lhs must be 3-D");
+        assert_eq!(other.ndim(), 3, "batch_matmul rhs must be 3-D");
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "batch dims differ");
+        assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = NdArray::zeros(&[b, m, n]);
+        for i in 0..b {
+            matmul_kernel(
+                &mut out.data[i * m * n..(i + 1) * m * n],
+                &self.data[i * m * k..(i + 1) * m * k],
+                &other.data[i * k * n..(i + 1) * k * n],
+                m,
+                k,
+                n,
+            );
+        }
+        out
+    }
+
+    /// Batched matmul with transposed rhs: `[B,m,k] @ [B,n,k]^T -> [B,m,n]`.
+    pub fn batch_matmul_transb(&self, other: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 3);
+        assert_eq!(other.ndim(), 3);
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, n, k2) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "batch dims differ");
+        assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = NdArray::zeros(&[b, m, n]);
+        for i in 0..b {
+            matmul_transb_kernel(
+                &mut out.data[i * m * n..(i + 1) * m * n],
+                &self.data[i * m * k..(i + 1) * m * k],
+                &other.data[i * n * k..(i + 1) * n * k],
+                m,
+                k,
+                n,
+            );
+        }
+        out
+    }
+
+    /// Batched matmul with transposed lhs: `[B,k,m]^T @ [B,k,n] -> [B,m,n]`.
+    pub fn batch_matmul_transa(&self, other: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 3);
+        assert_eq!(other.ndim(), 3);
+        let (b, k, m) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "batch dims differ");
+        assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = NdArray::zeros(&[b, m, n]);
+        for i in 0..b {
+            matmul_transa_kernel(
+                &mut out.data[i * m * n..(i + 1) * m * n],
+                &self.data[i * k * m..(i + 1) * k * m],
+                &other.data[i * k * n..(i + 1) * k * n],
+                m,
+                k,
+                n,
+            );
+        }
+        out
+    }
+
+    /// Shared-left matmul: `s [n,n'] @ self [B,n',d] -> [B,n,d]` applied per batch.
+    pub fn matmul_shared_left(&self, s: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 3, "matmul_shared_left input must be 3-D");
+        assert_eq!(s.ndim(), 2, "shared matrix must be 2-D");
+        let (b, np, d) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (n, np2) = (s.shape[0], s.shape[1]);
+        assert_eq!(np, np2, "shared matmul inner dims: s {:?} x {:?}", s.shape, self.shape);
+        let mut out = NdArray::zeros(&[b, n, d]);
+        for i in 0..b {
+            matmul_kernel(
+                &mut out.data[i * n * d..(i + 1) * n * d],
+                &s.data,
+                &self.data[i * np * d..(i + 1) * np * d],
+                n,
+                np,
+                d,
+            );
+        }
+        out
+    }
+
+    /// 2-D transpose.
+    pub fn transpose2d(&self) -> NdArray {
+        assert_eq!(self.ndim(), 2);
+        self.permuted(&[1, 0])
+    }
+
+    /// General permutation of axes.
+    pub fn permuted(&self, perm: &[usize]) -> NdArray {
+        assert_eq!(perm.len(), self.ndim(), "perm rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let in_strides = self.strides();
+        // stride in the input for each output axis
+        let perm_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut out = NdArray::zeros(&out_shape);
+        let rank = out_shape.len();
+        let mut idx = vec![0usize; rank];
+        let mut src = 0usize;
+        for o in out.data.iter_mut() {
+            *o = self.data[src];
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                src += perm_strides[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+                src -= out_shape[d] * perm_strides[d];
+            }
+        }
+        out
+    }
+
+    /// Concatenate along the last axis. All leading dims must match.
+    pub fn concat_last(parts: &[&NdArray]) -> NdArray {
+        assert!(!parts.is_empty(), "concat of zero arrays");
+        let lead = &parts[0].shape[..parts[0].ndim() - 1];
+        let mut last_total = 0usize;
+        for p in parts {
+            assert_eq!(&p.shape[..p.ndim() - 1], lead, "concat leading dims differ");
+            last_total += *p.shape.last().unwrap();
+        }
+        let rows: usize = lead.iter().product();
+        let mut shape = lead.to_vec();
+        shape.push(last_total);
+        let mut out = NdArray::zeros(&shape);
+        let mut col_off = 0usize;
+        for p in parts {
+            let w = *p.shape.last().unwrap();
+            for r in 0..rows {
+                out.data[r * last_total + col_off..r * last_total + col_off + w]
+                    .copy_from_slice(&p.data[r * w..(r + 1) * w]);
+            }
+            col_off += w;
+        }
+        out
+    }
+
+    /// Slice `[start, start+len)` of the last axis.
+    pub fn slice_last(&self, start: usize, len: usize) -> NdArray {
+        let last = *self.shape.last().expect("slice_last on 0-rank array");
+        assert!(start + len <= last, "slice_last out of range: {start}+{len} > {last}");
+        let rows = self.numel() / last;
+        let mut shape = self.shape.clone();
+        *shape.last_mut().unwrap() = len;
+        let mut out = NdArray::zeros(&shape);
+        for r in 0..rows {
+            out.data[r * len..(r + 1) * len]
+                .copy_from_slice(&self.data[r * last + start..r * last + start + len]);
+        }
+        out
+    }
+
+    /// Softmax over the last axis (numerically stabilised).
+    pub fn softmax_last(&self) -> NdArray {
+        let last = *self.shape.last().expect("softmax on 0-rank array");
+        let rows = self.numel() / last;
+        let mut out = self.clone();
+        for r in 0..rows {
+            let row = &mut out.data[r * last..(r + 1) * last];
+            let mx = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - mx).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+}
+
+/// Row-major strides for a shape.
+pub fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// NumPy broadcast result shape, or `None` when incompatible.
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let ad = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let bd = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = if ad == bd {
+            ad
+        } else if ad == 1 {
+            bd
+        } else if bd == 1 {
+            ad
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Strides of `shape` viewed as broadcast to `out_shape` (0 for expanded axes).
+fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let own = strides_of(shape);
+    let rank = out_shape.len();
+    let pad = rank - shape.len();
+    let mut s = vec![0usize; rank];
+    for i in 0..shape.len() {
+        s[pad + i] = if shape[i] == 1 { 0 } else { own[i] };
+    }
+    s
+}
+
+/// `out += a @ b` for row-major buffers, ikj loop order.
+#[inline]
+pub fn matmul_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out += a @ b^T` where `a [m,k]`, `b [n,k]`.
+#[inline]
+pub fn matmul_transb_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// `out += a^T @ b` where `a [k,m]`, `b [k,n]`.
+#[inline]
+pub fn matmul_transa_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    for p in 0..k {
+        let brow = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let av = a[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = NdArray::zeros(&[2, 3]);
+        assert_eq!(z.shape(), &[2, 3]);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = NdArray::ones(&[4]);
+        assert!(o.data().iter().all(|&x| x == 1.0));
+        let f = NdArray::full(&[2, 2], 7.5);
+        assert!(f.data().iter().all(|&x| x == 7.5));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut a = NdArray::zeros(&[2, 3, 4]);
+        *a.at_mut(&[1, 2, 3]) = 42.0;
+        assert_eq!(a.at(&[1, 2, 3]), 42.0);
+        assert_eq!(a.data()[12 + 2 * 4 + 3], 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = NdArray::zeros(&[2, 2]);
+        a.at(&[0, 2]);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = NdArray::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = NdArray::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = NdArray::randn(&[4, 5], &mut rng);
+        let b = NdArray::randn(&[3, 5], &mut rng);
+        let c1 = a.matmul_transb(&b);
+        let c2 = a.matmul(&b.transpose2d());
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = NdArray::randn(&[5, 4], &mut rng);
+        let b = NdArray::randn(&[5, 3], &mut rng);
+        let c1 = a.matmul_transa(&b);
+        let c2 = a.transpose2d().matmul(&b);
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_matmul_matches_loop() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = NdArray::randn(&[3, 2, 4], &mut rng);
+        let b = NdArray::randn(&[3, 4, 5], &mut rng);
+        let c = a.batch_matmul(&b);
+        assert_eq!(c.shape(), &[3, 2, 5]);
+        for i in 0..3 {
+            let ai = NdArray::from_vec(&[2, 4], a.data()[i * 8..(i + 1) * 8].to_vec());
+            let bi = NdArray::from_vec(&[4, 5], b.data()[i * 20..(i + 1) * 20].to_vec());
+            let ci = ai.matmul(&bi);
+            for (x, y) in ci.data().iter().zip(&c.data()[i * 10..(i + 1) * 10]) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_left_matmul_matches_per_batch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = NdArray::randn(&[3, 3], &mut rng);
+        let x = NdArray::randn(&[2, 3, 4], &mut rng);
+        let y = x.matmul_shared_left(&s);
+        for b in 0..2 {
+            let xb = NdArray::from_vec(&[3, 4], x.data()[b * 12..(b + 1) * 12].to_vec());
+            let yb = s.matmul(&xb);
+            for (u, v) in yb.data().iter().zip(&y.data()[b * 12..(b + 1) * 12]) {
+                assert!((u - v).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_left_matmul_rectangular() {
+        // Downsampling shape: s [k,n] @ x [B,n,d] -> [B,k,d]
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = NdArray::randn(&[2, 5], &mut rng);
+        let x = NdArray::randn(&[3, 5, 4], &mut rng);
+        let y = x.matmul_shared_left(&s);
+        assert_eq!(y.shape(), &[3, 2, 4]);
+    }
+
+    #[test]
+    fn permute_round_trip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = NdArray::randn(&[2, 3, 4, 5], &mut rng);
+        let p = a.permuted(&[2, 0, 3, 1]);
+        assert_eq!(p.shape(), &[4, 2, 5, 3]);
+        // inverse permutation of [2,0,3,1] is [1,3,0,2]
+        let back = p.permuted(&[1, 3, 0, 2]);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn permute_values_correct() {
+        let a = NdArray::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.permuted(&[1, 0]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn broadcast_add_bias() {
+        let a = NdArray::from_vec(&[2, 3], vec![0., 0., 0., 1., 1., 1.]);
+        let b = NdArray::from_vec(&[3], vec![10., 20., 30.]);
+        let c = a.add(&b);
+        assert_eq!(c.data(), &[10., 20., 30., 11., 21., 31.]);
+    }
+
+    #[test]
+    fn broadcast_middle_ones() {
+        let a = NdArray::from_vec(&[2, 1, 2], vec![1., 2., 3., 4.]);
+        let b = NdArray::from_vec(&[1, 3, 1], vec![10., 20., 30.]);
+        let c = a.add(&b);
+        assert_eq!(c.shape(), &[2, 3, 2]);
+        assert_eq!(c.at(&[0, 0, 0]), 11.);
+        assert_eq!(c.at(&[0, 2, 1]), 32.);
+        assert_eq!(c.at(&[1, 1, 0]), 23.);
+    }
+
+    #[test]
+    fn reduce_to_shape_inverts_broadcast() {
+        let g = NdArray::ones(&[2, 3, 4]);
+        let r = g.reduce_to_shape(&[4]);
+        assert_eq!(r.shape(), &[4]);
+        assert!(r.data().iter().all(|&x| (x - 6.0).abs() < 1e-6));
+        let r2 = g.reduce_to_shape(&[1, 3, 1]);
+        assert_eq!(r2.shape(), &[1, 3, 1]);
+        assert!(r2.data().iter().all(|&x| (x - 8.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn concat_and_slice_inverse() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = NdArray::randn(&[2, 3], &mut rng);
+        let b = NdArray::randn(&[2, 5], &mut rng);
+        let c = NdArray::concat_last(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 8]);
+        assert_eq!(c.slice_last(0, 3), a);
+        assert_eq!(c.slice_last(3, 5), b);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = NdArray::randn(&[4, 7], &mut rng).scale(3.0);
+        let s = a.softmax_last();
+        for r in 0..4 {
+            let sum: f32 = s.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.data()[r * 7..(r + 1) * 7].iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let a = NdArray::from_vec(&[1, 3], vec![1000., 1000., 1000.]);
+        let s = a.softmax_last();
+        for &v in s.data() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reshape_checks_numel() {
+        let a = NdArray::zeros(&[2, 6]);
+        let b = a.reshaped(&[3, 4]);
+        assert_eq!(b.shape(), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_bad_numel_panics() {
+        NdArray::zeros(&[2, 6]).reshaped(&[5]);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_of(&[5]), vec![1]);
+        assert_eq!(strides_of(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_shape_rules() {
+        assert_eq!(broadcast_shape(&[2, 3], &[3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shape(&[2, 1, 4], &[3, 1]), Some(vec![2, 3, 4]));
+        assert_eq!(broadcast_shape(&[2, 3], &[4]), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Dot-product multi-head attention, including PriSTI's two variants:
+//!
+//! * **prior-weighted attention** (Eqs. 7–8): queries and keys are projected
+//!   from the conditional feature `H^pri` while values come from the noisy
+//!   input `H^in`, so the attention *weights* are computed from clean
+//!   information only;
+//! * **virtual-node downsampling** (Eq. 9): keys and values are projected
+//!   onto `k < N` virtual nodes through learnable matrices, reducing spatial
+//!   attention cost from `O(N²d)` to `O(Nkd)`.
+
+use crate::graph::{Graph, Tx};
+use crate::nn::Linear;
+use crate::param::{normal_init, ParamStore};
+use rand::Rng;
+
+/// Multi-head scaled-dot-product attention over the middle (sequence) axis of
+/// a `[B, S, d]` input.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    /// Optional `(key_proj_name, value_proj_name, k)` virtual-node downsampling.
+    downsample: Option<(String, String, usize)>,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Model width; must be divisible by `heads`.
+    pub d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Register a standard multi-head attention block.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model {d_model} not divisible by heads {heads}");
+        Self {
+            wq: Linear::new_no_bias(store, &format!("{name}.wq"), d_model, d_model, rng),
+            wk: Linear::new_no_bias(store, &format!("{name}.wk"), d_model, d_model, rng),
+            wv: Linear::new_no_bias(store, &format!("{name}.wv"), d_model, d_model, rng),
+            wo: Linear::new_no_bias(store, &format!("{name}.wo"), d_model, d_model, rng),
+            downsample: None,
+            heads,
+            d_model,
+        }
+    }
+
+    /// Register attention with virtual-node downsampling of keys/values
+    /// (Eq. 9): `seq_len` source positions are mixed down to `k` virtual ones.
+    pub fn new_downsampled<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        seq_len: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut s = Self::new(store, name, d_model, heads, rng);
+        if k < seq_len {
+            let pk = format!("{name}.pk");
+            let pv = format!("{name}.pv");
+            // Small-normal init so the k virtual nodes start as soft mixtures.
+            let std = 1.0 / (seq_len as f32).sqrt();
+            store.insert(&pk, normal_init(&[k, seq_len], std, rng));
+            store.insert(&pv, normal_init(&[k, seq_len], std, rng));
+            s.downsample = Some((pk, pv, k));
+        }
+        s
+    }
+
+    /// Self-attention: Q, K and V all projected from `x`.
+    pub fn forward_self(&self, g: &mut Graph<'_>, x: Tx) -> Tx {
+        self.forward(g, x, x)
+    }
+
+    /// Prior-weighted attention (Eqs. 7–8): attention weights from `qk_src`
+    /// (the conditional feature `H^pri`), values from `v_src` (`H^in`).
+    ///
+    /// Both inputs must be `[B, S, d_model]` with the same `B` and `S`.
+    pub fn forward(&self, g: &mut Graph<'_>, qk_src: Tx, v_src: Tx) -> Tx {
+        let shape = g.shape(qk_src).to_vec();
+        assert_eq!(shape.len(), 3, "attention input must be [B,S,d], got {shape:?}");
+        assert_eq!(g.shape(v_src), &shape[..], "qk/v source shapes differ");
+        let (b, s, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.d_model);
+        let dh = d / self.heads;
+
+        let q = self.wq.forward(g, qk_src);
+        let mut k = self.wk.forward(g, qk_src);
+        let mut v = self.wv.forward(g, v_src);
+        let mut s_kv = s;
+        if let Some((pk, pv, kn)) = &self.downsample {
+            let pk_t = g.param(pk);
+            let pv_t = g.param(pv);
+            k = g.shared_left_matmul(pk_t, k);
+            v = g.shared_left_matmul(pv_t, v);
+            s_kv = *kn;
+        }
+
+        let qh = self.split_heads(g, q, b, s, dh);
+        let kh = self.split_heads(g, k, b, s_kv, dh);
+        let vh = self.split_heads(g, v, b, s_kv, dh);
+
+        let scores = g.batch_matmul_transb(qh, kh);
+        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+        let attn = g.softmax_last(scaled);
+        let ctx = g.batch_matmul(attn, vh); // [B*h, S, dh]
+        let merged = self.merge_heads(g, ctx, b, s, dh);
+        self.wo.forward(g, merged)
+    }
+
+    fn split_heads(&self, g: &mut Graph<'_>, x: Tx, b: usize, s: usize, dh: usize) -> Tx {
+        let x4 = g.reshape(x, &[b, s, self.heads, dh]);
+        let xp = g.permute(x4, &[0, 2, 1, 3]);
+        g.reshape(xp, &[b * self.heads, s, dh])
+    }
+
+    fn merge_heads(&self, g: &mut Graph<'_>, x: Tx, b: usize, s: usize, dh: usize) -> Tx {
+        let x4 = g.reshape(x, &[b, self.heads, s, dh]);
+        let xp = g.permute(x4, &[0, 2, 1, 3]);
+        g.reshape(xp, &[b, s, self.heads * dh])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn self_attention_shape() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[3, 5, 8], &mut rng));
+        let y = attn.forward_self(&mut g, x);
+        assert_eq!(g.shape(y), &[3, 5, 8]);
+    }
+
+    #[test]
+    fn prior_weighted_attention_differs_from_self() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut g = Graph::new(&store);
+        let prior = g.input(NdArray::randn(&[2, 4, 8], &mut rng));
+        let noisy = g.input(NdArray::randn(&[2, 4, 8], &mut rng));
+        let y_cross = attn.forward(&mut g, prior, noisy);
+        let y_self = attn.forward_self(&mut g, noisy);
+        let diff: f32 = g
+            .value(y_cross)
+            .data()
+            .iter()
+            .zip(g.value(y_self).data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-3, "cross and self attention should differ");
+    }
+
+    #[test]
+    fn downsampled_attention_shape_and_grads() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new_downsampled(&mut store, "a", 8, 2, 10, 3, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[2, 10, 8], &mut rng));
+        let y = attn.forward_self(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 10, 8]);
+        let t = g.input(NdArray::zeros(&[2, 10, 8]));
+        let m = g.input(NdArray::ones(&[2, 10, 8]));
+        let loss = g.mse_masked(y, t, m);
+        let grads = g.backward(loss);
+        assert!(grads.get("a.pk").is_some(), "downsample key projection should get grad");
+        assert!(grads.get("a.pv").is_some(), "downsample value projection should get grad");
+    }
+
+    #[test]
+    fn no_downsample_when_k_not_smaller() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new_downsampled(&mut store, "a", 8, 2, 4, 8, &mut rng);
+        assert!(attn.downsample.is_none());
+        assert!(!store.contains("a.pk"));
+    }
+
+    /// A uniform value tensor must be reproduced exactly by attention
+    /// (softmax rows sum to one, so any convex combination is the same value).
+    #[test]
+    fn attention_preserves_constant_values() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 4, 1, &mut rng);
+        // Make wv/wo identity and wq/wk whatever.
+        let eye = NdArray::from_vec(
+            &[4, 4],
+            (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect(),
+        );
+        *store.get_mut("a.wv.w").unwrap() = eye.clone();
+        *store.get_mut("a.wo.w").unwrap() = eye;
+        let mut g = Graph::new(&store);
+        let qk = g.input(NdArray::randn(&[1, 6, 4], &mut rng));
+        let v = g.input(NdArray::full(&[1, 6, 4], 2.5));
+        let y = attn.forward(&mut g, qk, v);
+        for &o in g.value(y).data() {
+            assert!((o - 2.5).abs() < 1e-4, "got {o}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Sine–cosine positional encodings: the temporal encoding `U_tem`
+//! (Transformer-style, Vaswani et al. 2017) and the diffusion-step embedding
+//! (DiffWave-style, Kong et al. 2021), both referenced in Section III-B3.
+
+use crate::ndarray::NdArray;
+
+/// Transformer sinusoidal positional encoding: `[length, dim]` with
+/// `pe[p, 2i] = sin(p / 10000^{2i/dim})`, `pe[p, 2i+1] = cos(...)`.
+pub fn sinusoidal_encoding(length: usize, dim: usize) -> NdArray {
+    assert!(dim >= 2 && dim % 2 == 0, "encoding dim must be even and >= 2, got {dim}");
+    let mut out = NdArray::zeros(&[length, dim]);
+    for p in 0..length {
+        for i in 0..dim / 2 {
+            let angle = p as f64 / 10000f64.powf(2.0 * i as f64 / dim as f64);
+            out.data_mut()[p * dim + 2 * i] = angle.sin() as f32;
+            out.data_mut()[p * dim + 2 * i + 1] = angle.cos() as f32;
+        }
+    }
+    out
+}
+
+/// Diffusion-step embedding for a batch of step indices: `[B, dim]` where the
+/// first half holds `sin(t · 10^{−j·4/(dim/2−1)})` and the second half the
+/// matching cosines (DiffWave Eq. for `t_emb`).
+pub fn diffusion_step_embedding(steps: &[usize], dim: usize) -> NdArray {
+    assert!(dim >= 4 && dim % 2 == 0, "step embedding dim must be even and >= 4, got {dim}");
+    let half = dim / 2;
+    let mut out = NdArray::zeros(&[steps.len(), dim]);
+    for (b, &t) in steps.iter().enumerate() {
+        for j in 0..half {
+            let freq = 10f64.powf(-(j as f64) * 4.0 / (half as f64 - 1.0));
+            let angle = t as f64 * freq;
+            out.data_mut()[b * dim + j] = angle.sin() as f32;
+            out.data_mut()[b * dim + half + j] = angle.cos() as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinusoidal_shape_and_range() {
+        let pe = sinusoidal_encoding(10, 16);
+        assert_eq!(pe.shape(), &[10, 16]);
+        assert!(pe.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        // position 0: sin(0)=0, cos(0)=1 alternating
+        for i in 0..8 {
+            assert_eq!(pe.data()[2 * i], 0.0);
+            assert_eq!(pe.data()[2 * i + 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn sinusoidal_rows_distinct() {
+        let pe = sinusoidal_encoding(32, 8);
+        for p in 1..32 {
+            let a = &pe.data()[0..8];
+            let b = &pe.data()[p * 8..p * 8 + 8];
+            let diff: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+            assert!(diff > 1e-3, "row {p} equals row 0");
+        }
+    }
+
+    #[test]
+    fn step_embedding_distinguishes_steps() {
+        let e = diffusion_step_embedding(&[0, 1, 50], 128);
+        assert_eq!(e.shape(), &[3, 128]);
+        let r0 = &e.data()[0..128];
+        let r1 = &e.data()[128..256];
+        let d: f32 = r0.iter().zip(r1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(d > 0.1);
+    }
+}

@@ -1,0 +1,55 @@
+//! WaveNet-style gated activation unit used by the noise estimation module:
+//! the channel axis is split in half and combined as `tanh(a) ⊙ σ(b)`.
+
+use crate::graph::{Graph, Tx};
+
+/// Apply the gated activation to a tensor whose last axis has even size `2d`,
+/// producing a tensor with last axis `d`.
+pub fn gated_activation(g: &mut Graph<'_>, x: Tx) -> Tx {
+    let last = *g.shape(x).last().expect("gated activation needs rank >= 1");
+    assert_eq!(last % 2, 0, "gated activation needs an even channel count, got {last}");
+    let half = last / 2;
+    let a = g.slice_last(x, 0, half);
+    let b = g.slice_last(x, half, half);
+    let ta = g.tanh(a);
+    let sb = g.sigmoid(b);
+    g.mul(ta, sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NdArray;
+    use crate::param::ParamStore;
+
+    #[test]
+    fn halves_channels() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::ones(&[2, 3, 8]));
+        let y = gated_activation(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn matches_manual_formula() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::from_vec(&[1, 4], vec![0.5, -1.0, 2.0, 0.0]));
+        let y = gated_activation(&mut g, x);
+        let v = g.value(y);
+        let expect0 = 0.5f32.tanh() * (1.0 / (1.0 + (-2.0f32).exp()));
+        let expect1 = (-1.0f32).tanh() * 0.5;
+        assert!((v.data()[0] - expect0).abs() < 1e-6);
+        assert!((v.data()[1] - expect1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even channel count")]
+    fn odd_channels_panic() {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::ones(&[2, 3]));
+        gated_activation(&mut g, x);
+    }
+}

@@ -1,0 +1,137 @@
+//! Gated recurrent unit cell, used by the recurrent baselines (BRITS, GRIN,
+//! rGAIN generator, V-RIN encoder).
+
+use crate::graph::{Graph, Tx};
+use crate::nn::Linear;
+use crate::param::ParamStore;
+use rand::Rng;
+
+/// A single GRU cell: `h' = (1-z) ⊙ h + z ⊙ tanh(W_h x + U_h (r ⊙ h))`.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    /// Input feature size.
+    pub d_in: usize,
+    /// Hidden state size.
+    pub d_hidden: usize,
+}
+
+impl GruCell {
+    /// Register a GRU cell's parameters under `name`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            wz: Linear::new(store, &format!("{name}.wz"), d_in, d_hidden, rng),
+            uz: Linear::new_no_bias(store, &format!("{name}.uz"), d_hidden, d_hidden, rng),
+            wr: Linear::new(store, &format!("{name}.wr"), d_in, d_hidden, rng),
+            ur: Linear::new_no_bias(store, &format!("{name}.ur"), d_hidden, d_hidden, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), d_in, d_hidden, rng),
+            uh: Linear::new_no_bias(store, &format!("{name}.uh"), d_hidden, d_hidden, rng),
+            d_in,
+            d_hidden,
+        }
+    }
+
+    /// One step: `x [B, d_in]`, `h [B, d_hidden]` → new hidden `[B, d_hidden]`.
+    pub fn step(&self, g: &mut Graph<'_>, x: Tx, h: Tx) -> Tx {
+        let zx = self.wz.forward(g, x);
+        let zh = self.uz.forward(g, h);
+        let z_pre = g.add(zx, zh);
+        let z = g.sigmoid(z_pre);
+
+        let rx = self.wr.forward(g, x);
+        let rh = self.ur.forward(g, h);
+        let r_pre = g.add(rx, rh);
+        let r = g.sigmoid(r_pre);
+
+        let rh_gated = g.mul(r, h);
+        let hx = self.wh.forward(g, x);
+        let hh = self.uh.forward(g, rh_gated);
+        let h_pre = g.add(hx, hh);
+        let h_cand = g.tanh(h_pre);
+
+        // h' = (1-z) * h + z * h_cand = h + z * (h_cand - h)
+        let delta = g.sub(h_cand, h);
+        let zd = g.mul(z, delta);
+        g.add(h, zd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_shape() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 3, 6, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[4, 3], &mut rng));
+        let h = g.input(NdArray::zeros(&[4, 6]));
+        let h2 = gru.step(&mut g, x, h);
+        assert_eq!(g.shape(h2), &[4, 6]);
+    }
+
+    #[test]
+    fn hidden_stays_bounded() {
+        // GRU hidden values are convex mixes of tanh outputs, so |h| <= 1.
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 2, 4, &mut rng);
+        let mut g = Graph::new(&store);
+        let mut h = g.input(NdArray::zeros(&[1, 4]));
+        for _ in 0..50 {
+            let x = g.input(NdArray::randn(&[1, 2], &mut rng).scale(5.0));
+            h = gru.step(&mut g, x, h);
+        }
+        assert!(g.value(h).data().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn unrolled_sequence_trains() {
+        // A GRU should be able to learn to output the last input of a sequence.
+        let mut rng = StdRng::seed_from_u64(27);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 1, 8, &mut rng);
+        let head = Linear::new(&mut store, "head", 8, 1, &mut rng);
+        let mut opt = crate::optim::Adam::new(0.01);
+        let mut last_loss = f32::MAX;
+        for it in 0..120 {
+            let (loss_val, grads) = {
+                let mut g = Graph::new(&store);
+                let mut h = g.input(NdArray::zeros(&[8, 8]));
+                let mut xs = NdArray::zeros(&[8, 1]);
+                for t in 0..5 {
+                    xs = NdArray::randn(&[8, 1], &mut rng);
+                    let x = g.input(xs.clone());
+                    let _ = t;
+                    h = gru.step(&mut g, x, h);
+                }
+                let y = head.forward(&mut g, h);
+                let target = g.input(xs);
+                let m = g.input(NdArray::ones(&[8, 1]));
+                let loss = g.mse_masked(y, target, m);
+                (g.value(loss).data()[0], g.backward(loss))
+            };
+            opt.step(&mut store, &grads);
+            if it == 119 {
+                last_loss = loss_val;
+            }
+        }
+        assert!(last_loss < 0.5, "GRU failed to learn identity-of-last: {last_loss}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Fully-connected layer applied to the last axis (also serves as the paper's
+//! 1×1 convolution `Conv(·)` over channels).
+
+use crate::graph::{Graph, Tx};
+use crate::ndarray::NdArray;
+use crate::param::{xavier_uniform, ParamStore};
+use rand::Rng;
+
+/// `y = x @ W + b` over the last axis of an arbitrary-rank input.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: String,
+    b: Option<String>,
+    /// Input feature size.
+    pub d_in: usize,
+    /// Output feature size.
+    pub d_out: usize,
+}
+
+impl Linear {
+    /// Register a linear layer's parameters under `name` (`{name}.w`, `{name}.b`).
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = format!("{name}.w");
+        let b = format!("{name}.b");
+        store.insert(&w, xavier_uniform(d_in, d_out, rng));
+        store.insert(&b, NdArray::zeros(&[d_out]));
+        Self { w, b: Some(b), d_in, d_out }
+    }
+
+    /// Bias-free variant (used for attention projections).
+    pub fn new_no_bias<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = format!("{name}.w");
+        store.insert(&w, xavier_uniform(d_in, d_out, rng));
+        Self { w, b: None, d_in, d_out }
+    }
+
+    /// Register with weights initialised to zero (used for the final output
+    /// projection of the noise predictor, following DiffWave practice).
+    pub fn new_zeros(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize) -> Self {
+        let w = format!("{name}.w");
+        let b = format!("{name}.b");
+        store.insert(&w, NdArray::zeros(&[d_in, d_out]));
+        store.insert(&b, NdArray::zeros(&[d_out]));
+        Self { w, b: Some(b), d_in, d_out }
+    }
+
+    /// Apply the layer. Accepts any rank ≥ 1; the last axis must equal `d_in`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Tx) -> Tx {
+        let shape = g.shape(x).to_vec();
+        let last = *shape.last().expect("linear input must have rank >= 1");
+        assert_eq!(last, self.d_in, "linear expected last dim {}, got {last}", self.d_in);
+        let rows: usize = shape[..shape.len() - 1].iter().product();
+        let flat = g.reshape(x, &[rows, self.d_in]);
+        let w = g.param(&self.w);
+        let mut y = g.matmul(flat, w);
+        if let Some(bname) = &self.b {
+            let b = g.param(bname);
+            y = g.add(y, b);
+        }
+        let mut out_shape = shape;
+        *out_shape.last_mut().unwrap() = self.d_out;
+        g.reshape(y, &out_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_any_rank() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 7, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[2, 3, 5, 4], &mut rng));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 2, 2, &mut rng);
+        store.get_mut("l.w").unwrap().map_inplace(|_| 0.0);
+        store.get_mut("l.b").unwrap().data_mut().copy_from_slice(&[1.5, -2.5]);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::ones(&[3, 2]));
+        let y = lin.forward(&mut g, x);
+        for r in 0..3 {
+            assert_eq!(g.value(y).data()[r * 2], 1.5);
+            assert_eq!(g.value(y).data()[r * 2 + 1], -2.5);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_both_params() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[4, 3], &mut rng));
+        let y = lin.forward(&mut g, x);
+        let t = g.input(NdArray::zeros(&[4, 2]));
+        let m = g.input(NdArray::ones(&[4, 2]));
+        let loss = g.mse_masked(y, t, m);
+        let grads = g.backward(loss);
+        assert!(grads.get("l.w").is_some());
+        assert!(grads.get("l.b").is_some());
+        assert_eq!(grads.get("l.w").unwrap().shape(), &[3, 2]);
+        assert_eq!(grads.get("l.b").unwrap().shape(), &[2]);
+    }
+}

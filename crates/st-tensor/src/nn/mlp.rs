@@ -1,0 +1,73 @@
+//! Two-layer perceptron with SiLU activation (the paper's `MLP(·)`).
+
+use crate::graph::{Graph, Tx};
+use crate::nn::Linear;
+use crate::param::ParamStore;
+use rand::Rng;
+
+/// `y = W₂ · silu(W₁ x + b₁) + b₂`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl Mlp {
+    /// Register an MLP with the given widths.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_hidden: usize,
+        d_out: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            l1: Linear::new(store, &format!("{name}.l1"), d_in, d_hidden, rng),
+            l2: Linear::new(store, &format!("{name}.l2"), d_hidden, d_out, rng),
+        }
+    }
+
+    /// Input feature size.
+    pub fn d_in(&self) -> usize {
+        self.l1.d_in
+    }
+
+    /// Output feature size.
+    pub fn d_out(&self) -> usize {
+        self.l2.d_out
+    }
+
+    /// Apply the MLP along the last axis.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Tx) -> Tx {
+        let h = self.l1.forward(g, x);
+        let a = g.silu(h);
+        self.l2.forward(g, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndarray::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", 6, 12, 3, &mut rng);
+        assert_eq!(mlp.d_in(), 6);
+        assert_eq!(mlp.d_out(), 3);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[4, 5, 6], &mut rng));
+        let y = mlp.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[4, 5, 3]);
+        let t = g.input(NdArray::zeros(&[4, 5, 3]));
+        let m = g.input(NdArray::ones(&[4, 5, 3]));
+        let loss = g.mse_masked(y, t, m);
+        let grads = g.backward(loss);
+        assert_eq!(grads.len(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Neural-network layers built on the autodiff tape.
+//!
+//! Layers are lightweight descriptors: at construction they register their
+//! parameters (by hierarchical name) in a [`crate::param::ParamStore`]; at
+//! forward time they pull those parameters onto the current
+//! [`crate::graph::Graph`] and compose primitive ops. This keeps the layer
+//! structs `Clone`-free of tensor data and lets one store be shared across
+//! training steps.
+
+mod attention;
+mod conv;
+mod embedding;
+mod gate;
+mod gru;
+mod linear;
+mod mlp;
+mod mpnn;
+mod norm;
+
+pub use attention::MultiHeadAttention;
+pub use conv::DilatedConv1d;
+pub use embedding::{diffusion_step_embedding, sinusoidal_encoding};
+pub use gate::gated_activation;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use mpnn::Mpnn;
+pub use norm::LayerNorm;

@@ -1,0 +1,163 @@
+//! Graph-WaveNet-style message-passing / diffusion convolution (`MPNN(·)`).
+//!
+//! Following Wu et al. (IJCAI 2019) as adopted by PriSTI: the layer mixes a
+//! node-feature tensor `[B, N, d]` with powers of fixed bidirectional
+//! transition matrices plus an *adaptively learned* adjacency
+//! `A_adp = softmax(relu(E₁ E₂ᵀ))`, then projects the concatenation back to
+//! `d` channels.
+
+use crate::graph::{Graph, Tx};
+use crate::ndarray::NdArray;
+use crate::nn::Linear;
+use crate::param::{normal_init, ParamStore};
+use rand::Rng;
+
+/// Diffusion-convolution message passing with optional adaptive adjacency.
+#[derive(Debug, Clone)]
+pub struct Mpnn {
+    /// Fixed support matrices (row-normalised transition matrices), `[N, N]`.
+    supports: Vec<NdArray>,
+    /// Names of the adaptive node-embedding parameters, if enabled.
+    adaptive: Option<(String, String)>,
+    proj: Linear,
+    /// Diffusion order (number of matrix powers per support).
+    pub order: usize,
+    /// Feature width.
+    pub d_model: usize,
+}
+
+impl Mpnn {
+    /// Register an MPNN. `supports` are fixed `[N,N]` transition matrices
+    /// (typically forward and backward); when `adaptive_dim > 0` an adaptive
+    /// adjacency over `n_nodes` is learned as well.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        d_model: usize,
+        supports: Vec<NdArray>,
+        n_nodes: usize,
+        order: usize,
+        adaptive_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        for s in &supports {
+            assert_eq!(s.shape(), &[n_nodes, n_nodes], "support must be [N,N]");
+        }
+        let adaptive = if adaptive_dim > 0 {
+            let e1 = format!("{name}.e1");
+            let e2 = format!("{name}.e2");
+            store.insert(&e1, normal_init(&[n_nodes, adaptive_dim], 0.3, rng));
+            store.insert(&e2, normal_init(&[n_nodes, adaptive_dim], 0.3, rng));
+            Some((e1, e2))
+        } else {
+            None
+        };
+        let n_mats = supports.len() + usize::from(adaptive.is_some());
+        let d_cat = d_model * (1 + n_mats * order);
+        let proj = Linear::new(store, &format!("{name}.proj"), d_cat, d_model, rng);
+        Self { supports, adaptive, proj, order, d_model }
+    }
+
+    /// Number of fixed supports.
+    pub fn n_supports(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// Apply message passing to `x [B, N, d]`.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Tx) -> Tx {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape.len(), 3, "mpnn input must be [B,N,d], got {shape:?}");
+        assert_eq!(shape[2], self.d_model);
+
+        let mut parts: Vec<Tx> = vec![x];
+        for s in &self.supports {
+            let st = g.input(s.clone());
+            let mut h = x;
+            for _ in 0..self.order {
+                h = g.shared_left_matmul(st, h);
+                parts.push(h);
+            }
+        }
+        if let Some((e1n, e2n)) = &self.adaptive {
+            let e1 = g.param(e1n);
+            let e2 = g.param(e2n);
+            // E1 [N,a] @ E2^T [a,N]
+            let e2t = g.permute(e2, &[1, 0]);
+            let raw = g.matmul(e1, e2t);
+            let act = g.relu(raw);
+            let adp = g.softmax_last(act);
+            let mut h = x;
+            for _ in 0..self.order {
+                h = g.shared_left_matmul(adp, h);
+                parts.push(h);
+            }
+        }
+        let cat = g.concat_last(&parts);
+        self.proj.forward(g, cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn row_normalised(n: usize, rng: &mut StdRng) -> NdArray {
+        let mut a = NdArray::rand_uniform(&[n, n], 0.0, 1.0, rng);
+        for r in 0..n {
+            let row = &mut a.data_mut()[r * n..(r + 1) * n];
+            let s: f32 = row.iter().sum();
+            for v in row.iter_mut() {
+                *v /= s;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let s1 = row_normalised(5, &mut rng);
+        let s2 = row_normalised(5, &mut rng);
+        let mut store = ParamStore::new();
+        let mpnn = Mpnn::new(&mut store, "mp", 8, vec![s1, s2], 5, 2, 4, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[3, 5, 8], &mut rng));
+        let y = mpnn.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[3, 5, 8]);
+    }
+
+    #[test]
+    fn adaptive_embeddings_receive_gradients() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let s1 = row_normalised(4, &mut rng);
+        let mut store = ParamStore::new();
+        let mpnn = Mpnn::new(&mut store, "mp", 4, vec![s1], 4, 1, 3, &mut rng);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[2, 4, 4], &mut rng));
+        let y = mpnn.forward(&mut g, x);
+        let t = g.input(NdArray::zeros(&[2, 4, 4]));
+        let m = g.input(NdArray::ones(&[2, 4, 4]));
+        let loss = g.mse_masked(y, t, m);
+        let grads = g.backward(loss);
+        assert!(grads.get("mp.e1").is_some());
+        assert!(grads.get("mp.e2").is_some());
+        assert!(grads.get("mp.proj.w").is_some());
+    }
+
+    #[test]
+    fn no_adaptive_when_dim_zero() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let s1 = row_normalised(4, &mut rng);
+        let mut store = ParamStore::new();
+        let mpnn = Mpnn::new(&mut store, "mp", 4, vec![s1], 4, 2, 0, &mut rng);
+        assert!(mpnn.adaptive.is_none());
+        assert!(!store.contains("mp.e1"));
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[1, 4, 4], &mut rng));
+        let y = mpnn.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[1, 4, 4]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Layer normalisation (the paper's `Norm(·)` in Eq. 5).
+
+use crate::graph::{Graph, Tx};
+use crate::ndarray::NdArray;
+use crate::param::ParamStore;
+
+/// Layer normalisation over the last axis with learnable gain and bias.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gain: String,
+    bias: String,
+    eps: f32,
+    /// Normalised feature size.
+    pub dim: usize,
+}
+
+impl LayerNorm {
+    /// Register gain (ones) and bias (zeros) under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gain = format!("{name}.gain");
+        let bias = format!("{name}.bias");
+        store.insert(&gain, NdArray::ones(&[dim]));
+        store.insert(&bias, NdArray::zeros(&[dim]));
+        Self { gain, bias, eps: 1e-5, dim }
+    }
+
+    /// Apply normalisation.
+    pub fn forward(&self, g: &mut Graph<'_>, x: Tx) -> Tx {
+        let gain = g.param(&self.gain);
+        let bias = g.param(&self.bias);
+        g.layer_norm(x, gain, bias, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalises_rows_to_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 8);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[5, 8], &mut rng).scale(4.0).add_scalar(3.0));
+        let y = ln.forward(&mut g, x);
+        let v = g.value(y);
+        for r in 0..5 {
+            let row = &v.data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row var {var}");
+        }
+    }
+
+    #[test]
+    fn gain_bias_receive_gradients() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut g = Graph::new(&store);
+        let x = g.input(NdArray::randn(&[3, 4], &mut rng));
+        let y = ln.forward(&mut g, x);
+        let t = g.input(NdArray::zeros(&[3, 4]));
+        let m = g.input(NdArray::ones(&[3, 4]));
+        let loss = g.mse_masked(y, t, m);
+        let grads = g.backward(loss);
+        assert!(grads.get("ln.gain").is_some());
+        assert!(grads.get("ln.bias").is_some());
+    }
+}

@@ -1,0 +1,149 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::graph::Gradients;
+use crate::ndarray::NdArray;
+use crate::param::ParamStore;
+use std::collections::HashMap;
+
+/// Adam optimizer (Kingma & Ba, 2015) with optional decoupled weight decay.
+#[derive(Debug)]
+pub struct Adam {
+    /// Current learning rate (mutable so schedules can adjust it).
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: HashMap<String, NdArray>,
+    v: HashMap<String, NdArray>,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with standard moment coefficients
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8) and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Builder-style decoupled weight decay (AdamW).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update to every parameter that has a gradient.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (name, g) in grads.iter() {
+            let p = store
+                .get_mut(name)
+                .unwrap_or_else(|| panic!("gradient for unknown parameter `{name}`"));
+            let m = self.m.entry(name.clone()).or_insert_with(|| NdArray::zeros(g.shape()));
+            let v = self.v.entry(name.clone()).or_insert_with(|| NdArray::zeros(g.shape()));
+            let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            for i in 0..g.numel() {
+                let gi = g.data()[i];
+                let mi = b1 * m.data()[i] + (1.0 - b1) * gi;
+                let vi = b2 * v.data()[i] + (1.0 - b2) * gi * gi;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                let pd = p.data_mut();
+                pd[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * pd[i]);
+            }
+        }
+    }
+}
+
+/// Clip gradients so their global L2 norm does not exceed `max_norm`.
+///
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(grads: &mut Gradients, max_norm: f64) -> f64 {
+    let norm = grads.global_norm();
+    if norm > max_norm && norm > 0.0 {
+        grads.scale_all((max_norm / norm) as f32);
+    }
+    norm
+}
+
+/// The paper's learning-rate schedule: base rate, decayed ×0.1 at 75 % of
+/// training and ×0.1 again at 90 % (Section IV-D).
+pub fn pristi_lr(base: f32, epoch: usize, total_epochs: usize) -> f32 {
+    let frac = (epoch as f64 + 1.0) / total_epochs.max(1) as f64;
+    if frac > 0.9 {
+        base * 0.01
+    } else if frac > 0.75 {
+        base * 0.1
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::ndarray::NdArray;
+
+    /// Adam should drive a quadratic bowl `(w - 3)^2` close to its minimum.
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.insert("w", NdArray::from_vec(&[1], vec![-2.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let grads = {
+                let mut g = Graph::new(&store);
+                let w = g.param("w");
+                let target = g.input(NdArray::from_vec(&[1], vec![3.0]));
+                let mask = g.input(NdArray::ones(&[1]));
+                let loss = g.mse_masked(w, target, mask);
+                g.backward(loss)
+            };
+            opt.step(&mut store, &grads);
+        }
+        let w = store.get("w").unwrap().data()[0];
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut store = ParamStore::new();
+        store.insert("w", NdArray::from_vec(&[2], vec![0.0, 0.0]));
+        let mut g = Graph::new(&store);
+        let w = g.param("w");
+        let t = g.input(NdArray::from_vec(&[2], vec![100.0, 100.0]));
+        let m = g.input(NdArray::ones(&[2]));
+        let loss = g.mse_masked(w, t, m);
+        let mut grads = g.backward(loss);
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!(pre > 1.0);
+        assert!((grads.global_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lr_schedule_steps_down() {
+        assert_eq!(pristi_lr(0.001, 0, 100), 0.001);
+        assert_eq!(pristi_lr(0.001, 74, 100), 0.001);
+        assert!((pristi_lr(0.001, 80, 100) - 0.0001).abs() < 1e-9);
+        assert!((pristi_lr(0.001, 95, 100) - 0.00001).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,204 @@
+//! Named parameter storage with initialisation schemes and a simple binary
+//! checkpoint format.
+
+use crate::ndarray::NdArray;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Owns all learnable parameters of a model, keyed by hierarchical names
+/// such as `"noise_est.layer0.attn_t.wq"`.
+///
+/// A [`crate::graph::Graph`] borrows the store immutably during the forward
+/// pass; the optimizer mutates it between passes.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    params: BTreeMap<String, NdArray>,
+}
+
+impl ParamStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a parameter; panics on duplicate names (which would silently
+    /// alias two layers).
+    pub fn insert(&mut self, name: impl Into<String>, value: NdArray) {
+        let name = name.into();
+        assert!(
+            self.params.insert(name.clone(), value).is_none(),
+            "duplicate parameter name `{name}`"
+        );
+    }
+
+    /// Look up a parameter by name.
+    pub fn get(&self, name: &str) -> Option<&NdArray> {
+        self.params.get(name)
+    }
+
+    /// Mutable access to a parameter.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut NdArray> {
+        self.params.get_mut(name)
+    }
+
+    /// Whether a parameter exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.params.contains_key(name)
+    }
+
+    /// All parameter names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.params.keys().map(String::as_str)
+    }
+
+    /// Iterate over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &NdArray)> {
+        self.params.iter()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.params.values().map(NdArray::numel).sum()
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Serialize to a simple length-prefixed binary blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for (name, arr) in &self.params {
+            let nb = name.as_bytes();
+            out.extend_from_slice(&(nb.len() as u64).to_le_bytes());
+            out.extend_from_slice(nb);
+            out.extend_from_slice(&(arr.ndim() as u64).to_le_bytes());
+            for &d in arr.shape() {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &v in arr.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let read_u64 = |bytes: &[u8], pos: &mut usize| -> Result<u64, String> {
+            let end = *pos + 8;
+            let sl = bytes.get(*pos..end).ok_or("truncated checkpoint")?;
+            *pos = end;
+            Ok(u64::from_le_bytes(sl.try_into().unwrap()))
+        };
+        let count = read_u64(bytes, &mut pos)? as usize;
+        let mut store = Self::new();
+        for _ in 0..count {
+            let name_len = read_u64(bytes, &mut pos)? as usize;
+            let name = std::str::from_utf8(
+                bytes.get(pos..pos + name_len).ok_or("truncated checkpoint")?,
+            )
+            .map_err(|e| e.to_string())?
+            .to_string();
+            pos += name_len;
+            let rank = read_u64(bytes, &mut pos)? as usize;
+            let mut shape = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                shape.push(read_u64(bytes, &mut pos)? as usize);
+            }
+            let numel: usize = shape.iter().product();
+            let mut data = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                let end = pos + 4;
+                let sl = bytes.get(pos..end).ok_or("truncated checkpoint")?;
+                pos = end;
+                data.push(f32::from_le_bytes(sl.try_into().unwrap()));
+            }
+            store.insert(name, NdArray::from_vec(&shape, data));
+        }
+        Ok(store)
+    }
+}
+
+/// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> NdArray {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    NdArray::rand_uniform(&[fan_in, fan_out], -limit, limit, rng)
+}
+
+/// Kaiming/He normal initialisation (for ReLU-family activations).
+pub fn he_normal<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> NdArray {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut a = NdArray::randn(&[fan_in, fan_out], rng);
+    a.map_inplace(|x| x * std);
+    a
+}
+
+/// Small-scale normal initialisation with the given standard deviation.
+pub fn normal_init<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> NdArray {
+    let mut a = NdArray::randn(shape, rng);
+    a.map_inplace(|x| x * std);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut s = ParamStore::new();
+        s.insert("a.w", NdArray::ones(&[2, 3]));
+        assert!(s.contains("a.w"));
+        assert_eq!(s.get("a.w").unwrap().shape(), &[2, 3]);
+        assert_eq!(s.numel(), 6);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.insert("w", NdArray::ones(&[1]));
+        s.insert("w", NdArray::ones(&[1]));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = ParamStore::new();
+        s.insert("layer.w", NdArray::randn(&[3, 4], &mut rng));
+        s.insert("layer.b", NdArray::randn(&[4], &mut rng));
+        let blob = s.to_bytes();
+        let back = ParamStore::from_bytes(&blob).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("layer.w"), s.get("layer.w"));
+        assert_eq!(back.get("layer.b"), s.get("layer.b"));
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let mut s = ParamStore::new();
+        s.insert("w", NdArray::ones(&[2, 2]));
+        let blob = s.to_bytes();
+        assert!(ParamStore::from_bytes(&blob[..blob.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= limit));
+    }
+}

@@ -1,0 +1,522 @@
+//! Finite-difference verification of every autodiff gradient rule.
+//!
+//! For each op (and for composite layers), we build a scalar loss from a
+//! named parameter, compute the analytic gradient with `Graph::backward`, and
+//! compare it against central finite differences of the loss. All arithmetic
+//! is f32, so tolerances are loose but tight enough to catch any wrong rule
+//! (a sign error or transpose mistake produces O(1) disagreement).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_tensor::graph::Graph;
+use st_tensor::ndarray::NdArray;
+use st_tensor::nn::{
+    gated_activation, DilatedConv1d, GruCell, Linear, Mlp, Mpnn, MultiHeadAttention,
+};
+use st_tensor::param::ParamStore;
+
+/// Numerically check d(loss)/d(param `name`) against `Graph::backward`.
+///
+/// `build` must construct the loss graph from the store and return the loss
+/// tensor's scalar value along with the analytic gradient of `name`.
+fn check_param_grad(
+    store: &mut ParamStore,
+    name: &str,
+    build: &dyn Fn(&ParamStore) -> (f32, Option<NdArray>),
+    eps: f32,
+    rtol: f32,
+    atol: f32,
+) {
+    let (_, analytic) = build(store);
+    let analytic = analytic.unwrap_or_else(|| panic!("no gradient produced for `{name}`"));
+    let n = store.get(name).unwrap().numel();
+    assert_eq!(analytic.numel(), n, "gradient shape mismatch for `{name}`");
+    for i in 0..n {
+        let orig = store.get(name).unwrap().data()[i];
+        store.get_mut(name).unwrap().data_mut()[i] = orig + eps;
+        let (lp, _) = build(store);
+        store.get_mut(name).unwrap().data_mut()[i] = orig - eps;
+        let (lm, _) = build(store);
+        store.get_mut(name).unwrap().data_mut()[i] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let tol = atol + rtol * numeric.abs().max(a.abs());
+        assert!(
+            (a - numeric).abs() <= tol,
+            "grad mismatch for `{name}`[{i}]: analytic {a}, numeric {numeric} (tol {tol})"
+        );
+    }
+}
+
+/// Convenience: run a builder that returns a loss Tx, extract value + grad.
+macro_rules! gradcheck {
+    ($store:expr, $name:expr, |$g:ident| $body:block) => {{
+        let name: &str = $name;
+        let build = move |store: &ParamStore| -> (f32, Option<NdArray>) {
+            let mut $g = Graph::new(store);
+            let loss = $body;
+            let v = $g.value(loss).data()[0];
+            let grads = $g.backward(loss);
+            (v, grads.get(name).cloned())
+        };
+        check_param_grad($store, name, &build, 1e-2, 2e-2, 2e-3);
+    }};
+}
+
+fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn grad_matmul() {
+    let mut rng = seeded(100);
+    let mut store = ParamStore::new();
+    store.insert("w", NdArray::randn(&[3, 4], &mut rng));
+    let x = NdArray::randn(&[5, 3], &mut rng);
+    let t = NdArray::randn(&[5, 4], &mut rng);
+    gradcheck!(&mut store, "w", |g| {
+        let w = g.param("w");
+        let xi = g.input(x.clone());
+        let y = g.matmul(xi, w);
+        let ti = g.input(t.clone());
+        let m = g.input(NdArray::ones(&[5, 4]));
+        g.mse_masked(y, ti, m)
+    });
+}
+
+#[test]
+fn grad_matmul_lhs() {
+    let mut rng = seeded(101);
+    let mut store = ParamStore::new();
+    store.insert("a", NdArray::randn(&[4, 3], &mut rng));
+    let b = NdArray::randn(&[3, 2], &mut rng);
+    let t = NdArray::randn(&[4, 2], &mut rng);
+    gradcheck!(&mut store, "a", |g| {
+        let a = g.param("a");
+        let bi = g.input(b.clone());
+        let y = g.matmul(a, bi);
+        let ti = g.input(t.clone());
+        let m = g.input(NdArray::ones(&[4, 2]));
+        g.mse_masked(y, ti, m)
+    });
+}
+
+#[test]
+fn grad_batch_matmul_both_sides() {
+    let mut rng = seeded(102);
+    let mut store = ParamStore::new();
+    store.insert("a", NdArray::randn(&[2, 3, 4], &mut rng));
+    store.insert("b", NdArray::randn(&[2, 4, 3], &mut rng));
+    let t = NdArray::randn(&[2, 3, 3], &mut rng);
+    for p in ["a", "b"] {
+        let t = t.clone();
+        gradcheck!(&mut store, p, |g| {
+            let a = g.param("a");
+            let b = g.param("b");
+            let y = g.batch_matmul(a, b);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 3, 3]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_batch_matmul_transb() {
+    let mut rng = seeded(103);
+    let mut store = ParamStore::new();
+    store.insert("a", NdArray::randn(&[2, 3, 4], &mut rng));
+    store.insert("b", NdArray::randn(&[2, 5, 4], &mut rng));
+    let t = NdArray::randn(&[2, 3, 5], &mut rng);
+    for p in ["a", "b"] {
+        let t = t.clone();
+        gradcheck!(&mut store, p, |g| {
+            let a = g.param("a");
+            let b = g.param("b");
+            let y = g.batch_matmul_transb(a, b);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 3, 5]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_shared_left_matmul() {
+    let mut rng = seeded(104);
+    let mut store = ParamStore::new();
+    store.insert("s", NdArray::randn(&[3, 3], &mut rng));
+    store.insert("x", NdArray::randn(&[2, 3, 4], &mut rng));
+    let t = NdArray::randn(&[2, 3, 4], &mut rng);
+    for p in ["s", "x"] {
+        let t = t.clone();
+        gradcheck!(&mut store, p, |g| {
+            let s = g.param("s");
+            let x = g.param("x");
+            let y = g.shared_left_matmul(s, x);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 3, 4]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_shared_left_matmul_rectangular() {
+    let mut rng = seeded(105);
+    let mut store = ParamStore::new();
+    store.insert("s", NdArray::randn(&[2, 5], &mut rng));
+    store.insert("x", NdArray::randn(&[3, 5, 4], &mut rng));
+    let t = NdArray::randn(&[3, 2, 4], &mut rng);
+    for p in ["s", "x"] {
+        let t = t.clone();
+        gradcheck!(&mut store, p, |g| {
+            let s = g.param("s");
+            let x = g.param("x");
+            let y = g.shared_left_matmul(s, x);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[3, 2, 4]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_softmax() {
+    let mut rng = seeded(106);
+    let mut store = ParamStore::new();
+    store.insert("x", NdArray::randn(&[3, 5], &mut rng));
+    let t = NdArray::rand_uniform(&[3, 5], 0.0, 1.0, &mut rng);
+    gradcheck!(&mut store, "x", |g| {
+        let x = g.param("x");
+        let y = g.softmax_last(x);
+        let ti = g.input(t.clone());
+        let m = g.input(NdArray::ones(&[3, 5]));
+        g.mse_masked(y, ti, m)
+    });
+}
+
+#[test]
+fn grad_activations() {
+    let mut rng = seeded(107);
+    for (idx, act) in ["relu", "leaky", "sigmoid", "tanh", "silu", "exp"].iter().enumerate() {
+        let mut store = ParamStore::new();
+        // keep away from relu kink at 0 by offsetting
+        let mut x = NdArray::randn(&[4, 4], &mut rng);
+        x.map_inplace(|v| if v.abs() < 0.1 { v + 0.2 } else { v });
+        store.insert("x", x);
+        let t = NdArray::randn(&[4, 4], &mut rng);
+        let _ = idx;
+        let a = *act;
+        gradcheck!(&mut store, "x", |g| {
+            let x = g.param("x");
+            let y = match a {
+                "relu" => g.relu(x),
+                "leaky" => g.leaky_relu(x, 0.1),
+                "sigmoid" => g.sigmoid(x),
+                "tanh" => g.tanh(x),
+                "silu" => g.silu(x),
+                _ => g.exp(x),
+            };
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[4, 4]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_broadcast_add_mul() {
+    let mut rng = seeded(108);
+    let mut store = ParamStore::new();
+    store.insert("b", NdArray::randn(&[4], &mut rng));
+    store.insert("u", NdArray::randn(&[1, 3, 1], &mut rng));
+    let x = NdArray::randn(&[2, 3, 4], &mut rng);
+    let t = NdArray::randn(&[2, 3, 4], &mut rng);
+    for p in ["b", "u"] {
+        let (x, t) = (x.clone(), t.clone());
+        gradcheck!(&mut store, p, |g| {
+            let b = g.param("b");
+            let u = g.param("u");
+            let xi = g.input(x.clone());
+            let s = g.add(xi, b);
+            let y = g.mul(s, u);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 3, 4]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_permute_reshape_concat_slice() {
+    let mut rng = seeded(109);
+    let mut store = ParamStore::new();
+    store.insert("x", NdArray::randn(&[2, 3, 4], &mut rng));
+    let t = NdArray::randn(&[3, 4], &mut rng);
+    gradcheck!(&mut store, "x", |g| {
+        let x = g.param("x");
+        let p = g.permute(x, &[1, 0, 2]); // [3,2,4]
+        let r = g.reshape(p, &[3, 8]);
+        let s1 = g.slice_last(r, 0, 2);
+        let s2 = g.slice_last(r, 4, 2);
+        let c = g.concat_last(&[s1, s2]); // [3,4]
+        let ti = g.input(t.clone());
+        let m = g.input(NdArray::ones(&[3, 4]));
+        g.mse_masked(c, ti, m)
+    });
+}
+
+#[test]
+fn grad_layer_norm_all_inputs() {
+    let mut rng = seeded(110);
+    let mut store = ParamStore::new();
+    store.insert("x", NdArray::randn(&[3, 6], &mut rng));
+    store.insert("gain", NdArray::rand_uniform(&[6], 0.5, 1.5, &mut rng));
+    store.insert("bias", NdArray::randn(&[6], &mut rng));
+    let t = NdArray::randn(&[3, 6], &mut rng);
+    for p in ["x", "gain", "bias"] {
+        let t = t.clone();
+        gradcheck!(&mut store, p, |g| {
+            let x = g.param("x");
+            let gain = g.param("gain");
+            let bias = g.param("bias");
+            let y = g.layer_norm(x, gain, bias, 1e-5);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[3, 6]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_mae_masked() {
+    let mut rng = seeded(111);
+    let mut store = ParamStore::new();
+    // keep |pred - target| away from 0 where the subgradient is undefined
+    store.insert("x", NdArray::randn(&[4, 4], &mut rng).add_scalar(5.0));
+    let t = NdArray::randn(&[4, 4], &mut rng);
+    let mut mask = NdArray::ones(&[4, 4]);
+    mask.data_mut()[3] = 0.0;
+    mask.data_mut()[7] = 0.0;
+    gradcheck!(&mut store, "x", |g| {
+        let x = g.param("x");
+        let ti = g.input(t.clone());
+        let m = g.input(mask.clone());
+        g.mae_masked(x, ti, m)
+    });
+}
+
+#[test]
+fn grad_mse_respects_mask() {
+    let mut rng = seeded(112);
+    let mut store = ParamStore::new();
+    store.insert("x", NdArray::randn(&[2, 3], &mut rng));
+    let t = NdArray::randn(&[2, 3], &mut rng);
+    let mut mask = NdArray::ones(&[2, 3]);
+    mask.data_mut()[0] = 0.0;
+    let build = |store: &ParamStore| {
+        let mut g = Graph::new(store);
+        let x = g.param("x");
+        let ti = g.input(t.clone());
+        let m = g.input(mask.clone());
+        let loss = g.mse_masked(x, ti, m);
+        let grads = g.backward(loss);
+        grads.get("x").cloned().unwrap()
+    };
+    let gx = build(&store);
+    assert_eq!(gx.data()[0], 0.0, "masked-out position must have zero gradient");
+    assert!(gx.data()[1] != 0.0);
+}
+
+#[test]
+fn grad_gated_activation() {
+    let mut rng = seeded(113);
+    let mut store = ParamStore::new();
+    store.insert("x", NdArray::randn(&[3, 8], &mut rng));
+    let t = NdArray::randn(&[3, 4], &mut rng);
+    gradcheck!(&mut store, "x", |g| {
+        let x = g.param("x");
+        let y = gated_activation(&mut g, x);
+        let ti = g.input(t.clone());
+        let m = g.input(NdArray::ones(&[3, 4]));
+        g.mse_masked(y, ti, m)
+    });
+}
+
+#[test]
+fn grad_through_full_attention_block() {
+    let mut rng = seeded(114);
+    let mut store = ParamStore::new();
+    let attn = MultiHeadAttention::new(&mut store, "a", 4, 2, &mut rng);
+    store.insert("x", NdArray::randn(&[2, 3, 4], &mut rng));
+    let t = NdArray::randn(&[2, 3, 4], &mut rng);
+    for p in ["x", "a.wq.w", "a.wv.w", "a.wo.w"] {
+        let (t, attn) = (t.clone(), attn.clone());
+        gradcheck!(&mut store, p, |g| {
+            let x = g.param("x");
+            let y = attn.forward_self(&mut g, x);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 3, 4]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_through_downsampled_attention() {
+    let mut rng = seeded(115);
+    let mut store = ParamStore::new();
+    let attn = MultiHeadAttention::new_downsampled(&mut store, "a", 4, 2, 6, 2, &mut rng);
+    store.insert("x", NdArray::randn(&[2, 6, 4], &mut rng));
+    let t = NdArray::randn(&[2, 6, 4], &mut rng);
+    for p in ["x", "a.pk", "a.pv"] {
+        let (t, attn) = (t.clone(), attn.clone());
+        gradcheck!(&mut store, p, |g| {
+            let x = g.param("x");
+            let y = attn.forward_self(&mut g, x);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 6, 4]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_through_mpnn() {
+    let mut rng = seeded(116);
+    let mut support = NdArray::rand_uniform(&[4, 4], 0.0, 1.0, &mut rng);
+    for r in 0..4 {
+        let row = &mut support.data_mut()[r * 4..(r + 1) * 4];
+        let s: f32 = row.iter().sum();
+        for v in row.iter_mut() {
+            *v /= s;
+        }
+    }
+    let mut store = ParamStore::new();
+    let mpnn = Mpnn::new(&mut store, "mp", 3, vec![support], 4, 2, 2, &mut rng);
+    store.insert("x", NdArray::randn(&[2, 4, 3], &mut rng));
+    let t = NdArray::randn(&[2, 4, 3], &mut rng);
+    for p in ["x", "mp.e1", "mp.e2", "mp.proj.w"] {
+        let (t, mpnn) = (t.clone(), mpnn.clone());
+        gradcheck!(&mut store, p, |g| {
+            let x = g.param("x");
+            let y = mpnn.forward(&mut g, x);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 4, 3]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_through_conv1d() {
+    let mut rng = seeded(117);
+    let mut store = ParamStore::new();
+    let conv = DilatedConv1d::new(&mut store, "c", 2, 2, 3, 2, &mut rng);
+    store.insert("x", NdArray::randn(&[2, 5, 2], &mut rng));
+    let t = NdArray::randn(&[2, 5, 3], &mut rng);
+    for p in ["x", "c.w", "c.b"] {
+        let (t, conv) = (t.clone(), conv.clone());
+        gradcheck!(&mut store, p, |g| {
+            let x = g.param("x");
+            let y = conv.forward(&mut g, x);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 5, 3]));
+            g.mse_masked(y, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_through_gru_step() {
+    let mut rng = seeded(118);
+    let mut store = ParamStore::new();
+    let gru = GruCell::new(&mut store, "g", 2, 3, &mut rng);
+    store.insert("x", NdArray::randn(&[2, 2], &mut rng));
+    let t = NdArray::randn(&[2, 3], &mut rng);
+    for p in ["x", "g.wz.w", "g.ur.w", "g.uh.w"] {
+        let (t, gru) = (t.clone(), gru.clone());
+        gradcheck!(&mut store, p, |g| {
+            let x = g.param("x");
+            let h = g.input(NdArray::randn(&[2, 3], &mut StdRng::seed_from_u64(7)));
+            let h2 = gru.step(&mut g, x, h);
+            let ti = g.input(t.clone());
+            let m = g.input(NdArray::ones(&[2, 3]));
+            g.mse_masked(h2, ti, m)
+        });
+    }
+}
+
+#[test]
+fn grad_through_mlp_and_mean() {
+    let mut rng = seeded(119);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "m", 3, 5, 2, &mut rng);
+    store.insert("x", NdArray::randn(&[4, 3], &mut rng));
+    for p in ["x", "m.l1.w", "m.l2.b"] {
+        let mlp = mlp.clone();
+        gradcheck!(&mut store, p, |g| {
+            let x = g.param("x");
+            let y = mlp.forward(&mut g, x);
+            let sq = g.square(y);
+            g.mean_all(sq)
+        });
+    }
+}
+
+#[test]
+fn grad_param_used_twice_accumulates() {
+    // f(w) = sum(w*w) + sum(w) -> df/dw = 2w + 1
+    let mut store = ParamStore::new();
+    store.insert("w", NdArray::from_vec(&[3], vec![1.0, -2.0, 0.5]));
+    let mut g = Graph::new(&store);
+    let w1 = g.param("w");
+    let w2 = g.param("w");
+    let sq = g.mul(w1, w2);
+    let s1 = g.sum_all(sq);
+    let s2 = g.sum_all(w1);
+    let loss = g.add(s1, s2);
+    let grads = g.backward(loss);
+    let gw = grads.get("w").unwrap();
+    for (i, &wv) in [1.0f32, -2.0, 0.5].iter().enumerate() {
+        assert!((gw.data()[i] - (2.0 * wv + 1.0)).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn grad_through_linear_chain_matches_closed_form() {
+    // loss = mean((x@w)^2); dl/dw = 2/N * x^T (x@w)
+    let mut rng = seeded(120);
+    let mut store = ParamStore::new();
+    let lin = Linear::new_no_bias(&mut store, "l", 3, 2, &mut rng);
+    let x = NdArray::randn(&[5, 3], &mut rng);
+    let mut g = Graph::new(&store);
+    let xi = g.input(x.clone());
+    let y = lin.forward(&mut g, xi);
+    let sq = g.square(y);
+    let loss = g.mean_all(sq);
+    let grads = g.backward(loss);
+    let gw = grads.get("l.w").unwrap().clone();
+    let w = store.get("l.w").unwrap();
+    let xw = x.matmul(w);
+    let expected = x.matmul_transa(&xw).scale(2.0 / 10.0);
+    for (a, b) in gw.data().iter().zip(expected.data()) {
+        assert!((a - b).abs() < 1e-4, "closed-form mismatch {a} vs {b}");
+    }
+}
+
+#[test]
+fn grad_softplus() {
+    let mut rng = seeded(121);
+    let mut store = ParamStore::new();
+    store.insert("x", NdArray::randn(&[4, 4], &mut rng).scale(3.0));
+    let t = NdArray::randn(&[4, 4], &mut rng);
+    gradcheck!(&mut store, "x", |g| {
+        let x = g.param("x");
+        let y = g.softplus(x);
+        let ti = g.input(t.clone());
+        let m = g.input(NdArray::ones(&[4, 4]));
+        g.mse_masked(y, ti, m)
+    });
+}

@@ -1,0 +1,126 @@
+//! Property-based tests (proptest) for the tensor substrate's algebraic
+//! invariants, complementing the finite-difference checks in `gradcheck.rs`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_tensor::ndarray::{broadcast_shape, NdArray};
+
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    /// Softmax rows are probability vectors for any input scale.
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..6, cols in 1usize..8, scale in 0.1f32..50.0) {
+        let mut rng = StdRng::seed_from_u64((rows * 31 + cols) as u64);
+        let a = NdArray::randn(&[rows, cols], &mut rng).scale(scale);
+        let s = a.softmax_last();
+        for r in 0..rows {
+            let row = &s.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    /// Any permutation followed by its inverse is the identity.
+    #[test]
+    fn permute_inverse_identity(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = NdArray::randn(&[2, 3, 4, 5], &mut rng);
+        // generate a permutation from the seed
+        let mut perm = vec![0usize, 1, 2, 3];
+        for i in (1..4).rev() {
+            let j = (seed as usize * 7 + i * 13) % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut inv = vec![0usize; 4];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        let round = a.permuted(&perm).permuted(&inv);
+        prop_assert_eq!(round, a);
+    }
+
+    /// Matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributive(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = NdArray::randn(&[3, 4], &mut rng);
+        let b = NdArray::randn(&[3, 4], &mut rng);
+        let c = NdArray::randn(&[4, 2], &mut rng);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// reduce_to_shape inverts broadcasting: broadcasting b up to a's shape
+    /// and reducing back is `b * (elements it was broadcast over)`.
+    #[test]
+    fn reduce_inverts_broadcast(lead in 1usize..5, d in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64((lead * 17 + d) as u64);
+        let b = NdArray::randn(&[d], &mut rng);
+        let zeros = NdArray::zeros(&[lead, d]);
+        let broadcast = zeros.add(&b);
+        let reduced = broadcast.reduce_to_shape(&[d]);
+        for (r, orig) in reduced.data().iter().zip(b.data()) {
+            prop_assert!((r - orig * lead as f32).abs() < 1e-4);
+        }
+    }
+
+    /// Broadcast shapes are commutative and idempotent on equal shapes.
+    #[test]
+    fn broadcast_shape_laws(s in small_shape()) {
+        prop_assert_eq!(broadcast_shape(&s, &s), Some(s.clone()));
+        let with_one: Vec<usize> = s.iter().map(|_| 1).collect();
+        prop_assert_eq!(broadcast_shape(&s, &with_one), Some(s.clone()));
+        prop_assert_eq!(broadcast_shape(&with_one, &s), Some(s));
+    }
+
+    /// concat_last then slice_last recovers both parts exactly.
+    #[test]
+    fn concat_slice_round_trip(shape in small_shape(), extra in 1usize..4, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = NdArray::randn(&shape, &mut rng);
+        let mut s2 = shape.clone();
+        *s2.last_mut().unwrap() = extra;
+        let b = NdArray::randn(&s2, &mut rng);
+        let cat = NdArray::concat_last(&[&a, &b]);
+        let wa = *a.shape().last().unwrap();
+        let wb = *b.shape().last().unwrap();
+        prop_assert_eq!(cat.slice_last(0, wa), a);
+        prop_assert_eq!(cat.slice_last(wa, wb), b);
+    }
+
+    /// Batched matmul agrees with per-slice 2-D matmul.
+    #[test]
+    fn batch_matmul_matches_slices(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = NdArray::randn(&[3, 2, 4], &mut rng);
+        let b = NdArray::randn(&[3, 4, 5], &mut rng);
+        let c = a.batch_matmul(&b);
+        for i in 0..3 {
+            let ai = NdArray::from_vec(&[2, 4], a.data()[i * 8..(i + 1) * 8].to_vec());
+            let bi = NdArray::from_vec(&[4, 5], b.data()[i * 20..(i + 1) * 20].to_vec());
+            let ci = ai.matmul(&bi);
+            for (x, y) in ci.data().iter().zip(&c.data()[i * 10..(i + 1) * 10]) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Scaling commutes with summation (linearity of the accumulator).
+    #[test]
+    fn sum_linear_in_scale(shape in small_shape(), c in -5.0f32..5.0) {
+        let n: usize = shape.iter().product();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let a = NdArray::randn(&shape, &mut rng);
+        let lhs = a.scale(c).sum();
+        let rhs = a.sum() * c as f64;
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+    }
+}

@@ -1,0 +1,18 @@
+//! # pristi-suite
+//!
+//! Umbrella crate for the PriSTI-rs workspace: re-exports the public
+//! surfaces of every member crate so the examples and the workspace-level
+//! integration tests (`tests/`) have one import root.
+//!
+//! See the individual crates for the real APIs:
+//! [`st_tensor`], [`st_graph`], [`st_data`], [`st_metrics`], [`st_diffusion`],
+//! [`pristi_core`], [`st_baselines`], [`st_forecast`].
+
+pub use pristi_core;
+pub use st_baselines;
+pub use st_data;
+pub use st_diffusion;
+pub use st_forecast;
+pub use st_graph;
+pub use st_metrics;
+pub use st_tensor;

@@ -1,0 +1,161 @@
+//! Contract tests for every baseline imputer, run through the shared
+//! `Imputer` trait object exactly as the bench harness uses them.
+
+use pristi_suite::st_baselines::batf::BatfImputer;
+use pristi_suite::st_baselines::brits::{BritsConfig, BritsImputer};
+use pristi_suite::st_baselines::gpvae::{GpvaeConfig, GpvaeImputer};
+use pristi_suite::st_baselines::grin::{GrinConfig, GrinImputer};
+use pristi_suite::st_baselines::kalman::KalmanImputer;
+use pristi_suite::st_baselines::mice::MiceImputer;
+use pristi_suite::st_baselines::rgain::{RgainConfig, RgainImputer};
+use pristi_suite::st_baselines::simple::{
+    DailyAverageImputer, KnnImputer, LinearImputer, MeanImputer,
+};
+use pristi_suite::st_baselines::trmf::TrmfImputer;
+use pristi_suite::st_baselines::var::VarImputer;
+use pristi_suite::st_baselines::vrin::{VrinConfig, VrinImputer};
+use pristi_suite::st_baselines::{visible, Imputer, ProbabilisticImputer};
+use pristi_suite::st_data::generators::{generate_air_quality, AirQualityConfig};
+use pristi_suite::st_data::missing::inject_point_missing;
+use pristi_suite::st_data::SpatioTemporalDataset;
+
+fn dataset() -> SpatioTemporalDataset {
+    let mut d = generate_air_quality(&AirQualityConfig {
+        n_nodes: 6,
+        n_days: 6,
+        seed: 9,
+        ..Default::default()
+    });
+    d.eval_mask = inject_point_missing(&d.observed_mask, 0.2, 10);
+    d
+}
+
+fn all_imputers() -> Vec<Box<dyn Imputer>> {
+    let deep = |w: usize| (3usize, w, w); // (epochs, window, stride)
+    let (e, w, s) = deep(12);
+    vec![
+        Box::new(MeanImputer),
+        Box::new(DailyAverageImputer),
+        Box::new(KnnImputer::default()),
+        Box::new(LinearImputer),
+        Box::new(KalmanImputer::default()),
+        Box::new(MiceImputer::default()),
+        Box::new(VarImputer::default()),
+        Box::new(TrmfImputer { iters: 4, ..Default::default() }),
+        Box::new(BatfImputer { iters: 3, ..Default::default() }),
+        Box::new(BritsImputer::new(BritsConfig {
+            epochs: e,
+            window_len: w,
+            window_stride: s,
+            hidden: 8,
+            ..Default::default()
+        })),
+        Box::new(GrinImputer::new(GrinConfig {
+            epochs: e,
+            window_len: w,
+            window_stride: s,
+            hidden: 8,
+            ..Default::default()
+        })),
+        Box::new(RgainImputer::new(RgainConfig {
+            epochs: e,
+            window_len: w,
+            window_stride: s,
+            hidden: 8,
+            ..Default::default()
+        })),
+        Box::new(VrinImputer::new(VrinConfig {
+            epochs: e,
+            window_len: w,
+            window_stride: s,
+            hidden: 8,
+            latent: 4,
+            ..Default::default()
+        })),
+        Box::new(GpvaeImputer::new(GpvaeConfig {
+            epochs: e,
+            window_len: w,
+            window_stride: s,
+            hidden: 8,
+            latent: 4,
+            ..Default::default()
+        })),
+    ]
+}
+
+/// Every imputer must fill every position with finite values and must never
+/// alter a visible value.
+#[test]
+fn every_imputer_fills_finite_and_preserves_visible() {
+    let d = dataset();
+    let (vals, mask) = visible(&d);
+    for mut imp in all_imputers() {
+        let panel = imp.fit_impute(&d);
+        assert_eq!(panel.shape(), d.values.shape(), "{} shape", imp.name());
+        assert!(
+            panel.data().iter().all(|v| v.is_finite()),
+            "{} produced non-finite values",
+            imp.name()
+        );
+        for i in 0..panel.numel() {
+            if mask.data()[i] > 0.0 {
+                assert_eq!(
+                    panel.data()[i],
+                    vals.data()[i],
+                    "{} altered a visible value at {i}",
+                    imp.name()
+                );
+            }
+        }
+    }
+}
+
+/// Names are unique and stable (the bench tables key on them).
+#[test]
+fn imputer_names_unique() {
+    let names: Vec<&str> = all_imputers().iter().map(|i| i.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate imputer names: {names:?}");
+}
+
+/// Probabilistic imputers produce the requested number of finite sample
+/// panels with actual spread at hidden positions.
+#[test]
+fn probabilistic_imputers_sample_properly() {
+    let d = dataset();
+    let mut vrin = VrinImputer::new(VrinConfig {
+        epochs: 3,
+        window_len: 12,
+        window_stride: 12,
+        hidden: 8,
+        latent: 4,
+        ..Default::default()
+    });
+    let mut gpvae = GpvaeImputer::new(GpvaeConfig {
+        epochs: 3,
+        window_len: 12,
+        window_stride: 12,
+        hidden: 8,
+        latent: 4,
+        ..Default::default()
+    });
+    let probs: Vec<&mut dyn ProbabilisticImputer> = vec![&mut vrin, &mut gpvae];
+    for p in probs {
+        let samples = p.sample_ensemble(&d, 3, 42);
+        assert_eq!(samples.len(), 3, "{}", p.name());
+        for s in &samples {
+            assert!(s.data().iter().all(|v| v.is_finite()), "{}", p.name());
+        }
+        let spread = samples[0]
+            .data()
+            .iter()
+            .zip(samples[1].data())
+            .zip(d.eval_mask.data())
+            .filter(|&((_, _), &m)| m > 0.0)
+            .map(|((a, b), _)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(spread > 1e-6, "{} ensemble has no spread", p.name());
+    }
+}
