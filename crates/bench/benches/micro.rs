@@ -1,48 +1,78 @@
-//! Criterion micro-benchmarks for the hot paths of the PriSTI stack:
-//! attention forward/backward, message passing, one reverse diffusion step,
-//! linear interpolation, and a full noise-prediction forward pass.
+//! Micro-benchmarks for the hot paths of the PriSTI stack: attention
+//! forward/backward, message passing, one reverse diffusion step, linear
+//! interpolation, and a full noise-prediction forward pass.
+//!
+//! This is a `harness = false` timing binary with no external benchmark
+//! framework: each case is warmed up, then timed over a fixed batch of
+//! iterations with `std::time::Instant`, reporting ns/iter. Run with
+//! `cargo bench -p pristi-bench` (append `-- <filter>` to run a subset).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use st_data::interpolate::linear_interpolate;
 use st_diffusion::{p_sample_step, DiffusionSchedule};
 use st_graph::{random_plane_layout, SensorGraph};
+use st_rand::SeedableRng;
+use st_rand::StdRng;
 use st_tensor::graph::Graph;
 use st_tensor::ndarray::NdArray;
 use st_tensor::nn::{Mpnn, MultiHeadAttention};
 use st_tensor::param::ParamStore;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_attention(c: &mut Criterion) {
+const WARMUP_ITERS: u32 = 5;
+const MIN_SAMPLE_ITERS: u32 = 10;
+/// Keep timing until at least this much wall clock has been spent.
+const TARGET_NANOS: u128 = 200_000_000;
+
+/// Time `f`, printing a criterion-style `name ... ns/iter` line.
+fn bench(filter: Option<&str>, name: &str, mut f: impl FnMut()) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut iters = 0u32;
+    let mut elapsed = 0u128;
+    while elapsed < TARGET_NANOS {
+        let start = Instant::now();
+        for _ in 0..MIN_SAMPLE_ITERS {
+            f();
+        }
+        elapsed += start.elapsed().as_nanos();
+        iters += MIN_SAMPLE_ITERS;
+    }
+    let per_iter = elapsed / u128::from(iters);
+    println!("{name:<45} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+fn bench_attention(filter: Option<&str>) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut store = ParamStore::new();
     let attn = MultiHeadAttention::new(&mut store, "a", 32, 4, &mut rng);
     let x_val = NdArray::randn(&[8, 24, 32], &mut rng);
 
-    c.bench_function("attention_forward_8x24x32", |b| {
-        b.iter(|| {
-            let mut g = Graph::new_eval(&store);
-            let x = g.input(black_box(x_val.clone()));
-            let y = attn.forward_self(&mut g, x);
-            black_box(g.value(y).data()[0])
-        })
+    bench(filter, "attention_forward_8x24x32", || {
+        let mut g = Graph::new_eval(&store);
+        let x = g.input(black_box(x_val.clone()));
+        let y = attn.forward_self(&mut g, x);
+        black_box(g.value(y).data()[0]);
     });
 
-    c.bench_function("attention_forward_backward_8x24x32", |b| {
-        b.iter(|| {
-            let mut g = Graph::new(&store);
-            let x = g.input(black_box(x_val.clone()));
-            let y = attn.forward_self(&mut g, x);
-            let t = g.input(NdArray::zeros(&[8, 24, 32]));
-            let m = g.input(NdArray::ones(&[8, 24, 32]));
-            let loss = g.mse_masked(y, t, m);
-            black_box(g.backward(loss).len())
-        })
+    bench(filter, "attention_forward_backward_8x24x32", || {
+        let mut g = Graph::new(&store);
+        let x = g.input(black_box(x_val.clone()));
+        let y = attn.forward_self(&mut g, x);
+        let t = g.input(NdArray::zeros(&[8, 24, 32]));
+        let m = g.input(NdArray::ones(&[8, 24, 32]));
+        let loss = g.mse_masked(y, t, m);
+        black_box(g.backward(loss).len());
     });
 }
 
-fn bench_mpnn(c: &mut Criterion) {
+fn bench_mpnn(filter: Option<&str>) {
     let mut rng = StdRng::seed_from_u64(2);
     let graph = SensorGraph::from_coords(random_plane_layout(36, 40.0, 3), 0.1);
     let (fwd, bwd) = graph.transition_matrices();
@@ -50,38 +80,36 @@ fn bench_mpnn(c: &mut Criterion) {
     let mpnn = Mpnn::new(&mut store, "mp", 32, vec![fwd, bwd], 36, 2, 8, &mut rng);
     let x_val = NdArray::randn(&[24, 36, 32], &mut rng);
 
-    c.bench_function("mpnn_forward_24x36x32", |b| {
-        b.iter(|| {
-            let mut g = Graph::new_eval(&store);
-            let x = g.input(black_box(x_val.clone()));
-            let y = mpnn.forward(&mut g, x);
-            black_box(g.value(y).data()[0])
-        })
+    bench(filter, "mpnn_forward_24x36x32", || {
+        let mut g = Graph::new_eval(&store);
+        let x = g.input(black_box(x_val.clone()));
+        let y = mpnn.forward(&mut g, x);
+        black_box(g.value(y).data()[0]);
     });
 }
 
-fn bench_diffusion_step(c: &mut Criterion) {
+fn bench_diffusion_step(filter: Option<&str>) {
     let schedule = DiffusionSchedule::pristi_default(50);
     let mut rng = StdRng::seed_from_u64(4);
     let x = NdArray::randn(&[8, 36, 24], &mut rng);
     let eps = NdArray::randn(&[8, 36, 24], &mut rng);
 
-    c.bench_function("p_sample_step_8x36x24", |b| {
-        b.iter(|| black_box(p_sample_step(&x, &eps, &schedule, 25, &mut rng)))
+    bench(filter, "p_sample_step_8x36x24", || {
+        black_box(p_sample_step(&x, &eps, &schedule, 25, &mut rng));
     });
 }
 
-fn bench_interpolation(c: &mut Criterion) {
+fn bench_interpolation(filter: Option<&str>) {
     let mut rng = StdRng::seed_from_u64(5);
     let values = NdArray::randn(&[36, 48], &mut rng);
     let mask = NdArray::rand_uniform(&[36, 48], 0.0, 1.0, &mut rng).map(|v| f32::from(v > 0.3));
 
-    c.bench_function("linear_interpolate_36x48", |b| {
-        b.iter(|| black_box(linear_interpolate(&values, &mask, 0.0)))
+    bench(filter, "linear_interpolate_36x48", || {
+        black_box(linear_interpolate(&values, &mask, 0.0));
     });
 }
 
-fn bench_full_noise_predictor(c: &mut Criterion) {
+fn bench_full_noise_predictor(filter: Option<&str>) {
     let mut rng = StdRng::seed_from_u64(6);
     let graph = SensorGraph::from_coords(random_plane_layout(24, 30.0, 7), 0.1);
     let mut cfg = pristi_core::PristiConfig::small();
@@ -96,17 +124,21 @@ fn bench_full_noise_predictor(c: &mut Criterion) {
     let noisy = NdArray::randn(&[4, 24, 24], &mut rng);
     let cond = NdArray::randn(&[4, 24, 24], &mut rng);
 
-    c.bench_function("pristi_eps_theta_forward_4x24x24", |b| {
-        b.iter(|| black_box(model.predict_eps_eval(&noisy, &cond, 10)))
+    bench(filter, "pristi_eps_theta_forward_4x24x24", || {
+        black_box(model.predict_eps_eval(&noisy, &cond, 10));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_attention,
-    bench_mpnn,
-    bench_diffusion_step,
-    bench_interpolation,
-    bench_full_noise_predictor
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` forwards everything after `--` to us; accept
+    // the first non-flag argument as a substring filter, ignore harness flags
+    // like `--bench` that cargo may inject.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = args.iter().find(|a| !a.starts_with('-')).map(String::as_str);
+
+    bench_attention(filter);
+    bench_mpnn(filter);
+    bench_diffusion_step(filter);
+    bench_interpolation(filter);
+    bench_full_noise_predictor(filter);
+}

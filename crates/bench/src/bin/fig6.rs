@@ -5,8 +5,8 @@
 
 use pristi_bench::{build_dataset, methods, write_csv, Scale, Setting};
 use pristi_core::impute_window;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_data::dataset::Split;
 
 fn main() {

@@ -6,8 +6,8 @@ use crate::datasets::Setting;
 use crate::scale::Scale;
 use pristi_core::{impute_window, ModelVariant, PristiConfig, TrainConfig, TrainedModel};
 use pristi_core::train::{train, MaskStrategyKind};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_baselines::batf::BatfImputer;
 use st_baselines::brits::{BritsConfig, BritsImputer};
 use st_baselines::grin::{GrinConfig, GrinImputer};

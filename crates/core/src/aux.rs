@@ -11,7 +11,7 @@ use st_tensor::graph::{Graph, Tx};
 use st_tensor::ndarray::NdArray;
 use st_tensor::nn::{diffusion_step_embedding, sinusoidal_encoding, Linear, Mlp};
 use st_tensor::param::{normal_init, ParamStore};
-use rand::Rng;
+use st_rand::Rng;
 
 /// Builder for the auxiliary tensor `U ∈ R^{N×L×d}`.
 #[derive(Debug, Clone)]
@@ -116,8 +116,8 @@ impl StepEmbedding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn aux_shape() {

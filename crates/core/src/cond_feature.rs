@@ -13,7 +13,7 @@
 //! All three branches read the same noise-free input, so `H^pri` contains
 //! temporal, global-spatial and geographic structure but no diffusion noise.
 
-use rand::Rng;
+use st_rand::Rng;
 use st_graph::SensorGraph;
 use st_tensor::graph::{Graph, Tx};
 use st_tensor::nn::{LayerNorm, Mlp, Mpnn, MultiHeadAttention};
@@ -130,8 +130,8 @@ impl CondFeatureModule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
     use st_graph::random_plane_layout;
     use st_tensor::ndarray::NdArray;
 

@@ -8,7 +8,7 @@
 //! uncertainty bands.
 
 use crate::train::{build_cond, TrainedModel};
-use rand::rngs::StdRng;
+use st_rand::StdRng;
 use st_data::dataset::Window;
 use st_diffusion::p_sample_step;
 use st_metrics::quantile_of_sorted;
@@ -156,7 +156,7 @@ mod tests {
     use super::*;
     use crate::config::PristiConfig;
     use crate::train::{train, TrainConfig};
-    use rand::SeedableRng;
+    use st_rand::SeedableRng;
     use st_data::dataset::Split;
     use st_data::generators::{generate_air_quality, AirQualityConfig};
     use st_data::missing::inject_point_missing;

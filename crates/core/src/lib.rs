@@ -34,7 +34,7 @@
 //! use st_data::generators::{generate_air_quality, AirQualityConfig};
 //! use st_data::missing::inject_point_missing;
 //! use st_data::dataset::Split;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use st_rand::{StdRng, SeedableRng};
 //!
 //! // A synthetic air-quality panel with 25 % of observations hidden.
 //! let mut data = generate_air_quality(&AirQualityConfig::default());

@@ -4,7 +4,7 @@ use crate::aux::{AuxInfo, StepEmbedding};
 use crate::cond_feature::CondFeatureModule;
 use crate::config::PristiConfig;
 use crate::noise_estimation::NoiseEstimationLayer;
-use rand::Rng;
+use st_rand::Rng;
 use st_graph::SensorGraph;
 use st_tensor::graph::{Graph, Tx};
 use st_tensor::ndarray::NdArray;
@@ -174,8 +174,8 @@ impl PristiModel {
 mod tests {
     use super::*;
     use crate::config::ModelVariant;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
     use st_graph::random_plane_layout;
 
     fn graph(n: usize) -> SensorGraph {

@@ -18,7 +18,7 @@
 
 use crate::cond_feature::shapes;
 use crate::config::PristiConfig;
-use rand::Rng;
+use st_rand::Rng;
 use st_graph::SensorGraph;
 use st_tensor::graph::{Graph, Tx};
 use st_tensor::nn::{gated_activation, LayerNorm, Linear, Mlp, Mpnn, MultiHeadAttention};
@@ -186,8 +186,8 @@ impl NoiseEstimationLayer {
 mod tests {
     use super::*;
     use crate::config::{ModelVariant, PristiConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
     use st_graph::random_plane_layout;
     use st_tensor::ndarray::NdArray;
 

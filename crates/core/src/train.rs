@@ -9,9 +9,9 @@
 
 use crate::config::PristiConfig;
 use crate::model::PristiModel;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use st_rand::StdRng;
+use st_rand::SliceRandom;
+use st_rand::{Rng, SeedableRng};
 use st_data::dataset::{SpatioTemporalDataset, Split, Window};
 use st_data::interpolate::linear_interpolate;
 use st_data::mask_strategy::MaskStrategy;

@@ -10,8 +10,8 @@
 use crate::common::{visible, Imputer};
 use crate::linalg::cholesky_solve;
 use crate::trmf::symmetrise_add_ridge;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_data::dataset::SpatioTemporalDataset;
 use st_tensor::NdArray;
 

@@ -10,9 +10,9 @@
 
 use crate::common::{impute_panel_by_windows, Imputer, ProbabilisticImputer};
 use crate::rgain::step_in;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SliceRandom;
+use st_rand::SeedableRng;
 use st_data::dataset::{SpatioTemporalDataset, Split, Window};
 use st_data::normalize::Normalizer;
 use st_tensor::graph::{Graph, Tx};
@@ -276,7 +276,7 @@ impl GpvaeImputer {
                 if with_obs_noise {
                     if let Some(r) = noise_rng.as_mut() {
                         v += obs_std[i]
-                            * rand_distr::Distribution::<f32>::sample(&rand_distr::StandardNormal, r);
+                            * st_rand::Distribution::<f32>::sample(&st_rand::StandardNormal, r);
                     }
                 }
                 out.data_mut()[i * l + t] = v;

@@ -10,9 +10,9 @@
 //! full spatial decoder MLP stack (documented in DESIGN.md §3.7).
 
 use crate::common::{impute_panel_by_windows, Imputer};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SliceRandom;
+use st_rand::SeedableRng;
 use st_data::dataset::{SpatioTemporalDataset, Split, Window};
 use st_data::normalize::Normalizer;
 use st_graph::SensorGraph;

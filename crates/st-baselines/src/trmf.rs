@@ -7,8 +7,8 @@
 
 use crate::common::{visible, Imputer};
 use crate::linalg::cholesky_solve;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_data::dataset::SpatioTemporalDataset;
 use st_tensor::NdArray;
 

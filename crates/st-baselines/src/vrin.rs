@@ -8,9 +8,9 @@
 //! exactly what makes this baseline probabilistic for the CRPS table.
 
 use crate::common::{impute_panel_by_windows, Imputer, ProbabilisticImputer};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SliceRandom;
+use st_rand::SeedableRng;
 use st_data::dataset::{SpatioTemporalDataset, Split, Window};
 use st_data::normalize::Normalizer;
 use st_tensor::graph::{Graph, Tx};
@@ -277,7 +277,7 @@ impl VrinImputer {
                 if with_obs_noise {
                     if let Some(r) = noise_rng.as_mut() {
                         let z: f32 =
-                            rand_distr::Distribution::sample(&rand_distr::StandardNormal, r);
+                            st_rand::Distribution::sample(&st_rand::StandardNormal, r);
                         v += obs_std[i] * z;
                     }
                 }

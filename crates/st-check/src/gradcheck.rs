@@ -1,0 +1,147 @@
+//! Central finite-difference gradient checking.
+//!
+//! Every autodiff gradient rule in the workspace is verified against central
+//! finite differences `(f(x+ε) − f(x−ε)) / 2ε`. This module owns the
+//! numerics — perturbation, tolerance handling, mismatch reporting — so the
+//! per-crate test suites only describe how to build the loss.
+
+/// Report of a single gradient comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradMismatch {
+    /// Flat index of the disagreeing coordinate.
+    pub index: usize,
+    /// Analytic (backward-pass) derivative.
+    pub analytic: f32,
+    /// Central-finite-difference estimate.
+    pub numeric: f32,
+    /// Tolerance that was exceeded.
+    pub tol: f32,
+}
+
+/// Compare an analytic gradient against central finite differences.
+///
+/// * `n` — number of coordinates in the parameter;
+/// * `analytic(i)` — the backward-pass derivative for coordinate `i`;
+/// * `shift(i, delta)` — add `delta` to coordinate `i` of the parameter
+///   in place (called with `+eps`, `-2eps`... net shifts that always sum
+///   back to zero per coordinate);
+/// * `loss()` — evaluate the scalar loss at the current parameter value.
+///
+/// Returns the first mismatch, or `None` when every coordinate agrees within
+/// `atol + rtol * max(|analytic|, |numeric|)`.
+pub fn first_grad_mismatch(
+    n: usize,
+    mut analytic: impl FnMut(usize) -> f32,
+    mut shift: impl FnMut(usize, f32),
+    mut loss: impl FnMut() -> f32,
+    eps: f32,
+    rtol: f32,
+    atol: f32,
+) -> Option<GradMismatch> {
+    for i in 0..n {
+        shift(i, eps);
+        let lp = loss();
+        shift(i, -2.0 * eps);
+        let lm = loss();
+        shift(i, eps); // restore
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic(i);
+        let tol = atol + rtol * numeric.abs().max(a.abs());
+        if (a - numeric).abs() > tol {
+            return Some(GradMismatch { index: i, analytic: a, numeric, tol });
+        }
+    }
+    None
+}
+
+/// Like [`first_grad_mismatch`] but panics with a readable report, naming
+/// the checked parameter.
+#[allow(clippy::too_many_arguments)]
+pub fn assert_grad_matches(
+    label: &str,
+    n: usize,
+    analytic: impl FnMut(usize) -> f32,
+    shift: impl FnMut(usize, f32),
+    loss: impl FnMut() -> f32,
+    eps: f32,
+    rtol: f32,
+    atol: f32,
+) {
+    if let Some(m) = first_grad_mismatch(n, analytic, shift, loss, eps, rtol, atol) {
+        panic!(
+            "gradient mismatch for `{label}`[{}]: analytic {}, numeric {} (tol {})",
+            m.index, m.analytic, m.numeric, m.tol
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::cell::RefCell;
+
+    /// f(x) = Σ xᵢ² + 3x₀ has gradient 2x + [3,0,...].
+    #[test]
+    fn quadratic_gradient_passes() {
+        let x = vec![1.0f32, -2.0, 0.5];
+        let grad: Vec<f32> =
+            x.iter().enumerate().map(|(i, &v)| 2.0 * v + if i == 0 { 3.0 } else { 0.0 }).collect();
+        let xs = RefCell::new(x.clone());
+        assert_eq!(
+            first_grad_mismatch(
+                3,
+                |i| grad[i],
+                |i, d| xs.borrow_mut()[i] += d,
+                || {
+                    let xs = xs.borrow();
+                    xs.iter().map(|v| v * v).sum::<f32>() + 3.0 * xs[0]
+                },
+                1e-3,
+                1e-3,
+                1e-4,
+            ),
+            None
+        );
+        // shifts must have restored the parameter
+        for (a, b) in xs.borrow().iter().zip(&x) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn wrong_gradient_detected() {
+        let x = RefCell::new(vec![0.7f32, -0.3]);
+        let m = first_grad_mismatch(
+            2,
+            |_| 0.0, // claims zero gradient
+            |i, d| x.borrow_mut()[i] += d,
+            || x.borrow().iter().map(|v| v * v).sum(),
+            1e-3,
+            1e-2,
+            1e-3,
+        );
+        let m = m.expect("zero gradient for x² must be rejected");
+        assert_eq!(m.index, 0);
+        assert!((m.numeric - 1.4).abs() < 1e-2, "numeric {}", m.numeric);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch for `w`")]
+    fn assert_variant_panics_with_label() {
+        let x = RefCell::new(vec![1.0f32]);
+        assert_grad_matches(
+            "w",
+            1,
+            |_| -1.0,
+            |i, d| x.borrow_mut()[i] += d,
+            || {
+                let x = x.borrow();
+                x[0] * x[0]
+            },
+            1e-3,
+            1e-3,
+            1e-4,
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal, fully deterministic property-testing harness.
+//!
+//! A hermetic replacement for the parts of `proptest` the workspace used:
+//! seeded case generation through [`Strategy`] values, a fixed iteration
+//! count, and failure reports that include the case number, the seed, and
+//! the generated inputs. Unlike `proptest` there is no shrinking — instead
+//! every run is bitwise reproducible: the per-test seed is derived only from
+//! the test's name, so a reported failure can be replayed exactly by
+//! re-running the test.
+//!
+//! ```
+//! use st_check::prelude::*;
+//!
+//! properties! {
+//!     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes(); // under `#[test]` this runs via the harness
+//! ```
+//!
+//! The crate also hosts the workspace's central finite-difference gradient
+//! checker ([`gradcheck`]), shared by the autodiff test suites.
+
+pub mod gradcheck;
+mod strategy;
+
+pub use strategy::{prop, Just, Map, Strategy, VecStrategy};
+
+/// One-stop imports for property test files.
+pub mod prelude {
+    pub use crate::strategy::{prop, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, properties};
+}
+
+use st_rand::{SeedableRng, StdRng};
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Base seed mixed into every per-test seed; bump to re-roll all suites.
+pub const DEFAULT_SEED: u64 = 0x5749_5354_2d43_4845;
+
+/// Number of cases to run, honouring the `ST_CHECK_CASES` env override.
+pub fn case_count() -> usize {
+    std::env::var("ST_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// FNV-1a hash of the test name, used to give each property its own stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ DEFAULT_SEED
+}
+
+/// Drive one property: generate `case_count()` cases from the name-derived
+/// seed and panic with a replayable report on the first failure.
+///
+/// `case` returns `Err((message, rendered_inputs))` when an assertion fails;
+/// panics inside the property body are caught and reported the same way.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), (String, String)>,
+{
+    let cases = case_count();
+    let seed = seed_for(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..cases {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        let failure = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err((msg, inputs))) => (msg, inputs),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic with non-string payload".into());
+                (format!("panicked: {msg}"), String::from("<lost in panic>"))
+            }
+        };
+        panic!(
+            "property `{name}` failed at case {i}/{cases} (seed {seed:#018x})\n  \
+             cause: {}\n  inputs: {}",
+            failure.0, failure.1
+        );
+    }
+}
+
+/// Fail the surrounding property unless `cond` holds.
+///
+/// Must be used inside a [`properties!`] body (it `return`s an `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)*)
+            ));
+        }
+    };
+}
+
+/// Fail the surrounding property unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {} ({})\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Define seeded property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a regular
+/// `#[test]`-able function that draws its arguments from the given
+/// [`Strategy`] values [`case_count()`] times. Inside the body use
+/// [`prop_assert!`] / [`prop_assert_eq!`]; plain `assert!` also works (the
+/// panic is caught and reported with the failing case).
+#[macro_export]
+macro_rules! properties {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // The argument list forms one tuple strategy, built once;
+                // generation is per-case.
+                let __strat = ($($strat,)+);
+                $crate::run_cases(stringify!($name), |__rng| {
+                    let __vals = $crate::Strategy::generate(&__strat, __rng);
+                    let __rendered = format!("{:?}", &__vals);
+                    #[allow(unused_parens)]
+                    let ($($arg,)+) = __vals;
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    __result.map_err(|e| (e, __rendered))
+                });
+            }
+        )*
+    };
+}

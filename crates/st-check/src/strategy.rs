@@ -1,0 +1,199 @@
+//! Input-generation strategies for the [`properties!`](crate::properties)
+//! macro, mirroring the subset of `proptest`'s strategy combinators the
+//! workspace uses: numeric ranges, `prop::collection::vec`, `prop::bool::ANY`,
+//! tuples, and `prop_map`.
+
+use st_rand::{Rng, SampleUniform, StdRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating one test-case input from a seeded generator.
+pub trait Strategy {
+    /// The generated value type (must be `Debug` for failure reports).
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f` (the `proptest` combinator name).
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Numeric half-open ranges are strategies: `0u64..100`, `-1.0f32..1.0`, …
+impl<T: SampleUniform + Debug> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// A vector whose length and elements are both drawn from strategies.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// `proptest`-compatible module layout: `prop::collection::vec`,
+/// `prop::bool::ANY`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Vectors of `len ∈ size` elements drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { elem, len: size }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::Strategy;
+        use st_rand::{Rng, StdRng};
+
+        /// A fair coin.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.random_bool(0.5)
+            }
+        }
+
+        /// Either boolean with equal probability.
+        pub const ANY: Any = Any;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_rand::SeedableRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = 5usize..20;
+        for _ in 0..500 {
+            assert!((5..20).contains(&s.generate(&mut rng)));
+        }
+        let f = -1.5f32..2.5;
+        for _ in 0..500 {
+            assert!((-1.5..2.5).contains(&f.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_and_elems() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = prop::collection::vec(0i64..10, 2..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = (1usize..4, 10usize..13).prop_map(|(a, b)| a * 100 + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            let (a, b) = (v / 100, v % 100);
+            assert!((1..4).contains(&a) && (10..13).contains(&b));
+        }
+    }
+
+    #[test]
+    fn bool_any_yields_both() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let vals: Vec<bool> = (0..100).map(|_| prop::bool::ANY.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn just_returns_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(Just(42).generate(&mut rng), 42);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = (0u64..1000, prop::collection::vec(-1.0f64..1.0, 1..5));
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -5,8 +5,8 @@
 
 use crate::dataset::SpatioTemporalDataset;
 use crate::generators::noise::spatially_correlated_ar1;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use st_rand::StdRng;
+use st_rand::{Rng, SeedableRng};
 use st_graph::{random_plane_layout, SensorGraph};
 use st_tensor::NdArray;
 

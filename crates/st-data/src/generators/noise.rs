@@ -1,7 +1,7 @@
 //! Spatially correlated AR(1) noise shared by the generators.
 
-use rand::rngs::StdRng;
-use rand_distr::{Distribution, Normal};
+use st_rand::StdRng;
+use st_rand::{Distribution, Normal};
 use st_tensor::NdArray;
 
 /// Generate `[T, N]` noise with per-step spatial mixing and temporal AR(1)
@@ -49,7 +49,7 @@ pub fn spatially_correlated_ar1(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use st_rand::SeedableRng;
 
     fn uniform_transition(n: usize) -> NdArray {
         NdArray::full(&[n, n], 1.0 / n as f32)

@@ -7,8 +7,8 @@
 use crate::dataset::SpatioTemporalDataset;
 use crate::generators::air_quality::original_missing_mask;
 use crate::generators::noise::spatially_correlated_ar1;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use st_rand::StdRng;
+use st_rand::{Rng, SeedableRng};
 use st_graph::{highway_chain_layout, SensorGraph};
 use st_tensor::NdArray;
 

@@ -6,8 +6,8 @@
 //! missing pattern: *hybrid + historical* on AQI-36, *hybrid + block* on
 //! block-missing traffic, *point* on point-missing traffic.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use st_rand::StdRng;
+use st_rand::Rng;
 use st_tensor::NdArray;
 
 /// A training mask strategy producing target masks over observed positions.
@@ -122,7 +122,7 @@ fn ensure_nonempty(mut mask: NdArray, observed: &NdArray, rng: &mut StdRng) -> N
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use st_rand::SeedableRng;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -197,6 +197,74 @@ mod tests {
             }
         }
         assert!(hit, "historical branch never selected");
+    }
+
+    #[test]
+    fn all_strategies_preserve_observed_positions() {
+        // Conditioning values the window does NOT have must never be selected
+        // as targets, for every strategy including the historical hybrid.
+        let mut observed = NdArray::ones(&[6, 12]);
+        for i in 0..24 {
+            observed.data_mut()[i * 3 % 72] = 0.0;
+        }
+        let mut pat = NdArray::ones(&[6, 12]);
+        for i in 0..36 {
+            pat.data_mut()[(i * 2 + 1) % 72] = 0.0;
+        }
+        let strategies = [
+            MaskStrategy::Point,
+            MaskStrategy::Block,
+            MaskStrategy::HybridBlock,
+            MaskStrategy::HybridHistorical { patterns: vec![pat] },
+        ];
+        let mut r = rng(6);
+        for strat in &strategies {
+            for _ in 0..50 {
+                let m = strat.sample(&observed, &mut r);
+                for (&mv, &ov) in m.data().iter().zip(observed.data()) {
+                    assert!(mv == 0.0 || ov > 0.0, "{strat:?} selected an unobserved target");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_mask_realized_rate_matches_drawn_rate_on_average() {
+        // Point draws m ~ U[0,1] then masks each observed cell w.p. m, so the
+        // long-run average target fraction over observed cells is E[m] = 1/2.
+        let observed = NdArray::ones(&[10, 20]);
+        let mut r = rng(7);
+        let draws = 400;
+        let mut total = 0.0f64;
+        for _ in 0..draws {
+            let m = MaskStrategy::Point.sample(&observed, &mut r);
+            total += m.data().iter().map(|&v| f64::from(v)).sum::<f64>() / 200.0;
+        }
+        let mean = total / f64::from(draws);
+        assert!(
+            (mean - 0.5).abs() < 0.05,
+            "mean point-mask rate {mean:.3} outside tolerance of E[m]=0.5"
+        );
+    }
+
+    #[test]
+    fn block_mask_rate_stays_in_strategy_band() {
+        // Block masks p ~ U[0, 0.15] of nodes with runs of ≥ L/2 plus 5 %
+        // random points: the long-run average rate must sit well inside
+        // (0.05, 0.25) — far below point's 0.5 and clearly above pure noise.
+        let observed = NdArray::ones(&[10, 20]);
+        let mut r = rng(8);
+        let draws = 400;
+        let mut total = 0.0f64;
+        for _ in 0..draws {
+            let m = MaskStrategy::Block.sample(&observed, &mut r);
+            total += m.data().iter().map(|&v| f64::from(v)).sum::<f64>() / 200.0;
+        }
+        let mean = total / f64::from(draws);
+        assert!(
+            (0.05..0.25).contains(&mean),
+            "mean block-mask rate {mean:.3} outside the strategy's expected band"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! The evaluation is later restricted to a chosen split, but masks are
 //! injected across the whole panel exactly as the GRIN/CSDI pipelines do.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use st_rand::StdRng;
+use st_rand::{Rng, SeedableRng};
 use st_tensor::NdArray;
 
 /// Point missing: uniformly mask `rate` of the observed positions

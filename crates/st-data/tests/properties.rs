@@ -1,9 +1,9 @@
 //! Property-based tests for the data substrate: interpolation, mask
 //! strategies, missing injection and normalisation invariants.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_check::prelude::*;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_data::generators::{generate_air_quality, AirQualityConfig};
 use st_data::interpolate::linear_interpolate;
 use st_data::mask_strategy::MaskStrategy;
@@ -22,7 +22,7 @@ fn window_and_mask() -> impl Strategy<Value = (NdArray, NdArray)> {
     })
 }
 
-proptest! {
+properties! {
     /// Interpolation never alters observed values and always produces finite
     /// output within the per-row observed range (linear interpolation of a
     /// bounded set cannot overshoot).

@@ -17,8 +17,8 @@
 
 use crate::ddpm::NoisePredictor;
 use crate::schedule::DiffusionSchedule;
-use rand::rngs::StdRng;
-use rand_distr::{Distribution, Normal};
+use st_rand::StdRng;
+use st_rand::{Distribution, Normal};
 use st_tensor::NdArray;
 
 /// Evenly spaced subsequence of diffusion steps, always containing 1 and `T`.
@@ -101,7 +101,7 @@ pub fn ddim_sample<P: NoisePredictor + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn timesteps_subsequence_properties() {

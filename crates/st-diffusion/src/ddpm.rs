@@ -1,8 +1,8 @@
 //! Forward noising and reverse sampling (paper Section III-A, Algorithms 1–2).
 
 use crate::schedule::DiffusionSchedule;
-use rand::rngs::StdRng;
-use rand_distr::{Distribution, Normal};
+use st_rand::StdRng;
+use st_rand::{Distribution, Normal};
 use st_tensor::NdArray;
 
 /// Anything that can predict the noise `ε` added to a noisy imputation target.
@@ -83,7 +83,7 @@ pub fn reverse_sample<P: NoisePredictor + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn q_sample_interpolates_signal_and_noise() {

@@ -130,6 +130,35 @@ mod tests {
     }
 
     #[test]
+    fn alpha_bar_in_unit_interval_strictly_decreasing() {
+        for kind in [BetaSchedule::Quadratic, BetaSchedule::Linear] {
+            for t_steps in [2usize, 10, 50, 200] {
+                let s = DiffusionSchedule::new(kind, t_steps, 1e-4, 0.2);
+                let mut prev = 1.0f64;
+                for t in 1..=t_steps {
+                    let ab = s.alpha_bar(t);
+                    assert!(ab > 0.0 && ab <= 1.0, "{kind:?} ᾱ_{t} = {ab} outside (0,1]");
+                    assert!(ab < prev, "{kind:?} ᾱ not strictly decreasing at {t}");
+                    prev = ab;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_matches_eq13_closed_form() {
+        // Eq. 13: β_t = ((T−t)/(T−1)·√β₁ + (t−1)/(T−1)·√β_T)²
+        let (t_steps, bmin, bmax) = (50usize, 1e-4f64, 0.2f64);
+        let s = DiffusionSchedule::new(BetaSchedule::Quadratic, t_steps, bmin, bmax);
+        for t in 1..=t_steps {
+            let a = (t_steps - t) as f64 / (t_steps - 1) as f64;
+            let b = (t - 1) as f64 / (t_steps - 1) as f64;
+            let expect = (a * bmin.sqrt() + b * bmax.sqrt()).powi(2);
+            assert!((s.beta(t) - expect).abs() < 1e-15, "β_{t} = {} vs Eq.13 {expect}", s.beta(t));
+        }
+    }
+
+    #[test]
     fn quadratic_interpolates_sqrt() {
         let s = DiffusionSchedule::new(BetaSchedule::Quadratic, 3, 0.01, 0.09);
         // midpoint: ((sqrt(0.01)+sqrt(0.09))/2)^2 = (0.2)^2 = 0.04

@@ -1,12 +1,12 @@
 //! Property-based tests for the diffusion machinery.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_check::prelude::*;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_diffusion::{p_sample_step, q_sample, BetaSchedule, DiffusionSchedule};
 use st_tensor::NdArray;
 
-proptest! {
+properties! {
     /// Schedules are valid for any (sane) parameterisation: β increasing in
     /// (0,1), ᾱ strictly decreasing, σ² within [0, β].
     #[test]

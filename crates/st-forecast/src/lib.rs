@@ -15,9 +15,9 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SliceRandom;
+use st_rand::SeedableRng;
 use st_graph::SensorGraph;
 use st_tensor::graph::{Graph, Tx};
 use st_tensor::ndarray::NdArray;

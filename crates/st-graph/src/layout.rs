@@ -4,8 +4,8 @@
 //! (AQI-36 monitoring stations) or along highways (METR-LA / PEMS-BAY loop
 //! detectors). Two layout generators reproduce those geometries.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use st_rand::StdRng;
+use st_rand::{Rng, SeedableRng};
 
 /// 2-D sensor coordinates in kilometres.
 #[derive(Debug, Clone, Copy, PartialEq)]

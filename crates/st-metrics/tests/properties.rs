@@ -1,9 +1,9 @@
 //! Property-based tests for the evaluation metrics.
 
-use proptest::prelude::*;
+use st_check::prelude::*;
 use st_metrics::{crps_single, masked_mae, masked_mse, quantile_of_sorted, MaskedErrors};
 
-proptest! {
+properties! {
     /// CRPS is non-negative for any ensemble and target.
     #[test]
     fn crps_non_negative(samples in prop::collection::vec(-100.0f32..100.0, 2..40), x in -100.0f64..100.0) {

@@ -1,0 +1,239 @@
+//! The distributions the workspace samples from: [`Normal`] /
+//! [`StandardNormal`] (Box–Muller), [`Uniform`], and [`Bernoulli`].
+//!
+//! The API mirrors `rand_distr`: a [`Distribution<T>`] trait with a
+//! `sample(&self, rng)` method, and fallible constructors that reject
+//! degenerate parameters.
+
+use crate::uniform::SampleUniform;
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value using `rng` as the source of randomness.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributionError(&'static str);
+
+impl std::fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+/// Shared float plumbing so [`Normal`] works for both `f32` and `f64`.
+pub trait NormalFloat: Copy {
+    /// One standard-normal draw via Box–Muller.
+    fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    /// `true` when the value is a valid (finite, non-negative) std dev.
+    fn valid_std(self) -> bool;
+    /// Fused `mean + std * z`.
+    fn affine(self, std: Self, z: Self) -> Self;
+}
+
+#[inline]
+fn box_muller_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so the log is finite; u2 ∈ [0, 1).
+    let u1 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl NormalFloat for f64 {
+    #[inline]
+    fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        box_muller_f64(rng)
+    }
+    fn valid_std(self) -> bool {
+        self.is_finite() && self >= 0.0
+    }
+    #[inline]
+    fn affine(self, std: Self, z: Self) -> Self {
+        self + std * z
+    }
+}
+
+impl NormalFloat for f32 {
+    #[inline]
+    fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Computed in f64 for a clean tail, then rounded once.
+        box_muller_f64(rng) as f32
+    }
+    fn valid_std(self) -> bool {
+        self.is_finite() && self >= 0.0
+    }
+    #[inline]
+    fn affine(self, std: Self, z: Self) -> Self {
+        self + std * z
+    }
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl<F: NormalFloat> Distribution<F> for StandardNormal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::standard_normal(rng)
+    }
+}
+
+/// A normal distribution `N(mean, std²)`, sampled with Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std: F,
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// Create `N(mean, std²)`; `std` must be finite and non-negative
+    /// (`std == 0` gives a point mass, matching `rand_distr`).
+    pub fn new(mean: F, std: F) -> Result<Self, DistributionError> {
+        if !std.valid_std() {
+            return Err(DistributionError("Normal: std must be finite and >= 0"));
+        }
+        Ok(Self { mean, std })
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        self.mean.affine(self.std, F::standard_normal(rng))
+    }
+}
+
+/// A uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Create a uniform distribution over `[lo, hi)`; requires `lo < hi`.
+    pub fn new(lo: T, hi: T) -> Result<Self, DistributionError> {
+        if !(lo < hi) {
+            return Err(DistributionError("Uniform: requires lo < hi"));
+        }
+        Ok(Self { lo, hi })
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(self.lo, self.hi, rng)
+    }
+}
+
+/// A Bernoulli distribution: `true` with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Create a coin with success probability `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Result<Self, DistributionError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistributionError("Bernoulli: p must be in [0, 1]"));
+        }
+        Ok(Self { p })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.random_bool(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn normal_f32_matches_parameters() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Normal::new(-1.0f32, 0.5).unwrap();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean + 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_point_mass() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Normal::new(7.5f32, 0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 7.5);
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_std() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f64, f64::NAN).is_err());
+        assert!(Normal::new(0.0f64, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn standard_normal_symmetric() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 50_000;
+        let pos = (0..n)
+            .filter(|_| {
+                let z: f64 = StandardNormal.sample(&mut rng);
+                z > 0.0
+            })
+            .count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let d = Uniform::new(-2.0f32, 6.0).unwrap();
+        let n = 50_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((-2.0..6.0).contains(&v));
+            sum += v as f64;
+        }
+        assert!((sum / n as f64 - 2.0).abs() < 0.05);
+        assert!(Uniform::new(1.0f32, 1.0).is_err());
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let d = Bernoulli::new(0.7).unwrap();
+        let hits = (0..20_000).filter(|_| d.sample(&mut rng)).count();
+        assert!((hits as f64 / 20_000.0 - 0.7).abs() < 0.02);
+        assert!(Bernoulli::new(1.5).is_err());
+        assert!(Bernoulli::new(-0.1).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Sequence helpers mirroring `rand::seq`: in-place shuffling and random
+//! element choice, used for mini-batch ordering in every training loop.
+
+use crate::{Rng, RngCore};
+
+/// Randomisation methods on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying in order is ~impossible");
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(5));
+        b.shuffle(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_positions_roughly_uniform() {
+        // Element 0 should land in every slot with similar frequency.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            let mut v = [0usize, 1, 2, 3, 4];
+            v.shuffle(&mut rng);
+            counts[v.iter().position(|&x| x == 0).unwrap()] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 10_000.0;
+            assert!((f - 0.2).abs() < 0.03, "slot frequency {f}");
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_and_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let v = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &c = v.choose(&mut rng).unwrap();
+            seen[c / 10 - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

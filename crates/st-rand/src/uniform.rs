@@ -1,0 +1,172 @@
+//! Uniform sampling over ranges, the engine behind [`crate::Rng::random_range`].
+//!
+//! Integer ranges use multiply-free rejection sampling (no modulo bias);
+//! float ranges map a fixed-precision unit draw affinely onto `[lo, hi)`.
+
+use crate::{RngCore, StandardSample};
+use std::ops::{Range, RangeInclusive};
+
+/// Draw a uniform `u64` in `[0, n)` without modulo bias.
+#[inline]
+pub fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Largest multiple of n that fits in u64; reject draws above it.
+    let threshold = (u64::MAX / n) * n;
+    loop {
+        let v = rng.next_u64();
+        if v < threshold {
+            return v % n;
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Caller guarantees `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`. Caller guarantees `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = hi.wrapping_sub(lo) as u64;
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain: every value is equally likely.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u64, usize, u32, i64, i32, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let unit: $t = StandardSample::sample_standard(rng);
+                let v = lo + (hi - lo) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= hi { lo } else { v }
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let unit: $t = StandardSample::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`crate::Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value; panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Rng, SeedableRng, StdRng};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&b));
+            let c: u64 = rng.random_range(0..1);
+            assert_eq!(c, 0);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+        let mut seen_inc = [false; 4];
+        for _ in 0..500 {
+            seen_inc[rng.random_range(0..=3usize)] = true;
+        }
+        assert!(seen_inc.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn integer_range_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 0.125).abs() < 0.01, "bucket frequency {freq}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x: f32 = rng.random_range(-2.5..7.0);
+            assert!((-2.5..7.0).contains(&x));
+            let y: f64 = rng.random_range(0.8..2.4);
+            assert!((0.8..2.4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_range_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(10.0..20.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 15.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _: usize = rng.random_range(5..5);
+    }
+}

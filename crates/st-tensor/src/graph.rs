@@ -10,7 +10,7 @@
 use crate::backward::backprop;
 use crate::ndarray::NdArray;
 use crate::param::ParamStore;
-use rand::{Rng, RngExt as _};
+use st_rand::Rng;
 use std::collections::HashMap;
 
 /// Handle to a tensor on the tape (an index into the node arena).

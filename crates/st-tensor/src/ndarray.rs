@@ -6,12 +6,11 @@
 //! batched 3-D matrix multiplication, permutation, concatenation, softmax),
 //! implemented with cache-friendly loops rather than a general einsum engine.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal, Uniform};
-use serde::{Deserialize, Serialize};
+use st_rand::Rng;
+use st_rand::{Distribution, Normal, Uniform};
 
 /// A dense row-major tensor of `f32` values.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NdArray {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -100,6 +99,81 @@ impl NdArray {
     /// Consume into the flat buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
+    }
+
+    /// Serialize to a one-line text form: `shape;data` with space-separated
+    /// fields. Values are written via `f32 -> bits` hex so the round-trip is
+    /// bitwise exact (plain decimal formatting would lose precision).
+    pub fn to_text(&self) -> String {
+        let shape = self.shape.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" ");
+        let data =
+            self.data.iter().map(|v| format!("{:08x}", v.to_bits())).collect::<Vec<_>>().join(" ");
+        format!("{shape};{data}")
+    }
+
+    /// Parse [`Self::to_text`] output back into an array.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let (shape_part, data_part) =
+            text.split_once(';').ok_or("NdArray text form must contain `;`")?;
+        let shape = shape_part
+            .split_whitespace()
+            .map(|t| t.parse::<usize>().map_err(|e| format!("bad dim `{t}`: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let data = data_part
+            .split_whitespace()
+            .map(|t| {
+                u32::from_str_radix(t, 16)
+                    .map(f32::from_bits)
+                    .map_err(|e| format!("bad value `{t}`: {e}"))
+            })
+            .collect::<Result<Vec<f32>, _>>()?;
+        if shape.iter().product::<usize>() != data.len() {
+            return Err(format!(
+                "shape {shape:?} does not match {} data values",
+                data.len()
+            ));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Serialize to a length-prefixed little-endian binary blob
+    /// (same layout as `ParamStore::to_bytes` uses per tensor).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 * self.ndim() + 4 * self.data.len());
+        out.extend_from_slice(&(self.ndim() as u64).to_le_bytes());
+        for &d in &self.shape {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let read_u64 = |bytes: &[u8], pos: &mut usize| -> Result<u64, String> {
+            let sl = bytes.get(*pos..*pos + 8).ok_or("truncated NdArray blob")?;
+            *pos += 8;
+            Ok(u64::from_le_bytes(sl.try_into().unwrap()))
+        };
+        let ndim = read_u64(bytes, &mut pos)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u64(bytes, &mut pos)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sl = bytes.get(pos..pos + 4).ok_or("truncated NdArray blob")?;
+            pos += 4;
+            data.push(f32::from_le_bytes(sl.try_into().unwrap()));
+        }
+        if pos != bytes.len() {
+            return Err(format!("{} trailing bytes after NdArray blob", bytes.len() - pos));
+        }
+        Ok(Self { shape, data })
     }
 
     /// Row-major strides for this shape.
@@ -633,8 +707,8 @@ pub fn matmul_transa_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn zeros_ones_full() {
@@ -843,5 +917,37 @@ mod tests {
         assert_eq!(broadcast_shape(&[2, 3], &[3]), Some(vec![2, 3]));
         assert_eq!(broadcast_shape(&[2, 1, 4], &[3, 1]), Some(vec![2, 3, 4]));
         assert_eq!(broadcast_shape(&[2, 3], &[4]), None);
+    }
+
+    #[test]
+    fn text_round_trip_is_bitwise_exact() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = NdArray::randn(&[2, 3, 4], &mut rng);
+        let b = NdArray::from_text(&a.to_text()).unwrap();
+        assert_eq!(a, b);
+        // subnormals / specials survive too
+        let odd = NdArray::from_vec(&[4], vec![f32::MIN_POSITIVE / 2.0, -0.0, 1e-38, 3.5]);
+        let rt = NdArray::from_text(&odd.to_text()).unwrap();
+        assert_eq!(odd.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                   rt.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn text_rejects_malformed() {
+        assert!(NdArray::from_text("no separator").is_err());
+        assert!(NdArray::from_text("2 2;00000000").is_err()); // count mismatch
+        assert!(NdArray::from_text("1;zz").is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip_is_bitwise_exact() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = NdArray::rand_uniform(&[3, 5], -2.0, 2.0, &mut rng);
+        let bytes = a.to_bytes();
+        assert_eq!(NdArray::from_bytes(&bytes).unwrap(), a);
+        assert!(NdArray::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(NdArray::from_bytes(&extra).is_err());
     }
 }

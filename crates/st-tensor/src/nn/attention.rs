@@ -11,7 +11,7 @@
 use crate::graph::{Graph, Tx};
 use crate::nn::Linear;
 use crate::param::{normal_init, ParamStore};
-use rand::Rng;
+use st_rand::Rng;
 
 /// Multi-head scaled-dot-product attention over the middle (sequence) axis of
 /// a `[B, S, d]` input.
@@ -132,8 +132,8 @@ impl MultiHeadAttention {
 mod tests {
     use super::*;
     use crate::ndarray::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn self_attention_shape() {

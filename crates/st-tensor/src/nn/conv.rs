@@ -4,7 +4,7 @@
 use crate::graph::{Graph, Tx};
 use crate::ndarray::NdArray;
 use crate::param::{normal_init, ParamStore};
-use rand::Rng;
+use st_rand::Rng;
 
 /// Causal 1-D convolution along the time axis of a `[B, L, C_in]` tensor.
 #[derive(Debug, Clone)]
@@ -56,8 +56,8 @@ impl DilatedConv1d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn output_shape_preserved() {

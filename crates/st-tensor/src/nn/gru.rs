@@ -4,7 +4,7 @@
 use crate::graph::{Graph, Tx};
 use crate::nn::Linear;
 use crate::param::ParamStore;
-use rand::Rng;
+use st_rand::Rng;
 
 /// A single GRU cell: `h' = (1-z) ⊙ h + z ⊙ tanh(W_h x + U_h (r ⊙ h))`.
 #[derive(Debug, Clone)]
@@ -71,8 +71,8 @@ impl GruCell {
 mod tests {
     use super::*;
     use crate::ndarray::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn step_shape() {

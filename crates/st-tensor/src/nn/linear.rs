@@ -4,7 +4,7 @@
 use crate::graph::{Graph, Tx};
 use crate::ndarray::NdArray;
 use crate::param::{xavier_uniform, ParamStore};
-use rand::Rng;
+use st_rand::Rng;
 
 /// `y = x @ W + b` over the last axis of an arbitrary-rank input.
 #[derive(Debug, Clone)]
@@ -78,8 +78,8 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn forward_shape_any_rank() {

@@ -3,7 +3,7 @@
 use crate::graph::{Graph, Tx};
 use crate::nn::Linear;
 use crate::param::ParamStore;
-use rand::Rng;
+use st_rand::Rng;
 
 /// `y = W₂ · silu(W₁ x + b₁) + b₂`.
 #[derive(Debug, Clone)]
@@ -50,8 +50,8 @@ impl Mlp {
 mod tests {
     use super::*;
     use crate::ndarray::NdArray;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn shapes_and_grads() {

@@ -10,7 +10,7 @@ use crate::graph::{Graph, Tx};
 use crate::ndarray::NdArray;
 use crate::nn::Linear;
 use crate::param::{normal_init, ParamStore};
-use rand::Rng;
+use st_rand::Rng;
 
 /// Diffusion-convolution message passing with optional adaptive adjacency.
 #[derive(Debug, Clone)]
@@ -101,8 +101,8 @@ impl Mpnn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     fn row_normalised(n: usize, rng: &mut StdRng) -> NdArray {
         let mut a = NdArray::rand_uniform(&[n, n], 0.0, 1.0, rng);

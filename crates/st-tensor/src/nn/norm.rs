@@ -35,8 +35,8 @@ impl LayerNorm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn normalises_rows_to_zero_mean_unit_var() {

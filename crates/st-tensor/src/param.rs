@@ -2,7 +2,7 @@
 //! checkpoint format.
 
 use crate::ndarray::NdArray;
-use rand::Rng;
+use st_rand::Rng;
 use std::collections::BTreeMap;
 
 /// Owns all learnable parameters of a model, keyed by hierarchical names
@@ -152,8 +152,8 @@ pub fn normal_init<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> N
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use st_rand::StdRng;
+    use st_rand::SeedableRng;
 
     #[test]
     fn insert_get_round_trip() {

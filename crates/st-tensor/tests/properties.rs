@@ -1,16 +1,16 @@
-//! Property-based tests (proptest) for the tensor substrate's algebraic
+//! Property-based tests (st-check) for the tensor substrate's algebraic
 //! invariants, complementing the finite-difference checks in `gradcheck.rs`.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_check::prelude::*;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_tensor::ndarray::{broadcast_shape, NdArray};
 
 fn small_shape() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..5, 1..4)
 }
 
-proptest! {
+properties! {
     /// Softmax rows are probability vectors for any input scale.
     #[test]
     fn softmax_rows_are_distributions(rows in 1usize..6, cols in 1usize..8, scale in 0.1f32..50.0) {

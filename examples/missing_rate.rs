@@ -11,8 +11,8 @@
 
 use pristi_core::train::{train, MaskStrategyKind, TrainConfig};
 use pristi_core::{impute_window, PristiConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_baselines::simple::LinearImputer;
 use st_baselines::{evaluate_panel, visible, Imputer};
 use st_data::dataset::Split;

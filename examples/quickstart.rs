@@ -8,8 +8,8 @@
 
 use pristi_core::train::{train, MaskStrategyKind, TrainConfig};
 use pristi_core::{impute_window, PristiConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_data::dataset::Split;
 use st_data::generators::{generate_air_quality, AirQualityConfig};
 use st_data::missing::inject_point_missing;

@@ -52,7 +52,7 @@ fn main() {
 
     // Impute the whole panel (downstream task consumes every split).
     let (mut panel, mask) = visible(&data);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let mut rng = <st_rand::StdRng as st_rand::SeedableRng>::seed_from_u64(3);
     let n = data.n_nodes();
     let len = 24;
     let mut t0 = 0;

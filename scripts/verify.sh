@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the hermetic workspace.
+#
+# Every dependency is an in-repo path crate, so the whole build/test cycle
+# must succeed with --offline and no crates.io registry access. Run from
+# anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo tree: dependency graph must be path-local =="
+if cargo tree --offline --workspace --prefix none | grep -vE '^\[|^$' | grep -qv '(/'; then
+    echo "error: found a non-path dependency in the workspace tree" >&2
+    cargo tree --offline --workspace --prefix none | grep -vE '^\[|^$' | grep -v '(/' >&2
+    exit 1
+fi
+
+echo "== cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== cargo test -q (offline) =="
+cargo test -q --offline
+
+echo "== cargo test -q --workspace (offline) =="
+cargo test -q --workspace --offline
+
+echo "verify: OK"

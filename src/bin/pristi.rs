@@ -14,8 +14,8 @@
 
 use pristi_core::train::{train, MaskStrategyKind, TrainConfig};
 use pristi_core::{impute_window, impute_window_fast, PristiConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 use st_baselines::visible;
 use st_data::generators::{generate_air_quality, generate_traffic, AirQualityConfig, TrafficConfig};
 use st_data::io::{load_dataset, panel_to_csv};

@@ -10,8 +10,8 @@ use pristi_suite::st_data::dataset::Split;
 use pristi_suite::st_data::generators::{generate_air_quality, AirQualityConfig};
 use pristi_suite::st_data::missing::inject_point_missing;
 use pristi_suite::st_metrics::masked_mae;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use st_rand::StdRng;
+use st_rand::SeedableRng;
 
 fn tiny_cfg() -> PristiConfig {
     let mut c = PristiConfig::small();
