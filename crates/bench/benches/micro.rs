@@ -6,6 +6,13 @@
 //! framework: each case is warmed up, then timed over a fixed batch of
 //! iterations with `std::time::Instant`, reporting ns/iter. Run with
 //! `cargo bench -p pristi-bench` (append `-- <filter>` to run a subset).
+//!
+//! Flags (after `--`):
+//!
+//! * `--quick` — much shorter timing target, for CI smoke runs;
+//! * `--json`  — additionally write `BENCH_micro.json` at the repo root
+//!   (schema `st-bench/1`, one `{name, ns_per_iter, iters}` entry per case;
+//!   see EXPERIMENTS.md).
 
 use st_data::interpolate::linear_interpolate;
 use st_diffusion::{p_sample_step, DiffusionSchedule};
@@ -23,45 +30,92 @@ const WARMUP_ITERS: u32 = 5;
 const MIN_SAMPLE_ITERS: u32 = 10;
 /// Keep timing until at least this much wall clock has been spent.
 const TARGET_NANOS: u128 = 200_000_000;
+/// `--quick` variants: enough for a CI smoke signal, not for a stable number.
+const QUICK_WARMUP_ITERS: u32 = 1;
+const QUICK_TARGET_NANOS: u128 = 10_000_000;
 
-/// Time `f`, printing a criterion-style `name ... ns/iter` line.
-fn bench(filter: Option<&str>, name: &str, mut f: impl FnMut()) {
-    if let Some(pat) = filter {
-        if !name.contains(pat) {
-            return;
-        }
-    }
-    for _ in 0..WARMUP_ITERS {
-        f();
-    }
-    let mut iters = 0u32;
-    let mut elapsed = 0u128;
-    while elapsed < TARGET_NANOS {
-        let start = Instant::now();
-        for _ in 0..MIN_SAMPLE_ITERS {
-            f();
-        }
-        elapsed += start.elapsed().as_nanos();
-        iters += MIN_SAMPLE_ITERS;
-    }
-    let per_iter = elapsed / u128::from(iters);
-    println!("{name:<45} {per_iter:>12} ns/iter ({iters} iters)");
+/// One finished benchmark case.
+struct BenchResult {
+    name: String,
+    ns_per_iter: u128,
+    iters: u32,
 }
 
-fn bench_attention(filter: Option<&str>) {
+/// Shared state for a bench run: CLI options plus collected results.
+struct Harness {
+    filter: Option<String>,
+    quick: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Time `f`, printing a criterion-style `name ... ns/iter` line and
+    /// recording the result for the optional JSON report.
+    fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        if let Some(pat) = &self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
+        let (warmup, target) = if self.quick {
+            (QUICK_WARMUP_ITERS, QUICK_TARGET_NANOS)
+        } else {
+            (WARMUP_ITERS, TARGET_NANOS)
+        };
+        for _ in 0..warmup {
+            f();
+        }
+        let mut iters = 0u32;
+        let mut elapsed = 0u128;
+        while elapsed < target {
+            let start = Instant::now();
+            for _ in 0..MIN_SAMPLE_ITERS {
+                f();
+            }
+            elapsed += start.elapsed().as_nanos();
+            iters += MIN_SAMPLE_ITERS;
+        }
+        let per_iter = elapsed / u128::from(iters);
+        println!("{name:<45} {per_iter:>12} ns/iter ({iters} iters)");
+        self.results.push(BenchResult { name: name.to_string(), ns_per_iter: per_iter, iters });
+    }
+
+    /// Render the collected results as the `st-bench/1` JSON document.
+    fn to_json(&self) -> String {
+        let entries: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"name\":{},\"ns_per_iter\":{},\"iters\":{}}}",
+                    st_obs::json::escape(&r.name),
+                    r.ns_per_iter,
+                    r.iters
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"st-bench/1\",\"quick\":{},\"entries\":[{}]}}\n",
+            self.quick,
+            entries.join(",")
+        )
+    }
+}
+
+fn bench_attention(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut store = ParamStore::new();
     let attn = MultiHeadAttention::new(&mut store, "a", 32, 4, &mut rng);
     let x_val = NdArray::randn(&[8, 24, 32], &mut rng);
 
-    bench(filter, "attention_forward_8x24x32", || {
+    h.bench("attention_forward_8x24x32", || {
         let mut g = Graph::new_eval(&store);
         let x = g.input(black_box(x_val.clone()));
         let y = attn.forward_self(&mut g, x);
         black_box(g.value(y).data()[0]);
     });
 
-    bench(filter, "attention_forward_backward_8x24x32", || {
+    h.bench("attention_forward_backward_8x24x32", || {
         let mut g = Graph::new(&store);
         let x = g.input(black_box(x_val.clone()));
         let y = attn.forward_self(&mut g, x);
@@ -72,7 +126,7 @@ fn bench_attention(filter: Option<&str>) {
     });
 }
 
-fn bench_mpnn(filter: Option<&str>) {
+fn bench_mpnn(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(2);
     let graph = SensorGraph::from_coords(random_plane_layout(36, 40.0, 3), 0.1);
     let (fwd, bwd) = graph.transition_matrices();
@@ -80,7 +134,7 @@ fn bench_mpnn(filter: Option<&str>) {
     let mpnn = Mpnn::new(&mut store, "mp", 32, vec![fwd, bwd], 36, 2, 8, &mut rng);
     let x_val = NdArray::randn(&[24, 36, 32], &mut rng);
 
-    bench(filter, "mpnn_forward_24x36x32", || {
+    h.bench("mpnn_forward_24x36x32", || {
         let mut g = Graph::new_eval(&store);
         let x = g.input(black_box(x_val.clone()));
         let y = mpnn.forward(&mut g, x);
@@ -88,28 +142,28 @@ fn bench_mpnn(filter: Option<&str>) {
     });
 }
 
-fn bench_diffusion_step(filter: Option<&str>) {
+fn bench_diffusion_step(h: &mut Harness) {
     let schedule = DiffusionSchedule::pristi_default(50);
     let mut rng = StdRng::seed_from_u64(4);
     let x = NdArray::randn(&[8, 36, 24], &mut rng);
     let eps = NdArray::randn(&[8, 36, 24], &mut rng);
 
-    bench(filter, "p_sample_step_8x36x24", || {
+    h.bench("p_sample_step_8x36x24", || {
         black_box(p_sample_step(&x, &eps, &schedule, 25, &mut rng));
     });
 }
 
-fn bench_interpolation(filter: Option<&str>) {
+fn bench_interpolation(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(5);
     let values = NdArray::randn(&[36, 48], &mut rng);
     let mask = NdArray::rand_uniform(&[36, 48], 0.0, 1.0, &mut rng).map(|v| f32::from(v > 0.3));
 
-    bench(filter, "linear_interpolate_36x48", || {
+    h.bench("linear_interpolate_36x48", || {
         black_box(linear_interpolate(&values, &mask, 0.0));
     });
 }
 
-fn bench_full_noise_predictor(filter: Option<&str>) {
+fn bench_full_noise_predictor(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(6);
     let graph = SensorGraph::from_coords(random_plane_layout(24, 30.0, 7), 0.1);
     let mut cfg = pristi_core::PristiConfig::small();
@@ -124,21 +178,37 @@ fn bench_full_noise_predictor(filter: Option<&str>) {
     let noisy = NdArray::randn(&[4, 24, 24], &mut rng);
     let cond = NdArray::randn(&[4, 24, 24], &mut rng);
 
-    bench(filter, "pristi_eps_theta_forward_4x24x24", || {
+    h.bench("pristi_eps_theta_forward_4x24x24", || {
         black_box(model.predict_eps_eval(&noisy, &cond, 10));
     });
 }
 
+/// Path the `--json` report is written to: the workspace root, so tooling
+/// (scripts/verify.sh, EXPERIMENTS.md readers) can find it without arguments.
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+
 fn main() {
     // `cargo bench -- <filter>` forwards everything after `--` to us; accept
-    // the first non-flag argument as a substring filter, ignore harness flags
-    // like `--bench` that cargo may inject.
+    // the first non-flag argument as a substring filter, handle our own
+    // `--quick` / `--json` flags, and ignore harness flags like `--bench`
+    // that cargo may inject.
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let filter = args.iter().find(|a| !a.starts_with('-')).map(String::as_str);
+    let mut h = Harness {
+        filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+        quick: args.iter().any(|a| a == "--quick"),
+        results: Vec::new(),
+    };
+    let json = args.iter().any(|a| a == "--json");
 
-    bench_attention(filter);
-    bench_mpnn(filter);
-    bench_diffusion_step(filter);
-    bench_interpolation(filter);
-    bench_full_noise_predictor(filter);
+    bench_attention(&mut h);
+    bench_mpnn(&mut h);
+    bench_diffusion_step(&mut h);
+    bench_interpolation(&mut h);
+    bench_full_noise_predictor(&mut h);
+
+    if json {
+        std::fs::write(JSON_PATH, h.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {JSON_PATH}: {e}"));
+        println!("wrote {} entries to {JSON_PATH}", h.results.len());
+    }
 }

@@ -5,7 +5,7 @@
 use crate::datasets::Setting;
 use crate::scale::Scale;
 use pristi_core::{impute_window, ModelVariant, PristiConfig, TrainConfig, TrainedModel};
-use pristi_core::train::{train, MaskStrategyKind};
+use pristi_core::train::{train, MaskStrategyKind, Reporter};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
 use st_baselines::batf::BatfImputer;
@@ -115,7 +115,7 @@ pub fn diffusion_train_cfg(scale: Scale, setting: Setting) -> TrainConfig {
         strategy,
         clip_norm: 5.0,
         seed: 1234,
-        verbose: false,
+        reporter: Reporter::Silent,
     }
 }
 

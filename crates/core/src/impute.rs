@@ -96,6 +96,11 @@ fn impute_window_impl(
     rng: &mut StdRng,
 ) -> ImputationResult {
     assert!(n_samples >= 1, "need at least one sample");
+    let _span = st_obs::span!(
+        "impute_window",
+        samples = n_samples as u64,
+        ddim_steps = ddim_steps.unwrap_or(0) as u64,
+    );
     let (n, l) = (window.n_nodes(), window.len());
     assert_eq!(n, trained.model.n_nodes(), "window node count mismatch");
     assert_eq!(l, trained.model.window_len(), "window length mismatch");
@@ -120,6 +125,7 @@ fn impute_window_impl(
     match ddim_steps {
         None => {
             for t in (1..=trained.schedule.t_steps()).rev() {
+                let _step_span = st_obs::span!("denoise_step", t = t as u64);
                 let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
                 x = p_sample_step(&x, &eps_hat, &trained.schedule, t, rng).mul(&tmask_b);
             }
@@ -129,6 +135,7 @@ fn impute_window_impl(
             for i in (0..taus.len()).rev() {
                 let t = taus[i];
                 let t_prev = if i == 0 { 0 } else { taus[i - 1] };
+                let _step_span = st_obs::span!("denoise_step", t = t as u64, t_prev = t_prev as u64);
                 let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
                 x = st_diffusion::ddim_step(&x, &eps_hat, &trained.schedule, t, t_prev, 0.0, rng)
                     .mul(&tmask_b);

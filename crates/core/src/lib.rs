@@ -69,4 +69,4 @@ pub mod train;
 pub use config::{ModelVariant, PristiConfig};
 pub use impute::{impute_window, impute_window_fast, ImputationResult};
 pub use model::PristiModel;
-pub use train::{train, TrainConfig, TrainedModel};
+pub use train::{train, Reporter, TrainConfig, TrainedModel};

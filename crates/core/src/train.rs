@@ -20,6 +20,8 @@ use st_diffusion::{q_sample, DiffusionSchedule};
 use st_tensor::graph::Graph;
 use st_tensor::ndarray::NdArray;
 use st_tensor::optim::{clip_grad_norm, pristi_lr, Adam};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// Which mask strategy to train with (Section IV-D "Training strategies").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,8 +53,80 @@ pub struct TrainConfig {
     pub clip_norm: f64,
     /// RNG seed for masking / noise / shuffling.
     pub seed: u64,
-    /// Print a line per epoch.
-    pub verbose: bool,
+    /// Where per-epoch progress goes.
+    pub reporter: Reporter,
+}
+
+/// Destination for per-epoch training telemetry (loss, gradient norm,
+/// learning rate, throughput). Replaces the old `verbose: bool` flag.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Reporter {
+    /// No per-epoch output (the old `verbose: false`).
+    #[default]
+    Silent,
+    /// One human-readable line per epoch on stderr (the old `verbose: true`;
+    /// moved off stdout so result pipelines stay clean).
+    Stderr,
+    /// Machine-readable `st-obs/1` JSONL stream of `epoch` events at the
+    /// given path. The file is truncated at the start of training.
+    Jsonl(PathBuf),
+}
+
+/// Open sink for [`Reporter`]; holds the JSONL writer across epochs.
+enum ReporterSink {
+    Silent,
+    Stderr,
+    Jsonl(st_obs::JsonlWriter),
+}
+
+impl Reporter {
+    fn open(&self) -> ReporterSink {
+        match self {
+            Reporter::Silent => ReporterSink::Silent,
+            Reporter::Stderr => ReporterSink::Stderr,
+            Reporter::Jsonl(path) => ReporterSink::Jsonl(
+                st_obs::JsonlWriter::create(path).unwrap_or_else(|e| {
+                    panic!("Reporter::Jsonl: cannot create {}: {e}", path.display())
+                }),
+            ),
+        }
+    }
+}
+
+/// One epoch's worth of reporting, fanned out to the configured sink and —
+/// when a global st-obs recorder is installed — to its event stream as well.
+#[allow(clippy::too_many_arguments)]
+fn report_epoch(
+    sink: &mut ReporterSink,
+    epoch: usize,
+    loss: f64,
+    grad_norm: f64,
+    lr: f32,
+    windows: usize,
+    wps: f64,
+) {
+    let fields = || -> Vec<(&'static str, st_obs::Value)> {
+        vec![
+            ("epoch", st_obs::Value::U(epoch as u64)),
+            ("loss", st_obs::Value::F(loss)),
+            ("grad_norm", st_obs::Value::F(grad_norm)),
+            ("lr", st_obs::Value::F(f64::from(lr))),
+            ("windows", st_obs::Value::U(windows as u64)),
+            ("wps", st_obs::Value::F(wps)),
+        ]
+    };
+    match sink {
+        ReporterSink::Silent => {}
+        ReporterSink::Stderr => eprintln!(
+            "epoch {epoch:3}  loss {loss:.5}  grad {grad_norm:.4}  lr {lr:.6}  {wps:.1} win/s"
+        ),
+        ReporterSink::Jsonl(w) => w.event("epoch", fields()),
+    }
+    st_obs::emit("epoch", fields());
+    st_obs::gauge_set("train.loss", loss);
+    st_obs::gauge_set("train.grad_norm", grad_norm);
+    st_obs::gauge_set("train.lr", f64::from(lr));
+    st_obs::hist_record("train.epoch_loss", loss);
 }
 
 impl Default for TrainConfig {
@@ -66,7 +140,7 @@ impl Default for TrainConfig {
             strategy: MaskStrategyKind::Point,
             clip_norm: 5.0,
             seed: 7,
-            verbose: false,
+            reporter: Reporter::Silent,
         }
     }
 }
@@ -118,22 +192,35 @@ pub fn train(
         })
         .collect();
 
+    let _train_span = st_obs::span!(
+        "train",
+        epochs = tc.epochs as u64,
+        windows = prepared.len() as u64,
+        params = model.n_params() as u64,
+    );
+    let mut sink = tc.reporter.open();
     let mut order: Vec<usize> = (0..prepared.len()).collect();
     for epoch in 0..tc.epochs {
+        let _epoch_span = st_obs::span!("epoch", epoch = epoch as u64);
+        let epoch_t0 = Instant::now();
         opt.lr = pristi_lr(tc.lr, epoch, tc.epochs);
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
+        let mut grad_norm_sum = 0.0f64;
         let mut n_batches = 0usize;
         for chunk in order.chunks(tc.batch_size) {
-            let loss = train_step(&mut model, &mut opt, &schedule, &prepared, chunk, &strategy, tc, &mut rng);
+            let _step_span = st_obs::span!("train_step");
+            let (loss, grad_norm) =
+                train_step(&mut model, &mut opt, &schedule, &prepared, chunk, &strategy, tc, &mut rng);
             loss_sum += loss;
+            grad_norm_sum += grad_norm;
             n_batches += 1;
         }
         let mean = loss_sum / n_batches.max(1) as f64;
+        let mean_grad_norm = grad_norm_sum / n_batches.max(1) as f64;
         epoch_losses.push(mean);
-        if tc.verbose {
-            println!("epoch {epoch:3}  loss {mean:.5}  lr {:.6}", opt.lr);
-        }
+        let wps = prepared.len() as f64 / epoch_t0.elapsed().as_secs_f64().max(1e-9);
+        report_epoch(&mut sink, epoch, mean, mean_grad_norm, opt.lr, prepared.len(), wps);
     }
     TrainedModel { model, schedule, normalizer, epoch_losses }
 }
@@ -175,7 +262,7 @@ fn train_step(
     strategy: &MaskStrategy,
     tc: &TrainConfig,
     rng: &mut StdRng,
-) -> f64 {
+) -> (f64, f64) {
     let b = chunk.len();
     let (n, l) = {
         let s = prepared[chunk[0]].0.shape();
@@ -187,36 +274,52 @@ fn train_step(
     let mut tmask = NdArray::zeros(&[b, n, l]);
     let mut steps = Vec::with_capacity(b);
 
-    for (bi, &wi) in chunk.iter().enumerate() {
-        let (values_z, cond_observed) = &prepared[wi];
-        let target = strategy.sample(cond_observed, rng);
-        let cond_train = cond_observed.zip_map(&target, |o, t| if o > 0.0 && t == 0.0 { 1.0 } else { 0.0 });
-        let x0 = values_z.mul(&target);
-        let cond_w = build_cond(values_z, &cond_train, model.cfg.use_interpolation);
-        let t_step = rng.random_range(1..=schedule.t_steps());
-        let eps = NdArray::randn(&[n, l], rng);
-        let x_t = q_sample(&x0, &eps, schedule, t_step).mul(&target);
-        steps.push(t_step);
-        let base = bi * n * l;
-        noisy.data_mut()[base..base + n * l].copy_from_slice(x_t.data());
-        cond.data_mut()[base..base + n * l].copy_from_slice(cond_w.data());
-        eps_all.data_mut()[base..base + n * l].copy_from_slice(eps.data());
-        tmask.data_mut()[base..base + n * l].copy_from_slice(target.data());
+    {
+        let _prep_span = st_obs::span!("batch_prep", batch = b as u64);
+        for (bi, &wi) in chunk.iter().enumerate() {
+            let (values_z, cond_observed) = &prepared[wi];
+            let target = strategy.sample(cond_observed, rng);
+            let cond_train =
+                cond_observed.zip_map(&target, |o, t| if o > 0.0 && t == 0.0 { 1.0 } else { 0.0 });
+            let x0 = values_z.mul(&target);
+            let cond_w = build_cond(values_z, &cond_train, model.cfg.use_interpolation);
+            let t_step = rng.random_range(1..=schedule.t_steps());
+            let eps = NdArray::randn(&[n, l], rng);
+            let x_t = q_sample(&x0, &eps, schedule, t_step).mul(&target);
+            steps.push(t_step);
+            let base = bi * n * l;
+            noisy.data_mut()[base..base + n * l].copy_from_slice(x_t.data());
+            cond.data_mut()[base..base + n * l].copy_from_slice(cond_w.data());
+            eps_all.data_mut()[base..base + n * l].copy_from_slice(eps.data());
+            tmask.data_mut()[base..base + n * l].copy_from_slice(target.data());
+        }
     }
 
     let (loss_val, mut grads) = {
         let mut g = Graph::new(&model.store);
-        let noisy_tx = g.input(noisy);
-        let cond_tx = g.input(cond);
-        let eps_hat = model.predict_eps(&mut g, noisy_tx, cond_tx, &steps);
-        let eps_tx = g.input(eps_all);
-        let mask_tx = g.input(tmask);
-        let loss = g.mse_masked(eps_hat, eps_tx, mask_tx);
-        (g.value(loss).data()[0] as f64, g.backward(loss))
+        let loss = {
+            let _fwd_span = st_obs::span!("forward");
+            let noisy_tx = g.input(noisy);
+            let cond_tx = g.input(cond);
+            let eps_hat = model.predict_eps(&mut g, noisy_tx, cond_tx, &steps);
+            let eps_tx = g.input(eps_all);
+            let mask_tx = g.input(tmask);
+            g.mse_masked(eps_hat, eps_tx, mask_tx)
+        };
+        let loss_val = g.value(loss).data()[0] as f64;
+        let grads = {
+            let _bwd_span = st_obs::span!("backward");
+            g.backward(loss)
+        };
+        (loss_val, grads)
     };
-    clip_grad_norm(&mut grads, tc.clip_norm);
-    opt.step(&mut model.store, &grads);
-    loss_val
+    let grad_norm = {
+        let _opt_span = st_obs::span!("optimizer");
+        let norm = clip_grad_norm(&mut grads, tc.clip_norm);
+        opt.step(&mut model.store, &grads);
+        norm
+    };
+    (loss_val, grad_norm)
 }
 
 #[cfg(test)]

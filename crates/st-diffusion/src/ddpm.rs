@@ -26,10 +26,13 @@ impl<F: Fn(&NdArray, usize) -> NdArray> NoisePredictor for F {
 /// Forward process: draw `X̃ᵗ = √ᾱ_t X̃⁰ + √(1−ᾱ_t) ε` for a given `ε`.
 pub fn q_sample(x0: &NdArray, eps: &NdArray, schedule: &DiffusionSchedule, t: usize) -> NdArray {
     assert_eq!(x0.shape(), eps.shape(), "x0/eps shape mismatch");
+    let t0 = st_obs::op_start();
     let ab = schedule.alpha_bar(t);
     let a = ab.sqrt() as f32;
     let b = (1.0 - ab).sqrt() as f32;
-    x0.zip_map(eps, |x, e| a * x + b * e)
+    let out = x0.zip_map(eps, |x, e| a * x + b * e);
+    st_obs::record_op(st_obs::Phase::Fwd, "q_sample", t0, out.numel() as u64);
+    out
 }
 
 /// One reverse step (Algorithm 2, lines 4–5): given `X̃ᵗ` and the predicted
@@ -48,6 +51,7 @@ pub fn p_sample_step(
     rng: &mut StdRng,
 ) -> NdArray {
     assert_eq!(x_t.shape(), eps_hat.shape(), "x_t/eps shape mismatch");
+    let t0 = st_obs::op_start();
     let beta = schedule.beta(t) as f32;
     let alpha = schedule.alpha(t) as f32;
     let ab = schedule.alpha_bar(t) as f32;
@@ -61,6 +65,7 @@ pub fn p_sample_step(
             *v += sigma * normal.sample(rng);
         }
     }
+    st_obs::record_op(st_obs::Phase::Fwd, "p_sample_step", t0, out.numel() as u64);
     out
 }
 
@@ -72,8 +77,10 @@ pub fn reverse_sample<P: NoisePredictor + ?Sized>(
     schedule: &DiffusionSchedule,
     rng: &mut StdRng,
 ) -> NdArray {
+    let _span = st_obs::span!("reverse_sample", t_steps = schedule.t_steps() as u64);
     let mut x = NdArray::randn(shape, rng);
     for t in (1..=schedule.t_steps()).rev() {
+        let _step_span = st_obs::span!("denoise_step", t = t as u64);
         let eps_hat = predictor.predict(&x, t);
         x = p_sample_step(&x, &eps_hat, schedule, t, rng);
     }

@@ -1,0 +1,190 @@
+//! The telemetry event model and its JSONL encoding.
+//!
+//! Every event serialises to one *flat* JSON object per line. Two field
+//! names are reserved: `ev` (the event kind) and `t_ns` (nanoseconds since
+//! the owning recorder/writer was created — monotonic-relative, never wall
+//! clock, so two identical runs differ only in timing fields). All
+//! duration-like fields end in `_ns`, which is what [`strip_timing`] keys on
+//! to make determinism tests byte-stable.
+
+use crate::json::escape;
+
+/// Schema tag written by the `header` event of every JSONL stream.
+pub const SCHEMA: &str = "st-obs/1";
+
+/// A field value; keeps events flat and trivially serialisable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer (also used for nanosecond counts).
+    U(u64),
+    /// Floating point; non-finite values serialise as `null`.
+    F(f64),
+    /// String.
+    S(String),
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::I(v) => out.push_str(&v.to_string()),
+            Value::U(v) => out.push_str(&v.to_string()),
+            Value::F(v) if v.is_finite() => out.push_str(&v.to_string()),
+            Value::F(_) => out.push_str("null"),
+            Value::S(s) => out.push_str(&escape(s)),
+        }
+    }
+}
+
+/// One telemetry event: a kind, a relative timestamp, and flat fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event kind (`"header"`, `"span"`, `"counter"`, `"gauge"`, `"hist"`,
+    /// `"op"`, or a domain kind like `"epoch"`).
+    pub kind: &'static str,
+    /// Nanoseconds since the recorder epoch (monotonic-relative).
+    pub t_ns: u128,
+    /// Flat key/value payload; keys must be unique and must not collide with
+    /// `ev` / `t_ns`.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Build an event with the given kind, timestamp and fields.
+    pub fn new(kind: &'static str, t_ns: u128, fields: Vec<(&'static str, Value)>) -> Self {
+        Self { kind, t_ns, fields }
+    }
+
+    /// Serialise to a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ev\":");
+        out.push_str(&escape(self.kind));
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            out.push_str(k);
+            out.push_str("\":");
+            v.write_json(&mut out);
+        }
+        out.push_str(",\"t_ns\":");
+        out.push_str(&self.t_ns.to_string());
+        out.push('}');
+        out
+    }
+}
+
+/// True for field names that carry timing (and thus vary run-to-run):
+/// anything ending in `_ns`, plus throughput in windows/sec (`wps`).
+pub fn is_timing_field(key: &str) -> bool {
+    key.ends_with("_ns") || key == "wps"
+}
+
+/// Re-serialise one JSONL line with every timing field removed.
+///
+/// Two same-seed runs of a deterministic pipeline must produce identical
+/// streams after this transformation — the canonical stability contract that
+/// `tests/determinism.rs` and the obs smoke test pin.
+pub fn strip_timing(line: &str) -> Result<String, String> {
+    let parsed = crate::json::parse(line)?;
+    let crate::json::Json::Obj(pairs) = parsed else {
+        return Err("JSONL line is not an object".into());
+    };
+    let mut out = String::with_capacity(line.len());
+    out.push('{');
+    let mut first = true;
+    for (k, v) in pairs.iter().filter(|(k, _)| !is_timing_field(k)) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&escape(k));
+        out.push(':');
+        write_json_value(v, &mut out);
+    }
+    out.push('}');
+    Ok(out)
+}
+
+fn write_json_value(v: &crate::json::Json, out: &mut String) {
+    use crate::json::Json;
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&n.to_string()),
+        Json::Str(s) => out.push_str(&escape(s)),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(k));
+                out.push(':');
+                write_json_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_serialises_flat_and_parses_back() {
+        let e = Event::new(
+            "epoch",
+            1234,
+            vec![("epoch", Value::U(3)), ("loss", Value::F(0.25)), ("tag", Value::S("a\"b".into()))],
+        );
+        let line = e.to_json();
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ev").unwrap().as_str(), Some("epoch"));
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("loss").unwrap().as_f64(), Some(0.25));
+        assert_eq!(v.get("tag").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("t_ns").unwrap().as_u64(), Some(1234));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::new("gauge", 0, vec![("value", Value::F(f64::NAN))]);
+        let v = crate::json::parse(&e.to_json()).unwrap();
+        assert_eq!(v.get("value"), Some(&crate::json::Json::Null));
+    }
+
+    #[test]
+    fn strip_timing_removes_only_timing_fields() {
+        let e = Event::new(
+            "span",
+            999,
+            vec![
+                ("path", Value::S("train/epoch".into())),
+                ("dur_ns", Value::U(417)),
+                ("wps", Value::F(12.5)),
+                ("count", Value::U(2)),
+            ],
+        );
+        let stripped = strip_timing(&e.to_json()).unwrap();
+        assert_eq!(stripped, r#"{"ev":"span","path":"train/epoch","count":2}"#);
+    }
+
+    #[test]
+    fn strip_timing_is_stable_across_identical_events() {
+        let a = Event::new("op", 1, vec![("kind", Value::S("matmul".into())), ("total_ns", Value::U(5))]);
+        let b = Event::new("op", 777, vec![("kind", Value::S("matmul".into())), ("total_ns", Value::U(9))]);
+        assert_eq!(strip_timing(&a.to_json()).unwrap(), strip_timing(&b.to_json()).unwrap());
+    }
+}

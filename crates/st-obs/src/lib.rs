@@ -1,0 +1,104 @@
+//! # st-obs
+//!
+//! Zero-dependency observability for the PriSTI-rs stack: scoped **spans**,
+//! per-op **metrics** (counters / gauges / histograms / aggregated op
+//! timings), and pluggable **sinks** — a machine-readable JSONL event stream
+//! and a human-readable tree summary.
+//!
+//! The global recorder defaults to *off*; every instrumentation site then
+//! costs one relaxed atomic load. Install a recorder to start collecting:
+//!
+//! ```
+//! let jsonl = std::env::temp_dir().join("doc_run.jsonl");
+//! {
+//!     let _rec = st_obs::install(vec![
+//!         Box::new(st_obs::JsonlSink::create(&jsonl).unwrap()),
+//!         Box::new(st_obs::SummarySink::new()),
+//!     ]);
+//!     let _epoch = st_obs::span!("epoch");
+//!     st_obs::gauge_set("train.loss", 0.42);
+//!     let t0 = st_obs::op_start();
+//!     // ... do the work being timed ...
+//!     st_obs::record_op(st_obs::Phase::Fwd, "matmul", t0, 4096);
+//! } // guard drop: aggregated op events written, sinks flushed
+//! assert!(std::fs::read_to_string(&jsonl).unwrap().lines().count() >= 3);
+//! ```
+//!
+//! ## Event stream contract (`st-obs/1`)
+//!
+//! One flat JSON object per line. `ev` is the kind, `t_ns` nanoseconds since
+//! the recorder was installed (monotonic-relative — never wall clock).
+//! Timing-dependent fields are exactly those matched by
+//! [`event::is_timing_field`] (`*_ns` and `wps`); [`strip_timing`] removes
+//! them, and two same-seed runs must then be byte-identical. See
+//! DESIGN.md §"Observability" for the full schema.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{is_timing_field, strip_timing, Event, Value, SCHEMA};
+pub use recorder::{
+    counter_add, emit, flush, gauge_set, hist_record, install, is_enabled, op_start, record_op,
+    span, span_with, OpStart, Phase, RecorderGuard, SpanGuard,
+};
+pub use sink::{JsonlSink, JsonlWriter, Sink, SummarySink};
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F(f64::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::S(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::S(v)
+    }
+}
+
+/// Open a scoped span: `let _s = span!("epoch");` or, with extra fields on
+/// the end event, `let _s = span!("denoise_step", t = t);`. Returns a
+/// [`SpanGuard`]; the span closes (and its event is emitted) when the guard
+/// drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span_with($name, vec![$((stringify!($key), $crate::Value::from($value))),+])
+    };
+}

@@ -1,0 +1,427 @@
+//! The global recorder: near-zero cost when disabled, scoped installation,
+//! thread-safe nested spans, and aggregated per-op timing.
+//!
+//! Design notes:
+//!
+//! * A single relaxed [`AtomicBool`] gates every instrumentation site. With
+//!   no recorder installed, `span` / `op_start` / `record_op` are one atomic
+//!   load and a branch — cheap enough to leave compiled into the tensor
+//!   engine's innermost op dispatch.
+//! * [`install`] returns a guard; dropping it flushes every sink and
+//!   disables recording, so tests can scope telemetry to one run.
+//! * Span nesting uses a thread-local path stack (`"train/epoch/train_step"`),
+//!   so concurrent threads each get a coherent tree.
+//! * Per-op timing is *aggregated* (`(phase, kind) -> calls/total_ns/elements`)
+//!   rather than emitted per call: a training step records thousands of ops,
+//!   and one `op` event per kind at flush keeps streams small and
+//!   deterministic (events are emitted in sorted order).
+
+use crate::event::{Event, Value, SCHEMA};
+use crate::sink::Sink;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which side of the pipeline an op timing belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Forward tape ops (`Graph` methods).
+    Fwd,
+    /// Backward gradient rules (`backprop`).
+    Bwd,
+    /// Optimizer / gradient post-processing.
+    Opt,
+}
+
+impl Phase {
+    /// Short lowercase tag used in events and summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Fwd => "fwd",
+            Phase::Bwd => "bwd",
+            Phase::Opt => "opt",
+        }
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct OpStat {
+    calls: u64,
+    total_ns: u128,
+    elements: u64,
+}
+
+#[derive(Clone, Copy)]
+struct HistStat {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+struct Inner {
+    epoch: Instant,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    ops: Mutex<HashMap<(Phase, &'static str), OpStat>>,
+    hists: Mutex<HashMap<&'static str, HistStat>>,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u128 {
+        self.epoch.elapsed().as_nanos()
+    }
+
+    fn emit(&self, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        let e = Event::new(kind, self.now_ns(), fields);
+        let mut sinks = self.sinks.lock().expect("st-obs sink lock");
+        for s in sinks.iter_mut() {
+            s.event(&e);
+        }
+    }
+
+    /// Emit aggregated op/hist events (in sorted order, for determinism) and
+    /// flush every sink. Aggregates are drained, so repeated flushes emit
+    /// deltas.
+    fn flush(&self) {
+        let mut ops: Vec<((Phase, &'static str), OpStat)> =
+            self.ops.lock().expect("st-obs ops lock").drain().collect();
+        ops.sort_by_key(|&((phase, kind), _)| (phase, kind));
+        for ((phase, kind), st) in ops {
+            self.emit(
+                "op",
+                vec![
+                    ("phase", Value::S(phase.as_str().into())),
+                    ("kind", Value::S(kind.into())),
+                    ("calls", Value::U(st.calls)),
+                    ("total_ns", Value::U(st.total_ns.min(u128::from(u64::MAX)) as u64)),
+                    ("elements", Value::U(st.elements)),
+                ],
+            );
+        }
+        let mut hists: Vec<(&'static str, HistStat)> =
+            self.hists.lock().expect("st-obs hist lock").drain().collect();
+        hists.sort_by_key(|&(name, _)| name);
+        for (name, h) in hists {
+            self.emit(
+                "hist",
+                vec![
+                    ("name", Value::S(name.into())),
+                    ("count", Value::U(h.count)),
+                    ("min", Value::F(h.min)),
+                    ("max", Value::F(h.max)),
+                    ("mean", Value::F(if h.count > 0 { h.sum / h.count as f64 } else { 0.0 })),
+                ],
+            );
+        }
+        let mut sinks = self.sinks.lock().expect("st-obs sink lock");
+        for s in sinks.iter_mut() {
+            s.flush();
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CURRENT: Mutex<Option<Arc<Inner>>> = Mutex::new(None);
+
+thread_local! {
+    /// Slash-joined path of the spans currently open on this thread.
+    static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn current() -> Option<Arc<Inner>> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    CURRENT.lock().expect("st-obs recorder lock").clone()
+}
+
+/// Install a recorder feeding the given sinks; recording stays active until
+/// the returned guard is dropped. Panics if a recorder is already installed
+/// (telemetry streams must not interleave).
+pub fn install(sinks: Vec<Box<dyn Sink>>) -> RecorderGuard {
+    let inner = Arc::new(Inner {
+        epoch: Instant::now(),
+        sinks: Mutex::new(sinks),
+        ops: Mutex::new(HashMap::new()),
+        hists: Mutex::new(HashMap::new()),
+    });
+    inner.emit("header", vec![("schema", Value::S(SCHEMA.into()))]);
+    {
+        let mut cur = CURRENT.lock().expect("st-obs recorder lock");
+        assert!(cur.is_none(), "st-obs recorder already installed");
+        *cur = Some(Arc::clone(&inner));
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+    RecorderGuard { inner }
+}
+
+/// True while a recorder is installed.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emit aggregated op/histogram events and flush all sinks now.
+pub fn flush() {
+    if let Some(inner) = current() {
+        inner.flush();
+    }
+}
+
+/// Scope handle returned by [`install`]; dropping it flushes and disables.
+pub struct RecorderGuard {
+    inner: Arc<Inner>,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *CURRENT.lock().expect("st-obs recorder lock") = None;
+        self.inner.flush();
+    }
+}
+
+/// Emit a custom event (no-op when disabled).
+pub fn emit(kind: &'static str, fields: Vec<(&'static str, Value)>) {
+    if let Some(inner) = current() {
+        inner.emit(kind, fields);
+    }
+}
+
+/// Emit a `counter` event (monotonic quantity, e.g. windows processed).
+pub fn counter_add(name: &'static str, delta: f64) {
+    if let Some(inner) = current() {
+        inner.emit("counter", vec![("name", Value::S(name.into())), ("value", Value::F(delta))]);
+    }
+}
+
+/// Emit a `gauge` event (point-in-time level, e.g. loss, lr, grad norm).
+pub fn gauge_set(name: &'static str, value: f64) {
+    if let Some(inner) = current() {
+        inner.emit("gauge", vec![("name", Value::S(name.into())), ("value", Value::F(value))]);
+    }
+}
+
+/// Record one observation into a named histogram (emitted aggregated at
+/// flush: count/min/max/mean).
+pub fn hist_record(name: &'static str, value: f64) {
+    if let Some(inner) = current() {
+        let mut hists = inner.hists.lock().expect("st-obs hist lock");
+        let h = hists.entry(name).or_insert(HistStat { count: 0, sum: 0.0, min: value, max: value });
+        h.count += 1;
+        h.sum += value;
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Op timing
+// ---------------------------------------------------------------------------
+
+/// Opaque start-of-op token; `None` inside means recording was off when the
+/// op began, making the whole round-trip two relaxed atomic loads.
+#[derive(Debug, Clone, Copy)]
+pub struct OpStart(Option<Instant>);
+
+/// Capture an op start time iff recording is enabled.
+#[inline]
+pub fn op_start() -> OpStart {
+    if ENABLED.load(Ordering::Relaxed) {
+        OpStart(Some(Instant::now()))
+    } else {
+        OpStart(None)
+    }
+}
+
+/// Fold one completed op into the `(phase, kind)` aggregate.
+#[inline]
+pub fn record_op(phase: Phase, kind: &'static str, start: OpStart, elements: u64) {
+    let Some(t0) = start.0 else { return };
+    let dur = t0.elapsed().as_nanos();
+    if let Some(inner) = current() {
+        let mut ops = inner.ops.lock().expect("st-obs ops lock");
+        let st = ops.entry((phase, kind)).or_default();
+        st.calls += 1;
+        st.total_ns += dur;
+        st.elements = st.elements.saturating_add(elements);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard for one open span; emits a `span` event with the nested path
+/// and duration on drop.
+pub struct SpanGuard {
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    inner: Arc<Inner>,
+    name: &'static str,
+    path: String,
+    prev_len: usize,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// Open a span; prefer the [`crate::span!`] macro at call sites.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, Vec::new())
+}
+
+/// Open a span carrying extra fields on its end event.
+pub fn span_with(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
+    let Some(inner) = current() else { return SpanGuard { data: None } };
+    let (path, prev_len) = SPAN_PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev_len = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        (p.clone(), prev_len)
+    });
+    SpanGuard {
+        data: Some(SpanData { inner, name, path, prev_len, start: Instant::now(), fields }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(d) = self.data.take() else { return };
+        let dur = d.start.elapsed().as_nanos();
+        SPAN_PATH.with(|p| p.borrow_mut().truncate(d.prev_len));
+        let mut fields = vec![
+            ("name", Value::S(d.name.into())),
+            ("path", Value::S(d.path)),
+        ];
+        fields.extend(d.fields);
+        fields.push(("dur_ns", Value::U(dur.min(u128::from(u64::MAX)) as u64)));
+        d.inner.emit("span", fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::JsonlSink;
+    use std::sync::MutexGuard;
+
+    /// Serialise recorder-installing tests (the recorder is process-global).
+    fn lock() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn run_recorded(f: impl FnOnce()) -> Vec<String> {
+        let path = std::env::temp_dir().join(format!(
+            "st_obs_rec_test_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let _guard = install(vec![Box::new(JsonlSink::create(&path).unwrap())]);
+            f();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        text.lines().map(String::from).collect()
+    }
+
+    #[test]
+    fn disabled_paths_are_inert() {
+        let _g = lock();
+        assert!(!is_enabled());
+        let s = span("ignored");
+        record_op(Phase::Fwd, "matmul", op_start(), 10);
+        counter_add("nothing", 1.0);
+        drop(s);
+        flush(); // no recorder: no-op
+    }
+
+    #[test]
+    fn spans_nest_and_ops_aggregate() {
+        let _g = lock();
+        let lines = run_recorded(|| {
+            let _outer = crate::span!("outer");
+            {
+                let _inner = crate::span!("inner");
+                record_op(Phase::Fwd, "matmul", op_start(), 100);
+                record_op(Phase::Fwd, "matmul", op_start(), 50);
+                record_op(Phase::Bwd, "matmul", op_start(), 50);
+            }
+        });
+        let events: Vec<crate::json::Json> =
+            lines.iter().map(|l| crate::json::parse(l).expect("valid JSONL")).collect();
+        assert_eq!(events[0].get("ev").unwrap().as_str(), Some("header"));
+        assert_eq!(events[0].get("schema").unwrap().as_str(), Some(SCHEMA));
+
+        let spans: Vec<&crate::json::Json> =
+            events.iter().filter(|e| e.get("ev").unwrap().as_str() == Some("span")).collect();
+        assert_eq!(spans.len(), 2);
+        // inner span ends (and is emitted) first, with the nested path
+        assert_eq!(spans[0].get("path").unwrap().as_str(), Some("outer/inner"));
+        assert_eq!(spans[1].get("path").unwrap().as_str(), Some("outer"));
+
+        let ops: Vec<&crate::json::Json> =
+            events.iter().filter(|e| e.get("ev").unwrap().as_str() == Some("op")).collect();
+        assert_eq!(ops.len(), 2, "fwd.matmul and bwd.matmul aggregates");
+        assert_eq!(ops[0].get("phase").unwrap().as_str(), Some("fwd"));
+        assert_eq!(ops[0].get("calls").unwrap().as_u64(), Some(2));
+        assert_eq!(ops[0].get("elements").unwrap().as_u64(), Some(150));
+        assert_eq!(ops[1].get("phase").unwrap().as_str(), Some("bwd"));
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_within_stream() {
+        let _g = lock();
+        let lines = run_recorded(|| {
+            for _ in 0..5 {
+                counter_add("tick", 1.0);
+            }
+        });
+        let mut last = 0u64;
+        for l in &lines {
+            let t = crate::json::parse(l).unwrap().get("t_ns").unwrap().as_u64().unwrap();
+            assert!(t >= last, "t_ns must be monotonic");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn reinstall_after_uninstall_works() {
+        let _g = lock();
+        let a = run_recorded(|| counter_add("a", 1.0));
+        let b = run_recorded(|| counter_add("a", 1.0));
+        assert_eq!(a.len(), b.len());
+        // identical after stripping timing fields
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                crate::event::strip_timing(x).unwrap(),
+                crate::event::strip_timing(y).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn histograms_aggregate_until_flush() {
+        let _g = lock();
+        let lines = run_recorded(|| {
+            hist_record("loss", 1.0);
+            hist_record("loss", 3.0);
+        });
+        let hist = lines
+            .iter()
+            .map(|l| crate::json::parse(l).unwrap())
+            .find(|e| e.get("ev").unwrap().as_str() == Some("hist"))
+            .expect("hist event at flush");
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(hist.get("min").unwrap().as_f64(), Some(1.0));
+        assert_eq!(hist.get("max").unwrap().as_f64(), Some(3.0));
+        assert_eq!(hist.get("mean").unwrap().as_f64(), Some(2.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Pluggable event sinks: machine-readable JSONL and a human-readable
+//! span-tree summary.
+
+use crate::event::{Event, Value, SCHEMA};
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// Receives every event the recorder emits.
+///
+/// Sinks are driven from whichever thread emits the event; the recorder holds
+/// them behind a lock, so implementations only need `Send`.
+pub trait Sink: Send {
+    /// Handle one event.
+    fn event(&mut self, e: &Event);
+    /// Called when the recorder flushes or uninstalls.
+    fn flush(&mut self) {}
+}
+
+/// Writes each event as one JSON object per line.
+pub struct JsonlSink {
+    w: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) a JSONL file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Wrap an arbitrary writer.
+    pub fn from_writer(w: Box<dyn Write + Send>) -> Self {
+        Self { w: BufWriter::new(w) }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&mut self, e: &Event) {
+        // Telemetry must never take the pipeline down: I/O errors are dropped.
+        let _ = writeln!(self.w, "{}", e.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Aggregates span and op events and prints an indented tree summary to
+/// stderr when flushed (and again on drop if new data arrived since).
+#[derive(Default)]
+pub struct SummarySink {
+    /// Span path (slash-joined) -> (count, total ns).
+    spans: BTreeMap<String, (u64, u128)>,
+    /// (phase, op kind) -> (calls, total ns, elements).
+    ops: BTreeMap<(String, String), (u64, u128, u64)>,
+    dirty: bool,
+}
+
+impl SummarySink {
+    /// New, empty summary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("== st-obs span summary ==\n");
+            let root_total: u128 = self
+                .spans
+                .iter()
+                .filter(|(path, _)| !path.contains('/'))
+                .map(|(_, (_, ns))| ns)
+                .sum();
+            for (path, (count, ns)) in &self.spans {
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let pct = if root_total > 0 { 100.0 * *ns as f64 / root_total as f64 } else { 0.0 };
+                out.push_str(&format!(
+                    "{:indent$}{name:<30} {count:>8}x {:>12.3} ms {pct:>6.1}%\n",
+                    "",
+                    *ns as f64 / 1e6,
+                    indent = depth * 2
+                ));
+            }
+        }
+        if !self.ops.is_empty() {
+            out.push_str("== st-obs op summary ==\n");
+            for ((phase, kind), (calls, ns, elems)) in &self.ops {
+                let per = if *calls > 0 { *ns / u128::from(*calls) } else { 0 };
+                out.push_str(&format!(
+                    "{phase:>4}.{kind:<24} {calls:>8}x {:>12.3} ms {per:>10} ns/call {elems:>14} elems\n",
+                    *ns as f64 / 1e6
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Sink for SummarySink {
+    fn event(&mut self, e: &Event) {
+        match e.kind {
+            "span" => {
+                let mut path = None;
+                let mut dur = 0u128;
+                for (k, v) in &e.fields {
+                    match (*k, v) {
+                        ("path", Value::S(s)) => path = Some(s.clone()),
+                        ("dur_ns", Value::U(n)) => dur = u128::from(*n),
+                        _ => {}
+                    }
+                }
+                if let Some(p) = path {
+                    let slot = self.spans.entry(p).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += dur;
+                    self.dirty = true;
+                }
+            }
+            "op" => {
+                let (mut phase, mut kind) = (String::new(), String::new());
+                let (mut calls, mut ns, mut elems) = (0u64, 0u128, 0u64);
+                for (k, v) in &e.fields {
+                    match (*k, v) {
+                        ("phase", Value::S(s)) => phase = s.clone(),
+                        ("kind", Value::S(s)) => kind = s.clone(),
+                        ("calls", Value::U(n)) => calls = *n,
+                        ("total_ns", Value::U(n)) => ns = u128::from(*n),
+                        ("elements", Value::U(n)) => elems = *n,
+                        _ => {}
+                    }
+                }
+                let slot = self.ops.entry((phase, kind)).or_insert((0, 0, 0));
+                slot.0 += calls;
+                slot.1 += ns;
+                slot.2 += elems;
+                self.dirty = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.dirty {
+            eprint!("{}", self.render());
+            self.dirty = false;
+        }
+    }
+}
+
+impl Drop for SummarySink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A standalone JSONL event writer with its own monotonic epoch, for
+/// telemetry streams that live outside the global recorder (e.g. the train
+/// loop's `Reporter::Jsonl`). Writes the schema `header` event on creation.
+pub struct JsonlWriter {
+    sink: JsonlSink,
+    epoch: Instant,
+}
+
+impl JsonlWriter {
+    /// Create (truncate) a JSONL stream at `path` and write the header event.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self::from_sink(JsonlSink::create(path)?))
+    }
+
+    /// Wrap an arbitrary writer (for tests).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> Self {
+        Self::from_sink(JsonlSink::from_writer(w))
+    }
+
+    fn from_sink(mut sink: JsonlSink) -> Self {
+        let epoch = Instant::now();
+        sink.event(&Event::new("header", 0, vec![("schema", Value::S(SCHEMA.into()))]));
+        Self { sink, epoch }
+    }
+
+    /// Write one event, stamping the relative timestamp.
+    pub fn event(&mut self, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        self.sink.event(&Event::new(kind, self.epoch.elapsed().as_nanos(), fields));
+    }
+
+    /// Flush buffered lines to the underlying writer.
+    pub fn flush(&mut self) {
+        self.sink.flush();
+    }
+}
+
+impl Drop for JsonlWriter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_writer_emits_header_and_events() {
+        let path = std::env::temp_dir().join("st_obs_sink_test.jsonl");
+        {
+            let mut w = JsonlWriter::create(&path).unwrap();
+            w.event("epoch", vec![("epoch", Value::U(0)), ("loss", Value::F(1.5))]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let header = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("ev").unwrap().as_str(), Some("header"));
+        assert_eq!(header.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let epoch = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(epoch.get("loss").unwrap().as_f64(), Some(1.5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn summary_sink_aggregates_spans() {
+        let mut s = SummarySink::new();
+        for _ in 0..3 {
+            s.event(&Event::new(
+                "span",
+                0,
+                vec![("path", Value::S("train/epoch".into())), ("dur_ns", Value::U(1000))],
+            ));
+        }
+        s.event(&Event::new(
+            "span",
+            0,
+            vec![("path", Value::S("train".into())), ("dur_ns", Value::U(4000))],
+        ));
+        let text = s.render();
+        assert!(text.contains("epoch"), "{text}");
+        assert!(text.contains("3x"), "{text}");
+        s.dirty = false; // silence drop output in tests
+    }
+}

@@ -119,7 +119,8 @@ pub struct Uniform<T> {
 impl<T: SampleUniform> Uniform<T> {
     /// Create a uniform distribution over `[lo, hi)`; requires `lo < hi`.
     pub fn new(lo: T, hi: T) -> Result<Self, DistributionError> {
-        if !(lo < hi) {
+        // partial_cmp: NaN bounds are incomparable and must be rejected too
+        if lo.partial_cmp(&hi) != Some(core::cmp::Ordering::Less) {
             return Err(DistributionError("Uniform: requires lo < hi"));
         }
         Ok(Self { lo, hi })

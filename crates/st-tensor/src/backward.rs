@@ -3,6 +3,9 @@
 //! [`backprop`] seeds the loss node with gradient 1 and walks the arena in
 //! reverse topological order (which, for an append-only tape, is simply
 //! reverse index order), accumulating into each input's gradient slot.
+//! Each node's gradient rule is timed into the `bwd.<kind>` telemetry
+//! aggregate, mirroring the `fwd.<kind>` timing taken in
+//! [`crate::graph::Graph::push`].
 
 use crate::graph::{sigmoid_f, Gradients, Node, Op, Tx};
 use crate::ndarray::{matmul_transb_kernel, NdArray};
@@ -15,6 +18,8 @@ pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
 
     for i in (0..=loss.0).rev() {
         let Some(g) = grads[i].take() else { continue };
+        let t0 = st_obs::op_start();
+        let g_elems = g.numel() as u64;
         match &nodes[i].op {
             Op::Input => {}
             Op::Param(name) => out.insert_or_add(name, &g),
@@ -198,6 +203,7 @@ pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
                 conv1d_backward(nodes, &mut grads, &g, *x, *w, *b, *dilation);
             }
         }
+        st_obs::record_op(st_obs::Phase::Bwd, nodes[i].op.kind(), t0, g_elems);
     }
     out
 }

@@ -6,12 +6,19 @@
 //! indices ([`Tx`]) into the arena, which keeps the API `Copy`-friendly and
 //! avoids interior mutability entirely: the tape is single-threaded by
 //! design (one tape per training step).
+//!
+//! Every op method captures an [`st_obs::op_start`] token before its kernel
+//! runs and hands it to [`Graph::push`], which folds the elapsed time and
+//! element count into the global recorder under `fwd.<kind>` (a no-op —
+//! one relaxed atomic load — when no recorder is installed). The matching
+//! backward timings are recorded by [`crate::backward::backprop`] under
+//! `bwd.<kind>`.
 
 use crate::backward::backprop;
 use crate::ndarray::NdArray;
 use crate::param::ParamStore;
 use st_rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a tensor on the tape (an index into the node arena).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -54,15 +61,60 @@ pub(crate) enum Op {
     Conv1dCausal { x: Tx, w: Tx, b: Tx, dilation: usize },
 }
 
+impl Op {
+    /// Stable op-kind name used as the `kind` of `fwd.*` / `bwd.*` telemetry
+    /// aggregates (and in the bench/JSONL vocabularies — keep in sync with
+    /// DESIGN.md §"Observability").
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Param(_) => "param",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(_) => "add_scalar",
+            Op::Exp(_) => "exp",
+            Op::Matmul(..) => "matmul",
+            Op::BatchMatmul(..) => "batch_matmul",
+            Op::BatchMatmulTransB(..) => "batch_matmul_transb",
+            Op::SharedLeftMatmul { .. } => "shared_left_matmul",
+            Op::Permute(..) => "permute",
+            Op::Reshape(_) => "reshape",
+            Op::ConcatLast(_) => "concat_last",
+            Op::SliceLast { .. } => "slice_last",
+            Op::SoftmaxLast(_) => "softmax_last",
+            Op::Relu(_) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Sigmoid(_) => "sigmoid",
+            Op::Tanh(_) => "tanh",
+            Op::Silu(_) => "silu",
+            Op::Softplus(_) => "softplus",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::Dropout { .. } => "dropout",
+            Op::SumAll(_) => "sum_all",
+            Op::MeanAll(_) => "mean_all",
+            Op::MseMasked { .. } => "mse_masked",
+            Op::MaeMasked { .. } => "mae_masked",
+            Op::Conv1dCausal { .. } => "conv1d_causal",
+        }
+    }
+}
+
 pub(crate) struct Node {
     pub value: NdArray,
     pub op: Op,
 }
 
 /// Gradients produced by a backward pass, keyed by parameter name.
+///
+/// Backed by a `BTreeMap` so iteration order is deterministic: float
+/// reductions over all gradients (notably [`Gradients::global_norm`]) are
+/// order-sensitive in their last ULP, and a hash-map order made the reported
+/// gradient norm differ between two same-seed runs.
 #[derive(Debug, Default)]
 pub struct Gradients {
-    by_param: HashMap<String, NdArray>,
+    by_param: BTreeMap<String, NdArray>,
 }
 
 impl Gradients {
@@ -86,7 +138,12 @@ impl Gradients {
         self.by_param.is_empty()
     }
 
-    /// Global L2 norm across all parameter gradients.
+    /// Total number of gradient elements across all parameters.
+    pub fn numel(&self) -> usize {
+        self.by_param.values().map(NdArray::numel).sum()
+    }
+
+    /// Global L2 norm across all parameter gradients (accumulated in f64).
     pub fn global_norm(&self) -> f64 {
         self.by_param
             .values()
@@ -99,6 +156,20 @@ impl Gradients {
     pub fn scale_all(&mut self, c: f32) {
         for g in self.by_param.values_mut() {
             g.map_inplace(|x| x * c);
+        }
+    }
+
+    /// Scale every gradient in place with the multiply carried out in f64.
+    ///
+    /// [`Gradients::global_norm`] accumulates in f64; clipping with an f32
+    /// factor re-rounds twice (factor, then product) and can leave the
+    /// post-clip norm a few ULP above the threshold. Computing
+    /// `(x as f64) * c` and rounding once keeps the clipped norm within one
+    /// f32 rounding of the target (pinned by `clip_exactly_at_boundary_*`
+    /// tests in `crate::optim`).
+    pub fn scale_all_f64(&mut self, c: f64) {
+        for g in self.by_param.values_mut() {
+            g.map_inplace(|x| ((x as f64) * c) as f32);
         }
     }
 
@@ -152,8 +223,11 @@ impl<'s> Graph<'s> {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, value: NdArray, op: Op) -> Tx {
+    /// Append a node, folding `(now - t0, numel)` into the `fwd.<kind>`
+    /// telemetry aggregate.
+    fn push(&mut self, value: NdArray, op: Op, t0: st_obs::OpStart) -> Tx {
         debug_assert!(!value.has_non_finite() || matches!(op, Op::Input), "non-finite value produced by {op:?}");
+        st_obs::record_op(st_obs::Phase::Fwd, op.kind(), t0, value.numel() as u64);
         self.nodes.push(Node { value, op });
         Tx(self.nodes.len() - 1)
     }
@@ -174,17 +248,19 @@ impl<'s> Graph<'s> {
 
     /// Add a non-differentiable leaf (data, mask, target, conditioner).
     pub fn input(&mut self, value: NdArray) -> Tx {
-        self.push(value, Op::Input)
+        let t0 = st_obs::op_start();
+        self.push(value, Op::Input, t0)
     }
 
     /// Fetch a named parameter from the store as a differentiable leaf.
     pub fn param(&mut self, name: &str) -> Tx {
+        let t0 = st_obs::op_start();
         let value = self
             .store
             .get(name)
             .unwrap_or_else(|| panic!("parameter `{name}` not found in store"))
             .clone();
-        self.push(value, Op::Param(name.to_string()))
+        self.push(value, Op::Param(name.to_string()), t0)
     }
 
     // ------------------------------------------------------------------
@@ -193,38 +269,44 @@ impl<'s> Graph<'s> {
 
     /// `a + b` with NumPy broadcasting.
     pub fn add(&mut self, a: Tx, b: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
-        self.push(v, Op::Add(a, b))
+        self.push(v, Op::Add(a, b), t0)
     }
 
     /// `a - b` with NumPy broadcasting.
     pub fn sub(&mut self, a: Tx, b: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
-        self.push(v, Op::Sub(a, b))
+        self.push(v, Op::Sub(a, b), t0)
     }
 
     /// `a * b` element-wise with NumPy broadcasting.
     pub fn mul(&mut self, a: Tx, b: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
-        self.push(v, Op::Mul(a, b))
+        self.push(v, Op::Mul(a, b), t0)
     }
 
     /// `a * c` for scalar `c`.
     pub fn scale(&mut self, a: Tx, c: f32) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.scale(c);
-        self.push(v, Op::Scale(a, c))
+        self.push(v, Op::Scale(a, c), t0)
     }
 
     /// `a + c` for scalar `c`.
     pub fn add_scalar(&mut self, a: Tx, c: f32) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.add_scalar(c);
-        self.push(v, Op::AddScalar(a))
+        self.push(v, Op::AddScalar(a), t0)
     }
 
     /// Element-wise exponential.
     pub fn exp(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.map(|x| x.exp());
-        self.push(v, Op::Exp(a))
+        self.push(v, Op::Exp(a), t0)
     }
 
     /// Element-wise square (recorded as `a * a`).
@@ -238,26 +320,30 @@ impl<'s> Graph<'s> {
 
     /// 2-D matmul `[m,k] @ [k,n]`.
     pub fn matmul(&mut self, a: Tx, b: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(v, Op::Matmul(a, b))
+        self.push(v, Op::Matmul(a, b), t0)
     }
 
     /// Batched matmul `[B,m,k] @ [B,k,n]`.
     pub fn batch_matmul(&mut self, a: Tx, b: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.batch_matmul(&self.nodes[b.0].value);
-        self.push(v, Op::BatchMatmul(a, b))
+        self.push(v, Op::BatchMatmul(a, b), t0)
     }
 
     /// Batched matmul with transposed rhs `[B,m,k] @ [B,n,k]^T` (attention scores).
     pub fn batch_matmul_transb(&mut self, a: Tx, b: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.batch_matmul_transb(&self.nodes[b.0].value);
-        self.push(v, Op::BatchMatmulTransB(a, b))
+        self.push(v, Op::BatchMatmulTransB(a, b), t0)
     }
 
     /// `s [n,n'] @ x[b]` for every batch of `x [B,n',d]` (graph convolution).
     pub fn shared_left_matmul(&mut self, s: Tx, x: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[x.0].value.matmul_shared_left(&self.nodes[s.0].value);
-        self.push(v, Op::SharedLeftMatmul { s, x })
+        self.push(v, Op::SharedLeftMatmul { s, x }, t0)
     }
 
     // ------------------------------------------------------------------
@@ -266,27 +352,31 @@ impl<'s> Graph<'s> {
 
     /// Permute axes.
     pub fn permute(&mut self, a: Tx, perm: &[usize]) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.permuted(perm);
-        self.push(v, Op::Permute(a, perm.to_vec()))
+        self.push(v, Op::Permute(a, perm.to_vec()), t0)
     }
 
     /// Reshape (element count preserved).
     pub fn reshape(&mut self, a: Tx, shape: &[usize]) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.reshaped(shape);
-        self.push(v, Op::Reshape(a))
+        self.push(v, Op::Reshape(a), t0)
     }
 
     /// Concatenate along the last axis.
     pub fn concat_last(&mut self, parts: &[Tx]) -> Tx {
+        let t0 = st_obs::op_start();
         let arrays: Vec<&NdArray> = parts.iter().map(|t| &self.nodes[t.0].value).collect();
         let v = NdArray::concat_last(&arrays);
-        self.push(v, Op::ConcatLast(parts.to_vec()))
+        self.push(v, Op::ConcatLast(parts.to_vec()), t0)
     }
 
     /// Slice `[start, start+len)` of the last axis.
     pub fn slice_last(&mut self, a: Tx, start: usize, len: usize) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.slice_last(start, len);
-        self.push(v, Op::SliceLast { x: a, start, len })
+        self.push(v, Op::SliceLast { x: a, start, len }, t0)
     }
 
     // ------------------------------------------------------------------
@@ -295,49 +385,57 @@ impl<'s> Graph<'s> {
 
     /// Softmax over the last axis.
     pub fn softmax_last(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.softmax_last();
-        self.push(v, Op::SoftmaxLast(a))
+        self.push(v, Op::SoftmaxLast(a), t0)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        self.push(v, Op::Relu(a), t0)
     }
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&mut self, a: Tx, slope: f32) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
-        self.push(v, Op::LeakyRelu(a, slope))
+        self.push(v, Op::LeakyRelu(a, slope), t0)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.map(sigmoid_f);
-        self.push(v, Op::Sigmoid(a))
+        self.push(v, Op::Sigmoid(a), t0)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.map(|x| x.tanh());
-        self.push(v, Op::Tanh(a))
+        self.push(v, Op::Tanh(a), t0)
     }
 
     /// SiLU / swish: `x * sigmoid(x)`.
     pub fn silu(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.map(|x| x * sigmoid_f(x));
-        self.push(v, Op::Silu(a))
+        self.push(v, Op::Silu(a), t0)
     }
 
     /// Numerically stable softplus `log(1 + exp(x))` (used by the
     /// binary-cross-entropy-from-logits losses of the GAN baselines).
     pub fn softplus(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = self.nodes[a.0].value.map(softplus_f);
-        self.push(v, Op::Softplus(a))
+        self.push(v, Op::Softplus(a), t0)
     }
 
     /// Layer normalisation over the last axis with learnable gain and bias.
     pub fn layer_norm(&mut self, x: Tx, gain: Tx, bias: Tx, eps: f32) -> Tx {
+        let t0 = st_obs::op_start();
         let xv = &self.nodes[x.0].value;
         let d = *xv.shape().last().expect("layer_norm needs rank >= 1");
         assert_eq!(self.nodes[gain.0].value.shape(), &[d], "layer_norm gain shape");
@@ -355,7 +453,7 @@ impl<'s> Graph<'s> {
                 *v = gv[j] * (*v - mean) * inv + bv[j];
             }
         }
-        self.push(out, Op::LayerNorm { x, gain, bias, eps })
+        self.push(out, Op::LayerNorm { x, gain, bias, eps }, t0)
     }
 
     /// Inverted dropout: identity in eval mode; in train mode zeroes with
@@ -364,6 +462,7 @@ impl<'s> Graph<'s> {
         if !self.train || p <= 0.0 {
             return x;
         }
+        let t0 = st_obs::op_start();
         assert!(p < 1.0, "dropout probability must be < 1");
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
@@ -372,7 +471,7 @@ impl<'s> Graph<'s> {
             (0..self.nodes[x.0].value.numel()).map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 }).collect();
         let mask = NdArray::from_vec(&shape, mask_data);
         let v = self.nodes[x.0].value.mul(&mask);
-        self.push(v, Op::Dropout { x, mask })
+        self.push(v, Op::Dropout { x, mask }, t0)
     }
 
     // ------------------------------------------------------------------
@@ -381,20 +480,23 @@ impl<'s> Graph<'s> {
 
     /// Sum of all elements (scalar result, shape `[1]`).
     pub fn sum_all(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = NdArray::scalar(self.nodes[a.0].value.sum() as f32);
-        self.push(v, Op::SumAll(a))
+        self.push(v, Op::SumAll(a), t0)
     }
 
     /// Mean of all elements (scalar result, shape `[1]`).
     pub fn mean_all(&mut self, a: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let v = NdArray::scalar(self.nodes[a.0].value.mean() as f32);
-        self.push(v, Op::MeanAll(a))
+        self.push(v, Op::MeanAll(a), t0)
     }
 
     /// Masked mean-squared error: `sum(mask*(pred-target)^2) / max(sum(mask), 1)`.
     ///
     /// Gradient flows only into `pred`.
     pub fn mse_masked(&mut self, pred: Tx, target: Tx, mask: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let p = &self.nodes[pred.0].value;
         let t = &self.nodes[target.0].value;
         let m = &self.nodes[mask.0].value;
@@ -407,13 +509,14 @@ impl<'s> Graph<'s> {
             acc += mv as f64 * d * d;
         }
         let v = NdArray::scalar((acc / denom) as f32);
-        self.push(v, Op::MseMasked { pred, target, mask })
+        self.push(v, Op::MseMasked { pred, target, mask }, t0)
     }
 
     /// Masked mean-absolute error: `sum(mask*|pred-target|) / max(sum(mask), 1)`.
     ///
     /// Gradient (subgradient at 0) flows only into `pred`.
     pub fn mae_masked(&mut self, pred: Tx, target: Tx, mask: Tx) -> Tx {
+        let t0 = st_obs::op_start();
         let p = &self.nodes[pred.0].value;
         let t = &self.nodes[target.0].value;
         let m = &self.nodes[mask.0].value;
@@ -425,7 +528,7 @@ impl<'s> Graph<'s> {
             acc += mv as f64 * (pv - tv).abs() as f64;
         }
         let v = NdArray::scalar((acc / denom) as f32);
-        self.push(v, Op::MaeMasked { pred, target, mask })
+        self.push(v, Op::MaeMasked { pred, target, mask }, t0)
     }
 
     /// Causal dilated 1-D convolution along the middle (time) axis.
@@ -433,6 +536,7 @@ impl<'s> Graph<'s> {
     /// `x [B, L, Cin]`, `w [K, Cin, Cout]`, `b [Cout]`; the output at time `l`
     /// sees inputs `l, l-dilation, ..., l-(K-1)*dilation` (zero-padded left).
     pub fn conv1d_causal(&mut self, x: Tx, w: Tx, b: Tx, dilation: usize) -> Tx {
+        let t0 = st_obs::op_start();
         let xv = &self.nodes[x.0].value;
         let wv = &self.nodes[w.0].value;
         let bv = &self.nodes[b.0].value;
@@ -465,7 +569,7 @@ impl<'s> Graph<'s> {
                 }
             }
         }
-        self.push(out, Op::Conv1dCausal { x, w, b, dilation })
+        self.push(out, Op::Conv1dCausal { x, w, b, dilation }, t0)
     }
 
     // ------------------------------------------------------------------

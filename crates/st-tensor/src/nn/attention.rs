@@ -107,9 +107,14 @@ impl MultiHeadAttention {
         let kh = self.split_heads(g, k, b, s_kv, dh);
         let vh = self.split_heads(g, v, b, s_kv, dh);
 
+        // Composite timing for the score computation (QK^T, scale, softmax):
+        // overlaps the primitive op kinds it is made of; see DESIGN.md
+        // §"Observability" for the double-counting caveat.
+        let t0 = st_obs::op_start();
         let scores = g.batch_matmul_transb(qh, kh);
         let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
         let attn = g.softmax_last(scaled);
+        st_obs::record_op(st_obs::Phase::Fwd, "attention_qk", t0, g.value(attn).numel() as u64);
         let ctx = g.batch_matmul(attn, vh); // [B*h, S, dh]
         let merged = self.merge_heads(g, ctx, b, s, dh);
         self.wo.forward(g, merged)

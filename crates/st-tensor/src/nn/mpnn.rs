@@ -66,6 +66,9 @@ impl Mpnn {
 
     /// Apply message passing to `x [B, N, d]`.
     pub fn forward(&self, g: &mut Graph<'_>, x: Tx) -> Tx {
+        // Composite timing for the whole diffusion-convolution block
+        // (overlaps the primitive op kinds inside; see DESIGN.md).
+        let t0 = st_obs::op_start();
         let shape = g.shape(x).to_vec();
         assert_eq!(shape.len(), 3, "mpnn input must be [B,N,d], got {shape:?}");
         assert_eq!(shape[2], self.d_model);
@@ -94,7 +97,9 @@ impl Mpnn {
             }
         }
         let cat = g.concat_last(&parts);
-        self.proj.forward(g, cat)
+        let y = self.proj.forward(g, cat);
+        st_obs::record_op(st_obs::Phase::Fwd, "mpnn", t0, g.value(y).numel() as u64);
+        y
     }
 }
 

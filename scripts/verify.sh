@@ -23,4 +23,11 @@ cargo test -q --offline
 echo "== cargo test -q --workspace (offline) =="
 cargo test -q --workspace --offline
 
+echo "== cargo clippy --all-targets (offline, deny warnings) =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== quick micro-bench with JSON report =="
+cargo bench -p pristi-bench --bench micro --offline -- --quick --json
+test -s BENCH_micro.json || { echo "error: BENCH_micro.json missing or empty" >&2; exit 1; }
+
 echo "verify: OK"

@@ -12,7 +12,7 @@
 //! completed panel back as CSV. With `--quantiles` it also writes the 5 % and
 //! 95 % ensemble quantiles for uncertainty-aware downstream use.
 
-use pristi_core::train::{train, MaskStrategyKind, TrainConfig};
+use pristi_core::train::{train, MaskStrategyKind, Reporter, TrainConfig};
 use pristi_core::{impute_window, impute_window_fast, PristiConfig};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
@@ -158,7 +158,7 @@ fn run_impute(flags: HashMap<String, String>) -> ExitCode {
         window_stride: (window / 2).max(1),
         strategy: MaskStrategyKind::HybridBlock,
         seed,
-        verbose: true,
+        reporter: Reporter::Stderr,
         ..Default::default()
     };
     println!("training PriSTI ({epochs} epochs, window {window})...");

@@ -5,7 +5,7 @@
 //! generation, training, and probabilistic imputation — bitwise
 //! reproducible, and a different seed must actually change the results.
 
-use pristi_suite::pristi_core::train::{train, MaskStrategyKind, TrainConfig};
+use pristi_suite::pristi_core::train::{train, MaskStrategyKind, Reporter, TrainConfig};
 use pristi_suite::pristi_core::{impute_window, PristiConfig, TrainedModel};
 use pristi_suite::st_data::generators::{generate_air_quality, AirQualityConfig};
 use pristi_suite::st_data::missing::inject_point_missing;
@@ -90,6 +90,40 @@ fn different_train_seed_changes_results() {
     let (_, losses1, _) = run(1, 9);
     let (_, losses2, _) = run(2, 9);
     assert_ne!(losses1, losses2, "distinct training seeds must give distinct loss curves");
+}
+
+/// The `Reporter::Jsonl` telemetry stream is part of the determinism
+/// contract: two same-seed runs must produce byte-identical JSONL once the
+/// wall-clock fields (`t_ns`, `wps`, …) are stripped with
+/// [`st_obs::strip_timing`]. The writer is per-run (its own file and epoch),
+/// so this test is independent of any globally installed recorder.
+#[test]
+fn same_seed_jsonl_reports_identical_after_timing_strip() {
+    let dir = std::env::temp_dir();
+    let paths = [
+        dir.join(format!("pristi_det_report_a_{}.jsonl", std::process::id())),
+        dir.join(format!("pristi_det_report_b_{}.jsonl", std::process::id())),
+    ];
+    let data = tiny_dataset();
+    for p in &paths {
+        let mut tc = train_cfg(42);
+        tc.reporter = Reporter::Jsonl(p.clone());
+        let _ = train(&data, tiny_cfg(), &tc);
+    }
+    let a = std::fs::read_to_string(&paths[0]).unwrap();
+    let b = std::fs::read_to_string(&paths[1]).unwrap();
+    let (a_lines, b_lines): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    // header + one epoch event per epoch
+    assert_eq!(a_lines.len(), 1 + train_cfg(42).epochs);
+    assert_eq!(a_lines.len(), b_lines.len());
+    for (i, (x, y)) in a_lines.iter().zip(&b_lines).enumerate() {
+        let sx = st_obs::strip_timing(x).unwrap_or_else(|e| panic!("line {i}: {e}"));
+        let sy = st_obs::strip_timing(y).unwrap_or_else(|e| panic!("line {i}: {e}"));
+        assert_eq!(sx, sy, "JSONL line {i} differs between same-seed runs");
+    }
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]
