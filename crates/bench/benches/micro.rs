@@ -115,14 +115,57 @@ fn bench_attention(h: &mut Harness) {
         black_box(g.value(y).data()[0]);
     });
 
-    h.bench("attention_forward_backward_8x24x32", || {
-        let mut g = Graph::new(&store);
+    let fwd_bwd = |store: &ParamStore, x_val: &NdArray| {
+        let mut g = Graph::new(store);
         let x = g.input(black_box(x_val.clone()));
         let y = attn.forward_self(&mut g, x);
         let t = g.input(NdArray::zeros(&[8, 24, 32]));
         let m = g.input(NdArray::ones(&[8, 24, 32]));
         let loss = g.mse_masked(y, t, m);
         black_box(g.backward(loss).len());
+    };
+
+    h.bench("attention_forward_backward_8x24x32", || fwd_bwd(&store, &x_val));
+
+    // Thread-scaling variants: the same case pinned to 1, 2, and max pool
+    // threads (see EXPERIMENTS.md — on a single-core host t2/tmax measure
+    // dispatch overhead, not speedup).
+    for (n, tag) in thread_scaling_points() {
+        st_par::set_threads(n);
+        h.bench(&format!("attention_forward_backward_8x24x32_{tag}"), || fwd_bwd(&store, &x_val));
+    }
+    st_par::set_threads(0);
+}
+
+/// The (thread count, entry-name suffix) points used for scaling entries;
+/// `scripts/verify.sh` greps BENCH_micro.json for the resulting names.
+fn thread_scaling_points() -> [(usize, &'static str); 3] {
+    [(1, "t1"), (2, "t2"), (st_par::max_threads(), "tmax")]
+}
+
+/// Dense-path matmul timing (satellite for the branch-free kernel change):
+/// the cache-blocked kernel no longer skips `a == 0.0` entries, so dense and
+/// half-zero inputs now run at the same speed — the dense entry tracks the
+/// win over the old branchy kernel, the half-zero entry documents the traded
+/// away masked-input shortcut.
+fn bench_matmul_kernels(h: &mut Harness) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a_dense = NdArray::randn(&[96, 96], &mut rng);
+    let b = NdArray::randn(&[96, 96], &mut rng);
+    let a_half_zero =
+        a_dense.zip_map(&NdArray::rand_uniform(&[96, 96], 0.0, 1.0, &mut rng), |v, u| {
+            if u < 0.5 {
+                0.0
+            } else {
+                v
+            }
+        });
+
+    h.bench("matmul_dense_96x96x96", || {
+        black_box(black_box(&a_dense).matmul(black_box(&b)));
+    });
+    h.bench("matmul_half_zero_96x96x96", || {
+        black_box(black_box(&a_half_zero).matmul(black_box(&b)));
     });
 }
 
@@ -181,6 +224,14 @@ fn bench_full_noise_predictor(h: &mut Harness) {
     h.bench("pristi_eps_theta_forward_4x24x24", || {
         black_box(model.predict_eps_eval(&noisy, &cond, 10));
     });
+
+    for (n, tag) in thread_scaling_points() {
+        st_par::set_threads(n);
+        h.bench(&format!("pristi_eps_theta_forward_4x24x24_{tag}"), || {
+            black_box(model.predict_eps_eval(&noisy, &cond, 10));
+        });
+    }
+    st_par::set_threads(0);
 }
 
 /// Path the `--json` report is written to: the workspace root, so tooling
@@ -201,6 +252,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
 
     bench_attention(&mut h);
+    bench_matmul_kernels(&mut h);
     bench_mpnn(&mut h);
     bench_diffusion_step(&mut h);
     bench_interpolation(&mut h);

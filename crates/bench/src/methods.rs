@@ -116,6 +116,7 @@ pub fn diffusion_train_cfg(scale: Scale, setting: Setting) -> TrainConfig {
         clip_norm: 5.0,
         seed: 1234,
         reporter: Reporter::Silent,
+        threads: 0,
     }
 }
 

@@ -143,18 +143,16 @@ fn impute_window_impl(
         }
     }
 
-    // Merge with conditioned values, denormalise per sample.
-    let mut samples = Vec::with_capacity(n_samples);
+    // Merge with conditioned values, denormalise per sample (sample-parallel:
+    // each ensemble member is independent).
     let cond_part = values_z.mul(&cond_mask);
-    for s in 0..n_samples {
-        let mut sample = NdArray::zeros(&[n, l]);
-        sample
-            .data_mut()
-            .copy_from_slice(&x.data()[s * n * l..(s + 1) * n * l]);
+    let xd = x.data();
+    let samples = st_par::par_map(n_samples, |s| {
+        let sample = NdArray::from_vec(&[n, l], xd[s * n * l..(s + 1) * n * l].to_vec());
         let mut merged = sample.mul(&target_mask).add(&cond_part);
         trained.normalizer.denormalize_window(&mut merged);
-        samples.push(merged);
-    }
+        merged
+    });
     ImputationResult { samples, target_mask }
 }
 

@@ -55,6 +55,11 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Where per-epoch progress goes.
     pub reporter: Reporter,
+    /// Worker threads for the `st-par` pool (batch prep, kernels, backward).
+    /// `0` keeps the environment default (`ST_PAR_THREADS`, falling back to
+    /// available parallelism). Thread count never changes results — see
+    /// DESIGN.md §9.
+    pub threads: usize,
 }
 
 /// Destination for per-epoch training telemetry (loss, gradient norm,
@@ -127,6 +132,10 @@ fn report_epoch(
     st_obs::gauge_set("train.grad_norm", grad_norm);
     st_obs::gauge_set("train.lr", f64::from(lr));
     st_obs::hist_record("train.epoch_loss", loss);
+    let pool = st_tensor::pool::stats();
+    st_obs::gauge_set("pool.buffer_hits", pool.hits as f64);
+    st_obs::gauge_set("pool.buffer_misses", pool.misses as f64);
+    st_obs::gauge_set("pool.buffer_returns", pool.returns as f64);
 }
 
 impl Default for TrainConfig {
@@ -141,6 +150,7 @@ impl Default for TrainConfig {
             clip_norm: 5.0,
             seed: 7,
             reporter: Reporter::Silent,
+            threads: 0,
         }
     }
 }
@@ -163,6 +173,7 @@ pub fn train(
     model_cfg: PristiConfig,
     tc: &TrainConfig,
 ) -> TrainedModel {
+    st_par::set_threads(tc.threads);
     let mut rng = StdRng::seed_from_u64(tc.seed);
     let normalizer = Normalizer::fit(data);
     let windows = data.windows(Split::Train, tc.window_len, tc.window_stride);
@@ -276,16 +287,34 @@ fn train_step(
 
     {
         let _prep_span = st_obs::span!("batch_prep", batch = b as u64);
-        for (bi, &wi) in chunk.iter().enumerate() {
-            let (values_z, cond_observed) = &prepared[wi];
-            let target = strategy.sample(cond_observed, rng);
+        // All randomness is drawn from the master RNG *sequentially*, in the
+        // same per-sample order as a fully serial loop — the random stream is
+        // a function of batch position only, never of the thread count. The
+        // deterministic heavy lifting (interpolation, q_sample) then runs
+        // sample-parallel on the drawn values.
+        let drawn: Vec<(NdArray, usize, NdArray)> = chunk
+            .iter()
+            .map(|&wi| {
+                let target = strategy.sample(&prepared[wi].1, rng);
+                let t_step = rng.random_range(1..=schedule.t_steps());
+                let eps = NdArray::randn(&[n, l], rng);
+                (target, t_step, eps)
+            })
+            .collect();
+        let use_interp = model.cfg.use_interpolation;
+        let samples = st_par::par_map(b, |bi| {
+            let (target, t_step, eps) = &drawn[bi];
+            let (values_z, cond_observed) = &prepared[chunk[bi]];
             let cond_train =
-                cond_observed.zip_map(&target, |o, t| if o > 0.0 && t == 0.0 { 1.0 } else { 0.0 });
-            let x0 = values_z.mul(&target);
-            let cond_w = build_cond(values_z, &cond_train, model.cfg.use_interpolation);
-            let t_step = rng.random_range(1..=schedule.t_steps());
-            let eps = NdArray::randn(&[n, l], rng);
-            let x_t = q_sample(&x0, &eps, schedule, t_step).mul(&target);
+                cond_observed.zip_map(target, |o, t| if o > 0.0 && t == 0.0 { 1.0 } else { 0.0 });
+            let x0 = values_z.mul(target);
+            let cond_w = build_cond(values_z, &cond_train, use_interp);
+            let x_t = q_sample(&x0, eps, schedule, *t_step).mul(target);
+            (*t_step, x_t, cond_w)
+        });
+        for (bi, ((t_step, x_t, cond_w), (target, _, eps))) in
+            samples.into_iter().zip(drawn).enumerate()
+        {
             steps.push(t_step);
             let base = bi * n * l;
             noisy.data_mut()[base..base + n * l].copy_from_slice(x_t.data());

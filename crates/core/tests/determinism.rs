@@ -1,0 +1,80 @@
+//! End-to-end bitwise determinism across thread counts.
+//!
+//! The `st-par` chunking contract (chunk boundaries derive from problem
+//! shape, never from thread count) plus the single-accumulator kernel
+//! contract in `st-tensor` together promise that training and imputation
+//! produce byte-identical results whether the pool runs 1, 2 or 8 workers.
+//! This test pins the whole stack to that promise: same seed, different
+//! `st_par::set_threads`, compare serialized parameters and imputed samples
+//! byte for byte.
+//!
+//! Everything runs inside one `#[test]` because the pool size is process
+//! global; a second concurrent test would race the setting.
+
+use pristi_core::train::{train, TrainConfig};
+use pristi_core::{impute_window, PristiConfig};
+use st_data::generators::{generate_air_quality, AirQualityConfig};
+use st_rand::SeedableRng;
+use st_rand::StdRng;
+
+fn tiny_model_cfg() -> PristiConfig {
+    let mut c = PristiConfig::small();
+    c.d_model = 8;
+    c.heads = 2;
+    c.layers = 1;
+    c.t_steps = 8;
+    c.time_emb_dim = 8;
+    c.node_emb_dim = 4;
+    c.step_emb_dim = 8;
+    c.virtual_nodes = 4;
+    c.adaptive_dim = 2;
+    c
+}
+
+/// Train 2 epochs and impute one window; return (params, samples) as bytes.
+fn train_impute_bytes(threads: usize) -> (Vec<u8>, Vec<u8>) {
+    let data = generate_air_quality(&AirQualityConfig {
+        n_nodes: 8,
+        n_days: 4,
+        seed: 11,
+        episodes_per_week: 0.0,
+        ..Default::default()
+    });
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        window_len: 12,
+        window_stride: 12,
+        seed: 42,
+        threads,
+        ..Default::default()
+    };
+    let trained = train(&data, tiny_model_cfg(), &tc);
+    assert_eq!(trained.epoch_losses.len(), 2);
+    assert!(
+        trained.epoch_losses.iter().all(|l| l.is_finite() && *l > 0.0),
+        "vacuous training run: losses {:?}",
+        trained.epoch_losses
+    );
+    let params = trained.model.store.to_bytes();
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let w = data.window_at(0, 12);
+    let res = impute_window(&trained, &w, 2, &mut rng);
+    let mut samples = Vec::new();
+    for s in &res.samples {
+        samples.extend_from_slice(&s.to_bytes());
+    }
+    (params, samples)
+}
+
+#[test]
+fn train_and_impute_bitwise_identical_across_thread_counts() {
+    let (p1, s1) = train_impute_bytes(1);
+    for threads in [2usize, 8] {
+        let (p, s) = train_impute_bytes(threads);
+        assert!(p == p1, "trained parameters diverge at {threads} threads");
+        assert!(s == s1, "imputed samples diverge at {threads} threads");
+    }
+    st_par::set_threads(0);
+}

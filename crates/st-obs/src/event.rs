@@ -80,7 +80,18 @@ pub fn is_timing_field(key: &str) -> bool {
     key.ends_with("_ns") || key == "wps"
 }
 
-/// Re-serialise one JSONL line with every timing field removed.
+/// True for gauge/counter names whose values reflect scheduling or allocator
+/// activity rather than computed results: the whole `pool.` namespace
+/// (worker claims, inline runs, buffer-pool hit rates). Like timings, these
+/// legitimately vary between two same-seed runs — a warm buffer pool hits
+/// where a cold one missed — so the determinism contract strips their values
+/// (the events themselves, and thus event order/count, stay).
+pub fn is_activity_metric(name: &str) -> bool {
+    name.starts_with("pool.")
+}
+
+/// Re-serialise one JSONL line with every timing field removed (and, for
+/// `pool.*` gauge/counter events, the activity-dependent `value` field).
 ///
 /// Two same-seed runs of a deterministic pipeline must produce identical
 /// streams after this transformation — the canonical stability contract that
@@ -90,10 +101,19 @@ pub fn strip_timing(line: &str) -> Result<String, String> {
     let crate::json::Json::Obj(pairs) = parsed else {
         return Err("JSONL line is not an object".into());
     };
+    let activity = matches!(
+        pairs.iter().find(|(k, _)| k == "ev").and_then(|(_, v)| v.as_str()),
+        Some("gauge") | Some("counter")
+    ) && matches!(
+        pairs.iter().find(|(k, _)| k == "name").and_then(|(_, v)| v.as_str()),
+        Some(name) if is_activity_metric(name)
+    );
     let mut out = String::with_capacity(line.len());
     out.push('{');
     let mut first = true;
-    for (k, v) in pairs.iter().filter(|(k, _)| !is_timing_field(k)) {
+    for (k, v) in
+        pairs.iter().filter(|(k, _)| !(is_timing_field(k) || activity && k == "value"))
+    {
         if !first {
             out.push(',');
         }

@@ -1,0 +1,469 @@
+//! # st-par
+//!
+//! Deterministic data-parallel execution for the PriSTI-rs stack: a
+//! zero-dependency scoped thread pool (`std::thread` + channels) with a
+//! **shape-derived chunking contract**.
+//!
+//! ## The determinism contract
+//!
+//! Every parallel entry point splits its work into chunks whose number and
+//! boundaries are a pure function of the *problem shape* (batch count, row
+//! count, chunk length) — never of the thread count. Each chunk
+//!
+//! * computes a value that depends only on its inputs and chunk index, and
+//! * writes only to memory disjoint from every other chunk
+//!   ([`par_chunks_mut`]) or to its own slot of an index-ordered result
+//!   vector ([`par_map`]).
+//!
+//! Reductions over chunk results are folded *by the caller, in chunk-index
+//! order*. Threads only decide *when* a chunk runs, never *what* it computes
+//! or *where* its result lands, so the final bytes are identical for
+//! `ST_PAR_THREADS=1`, `2`, or `8` — byte-identity that
+//! `tests/determinism.rs` pins for the whole train + impute pipeline.
+//!
+//! ## Pool lifecycle
+//!
+//! The pool is a process-global singleton, spawned lazily on the first
+//! dispatch that actually wants more than one thread. Workers park on an
+//! `mpsc` channel; a dispatched task is a lifetime-erased closure plus an
+//! atomic chunk counter that callers and workers *claim* indices from
+//! (`fetch_add`), so no per-chunk boxing or queue is needed. The caller
+//! participates in its own task and then blocks on a condvar until the last
+//! chunk completes, which is what makes the lifetime erasure sound: no chunk
+//! can outlive the call that borrowed its data. Worker panics are caught and
+//! re-raised on the caller with their original payload.
+//!
+//! The default thread count comes from `ST_PAR_THREADS` (falling back to
+//! [`std::thread::available_parallelism`]); [`set_threads`] adjusts the
+//! *active* count at runtime (bench scaling runs, `TrainConfig::threads`).
+//! The pool keeps capacity for at least [`MIN_CAPACITY`] threads so
+//! determinism tests can exercise real multi-threading even on single-core
+//! hosts.
+//!
+//! When a recorder is installed, `st-obs` gauges/counters expose the pool:
+//! `pool.threads` (capacity), `pool.active_threads`, `pool.tasks`,
+//! `pool.chunks`, `pool.caller_chunks` / `pool.worker_chunks` (who actually
+//! ran the work — the worker share is the "steal" depth), and
+//! `pool.inline_runs` (dispatches that stayed on the caller).
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// The pool always keeps capacity for at least this many threads, so
+/// [`set_threads`] can exercise genuine multi-threading (determinism tests,
+/// scaling benches) even when the host reports a single core.
+pub const MIN_CAPACITY: usize = 8;
+
+/// Work below this many output elements is not worth dispatching; callers
+/// use [`worthwhile`] as a shape-only gate (the threshold never changes what
+/// a chunk computes, only whether chunks run on the pool or inline).
+pub const MIN_PAR_ELEMS: usize = 16 * 1024;
+
+/// Thread count requested by the environment: `ST_PAR_THREADS` if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        std::env::var("ST_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+fn active_cell() -> &'static AtomicUsize {
+    static ACTIVE: OnceLock<AtomicUsize> = OnceLock::new();
+    ACTIVE.get_or_init(|| AtomicUsize::new(configured_threads()))
+}
+
+/// Number of threads parallel dispatches currently aim to use (caller
+/// included). Defaults to `ST_PAR_THREADS` / available parallelism.
+pub fn threads() -> usize {
+    active_cell().load(Ordering::Relaxed)
+}
+
+/// Pool capacity: the largest value [`set_threads`] can apply.
+pub fn max_threads() -> usize {
+    configured_threads().max(MIN_CAPACITY)
+}
+
+/// Set the active thread count, clamped to `1..=max_threads()`; `0` resets
+/// to the configured default. Returns the value actually applied.
+///
+/// Changing the thread count never changes results — only how many workers
+/// claim chunks — so this is safe to flip mid-process (bench scaling runs do).
+pub fn set_threads(n: usize) -> usize {
+    let applied = if n == 0 { configured_threads() } else { n.clamp(1, max_threads()) };
+    active_cell().store(applied, Ordering::Relaxed);
+    st_obs::gauge_set("pool.active_threads", applied as f64);
+    applied
+}
+
+/// Shape-only gate: is `work` (total output elements / flops of the whole
+/// dispatch) big enough to be worth handing to the pool?
+pub fn worthwhile(work: usize) -> bool {
+    threads() > 1 && work >= MIN_PAR_ELEMS
+}
+
+// ---------------------------------------------------------------------------
+// Task: one parallel dispatch, shared between the caller and the workers.
+// ---------------------------------------------------------------------------
+
+/// Type-erased chunk function. The `'static` here is a lie told through
+/// `erase_lifetime`; soundness is restored by [`Task::wait`] — the borrow it
+/// points at outlives every dereference because the caller blocks until all
+/// chunks are done.
+type ChunkFn = dyn Fn(usize) + Sync;
+
+struct Task {
+    f: *const ChunkFn,
+    n: usize,
+    /// Next unclaimed chunk index.
+    next: AtomicUsize,
+    /// Chunks not yet finished; the decrement to zero signals `done`.
+    remaining: AtomicUsize,
+    /// First panic payload raised inside a chunk, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+// SAFETY: `f` is only dereferenced by chunk executions, all of which complete
+// before `Task::wait` returns to the owner of the borrow behind `f`.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    fn new(f: *const ChunkFn, n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            f,
+            n,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Claim and run chunks until none are left. Returns how many this
+    /// thread executed.
+    fn work(&self) -> usize {
+        let mut ran = 0usize;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return ran;
+            }
+            // SAFETY: the caller of `run` is still inside `wait`, so the
+            // borrow behind `f` is alive.
+            let f = unsafe { &*self.f };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+            if let Err(payload) = outcome {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            ran += 1;
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().unwrap();
+                *done = true;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Block until every chunk has completed, then re-raise the first panic.
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+        drop(done);
+        if let Some(payload) = self.panic.lock().unwrap().take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global pool.
+// ---------------------------------------------------------------------------
+
+struct Pool {
+    /// One channel per worker; a dispatch fans the task out to the first
+    /// `threads() - 1` of them.
+    senders: Vec<Sender<Arc<Task>>>,
+}
+
+thread_local! {
+    /// Set inside pool workers: nested parallel calls run inline instead of
+    /// re-entering the pool (no deadlock, same bytes).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let capacity = max_threads();
+        let mut senders = Vec::with_capacity(capacity.saturating_sub(1));
+        for w in 0..capacity.saturating_sub(1) {
+            let (tx, rx) = std::sync::mpsc::channel::<Arc<Task>>();
+            let spawned = std::thread::Builder::new()
+                .name(format!("st-par-{w}"))
+                .spawn(move || {
+                    IN_WORKER.with(|f| f.set(true));
+                    while let Ok(task) = rx.recv() {
+                        let ran = task.work();
+                        if ran > 0 {
+                            st_obs::counter_add("pool.worker_chunks", ran as f64);
+                        }
+                    }
+                });
+            if spawned.is_ok() {
+                senders.push(tx);
+            }
+        }
+        st_obs::gauge_set("pool.threads", (senders.len() + 1) as f64);
+        Pool { senders }
+    })
+}
+
+/// Run `f(i)` for every `i` in `0..n`, possibly on pool workers.
+///
+/// `n` and what each index computes must derive from the problem shape only;
+/// each index must touch state disjoint from every other index. Runs inline
+/// when `n <= 1`, when one thread is active, or when called from inside a
+/// pool worker (nested dispatch).
+pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let t = threads();
+    if n == 1 || t <= 1 || IN_WORKER.with(|w| w.get()) {
+        st_obs::counter_add("pool.inline_runs", 1.0);
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    // SAFETY (lifetime erasure): the borrow behind `f` stays alive until
+    // `task.wait()` below returns, and no chunk dereferences it afterwards.
+    let f_erased: *const ChunkFn =
+        unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
+    let task = Task::new(f_erased, n);
+    let helpers = (t - 1).min(n - 1);
+    let pool = pool();
+    for tx in pool.senders.iter().take(helpers) {
+        // A worker whose channel died (spawn failure) is simply skipped;
+        // remaining chunks are claimed by the caller and surviving workers.
+        let _ = tx.send(Arc::clone(&task));
+    }
+    st_obs::counter_add("pool.tasks", 1.0);
+    st_obs::counter_add("pool.chunks", n as f64);
+    let ran = task.work();
+    if ran > 0 {
+        st_obs::counter_add("pool.caller_chunks", ran as f64);
+    }
+    task.wait();
+}
+
+/// Raw-pointer wrapper so disjoint-slice closures can be `Sync`.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare raw pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Run `f(i)` for `i` in `0..n` (convenience over [`run`]).
+pub fn par_index(n: usize, f: impl Fn(usize) + Sync) {
+    run(n, &f);
+}
+
+/// Split `data` into consecutive chunks of `chunk_len` (last may be short)
+/// and run `f(chunk_index, chunk)` for each — the chunk boundaries are a
+/// pure function of `data.len()` and `chunk_len`, never of the thread count.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "par_chunks_mut needs a positive chunk length");
+    let len = data.len();
+    let n_chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    run(n_chunks, &|ci| {
+        let start = ci * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunk `ci` covers `[start, end)`, disjoint from every other
+        // chunk, and `data` outlives the dispatch (run() blocks).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(ci, chunk);
+    });
+}
+
+/// Compute `f(i)` for `i` in `0..n` and return the results **in index
+/// order**, so the caller can fold them with a thread-count-independent
+/// reduction order.
+pub fn par_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let mut slots: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, std::mem::MaybeUninit::uninit);
+    let base = SendPtr(slots.as_mut_ptr());
+    run(n, &|i| {
+        // SAFETY: slot `i` is written exactly once, by the single execution
+        // of chunk `i`; `slots` outlives the dispatch.
+        unsafe { (*base.get().add(i)).write(f(i)) };
+    });
+    // Every slot is initialised (run() returns only after all n chunks).
+    let ptr = slots.as_mut_ptr() as *mut R;
+    let (len, cap) = (slots.len(), slots.capacity());
+    std::mem::forget(slots);
+    // SAFETY: same allocation, identical layout, all elements initialised.
+    unsafe { Vec::from_raw_parts(ptr, len, cap) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests mutate the global active-thread count; serialise them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let _l = lock();
+        for t in [1, 2, 8] {
+            set_threads(t);
+            let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+            par_index(103, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "threads={t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn chunked_fill_is_thread_count_invariant() {
+        let _l = lock();
+        let reference: Vec<u64> = {
+            set_threads(1);
+            let mut v = vec![0u64; 1000];
+            par_chunks_mut(&mut v, 64, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (ci * 1_000_003 + j) as u64;
+                }
+            });
+            v
+        };
+        for t in [2, 3, 8] {
+            set_threads(t);
+            let mut v = vec![0u64; 1000];
+            par_chunks_mut(&mut v, 64, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (ci * 1_000_003 + j) as u64;
+                }
+            });
+            assert_eq!(v, reference, "threads={t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let _l = lock();
+        set_threads(8);
+        let out = par_map(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        set_threads(0);
+    }
+
+    #[test]
+    fn ordered_float_reduction_is_identical_across_thread_counts() {
+        let _l = lock();
+        // A reduction folded in chunk order must produce identical bits no
+        // matter how many threads computed the partials.
+        let fold = |t: usize| -> u64 {
+            set_threads(t);
+            let partials = par_map(37, |i| {
+                let mut acc = 0.0f32;
+                for j in 0..1000 {
+                    acc += ((i * 1000 + j) as f32).sqrt() * 1e-3;
+                }
+                acc
+            });
+            partials.iter().fold(0.0f32, |a, &b| a + b).to_bits() as u64
+        };
+        let one = fold(1);
+        assert_eq!(fold(2), one);
+        assert_eq!(fold(8), one);
+        set_threads(0);
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let _l = lock();
+        set_threads(4);
+        let caught = std::panic::catch_unwind(|| {
+            par_index(64, |i| {
+                if i == 13 {
+                    panic!("chunk 13 exploded");
+                }
+            });
+        });
+        set_threads(0);
+        let payload = caught.expect_err("panic should propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("chunk 13 exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let _l = lock();
+        set_threads(4);
+        let outer: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        par_index(16, |i| {
+            // Nested call: must complete inline on whichever thread runs it.
+            let inner = par_map(8, |j| j + i);
+            assert_eq!(inner.iter().sum::<usize>(), 28 + 8 * i);
+            outer[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(outer.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        set_threads(0);
+    }
+
+    #[test]
+    fn set_threads_clamps_and_resets() {
+        let _l = lock();
+        assert_eq!(set_threads(1), 1);
+        assert_eq!(set_threads(usize::MAX), max_threads());
+        assert_eq!(set_threads(0), configured_threads());
+        assert_eq!(threads(), configured_threads());
+    }
+
+    #[test]
+    fn empty_and_single_runs_are_inline() {
+        let _l = lock();
+        set_threads(8);
+        par_index(0, |_| panic!("must not run"));
+        run(1, &|i| {
+            assert_eq!(i, 0);
+            // Single-chunk dispatches stay on the caller thread.
+            assert!(!IN_WORKER.with(|w| w.get()));
+        });
+        set_threads(0);
+    }
+}

@@ -71,16 +71,42 @@ pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
                 let gx = g.matmul_shared_left(&st);
                 let (bs, n, d) = (xv.shape()[0], sv.shape()[0], xv.shape()[2]);
                 let np = sv.shape()[1];
+                // Per-batch partials folded in batch order: each batch's
+                // contribution is added to gS exactly once either way, so
+                // the parallel path is bit-identical to the serial one.
+                let gd = g.data();
+                let xd = xv.data();
                 let mut gs = NdArray::zeros(&[n, np]);
-                for bi in 0..bs {
-                    matmul_transb_kernel(
-                        gs.data_mut(),
-                        &g.data()[bi * n * d..(bi + 1) * n * d],
-                        &xv.data()[bi * np * d..(bi + 1) * np * d],
-                        n,
-                        d,
-                        np,
-                    );
+                let gsd = gs.data_mut();
+                if st_par::worthwhile(bs * n * d * np) && bs > 1 {
+                    let partials = st_par::par_map(bs, |bi| {
+                        let mut part = vec![0.0f32; n * np];
+                        matmul_transb_kernel(
+                            &mut part,
+                            &gd[bi * n * d..(bi + 1) * n * d],
+                            &xd[bi * np * d..(bi + 1) * np * d],
+                            n,
+                            d,
+                            np,
+                        );
+                        part
+                    });
+                    for part in &partials {
+                        for (o, &p) in gsd.iter_mut().zip(part) {
+                            *o += p;
+                        }
+                    }
+                } else {
+                    for bi in 0..bs {
+                        matmul_transb_kernel(
+                            gsd,
+                            &gd[bi * n * d..(bi + 1) * n * d],
+                            &xd[bi * np * d..(bi + 1) * np * d],
+                            n,
+                            d,
+                            np,
+                        );
+                    }
                 }
                 acc(&mut grads, nodes, *x, &gx);
                 acc(&mut grads, nodes, *s, &gs);
@@ -298,33 +324,51 @@ fn conv1d_backward(
     let wv = &nodes[w.0].value;
     let (bs, l, cin) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
     let (k, _, cout) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
-    let mut gx = NdArray::zeros(xv.shape());
-    let mut gw = NdArray::zeros(wv.shape());
-    let mut gb = NdArray::zeros(&[cout]);
     let xd = xv.data();
     let wd = wv.data();
     let gd = g.data();
-    for bi in 0..bs {
+    // Per-batch partials, always — so the (gx, gw, gb) summation order is a
+    // function of the batch split alone and identical at every thread count
+    // (par_map runs the same per-batch closures inline when single-threaded).
+    let per_batch = st_par::par_map(bs, |bi| {
+        let mut gxb = vec![0.0f32; l * cin];
+        let mut gwb = vec![0.0f32; k * cin * cout];
+        let mut gbb = vec![0.0f32; cout];
         for t in 0..l {
             let grow = &gd[(bi * l + t) * cout..(bi * l + t + 1) * cout];
             for (co, &gvv) in grow.iter().enumerate() {
-                gb.data_mut()[co] += gvv;
+                gbb[co] += gvv;
             }
             for ki in 0..k {
                 let Some(src) = t.checked_sub(ki * dilation) else { break };
                 let xrow = &xd[(bi * l + src) * cin..(bi * l + src + 1) * cin];
-                let gxrow_base = (bi * l + src) * cin;
                 for ci in 0..cin {
                     let wrow = &wd[(ki * cin + ci) * cout..(ki * cin + ci + 1) * cout];
                     let mut acc_gx = 0.0f32;
                     let gw_base = (ki * cin + ci) * cout;
                     for (co, &gvv) in grow.iter().enumerate() {
                         acc_gx += gvv * wrow[co];
-                        gw.data_mut()[gw_base + co] += gvv * xrow[ci];
+                        gwb[gw_base + co] += gvv * xrow[ci];
                     }
-                    gx.data_mut()[gxrow_base + ci] += acc_gx;
+                    gxb[src * cin + ci] += acc_gx;
                 }
             }
+        }
+        (gxb, gwb, gbb)
+    });
+    let mut gx = NdArray::zeros(xv.shape());
+    let mut gw = NdArray::zeros(wv.shape());
+    let mut gb = NdArray::zeros(&[cout]);
+    let gxd = gx.data_mut();
+    let gwd = gw.data_mut();
+    let gbd = gb.data_mut();
+    for (bi, (gxb, gwb, gbb)) in per_batch.iter().enumerate() {
+        gxd[bi * l * cin..(bi + 1) * l * cin].copy_from_slice(gxb);
+        for (o, &p) in gwd.iter_mut().zip(gwb) {
+            *o += p;
+        }
+        for (o, &p) in gbd.iter_mut().zip(gbb) {
+            *o += p;
         }
     }
     acc(grads, nodes, x, &gx);

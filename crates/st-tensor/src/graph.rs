@@ -549,11 +549,13 @@ impl<'s> Graph<'s> {
         let mut out = NdArray::zeros(&[bs, l, cout]);
         let xd = xv.data();
         let wd = wv.data();
+        let bd = bv.data();
         let od = out.data_mut();
-        for bi in 0..bs {
+        // Batch-parallel: each batch writes only its own [l, cout] chunk.
+        crate::ndarray::batch_dispatch(od, l * cout, bs * l * k * cin * cout, |bi, chunk| {
             for t in 0..l {
-                let orow = &mut od[(bi * l + t) * cout..(bi * l + t + 1) * cout];
-                orow.copy_from_slice(bv.data());
+                let orow = &mut chunk[t * cout..(t + 1) * cout];
+                orow.copy_from_slice(bd);
                 for ki in 0..k {
                     let Some(src) = t.checked_sub(ki * dilation) else { break };
                     let xrow = &xd[(bi * l + src) * cin..(bi * l + src + 1) * cin];
@@ -568,7 +570,7 @@ impl<'s> Graph<'s> {
                     }
                 }
             }
-        }
+        });
         self.push(out, Op::Conv1dCausal { x, w, b, dilation }, t0)
     }
 

@@ -30,6 +30,7 @@
 pub mod backward;
 pub mod graph;
 pub mod ndarray;
+pub mod pool;
 pub mod nn;
 pub mod optim;
 pub mod param;

@@ -5,22 +5,37 @@
 //! needs (element-wise arithmetic with NumPy-style broadcasting, 2-D and
 //! batched 3-D matrix multiplication, permutation, concatenation, softmax),
 //! implemented with cache-friendly loops rather than a general einsum engine.
+//!
+//! Storage is copy-on-write: the flat buffer lives behind an [`Arc`], so
+//! `clone()` and [`NdArray::reshaped`] are O(rank) pointer bumps and only
+//! [`NdArray::data_mut`] on a shared buffer pays for a copy. The matmul
+//! kernels are register-tiled and batch-level parallel via `st-par`; every
+//! output element is still a single-accumulator ascending-`p` sum, so results
+//! are bitwise identical to the naive kernels and independent of thread count
+//! (see DESIGN.md §9).
 
+use crate::pool;
 use st_rand::Rng;
 use st_rand::{Distribution, Normal, Uniform};
+use std::sync::Arc;
 
-/// A dense row-major tensor of `f32` values.
+/// A dense row-major tensor of `f32` values with copy-on-write storage.
+///
+/// Storage lives in a [`pool::Buffer`], which recycles large allocations
+/// through a thread-local free list instead of handing them back to the OS
+/// (per-op buffers here sit past glibc's mmap threshold, and the resulting
+/// mmap/munmap + page-fault churn measured as ~40% of a model forward).
 #[derive(Clone, Debug, PartialEq)]
 pub struct NdArray {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: Arc<pool::Buffer>,
 }
 
 impl NdArray {
     /// Create an array of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self::from_parts(shape.to_vec(), pool::zeroed(n))
     }
 
     /// Create an array of ones with the given shape.
@@ -31,12 +46,14 @@ impl NdArray {
     /// Create an array filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; n] }
+        let mut data = pool::dirty(n);
+        data.fill(value);
+        Self::from_parts(shape.to_vec(), data)
     }
 
     /// Create a rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![1], data: vec![value] }
+        Self::from_parts(vec![1], vec![value])
     }
 
     /// Create an array from a flat buffer; panics if sizes disagree.
@@ -47,23 +64,36 @@ impl NdArray {
             "NdArray::from_vec: shape {shape:?} does not match data length {}",
             data.len()
         );
-        Self { shape: shape.to_vec(), data }
+        Self::from_parts(shape.to_vec(), data)
+    }
+
+    /// Internal constructor from already-validated parts.
+    #[inline]
+    fn from_parts(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        debug_assert_eq!(shape.iter().product::<usize>(), data.len());
+        Self { shape, data: Arc::new(pool::Buffer::new(data)) }
     }
 
     /// Standard-normal random array.
     pub fn randn<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Self {
         let dist = Normal::new(0.0f32, 1.0).expect("valid normal");
         let n = shape.iter().product();
-        let data = (0..n).map(|_| dist.sample(rng)).collect();
-        Self { shape: shape.to_vec(), data }
+        let mut data = pool::dirty(n);
+        for v in data.iter_mut() {
+            *v = dist.sample(rng);
+        }
+        Self::from_parts(shape.to_vec(), data)
     }
 
     /// Uniform random array over `[lo, hi)`.
     pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         let dist = Uniform::new(lo, hi).expect("valid uniform range");
         let n = shape.iter().product();
-        let data = (0..n).map(|_| dist.sample(rng)).collect();
-        Self { shape: shape.to_vec(), data }
+        let mut data = pool::dirty(n);
+        for v in data.iter_mut() {
+            *v = dist.sample(rng);
+        }
+        Self::from_parts(shape.to_vec(), data)
     }
 
     /// The shape of the array.
@@ -91,14 +121,21 @@ impl NdArray {
     }
 
     /// Mutable view of the flat data buffer.
+    ///
+    /// Copy-on-write: if the buffer is shared with another array (via
+    /// `clone()` or [`Self::reshaped`]) it is copied first, so mutations
+    /// never alias.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consume into the flat buffer.
+    /// Consume into the flat buffer (copies only if the buffer is shared).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match Arc::try_unwrap(self.data) {
+            Ok(buf) => buf.into_vec(),
+            Err(shared) => shared.to_vec(),
+        }
     }
 
     /// Serialize to a one-line text form: `shape;data` with space-separated
@@ -133,7 +170,7 @@ impl NdArray {
                 data.len()
             ));
         }
-        Ok(Self { shape, data })
+        Ok(Self::from_parts(shape, data))
     }
 
     /// Serialize to a length-prefixed little-endian binary blob
@@ -144,7 +181,7 @@ impl NdArray {
         for &d in &self.shape {
             out.extend_from_slice(&(d as u64).to_le_bytes());
         }
-        for &v in &self.data {
+        for &v in self.data.iter() {
             out.extend_from_slice(&v.to_le_bytes());
         }
         out
@@ -173,7 +210,7 @@ impl NdArray {
         if pos != bytes.len() {
             return Err(format!("{} trailing bytes after NdArray blob", bytes.len() - pos));
         }
-        Ok(Self { shape, data })
+        Ok(Self::from_parts(shape, data))
     }
 
     /// Row-major strides for this shape.
@@ -189,7 +226,7 @@ impl NdArray {
     /// Mutable element accessor by multi-index.
     pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
         let i = self.flat_index(idx);
-        &mut self.data[i]
+        &mut self.data_mut()[i]
     }
 
     fn flat_index(&self, idx: &[usize]) -> usize {
@@ -205,7 +242,8 @@ impl NdArray {
             .sum()
     }
 
-    /// Return a copy with a new shape (same number of elements).
+    /// Return a view with a new shape (same number of elements). O(rank):
+    /// the data buffer is shared copy-on-write, not copied.
     pub fn reshaped(&self, shape: &[usize]) -> NdArray {
         assert_eq!(
             shape.iter().product::<usize>(),
@@ -213,7 +251,7 @@ impl NdArray {
             "reshape from {:?} to {shape:?} changes element count",
             self.shape
         );
-        NdArray { shape: shape.to_vec(), data: self.data.clone() }
+        NdArray { shape: shape.to_vec(), data: Arc::clone(&self.data) }
     }
 
     /// In-place reshape (no data movement).
@@ -229,12 +267,16 @@ impl NdArray {
 
     /// Apply `f` element-wise, producing a new array.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
-        NdArray { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut data = pool::dirty(self.data.len());
+        for (d, &s) in data.iter_mut().zip(self.data.iter()) {
+            *d = f(s);
+        }
+        NdArray::from_parts(self.shape.clone(), data)
     }
 
     /// Apply `f` element-wise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data_mut() {
             *v = f(*v);
         }
     }
@@ -242,8 +284,11 @@ impl NdArray {
     /// Element-wise combine two same-shaped arrays.
     pub fn zip_map(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        NdArray { shape: self.shape.clone(), data }
+        let mut data = pool::dirty(self.data.len());
+        for (d, (&a, &b)) in data.iter_mut().zip(self.data.iter().zip(other.data.iter())) {
+            *d = f(a, b);
+        }
+        NdArray::from_parts(self.shape.clone(), data)
     }
 
     /// Sum of all elements (accumulated in f64 for stability).
@@ -275,27 +320,72 @@ impl NdArray {
     // ---------------------------------------------------------------------
 
     /// NumPy-style broadcast binary operation.
+    ///
+    /// Fast paths (same shape, scalar operand, whole-last-axis rows) cover
+    /// every broadcast the PriSTI graph emits; the generic odometer walk only
+    /// advances per *row*, with the innermost axis handled by a strided loop.
     pub fn broadcast_binary(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
         if self.shape == other.shape {
             return self.zip_map(other, f);
         }
+        // Scalar operand (of no higher rank, so the result keeps the other
+        // side's shape): a single map over the other side.
+        if other.numel() == 1 && other.ndim() <= self.ndim() {
+            let b = other.data[0];
+            return self.map(|a| f(a, b));
+        }
+        if self.numel() == 1 && self.ndim() <= other.ndim() {
+            let a = self.data[0];
+            return other.map(|b| f(a, b));
+        }
         let out_shape = broadcast_shape(&self.shape, &other.shape).unwrap_or_else(|| {
             panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape)
         });
-        let mut out = NdArray::zeros(&out_shape);
+        let rank = out_shape.len();
         let a_strides = broadcast_strides(&self.shape, &out_shape);
         let b_strides = broadcast_strides(&other.shape, &out_shape);
-        let mut idx = vec![0usize; out_shape.len()];
-        for o in out.data.iter_mut() {
+        let last = out_shape[rank - 1];
+        let rows = out_shape[..rank - 1].iter().product::<usize>();
+        let (a_last, b_last) = (a_strides[rank - 1], b_strides[rank - 1]);
+        let mut data = pool::dirty(rows * last);
+        let mut idx = vec![0usize; rank - 1];
+        let (a_buf, b_buf) = (self.data.as_slice(), other.data.as_slice());
+        for drow in data.chunks_exact_mut(last) {
             let mut ai = 0;
             let mut bi = 0;
             for (d, &i) in idx.iter().enumerate() {
                 ai += i * a_strides[d];
                 bi += i * b_strides[d];
             }
-            *o = f(self.data[ai], other.data[bi]);
-            // increment multi-index
-            for d in (0..out_shape.len()).rev() {
+            match (a_last, b_last) {
+                // Both contiguous along the last axis: plain slice zip.
+                (1, 1) => {
+                    let ar = &a_buf[ai..ai + last];
+                    let br = &b_buf[bi..bi + last];
+                    for (d, (&a, &b)) in drow.iter_mut().zip(ar.iter().zip(br)) {
+                        *d = f(a, b);
+                    }
+                }
+                // One side constant along the last axis.
+                (1, 0) => {
+                    let b = b_buf[bi];
+                    for (d, &a) in drow.iter_mut().zip(&a_buf[ai..ai + last]) {
+                        *d = f(a, b);
+                    }
+                }
+                (0, 1) => {
+                    let a = a_buf[ai];
+                    for (d, &b) in drow.iter_mut().zip(&b_buf[bi..bi + last]) {
+                        *d = f(a, b);
+                    }
+                }
+                _ => {
+                    for (j, d) in drow.iter_mut().enumerate() {
+                        *d = f(a_buf[ai + j * a_last], b_buf[bi + j * b_last]);
+                    }
+                }
+            }
+            for d in (0..rank - 1).rev() {
                 idx[d] += 1;
                 if idx[d] < out_shape[d] {
                     break;
@@ -303,7 +393,7 @@ impl NdArray {
                 idx[d] = 0;
             }
         }
-        out
+        NdArray::from_parts(out_shape, data)
     }
 
     /// Element-wise addition with broadcasting.
@@ -334,7 +424,7 @@ impl NdArray {
     /// Accumulate `other * scale` into `self` (same shape).
     pub fn axpy(&mut self, scale: f32, other: &NdArray) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += scale * b;
         }
     }
@@ -353,17 +443,17 @@ impl NdArray {
         let offset = out_rank - target_shape.len();
         padded[offset..].copy_from_slice(target_shape);
 
-        let mut out = NdArray::zeros(&padded);
-        let out_strides = out.strides();
+        let out_strides = strides_of(&padded);
+        let mut acc = pool::zeroed(padded.iter().product());
         let src_shape = self.shape.clone();
         let mut idx = vec![0usize; out_rank];
-        for &v in &self.data {
+        for &v in self.data.iter() {
             let mut oi = 0;
             for d in 0..out_rank {
                 let i = if padded[d] == 1 { 0 } else { idx[d] };
                 oi += i * out_strides[d];
             }
-            out.data[oi] += v;
+            acc[oi] += v;
             for d in (0..out_rank).rev() {
                 idx[d] += 1;
                 if idx[d] < src_shape[d] {
@@ -372,8 +462,7 @@ impl NdArray {
                 idx[d] = 0;
             }
         }
-        out.reshape_inplace(target_shape);
-        out
+        NdArray::from_parts(target_shape.to_vec(), acc)
     }
 
     // ---------------------------------------------------------------------
@@ -381,15 +470,28 @@ impl NdArray {
     // ---------------------------------------------------------------------
 
     /// 2-D matrix product `self [m,k] @ other [k,n] -> [m,n]`.
+    ///
+    /// Large products are split into fixed [`ROW_CHUNK`]-row bands (a pure
+    /// function of `m`, never of the thread count) that run on the `st-par`
+    /// pool; each band's values are identical to the serial kernel's.
     pub fn matmul(&self, other: &NdArray) -> NdArray {
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
         assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {:?} vs {:?}", self.shape, other.shape);
-        let mut out = NdArray::zeros(&[m, n]);
-        matmul_kernel(&mut out.data, &self.data, &other.data, m, k, n);
-        out
+        let mut data = pool::zeroed(m * n);
+        let (a, b) = (self.data.as_slice(), other.data.as_slice());
+        if st_par::worthwhile(m * n * k) && m > ROW_CHUNK {
+            st_par::par_chunks_mut(&mut data, ROW_CHUNK * n, |ci, chunk| {
+                let i0 = ci * ROW_CHUNK;
+                let rows = chunk.len() / n;
+                matmul_kernel(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+            });
+        } else {
+            matmul_kernel(&mut data, a, b, m, k, n);
+        }
+        NdArray::from_parts(vec![m, n], data)
     }
 
     /// 2-D product with transposed rhs: `self [m,k] @ other^T` where `other [n,k]`.
@@ -399,9 +501,18 @@ impl NdArray {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_transb inner dims: {:?} vs {:?}", self.shape, other.shape);
-        let mut out = NdArray::zeros(&[m, n]);
-        matmul_transb_kernel(&mut out.data, &self.data, &other.data, m, k, n);
-        out
+        let mut data = pool::zeroed(m * n);
+        let (a, b) = (self.data.as_slice(), other.data.as_slice());
+        if st_par::worthwhile(m * n * k) && m > ROW_CHUNK {
+            st_par::par_chunks_mut(&mut data, ROW_CHUNK * n, |ci, chunk| {
+                let i0 = ci * ROW_CHUNK;
+                let rows = chunk.len() / n;
+                matmul_transb_kernel(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+            });
+        } else {
+            matmul_transb_kernel(&mut data, a, b, m, k, n);
+        }
+        NdArray::from_parts(vec![m, n], data)
     }
 
     /// 2-D product with transposed lhs: `self^T @ other` where `self [k,m]`, `other [k,n]`.
@@ -411,12 +522,12 @@ impl NdArray {
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_transa inner dims: {:?} vs {:?}", self.shape, other.shape);
-        let mut out = NdArray::zeros(&[m, n]);
-        matmul_transa_kernel(&mut out.data, &self.data, &other.data, m, k, n);
-        out
+        let mut data = pool::zeroed(m * n);
+        matmul_transa_kernel(&mut data, &self.data, &other.data, m, k, n);
+        NdArray::from_parts(vec![m, n], data)
     }
 
-    /// Batched 3-D matmul: `[B,m,k] @ [B,k,n] -> [B,m,n]`.
+    /// Batched 3-D matmul: `[B,m,k] @ [B,k,n] -> [B,m,n]`, batch-parallel.
     pub fn batch_matmul(&self, other: &NdArray) -> NdArray {
         assert_eq!(self.ndim(), 3, "batch_matmul lhs must be 3-D");
         assert_eq!(other.ndim(), 3, "batch_matmul rhs must be 3-D");
@@ -424,21 +535,15 @@ impl NdArray {
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "batch dims differ");
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
-        let mut out = NdArray::zeros(&[b, m, n]);
-        for i in 0..b {
-            matmul_kernel(
-                &mut out.data[i * m * n..(i + 1) * m * n],
-                &self.data[i * m * k..(i + 1) * m * k],
-                &other.data[i * k * n..(i + 1) * k * n],
-                m,
-                k,
-                n,
-            );
-        }
-        out
+        let mut data = pool::zeroed(b * m * n);
+        let (av, bv) = (self.data.as_slice(), other.data.as_slice());
+        batch_dispatch(&mut data, m * n, b * m * n * k, |i, chunk| {
+            matmul_kernel(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * k * n..(i + 1) * k * n], m, k, n);
+        });
+        NdArray::from_parts(vec![b, m, n], data)
     }
 
-    /// Batched matmul with transposed rhs: `[B,m,k] @ [B,n,k]^T -> [B,m,n]`.
+    /// Batched matmul with transposed rhs: `[B,m,k] @ [B,n,k]^T -> [B,m,n]`, batch-parallel.
     pub fn batch_matmul_transb(&self, other: &NdArray) -> NdArray {
         assert_eq!(self.ndim(), 3);
         assert_eq!(other.ndim(), 3);
@@ -446,21 +551,15 @@ impl NdArray {
         let (b2, n, k2) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "batch dims differ");
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
-        let mut out = NdArray::zeros(&[b, m, n]);
-        for i in 0..b {
-            matmul_transb_kernel(
-                &mut out.data[i * m * n..(i + 1) * m * n],
-                &self.data[i * m * k..(i + 1) * m * k],
-                &other.data[i * n * k..(i + 1) * n * k],
-                m,
-                k,
-                n,
-            );
-        }
-        out
+        let mut data = pool::zeroed(b * m * n);
+        let (av, bv) = (self.data.as_slice(), other.data.as_slice());
+        batch_dispatch(&mut data, m * n, b * m * n * k, |i, chunk| {
+            matmul_transb_kernel(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * n * k..(i + 1) * n * k], m, k, n);
+        });
+        NdArray::from_parts(vec![b, m, n], data)
     }
 
-    /// Batched matmul with transposed lhs: `[B,k,m]^T @ [B,k,n] -> [B,m,n]`.
+    /// Batched matmul with transposed lhs: `[B,k,m]^T @ [B,k,n] -> [B,m,n]`, batch-parallel.
     pub fn batch_matmul_transa(&self, other: &NdArray) -> NdArray {
         assert_eq!(self.ndim(), 3);
         assert_eq!(other.ndim(), 3);
@@ -468,39 +567,28 @@ impl NdArray {
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "batch dims differ");
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
-        let mut out = NdArray::zeros(&[b, m, n]);
-        for i in 0..b {
-            matmul_transa_kernel(
-                &mut out.data[i * m * n..(i + 1) * m * n],
-                &self.data[i * k * m..(i + 1) * k * m],
-                &other.data[i * k * n..(i + 1) * k * n],
-                m,
-                k,
-                n,
-            );
-        }
-        out
+        let mut data = pool::zeroed(b * m * n);
+        let (av, bv) = (self.data.as_slice(), other.data.as_slice());
+        batch_dispatch(&mut data, m * n, b * m * n * k, |i, chunk| {
+            matmul_transa_kernel(chunk, &av[i * k * m..(i + 1) * k * m], &bv[i * k * n..(i + 1) * k * n], m, k, n);
+        });
+        NdArray::from_parts(vec![b, m, n], data)
     }
 
-    /// Shared-left matmul: `s [n,n'] @ self [B,n',d] -> [B,n,d]` applied per batch.
+    /// Shared-left matmul: `s [n,n'] @ self [B,n',d] -> [B,n,d]` applied per
+    /// batch (the MPNN adjacency product), batch-parallel.
     pub fn matmul_shared_left(&self, s: &NdArray) -> NdArray {
         assert_eq!(self.ndim(), 3, "matmul_shared_left input must be 3-D");
         assert_eq!(s.ndim(), 2, "shared matrix must be 2-D");
         let (b, np, d) = (self.shape[0], self.shape[1], self.shape[2]);
         let (n, np2) = (s.shape[0], s.shape[1]);
         assert_eq!(np, np2, "shared matmul inner dims: s {:?} x {:?}", s.shape, self.shape);
-        let mut out = NdArray::zeros(&[b, n, d]);
-        for i in 0..b {
-            matmul_kernel(
-                &mut out.data[i * n * d..(i + 1) * n * d],
-                &s.data,
-                &self.data[i * np * d..(i + 1) * np * d],
-                n,
-                np,
-                d,
-            );
-        }
-        out
+        let mut data = pool::zeroed(b * n * d);
+        let (sv, xv) = (s.data.as_slice(), self.data.as_slice());
+        batch_dispatch(&mut data, n * d, b * n * d * np, |i, chunk| {
+            matmul_kernel(chunk, sv, &xv[i * np * d..(i + 1) * np * d], n, np, d);
+        });
+        NdArray::from_parts(vec![b, n, d], data)
     }
 
     /// 2-D transpose.
@@ -521,12 +609,37 @@ impl NdArray {
         let in_strides = self.strides();
         // stride in the input for each output axis
         let perm_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-        let mut out = NdArray::zeros(&out_shape);
         let rank = out_shape.len();
+        let n = self.numel();
+        if perm.iter().enumerate().all(|(d, &p)| d == p) {
+            return self.clone();
+        }
+        let src_buf = self.data.as_slice();
+        // Fast path: last axis unchanged -> copy whole contiguous rows.
+        if rank >= 2 && perm[rank - 1] == rank - 1 {
+            let last = out_shape[rank - 1];
+            let mut data = pool::dirty(n);
+            let mut idx = vec![0usize; rank - 1];
+            let mut src = 0usize;
+            for drow in data.chunks_exact_mut(last) {
+                drow.copy_from_slice(&src_buf[src..src + last]);
+                for d in (0..rank - 1).rev() {
+                    idx[d] += 1;
+                    src += perm_strides[d];
+                    if idx[d] < out_shape[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                    src -= out_shape[d] * perm_strides[d];
+                }
+            }
+            return NdArray::from_parts(out_shape, data);
+        }
+        let mut data = pool::dirty(n);
         let mut idx = vec![0usize; rank];
         let mut src = 0usize;
-        for o in out.data.iter_mut() {
-            *o = self.data[src];
+        for o in data.iter_mut() {
+            *o = src_buf[src];
             for d in (0..rank).rev() {
                 idx[d] += 1;
                 src += perm_strides[d];
@@ -537,7 +650,7 @@ impl NdArray {
                 src -= out_shape[d] * perm_strides[d];
             }
         }
-        out
+        NdArray::from_parts(out_shape, data)
     }
 
     /// Concatenate along the last axis. All leading dims must match.
@@ -552,17 +665,18 @@ impl NdArray {
         let rows: usize = lead.iter().product();
         let mut shape = lead.to_vec();
         shape.push(last_total);
-        let mut out = NdArray::zeros(&shape);
+        // dirty: the per-part column copies below cover every element.
+        let mut data = pool::dirty(rows * last_total);
         let mut col_off = 0usize;
         for p in parts {
             let w = *p.shape.last().unwrap();
             for r in 0..rows {
-                out.data[r * last_total + col_off..r * last_total + col_off + w]
+                data[r * last_total + col_off..r * last_total + col_off + w]
                     .copy_from_slice(&p.data[r * w..(r + 1) * w]);
             }
             col_off += w;
         }
-        out
+        NdArray::from_parts(shape, data)
     }
 
     /// Slice `[start, start+len)` of the last axis.
@@ -572,34 +686,125 @@ impl NdArray {
         let rows = self.numel() / last;
         let mut shape = self.shape.clone();
         *shape.last_mut().unwrap() = len;
-        let mut out = NdArray::zeros(&shape);
-        for r in 0..rows {
-            out.data[r * len..(r + 1) * len]
-                .copy_from_slice(&self.data[r * last + start..r * last + start + len]);
+        let mut data = pool::dirty(rows * len);
+        for (r, drow) in data.chunks_exact_mut(len).enumerate() {
+            drow.copy_from_slice(&self.data[r * last + start..r * last + start + len]);
         }
-        out
+        NdArray::from_parts(shape, data)
     }
 
     /// Softmax over the last axis (numerically stabilised).
+    ///
+    /// The max and sum reductions run in four fixed lanes (lane `i` covers
+    /// row positions `i, i+4, i+8, ...`, remainder folded after) so they
+    /// vectorize; the reduction order is a function of the row length alone
+    /// — never of thread count — keeping outputs bitwise deterministic.
     pub fn softmax_last(&self) -> NdArray {
         let last = *self.shape.last().expect("softmax on 0-rank array");
         let rows = self.numel() / last;
-        let mut out = self.clone();
+        let src = self.data.as_slice();
+        // dirty: the exp pass writes every element before it is read.
+        let mut data = pool::dirty(rows * last);
         for r in 0..rows {
-            let row = &mut out.data[r * last..(r + 1) * last];
-            let mx = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - mx).exp();
-                sum += *v;
+            let srow = &src[r * last..(r + 1) * last];
+            let drow = &mut data[r * last..(r + 1) * last];
+            let mx = row_max(srow);
+            // exp_nonpos is branch-free, so this loop vectorizes too.
+            for (d, &s) in drow.iter_mut().zip(srow.iter()) {
+                *d = exp_nonpos(s - mx);
             }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
+            let inv = 1.0 / row_sum(drow);
+            for d in drow.iter_mut() {
+                *d *= inv;
             }
         }
-        out
+        NdArray::from_parts(self.shape.clone(), data)
     }
+}
+
+/// Max of a row via four independent lanes (vectorizable, unlike a single
+/// sequential `max` chain). Max is associative, so the value matches the
+/// naive fold for any NaN-free input; for `-0.0`/`+0.0` ties the chosen bit
+/// pattern may differ but every use subtracts the max, where both zeros act
+/// identically.
+#[inline]
+fn row_max(row: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 4];
+    let mut it = row.chunks_exact(4);
+    for ch in &mut it {
+        for (l, &v) in lanes.iter_mut().zip(ch) {
+            *l = l.max(v);
+        }
+    }
+    let mut m = (lanes[0].max(lanes[1])).max(lanes[2].max(lanes[3]));
+    for &v in it.remainder() {
+        m = m.max(v);
+    }
+    m
+}
+
+/// Sum of a row in four fixed lanes: lane `i` accumulates positions
+/// `i, i+4, ...` in ascending order, lanes fold as `(l0+l1)+(l2+l3)`, then
+/// remainder elements add in order. A fixed function of the row length, so
+/// results are reproducible run-to-run and across thread counts (unlike a
+/// naive chain it also vectorizes).
+#[inline]
+fn row_sum(row: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 4];
+    let mut it = row.chunks_exact(4);
+    for ch in &mut it {
+        for (l, &v) in lanes.iter_mut().zip(ch) {
+            *l += v;
+        }
+    }
+    let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &v in it.remainder() {
+        s += v;
+    }
+    s
+}
+
+/// `e^x` for non-positive arguments (softmax residuals `x - max <= 0`):
+/// Cephes-style range reduction `e^x = 2^n * e^r`, `|r| <= ln2/2`, with a
+/// degree-5 polynomial for `e^r`. Max observed error vs `f32::exp` is ~2 ulp
+/// (pinned by a test below); arguments at or below the f32 underflow
+/// threshold saturate to the smallest positive normal, which normalises to
+/// zero weight. Branch-free — no libm call, no rounding intrinsic (the
+/// `trunc(t - 0.5)` reduction is exact for `t <= 0`) — so callers' loops
+/// auto-vectorize on baseline x86-64.
+#[inline]
+// The split-constant digits are bit-exact by construction (LN2_HI is 355/512,
+// chosen so `nf * LN2_HI` is exact); shortening them would change the value.
+#[allow(clippy::excessive_precision)]
+pub fn exp_nonpos(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    debug_assert!(x.is_nan() || x <= 0.0, "exp_nonpos needs x <= 0, got {x}");
+    // Below this exp underflows: clamp so the 2^n exponent stays >= 1.
+    let x = x.max(-87.336_544);
+    // Magic-number round-to-nearest: adding 1.5*2^23 snaps t to an integer
+    // (|t| < 2^22 here) and leaves `n + 0x4B400000` in the bit pattern, so
+    // both the rounded float and the 2^n exponent fall out without any
+    // float->int cast. (Rust's `as i32` saturates, which lowers to scalar
+    // conversion chains on baseline x86-64 and blocks vectorization.)
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    let u = x * LOG2E + MAGIC;
+    let nf = u - MAGIC;
+    let r = (x - nf * LN2_HI) - nf * LN2_LO;
+    let p = (((((1.987_569_1e-4 * r + 1.398_199_9e-3) * r + 8.333_452e-3) * r
+        + 4.166_579_6e-2)
+        * r
+        + 1.666_666_5e-1)
+        * r
+        + 5.000_000_4e-1)
+        * r
+        * r
+        + r
+        + 1.0;
+    let n_plus_bias = (u.to_bits() as i32).wrapping_sub(0x4B40_0000) + 127;
+    let scale = f32::from_bits((n_plus_bias << 23) as u32);
+    p * scale
 }
 
 /// Row-major strides for a shape.
@@ -643,64 +848,276 @@ fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
     s
 }
 
-/// `out += a @ b` for row-major buffers, ikj loop order.
-#[inline]
+/// Rows per parallel band when a single 2-D matmul is split across the pool.
+/// A fixed constant (never derived from the thread count) so band boundaries
+/// — and therefore results — are identical at any `ST_PAR_THREADS`.
+pub const ROW_CHUNK: usize = 32;
+
+/// Run `f(batch_index, out_chunk)` for each `per`-element chunk of `out`,
+/// on the `st-par` pool when `work` (total flops) warrants it, serially
+/// otherwise. Either way every chunk computes the same values.
+pub(crate) fn batch_dispatch(
+    out: &mut [f32],
+    per: usize,
+    work: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if st_par::worthwhile(work) && out.len() > per {
+        st_par::par_chunks_mut(out, per, f);
+    } else {
+        for (i, chunk) in out.chunks_mut(per).enumerate() {
+            f(i, chunk);
+        }
+    }
+}
+
+/// Register-tile sizes for the blocked kernels: an `MR x NR` block of output
+/// accumulators stays in registers while the `p` loop streams both inputs
+/// once. NR spans whole SIMD lanes; MR deepens reuse of each loaded b-row.
+const MR: usize = 4;
+const NR: usize = 16;
+
+/// Bitwise contract shared by all three kernels: every output element is
+/// accumulated in a single f32 register as an ascending-`p` sum starting
+/// from +0.0, then added to `out` once. That is exactly what a naive
+/// single-accumulator loop computes, so the tiled kernels are bit-identical
+/// to their naive references (pinned by `tests/kernel_equivalence.rs`) and
+/// independent of tile shape or thread count. The kernels are dense by
+/// design: the old `a == 0.0` skip paid off only for mostly-zero (masked)
+/// lhs inputs and cost a branch per element on the dense activations that
+/// dominate this model, while blocking vectorization of the inner loop.
+///
+/// `out += a @ b` for row-major buffers, `a [m,k]`, `b [k,n]`.
 pub fn matmul_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    for i in 0..m {
-        let orow = &mut out[i * n..(i + 1) * n];
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            // Hot full tile: MR x NR accumulators, outer product over p.
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                let brow = &b[p * n + j..p * n + j + NR];
+                for r in 0..MR {
+                    let av = a[(i + r) * k + p];
+                    for c in 0..NR {
+                        acc[r][c] += av * brow[c];
+                    }
+                }
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+            for r in 0..MR {
+                let orow = &mut out[(i + r) * n + j..(i + r) * n + j + NR];
+                for c in 0..NR {
+                    orow[c] += acc[r][c];
+                }
+            }
+            j += NR;
+        }
+        if j < n {
+            mm_edge(out, a, b, k, n, i, MR, j, n - j);
+        }
+        i += MR;
+    }
+    if i < m {
+        let mut j = 0;
+        while j < n {
+            let jw = NR.min(n - j);
+            mm_edge(out, a, b, k, n, i, m - i, j, jw);
+            j += jw;
+        }
+    }
+}
+
+/// Edge tile of [`matmul_kernel`]: `mr x jw` block at `(i0, j0)`, same
+/// per-element accumulation order as the full tile. The common widths the
+/// attention/MPNN shapes hit (head dim 4, virtual-node dim 8, 24 % NR = 8,
+/// 12) dispatch to a monomorphized fixed-width strip so the inner loop fully
+/// unrolls and the accumulators stay in registers; odd widths take the
+/// runtime-width strip.
+#[allow(clippy::too_many_arguments)] // raw kernel: all six dims are load-bearing
+fn mm_edge(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    mr: usize,
+    j0: usize,
+    jw: usize,
+) {
+    debug_assert!(jw <= NR);
+    match jw {
+        4 => mm_edge_fixed::<4>(out, a, b, k, n, i0, mr, j0),
+        8 => mm_edge_fixed::<8>(out, a, b, k, n, i0, mr, j0),
+        12 => mm_edge_fixed::<12>(out, a, b, k, n, i0, mr, j0),
+        16 => mm_edge_fixed::<16>(out, a, b, k, n, i0, mr, j0),
+        _ => {
+            for r in 0..mr {
+                let mut acc = [0.0f32; NR];
+                let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
+                for (p, &av) in arow.iter().enumerate() {
+                    let brow = &b[p * n + j0..p * n + j0 + jw];
+                    for c in 0..jw {
+                        acc[c] += av * brow[c];
+                    }
+                }
+                let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw];
+                for c in 0..jw {
+                    orow[c] += acc[c];
+                }
             }
         }
     }
 }
 
-/// `out += a @ b^T` where `a [m,k]`, `b [n,k]`.
-#[inline]
+/// Fixed-width edge strip: identical accumulation order to the runtime-width
+/// strip above, with `JW` known at compile time.
+#[allow(clippy::too_many_arguments)] // raw kernel: all six dims are load-bearing
+fn mm_edge_fixed<const JW: usize>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    mr: usize,
+    j0: usize,
+) {
+    // Two output rows per pass reuse each loaded b-row once more; the pair of
+    // accumulator strips still fits in registers for every JW used here.
+    let mut r = 0;
+    while r + 2 <= mr {
+        let mut acc0 = [0.0f32; JW];
+        let mut acc1 = [0.0f32; JW];
+        let a0 = &a[(i0 + r) * k..(i0 + r) * k + k];
+        let a1 = &a[(i0 + r + 1) * k..(i0 + r + 1) * k + k];
+        for p in 0..k {
+            let brow = &b[p * n + j0..p * n + j0 + JW];
+            let (av0, av1) = (a0[p], a1[p]);
+            for c in 0..JW {
+                acc0[c] += av0 * brow[c];
+                acc1[c] += av1 * brow[c];
+            }
+        }
+        let o0 = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + JW];
+        for c in 0..JW {
+            o0[c] += acc0[c];
+        }
+        let o1 = &mut out[(i0 + r + 1) * n + j0..(i0 + r + 1) * n + j0 + JW];
+        for c in 0..JW {
+            o1[c] += acc1[c];
+        }
+        r += 2;
+    }
+    if r < mr {
+        let mut acc = [0.0f32; JW];
+        let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n + j0..p * n + j0 + JW];
+            for c in 0..JW {
+                acc[c] += av * brow[c];
+            }
+        }
+        let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + JW];
+        for c in 0..JW {
+            orow[c] += acc[c];
+        }
+    }
+}
+
+/// `out += a @ b^T` where `a [m,k]`, `b [n,k]`: both operands are contiguous
+/// along `k`, so this tiles 4x4 independent dot-product chains for ILP.
+///
+/// For short dot products (k < NR, the attention head-dim case) the chains
+/// are too shallow to amortize the strided b-column access, so b is instead
+/// transposed into a scratch buffer and the block runs through
+/// [`matmul_kernel`]: identical products in the identical ascending-`p`
+/// order, so the result is bit-for-bit the same.
 pub fn matmul_transb_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
+    if k < NR {
+        // Stack scratch for the common tiny blocks (per-head attention runs
+        // this once per batch element — a heap alloc per call would dominate).
+        let mut stack = [0.0f32; 1024];
+        let mut heap;
+        let bt: &mut [f32] = if k * n <= stack.len() {
+            &mut stack[..k * n]
+        } else {
+            heap = vec![0.0f32; k * n];
+            &mut heap
+        };
         for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
             }
-            out[i * n + j] += acc;
         }
+        matmul_kernel(out, a, bt, m, k, n);
+        return;
+    }
+    const TR: usize = 4;
+    let mut i = 0;
+    while i < m {
+        let mr = TR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let nr = TR.min(n - j);
+            let mut acc = [[0.0f32; TR]; TR];
+            for p in 0..k {
+                for r in 0..mr {
+                    let av = a[(i + r) * k + p];
+                    for c in 0..nr {
+                        acc[r][c] += av * b[(j + c) * k + p];
+                    }
+                }
+            }
+            for r in 0..mr {
+                for c in 0..nr {
+                    out[(i + r) * n + j + c] += acc[r][c];
+                }
+            }
+            j += nr;
+        }
+        i += mr;
     }
 }
 
-/// `out += a^T @ b` where `a [k,m]`, `b [k,n]`.
-#[inline]
+/// `out += a^T @ b` where `a [k,m]`, `b [k,n]`: same outer-product tiling as
+/// [`matmul_kernel`] with the lhs read at stride `m`. Dense by design — see
+/// the masked-input tradeoff note above.
 pub fn matmul_transa_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
-    for p in 0..k {
-        let brow = &b[p * n..(p + 1) * n];
-        for i in 0..m {
-            let av = a[p * m + i];
-            if av == 0.0 {
-                continue;
+    let mut i = 0;
+    while i < m {
+        let mr = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jw = NR.min(n - j);
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                let brow = &b[p * n + j..p * n + j + jw];
+                for r in 0..mr {
+                    let av = a[p * m + i + r];
+                    for c in 0..jw {
+                        acc[r][c] += av * brow[c];
+                    }
+                }
             }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+            for r in 0..mr {
+                let orow = &mut out[(i + r) * n + j..(i + r) * n + j + jw];
+                for c in 0..jw {
+                    orow[c] += acc[r][c];
+                }
             }
+            j += jw;
         }
+        i += mr;
     }
 }
 

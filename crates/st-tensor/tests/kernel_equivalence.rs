@@ -1,0 +1,172 @@
+//! Bit-exactness contracts for the tiled matmul kernels and the softmax
+//! exponential.
+//!
+//! The blocked kernels in `ndarray.rs` promise more than approximate
+//! equality: every output element is a single-f32-accumulator ascending-`p`
+//! sum added to `out` once, which is exactly what the naive triple loop
+//! computes. These properties pin that promise with `to_bits` comparisons
+//! across shapes that exercise every tile path (full MR×NR tiles, the
+//! fixed-width edge strips for 4/8/12/16, runtime-width strips, and the
+//! small-`k` transpose fast path of `matmul_transb_kernel`).
+
+use st_check::prelude::*;
+use st_rand::SeedableRng;
+use st_rand::StdRng;
+use st_tensor::ndarray::{
+    exp_nonpos, matmul_kernel, matmul_transa_kernel, matmul_transb_kernel, NdArray,
+};
+
+/// `out += a @ b` — the reference: one accumulator, ascending `p`.
+fn naive_matmul(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// `out += a @ b^T`, `b [n,k]`.
+fn naive_transb(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[j * k + p];
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// `out += a^T @ b`, `a [k,m]`.
+fn naive_transa(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * m + i] * b[p * n + j];
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+fn rand_buf(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    NdArray::randn(&[len.max(1)], rng).into_vec()[..len].to_vec()
+}
+
+/// Assert two buffers agree to the bit, reporting the first divergence.
+fn assert_bits_equal(tiled: &[f32], naive: &[f32]) -> Result<(), String> {
+    for (i, (t, r)) in tiled.iter().zip(naive).enumerate() {
+        prop_assert_eq!(
+            t.to_bits(),
+            r.to_bits(),
+            "element {} diverges: tiled {} vs naive {}",
+            i,
+            t,
+            r
+        );
+    }
+    Ok(())
+}
+
+properties! {
+    /// Tiled `matmul_kernel` is bit-identical to the naive reference,
+    /// including its `+=` semantics on a pre-filled output.
+    #[test]
+    fn matmul_kernel_bit_equal(m in 1usize..34, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_buf(m * k, &mut rng);
+        let b = rand_buf(k * n, &mut rng);
+        let base = rand_buf(m * n, &mut rng);
+        let mut tiled = base.clone();
+        let mut naive = base;
+        matmul_kernel(&mut tiled, &a, &b, m, k, n);
+        naive_matmul(&mut naive, &a, &b, m, k, n);
+        assert_bits_equal(&tiled, &naive)?;
+    }
+
+    /// Tiled `matmul_transb_kernel` (both the small-`k` transpose fast path
+    /// and the dot-product tiling) matches the naive reference bit-for-bit.
+    #[test]
+    fn matmul_transb_kernel_bit_equal(m in 1usize..34, k in 1usize..40, n in 1usize..34, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_buf(m * k, &mut rng);
+        let b = rand_buf(n * k, &mut rng);
+        let base = rand_buf(m * n, &mut rng);
+        let mut tiled = base.clone();
+        let mut naive = base;
+        matmul_transb_kernel(&mut tiled, &a, &b, m, k, n);
+        naive_transb(&mut naive, &a, &b, m, k, n);
+        assert_bits_equal(&tiled, &naive)?;
+    }
+
+    /// Tiled `matmul_transa_kernel` matches the naive reference bit-for-bit.
+    #[test]
+    fn matmul_transa_kernel_bit_equal(m in 1usize..34, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_buf(k * m, &mut rng);
+        let b = rand_buf(k * n, &mut rng);
+        let base = rand_buf(m * n, &mut rng);
+        let mut tiled = base.clone();
+        let mut naive = base;
+        matmul_transa_kernel(&mut tiled, &a, &b, m, k, n);
+        naive_transa(&mut naive, &a, &b, m, k, n);
+        assert_bits_equal(&tiled, &naive)?;
+    }
+
+    /// The `NdArray`-level dispatch (band splitting, batch parallelism) never
+    /// changes values relative to a direct single-kernel call, at any thread
+    /// count the pool is set to.
+    #[test]
+    fn matmul_dispatch_thread_invariant(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Big enough that `worthwhile` trips and the band split engages.
+        let a = NdArray::randn(&[96, 40], &mut rng);
+        let b = NdArray::randn(&[40, 24], &mut rng);
+        let mut reference = vec![0.0f32; 96 * 24];
+        matmul_kernel(&mut reference, a.data(), b.data(), 96, 40, 24);
+        for threads in [1usize, 2, 4] {
+            st_par::set_threads(threads);
+            let got = a.matmul(&b);
+            st_par::set_threads(0);
+            assert_bits_equal(got.data(), &reference)?;
+        }
+    }
+}
+
+/// Distance in units-in-the-last-place between two positive floats.
+fn ulp_diff(a: f32, b: f32) -> u64 {
+    assert!(a > 0.0 && b > 0.0);
+    (i64::from(a.to_bits()) - i64::from(b.to_bits())).unsigned_abs()
+}
+
+#[test]
+fn exp_nonpos_matches_libm_within_2_ulp() {
+    // Dense sweep of the whole non-clamped domain (0 down to the underflow
+    // clamp at ~-87.34) plus the exact endpoints.
+    let mut worst = 0u64;
+    for i in 0..=87_000 {
+        let x = -(i as f32) * 1e-3;
+        let got = exp_nonpos(x);
+        let want = x.exp();
+        assert!(got > 0.0 && got.is_finite(), "exp_nonpos({x}) = {got}");
+        worst = worst.max(ulp_diff(got, want));
+    }
+    assert!(worst <= 2, "worst error {worst} ulp exceeds 2");
+    assert_eq!(exp_nonpos(0.0).to_bits(), 1.0f32.to_bits());
+}
+
+#[test]
+fn exp_nonpos_saturates_below_underflow_clamp() {
+    for x in [-88.0f32, -1.0e3, -1.0e30, f32::MIN] {
+        let got = exp_nonpos(x);
+        // Clamped to exp(-87.336544) ~= the smallest positive normal; any
+        // softmax row normalises this to zero weight.
+        assert!(got > 0.0 && got < 1.3e-38, "exp_nonpos({x}) = {got}");
+    }
+}

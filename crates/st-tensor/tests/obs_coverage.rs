@@ -1,0 +1,74 @@
+//! Every timed graph op must surface in the `st-obs` per-op report.
+//!
+//! In particular `shared_left_matmul` (the MPNN adjacency product, the one
+//! batch-parallel op with its own `Op::kind()`) must appear in both forward
+//! and backward phases — a regression here silently drops the hottest
+//! message-passing op from the telemetry the bench harness reads.
+//!
+//! One `#[test]` per binary: the recorder is process-global.
+
+use st_rand::SeedableRng;
+use st_rand::StdRng;
+use st_tensor::graph::Graph;
+use st_tensor::ndarray::NdArray;
+use st_tensor::param::ParamStore;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn op_report_covers_shared_left_matmul_and_kernels() {
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let guard = st_obs::install(vec![Box::new(st_obs::JsonlSink::from_writer(Box::new(
+        buf.clone(),
+    )))]);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    store.insert("w", NdArray::randn(&[6, 5], &mut rng));
+    let x = NdArray::randn(&[2, 4, 6], &mut rng);
+    let s = NdArray::randn(&[3, 4], &mut rng);
+    {
+        let mut g = Graph::new(&store);
+        let w = g.param("w");
+        let xt = g.input(x);
+        let st = g.input(s);
+        let conv = g.shared_left_matmul(st, xt); // [2,3,6]
+        let flat = g.reshape(conv, &[6, 6]);
+        let proj = g.matmul(flat, w);
+        let sm = g.softmax_last(proj);
+        let loss = g.mean_all(sm);
+        let grads = g.backward(loss);
+        assert!(grads.get("w").is_some());
+    }
+
+    st_obs::flush();
+    drop(guard);
+    let bytes = buf.0.lock().unwrap().clone();
+    let report = String::from_utf8(bytes).expect("jsonl output is utf-8");
+
+    let op_lines: Vec<&str> =
+        report.lines().filter(|l| l.contains("\"ev\":\"op\"")).collect();
+    for kind in ["shared_left_matmul", "matmul", "softmax_last"] {
+        let needle = format!("\"kind\":\"{kind}\"");
+        for phase in ["fwd", "bwd"] {
+            let phase_needle = format!("\"phase\":\"{phase}\"");
+            assert!(
+                op_lines.iter().any(|l| l.contains(&needle) && l.contains(&phase_needle)),
+                "no {phase} op entry for `{kind}` in report:\n{report}"
+            );
+        }
+    }
+}

@@ -20,8 +20,11 @@ cargo build --release --offline
 echo "== cargo test -q (offline) =="
 cargo test -q --offline
 
-echo "== cargo test -q --workspace (offline) =="
-cargo test -q --workspace --offline
+echo "== cargo test -q --workspace (offline, ST_PAR_THREADS=1) =="
+ST_PAR_THREADS=1 cargo test -q --workspace --offline
+
+echo "== cargo test -q --workspace (offline, ST_PAR_THREADS=4) =="
+ST_PAR_THREADS=4 cargo test -q --workspace --offline
 
 echo "== cargo clippy --all-targets (offline, deny warnings) =="
 cargo clippy --all-targets --offline -- -D warnings
@@ -29,5 +32,17 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "== quick micro-bench with JSON report =="
 cargo bench -p pristi-bench --bench micro --offline -- --quick --json
 test -s BENCH_micro.json || { echo "error: BENCH_micro.json missing or empty" >&2; exit 1; }
+
+echo "== thread-scaling entries present in BENCH_micro.json =="
+for entry in \
+    pristi_eps_theta_forward_4x24x24_t1 \
+    pristi_eps_theta_forward_4x24x24_t2 \
+    pristi_eps_theta_forward_4x24x24_tmax \
+    attention_forward_backward_8x24x32_t1 \
+    attention_forward_backward_8x24x32_t2 \
+    attention_forward_backward_8x24x32_tmax; do
+    grep -q "\"$entry\"" BENCH_micro.json \
+        || { echo "error: BENCH_micro.json missing scaling entry $entry" >&2; exit 1; }
+done
 
 echo "verify: OK"
