@@ -1,6 +1,8 @@
 //! Micro-benchmarks for the hot paths of the PriSTI stack: attention
 //! forward/backward, message passing, one reverse diffusion step, linear
-//! interpolation, and a full noise-prediction forward pass.
+//! interpolation, a full noise-prediction forward pass, ensemble quantile
+//! extraction (cached sorted layout vs per-call resort), and micro-batched
+//! vs serial imputation serving.
 //!
 //! This is a `harness = false` timing binary with no external benchmark
 //! framework: each case is warmed up, then timed over a fixed batch of
@@ -217,7 +219,7 @@ fn bench_full_noise_predictor(h: &mut Harness) {
     cfg.node_emb_dim = 8;
     cfg.step_emb_dim = 32;
     cfg.virtual_nodes = 8;
-    let model = pristi_core::PristiModel::new(cfg, &graph, 24, &mut rng);
+    let model = pristi_core::PristiModel::new(cfg, &graph, 24, &mut rng).unwrap();
     let noisy = NdArray::randn(&[4, 24, 24], &mut rng);
     let cond = NdArray::randn(&[4, 24, 24], &mut rng);
 
@@ -232,6 +234,97 @@ fn bench_full_noise_predictor(h: &mut Harness) {
         });
     }
     st_par::set_threads(0);
+}
+
+/// Quantile extraction from an imputation ensemble (satellite for the cached
+/// sorted layout): `quantile_cached` reads the position-major `[P, S]` sorted
+/// cache `ImputationResult` builds once, `quantile_resort` is the old
+/// behaviour — gather and re-sort every position's ensemble on every call.
+fn bench_quantile_cache(h: &mut Harness) {
+    let (s, n, l) = (32, 36, 24);
+    let mut rng = StdRng::seed_from_u64(8);
+    let samples: Vec<NdArray> = (0..s).map(|_| NdArray::randn(&[n, l], &mut rng)).collect();
+    let mask = NdArray::ones(&[n, l]);
+    let res = pristi_core::ImputationResult::new(samples.clone(), mask);
+    res.quantile(0.5); // build the cache outside the timed region
+
+    h.bench("quantile_cached_32x36x24", || {
+        black_box(res.quantile(black_box(0.9)));
+    });
+    h.bench("quantile_resort_32x36x24", || {
+        let mut out = NdArray::zeros(&[n, l]);
+        let mut buf = vec![0.0f32; s];
+        for p in 0..n * l {
+            for (si, sample) in samples.iter().enumerate() {
+                buf[si] = sample.data()[p];
+            }
+            buf.sort_unstable_by(f32::total_cmp);
+            out.data_mut()[p] = st_metrics::quantile_of_sorted(&buf, 0.9) as f32;
+        }
+        black_box(out);
+    });
+}
+
+/// Micro-batched serving vs one-at-a-time serving (the st-serve tentpole):
+/// the same four 2-sample requests run as one coalesced `impute_batch` call
+/// (one `predict_eps_eval` per denoise step for all of them) and as four
+/// serial `impute` calls. Same RNG streams, bitwise-identical outputs — the
+/// delta is pure batching throughput.
+fn bench_serve_batching(h: &mut Harness) {
+    use pristi_core::train::{train, TrainConfig};
+    use pristi_core::{impute, impute_batch, BatchItem, ImputeOptions, Sampler};
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+
+    let mut data = generate_air_quality(&AirQualityConfig {
+        n_nodes: 8,
+        n_days: 4,
+        seed: 9,
+        episodes_per_week: 0.0,
+        ..Default::default()
+    });
+    data.eval_mask = inject_point_missing(&data.observed_mask, 0.2, 10);
+    let mut cfg = pristi_core::PristiConfig::small();
+    cfg.d_model = 8;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.t_steps = 8;
+    cfg.time_emb_dim = 8;
+    cfg.node_emb_dim = 4;
+    cfg.step_emb_dim = 8;
+    cfg.virtual_nodes = 4;
+    cfg.adaptive_dim = 2;
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        window_len: 12,
+        window_stride: 12,
+        seed: 11,
+        ..Default::default()
+    };
+    let trained = train(&data, cfg, &tc).expect("bench training config is valid");
+    let windows = data.windows(st_data::dataset::Split::Test, 12, 12);
+    let reqs: Vec<_> = (0..4u64).map(|i| &windows[i as usize % windows.len()]).collect();
+    let opts = ImputeOptions { n_samples: 2, sampler: Sampler::Ddpm };
+
+    h.bench("serve_serial_4req_x2samples", || {
+        for (i, w) in reqs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            black_box(impute(&trained, w, &opts, &mut rng).expect("bench window is valid"));
+        }
+    });
+    h.bench("serve_batched_4req_x2samples", || {
+        let mut items: Vec<BatchItem<'_>> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| BatchItem {
+                window: w,
+                n_samples: 2,
+                rng: StdRng::seed_from_u64(100 + i as u64),
+            })
+            .collect();
+        black_box(impute_batch(&trained, &mut items, opts.sampler).expect("bench batch is valid"));
+    });
 }
 
 /// Path the `--json` report is written to: the workspace root, so tooling
@@ -257,6 +350,8 @@ fn main() {
     bench_diffusion_step(&mut h);
     bench_interpolation(&mut h);
     bench_full_noise_predictor(&mut h);
+    bench_quantile_cache(&mut h);
+    bench_serve_batching(&mut h);
 
     if json {
         std::fs::write(JSON_PATH, h.to_json())

@@ -4,7 +4,7 @@
 //! quantile band, as CSV plus an ASCII sketch.
 
 use pristi_bench::{build_dataset, methods, write_csv, Scale, Setting};
-use pristi_core::impute_window;
+use pristi_core::{impute, ImputeOptions, Sampler};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
 use st_data::dataset::Split;
@@ -19,7 +19,7 @@ fn main() {
     let mcfg = methods::diffusion_model_cfg(scale, setting, pristi_core::ModelVariant::Pristi);
     let mut tcfg = methods::diffusion_train_cfg(scale, setting);
     tcfg.epochs = (tcfg.epochs / 2).max(1);
-    let trained = pristi_core::train::train(&data, mcfg, &tcfg);
+    let trained = pristi_core::train::train(&data, mcfg, &tcfg).expect("fig6 training config is valid");
     println!("trained PriSTI ({} params)", trained.model.n_params());
 
     // Aligned window in the test split with plenty of eval positions.
@@ -29,7 +29,13 @@ fn main() {
         .max_by(|a, b| a.eval.sum().partial_cmp(&b.eval.sum()).unwrap())
         .expect("no test windows");
     let mut rng = StdRng::seed_from_u64(66);
-    let res = impute_window(&trained, w, 10, &mut rng);
+    let res = impute(
+        &trained,
+        w,
+        &ImputeOptions { n_samples: 10, sampler: Sampler::Ddpm },
+        &mut rng,
+    )
+    .expect("fig6 window shape matches the trained model");
     let median = res.median();
     let q05 = res.quantile(0.05);
     let q95 = res.quantile(0.95);

@@ -4,7 +4,7 @@
 
 use crate::datasets::Setting;
 use crate::scale::Scale;
-use pristi_core::{impute_window, ModelVariant, PristiConfig, TrainConfig, TrainedModel};
+use pristi_core::{impute, ImputeOptions, ModelVariant, PristiConfig, Sampler, TrainConfig, TrainedModel};
 use pristi_core::train::{train, MaskStrategyKind, Reporter};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
@@ -88,7 +88,7 @@ pub fn diffusion_model_cfg(scale: Scale, _setting: Setting, variant: ModelVarian
         ..PristiConfig::default()
     };
     cfg = cfg.with_variant(variant);
-    cfg.validate();
+    cfg.validate().expect("bench model configs are valid");
     cfg
 }
 
@@ -163,7 +163,7 @@ pub fn run_diffusion_with(
     full_panel: bool,
 ) -> DiffusionOutcome {
     let t0 = Instant::now();
-    let trained = train(data, model_cfg, &train_cfg);
+    let trained = train(data, model_cfg, &train_cfg).expect("bench training config is valid");
     let train_secs = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let (panel_median, sample_panels) =
@@ -199,7 +199,13 @@ pub fn impute_panel_with_trained(
     let mut rng = StdRng::seed_from_u64(4321);
     for t0w in starts {
         let w = data.window_at(t0w, len);
-        let res = impute_window(trained, &w, n_samples, &mut rng);
+        let res = impute(
+            trained,
+            &w,
+            &ImputeOptions { n_samples, sampler: Sampler::Ddpm },
+            &mut rng,
+        )
+        .expect("bench window shape matches the trained model");
         let med = res.median();
         for l in 0..len {
             for i in 0..n {

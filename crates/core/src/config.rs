@@ -1,6 +1,7 @@
 //! Model configuration, including every ablation of Table VI and the CSDI
 //! comparator as switches over the same components.
 
+use crate::error::PristiError;
 use st_diffusion::BetaSchedule;
 
 /// Named model variants used throughout the experiments.
@@ -181,18 +182,34 @@ impl PristiConfig {
     }
 
     /// Validate switch combinations that would leave the model degenerate.
-    pub fn validate(&self) {
-        assert!(self.d_model % self.heads == 0, "d_model must be divisible by heads");
-        assert!(self.layers >= 1, "need at least one noise-estimation layer");
-        assert!(
-            self.use_temporal || self.use_spatial,
-            "cannot remove both temporal and spatial modules"
-        );
-        assert!(
-            !self.use_spatial || self.use_mpnn || self.use_attention,
-            "spatial module needs at least one of MPNN / attention"
-        );
-        assert!(self.time_emb_dim % 2 == 0 && self.step_emb_dim % 2 == 0);
+    ///
+    /// Returns [`PristiError::DegenerateConfig`] instead of panicking, so
+    /// configurations assembled from untrusted input (CLI flags, checkpoint
+    /// headers, service requests) surface as typed errors.
+    pub fn validate(&self) -> Result<(), PristiError> {
+        let degenerate = |msg: &str| Err(PristiError::DegenerateConfig(msg.to_string()));
+        if self.heads == 0 || self.d_model % self.heads != 0 {
+            return degenerate("d_model must be divisible by a positive head count");
+        }
+        if self.layers < 1 {
+            return degenerate("need at least one noise-estimation layer");
+        }
+        if !self.use_temporal && !self.use_spatial {
+            return degenerate("cannot remove both temporal and spatial modules");
+        }
+        if self.use_spatial && !self.use_mpnn && !self.use_attention {
+            return degenerate("spatial module needs at least one of MPNN / attention");
+        }
+        if self.time_emb_dim % 2 != 0 || self.step_emb_dim % 2 != 0 {
+            return degenerate("sinusoidal embedding widths must be even");
+        }
+        if self.t_steps < 2 {
+            return degenerate("need at least 2 diffusion steps");
+        }
+        if !(0.0 < self.beta_min && self.beta_min <= self.beta_max && self.beta_max < 1.0) {
+            return degenerate("beta range must satisfy 0 < beta_min <= beta_max < 1");
+        }
+        Ok(())
     }
 }
 
@@ -208,7 +225,7 @@ mod tests {
         assert_eq!(c.layers, 4);
         assert_eq!(c.beta_min, 1e-4);
         assert_eq!(c.beta_max, 0.2);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -221,17 +238,30 @@ mod tests {
         let csdi = base.clone().with_variant(ModelVariant::Csdi);
         assert!(!csdi.use_mpnn && csdi.adaptive_dim == 0);
         for v in ModelVariant::ablation_rows() {
-            base.clone().with_variant(v).validate();
+            base.clone().with_variant(v).validate().unwrap();
         }
     }
 
     #[test]
-    #[should_panic(expected = "both temporal and spatial")]
-    fn degenerate_config_rejected() {
+    fn degenerate_configs_rejected_with_typed_errors() {
         let mut c = PristiConfig::small();
         c.use_temporal = false;
         c.use_spatial = false;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, PristiError::DegenerateConfig(ref m) if m.contains("both temporal")));
+
+        let mut c = PristiConfig::small();
+        c.heads = 3; // does not divide d_model = 16
+        assert!(matches!(c.validate(), Err(PristiError::DegenerateConfig(_))));
+
+        let mut c = PristiConfig::small();
+        c.layers = 0;
+        assert!(matches!(c.validate(), Err(PristiError::DegenerateConfig(_))));
+
+        let mut c = PristiConfig::small();
+        c.beta_min = 0.5;
+        c.beta_max = 0.2;
+        assert!(matches!(c.validate(), Err(PristiError::DegenerateConfig(_))));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Typed errors for the public PriSTI API.
+//!
+//! The train / impute / checkpoint / serve entry points return
+//! [`PristiError`] for every malformed-input condition instead of panicking;
+//! `assert!` stays reserved for *internal* invariants (states the library
+//! itself guarantees, where a failure is a bug in this crate rather than in
+//! the caller's input).
+
+use std::fmt;
+
+/// Workspace-standard result alias for the public API.
+pub type Result<T> = std::result::Result<T, PristiError>;
+
+/// Everything that can go wrong at the public train / impute / checkpoint /
+/// serve surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PristiError {
+    /// An input tensor's shape disagrees with what the model was built for.
+    ShapeMismatch {
+        /// What was being checked (e.g. `"window nodes"`).
+        what: &'static str,
+        /// The shape (or dimension) the model expects.
+        expected: Vec<usize>,
+        /// The shape (or dimension) the caller supplied.
+        got: Vec<usize>,
+    },
+    /// A configuration that would leave the model (or a request) degenerate.
+    DegenerateConfig(String),
+    /// A checkpoint file is structurally damaged: bad magic, failed
+    /// checksum, truncation, or an inconsistent payload.
+    CheckpointCorrupt(String),
+    /// A checkpoint with a valid header but a format version this build
+    /// does not understand.
+    CheckpointVersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// The single version this build supports.
+        supported: u32,
+    },
+    /// A service request missed its deadline before a worker picked it up.
+    Timeout {
+        /// How long the request waited, in milliseconds.
+        waited_ms: u64,
+        /// The deadline it was given, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The service's bounded request queue is at capacity.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The service has shut down (or its worker died) before responding.
+    ServiceStopped,
+    /// An underlying I/O failure (checkpoint read/write), with the
+    /// `std::io::Error` rendered to keep this type `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for PristiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PristiError::ShapeMismatch { what, expected, got } => {
+                write!(f, "shape mismatch for {what}: expected {expected:?}, got {got:?}")
+            }
+            PristiError::DegenerateConfig(msg) => write!(f, "degenerate configuration: {msg}"),
+            PristiError::CheckpointCorrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            PristiError::CheckpointVersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint version mismatch: file is v{found}, this build supports v{supported}"
+            ),
+            PristiError::Timeout { waited_ms, deadline_ms } => {
+                write!(f, "request timed out after {waited_ms} ms (deadline {deadline_ms} ms)")
+            }
+            PristiError::QueueFull { capacity } => {
+                write!(f, "service queue full (capacity {capacity})")
+            }
+            PristiError::ServiceStopped => write!(f, "imputation service has stopped"),
+            PristiError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PristiError {}
+
+impl From<std::io::Error> for PristiError {
+    fn from(e: std::io::Error) -> Self {
+        PristiError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PristiError::ShapeMismatch { what: "window nodes", expected: vec![8], got: vec![4] };
+        assert!(e.to_string().contains("window nodes"));
+        let e = PristiError::CheckpointVersionMismatch { found: 9, supported: 1 };
+        assert!(e.to_string().contains("v9"));
+        let e = PristiError::QueueFull { capacity: 16 };
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: PristiError = io.into();
+        assert!(matches!(e, PristiError::Io(ref m) if m.contains("nope")));
+    }
+}

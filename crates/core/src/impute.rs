@@ -6,13 +6,79 @@
 //! imputation distribution: the median is the deterministic imputation
 //! (evaluated by MAE/MSE) and the quantiles feed CRPS and the Fig. 6
 //! uncertainty bands.
+//!
+//! # The batched engine and RNG streams
+//!
+//! [`impute`] is a thin wrapper over [`impute_batch`], which coalesces any
+//! number of *requests* — each a window with its own sample count and its own
+//! RNG stream — into one `[S_total, N, L]` reverse pass: a single
+//! `predict_eps_eval` per denoise step for the whole batch. Every random draw
+//! (initial noise, per-step reverse noise) comes from the owning request's
+//! stream, sliced per request, and every deterministic update is element-wise,
+//! so a request's samples are **bitwise identical** no matter which other
+//! requests share its batch. This is the property the `st-serve` micro-batching
+//! service builds on; `crates/st-serve/tests/service.rs` pins it under
+//! concurrent load.
 
+use crate::error::{PristiError, Result};
 use crate::train::{build_cond, TrainedModel};
-use st_rand::StdRng;
 use st_data::dataset::Window;
-use st_diffusion::p_sample_step;
+use st_diffusion::{
+    add_reverse_noise_slice, ddim_mean, ddim_noise_scale, ddim_timesteps, p_sample_mean,
+    p_sample_noise_scale,
+};
 use st_metrics::quantile_of_sorted;
+use st_rand::StdRng;
 use st_tensor::ndarray::NdArray;
+use std::sync::OnceLock;
+
+/// How the reverse process is sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Sampler {
+    /// Full `T`-step ancestral DDPM sampling (Algorithm 2).
+    #[default]
+    Ddpm,
+    /// Accelerated DDIM sampling (the efficiency direction named in the
+    /// paper's conclusion): `steps` network evaluations instead of `T`, with
+    /// `eta` interpolating between deterministic DDIM (0.0) and ancestral
+    /// DDPM noise levels (1.0). 8–12 steps typically match the full loop
+    /// closely.
+    Ddim {
+        /// Number of denoising steps (network evaluations).
+        steps: usize,
+        /// Stochasticity knob `η ∈ [0, 1]`.
+        eta: f64,
+    },
+}
+
+/// Options for [`impute`]: ensemble size and sampler choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImputeOptions {
+    /// Posterior samples to draw (the paper evaluates with 32–100; the
+    /// default of 8 suits interactive serving).
+    pub n_samples: usize,
+    /// Reverse-process sampler.
+    pub sampler: Sampler,
+}
+
+impl Default for ImputeOptions {
+    fn default() -> Self {
+        Self { n_samples: 8, sampler: Sampler::Ddpm }
+    }
+}
+
+/// One request of a batched reverse pass: a window, how many ensemble samples
+/// it wants, and the RNG stream that owns *all* of its randomness.
+pub struct BatchItem<'a> {
+    /// The window to impute.
+    pub window: &'a Window,
+    /// Ensemble size for this request.
+    pub n_samples: usize,
+    /// This request's private noise stream. After [`impute_batch`] returns
+    /// it has advanced exactly as far as a solo [`impute`] call would have
+    /// advanced it.
+    pub rng: StdRng,
+}
 
 /// The sample ensemble produced for one window.
 #[derive(Debug, Clone)]
@@ -22,28 +88,66 @@ pub struct ImputationResult {
     pub samples: Vec<NdArray>,
     /// Mask of positions that were imputed (1) rather than conditioned on.
     pub target_mask: NdArray,
+    /// Lazily built `[P, S]` position-major sorted layout: each position's
+    /// `S` ensemble values sorted once, shared by every quantile query.
+    sorted: OnceLock<Vec<f32>>,
 }
 
 impl ImputationResult {
+    /// Bundle an ensemble. The samples must be non-empty and same-shaped
+    /// (internal invariant: [`impute_batch`] validates request sample counts
+    /// before sampling).
+    pub fn new(samples: Vec<NdArray>, target_mask: NdArray) -> Self {
+        assert!(!samples.is_empty(), "ensemble cannot be empty");
+        Self { samples, target_mask, sorted: OnceLock::new() }
+    }
+
     /// Per-position median across samples — the deterministic imputation.
     pub fn median(&self) -> NdArray {
         self.quantile(0.5)
     }
 
-    /// Per-position quantile across samples.
+    /// Per-position quantile across samples. `alpha` is clamped to `[0, 1]`
+    /// (a NaN `alpha` is treated as the median).
+    ///
+    /// The first quantile query sorts each position's ensemble once into a
+    /// cached `[P, S]` layout; every further query (median + q05 + q95 is the
+    /// common pattern) is a single interpolation pass over that cache instead
+    /// of a fresh sort per position per call.
     pub fn quantile(&self, alpha: f64) -> NdArray {
-        let shape = self.samples[0].shape().to_vec();
-        let numel = self.samples[0].numel();
-        let mut out = NdArray::zeros(&shape);
-        let mut buf = vec![0.0f32; self.samples.len()];
-        for i in 0..numel {
-            for (s, sample) in self.samples.iter().enumerate() {
-                buf[s] = sample.data()[i];
-            }
-            buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN in imputation sample"));
-            out.data_mut()[i] = quantile_of_sorted(&buf, alpha) as f32;
+        let alpha = if alpha.is_nan() { 0.5 } else { alpha.clamp(0.0, 1.0) };
+        let s = self.samples.len();
+        let sorted = self.sorted_by_position();
+        let mut out = NdArray::zeros(self.samples[0].shape());
+        for (pi, o) in out.data_mut().iter_mut().enumerate() {
+            *o = quantile_of_sorted(&sorted[pi * s..(pi + 1) * s], alpha) as f32;
         }
         out
+    }
+
+    /// The cached `[P, S]` sorted layout, built on first use: transpose the
+    /// ensemble to position-major order, then sort each position's `S`-run.
+    /// Runs are independent, so the sort parallelises over position blocks
+    /// (block boundaries derive from shape only — see DESIGN.md §9).
+    fn sorted_by_position(&self) -> &[f32] {
+        self.sorted.get_or_init(|| {
+            let s = self.samples.len();
+            let p = self.samples[0].numel();
+            let mut buf = vec![0.0f32; p * s];
+            for (si, sample) in self.samples.iter().enumerate() {
+                for (pi, &v) in sample.data().iter().enumerate() {
+                    buf[pi * s + si] = v;
+                }
+            }
+            // 256 positions per chunk: a multiple of `s` elements, so chunk
+            // boundaries never split a position's run.
+            st_par::par_chunks_mut(&mut buf, s * 256, |_ci, chunk| {
+                for run in chunk.chunks_mut(s) {
+                    run.sort_by(f32::total_cmp);
+                }
+            });
+            buf
+        })
     }
 
     /// Flatten samples to the `[S, P]` layout expected by
@@ -62,22 +166,231 @@ impl ImputationResult {
     }
 }
 
-/// Impute one window with a trained model, generating `n_samples` posterior
-/// samples in a single batched reverse pass.
+/// Impute one window with a trained model, generating `opts.n_samples`
+/// posterior samples in a single batched reverse pass.
+///
+/// Returns [`PristiError::ShapeMismatch`] when the window disagrees with the
+/// model's node count / window length and
+/// [`PristiError::DegenerateConfig`] for degenerate options (zero samples,
+/// zero DDIM steps, non-finite `eta`).
+pub fn impute(
+    trained: &TrainedModel,
+    window: &Window,
+    opts: &ImputeOptions,
+    rng: &mut StdRng,
+) -> Result<ImputationResult> {
+    let mut items = [BatchItem {
+        window,
+        n_samples: opts.n_samples,
+        rng: StdRng::from_state(rng.state()),
+    }];
+    let mut results = impute_batch(trained, &mut items, opts.sampler)?;
+    // Hand the advanced stream back so a caller imputing several windows off
+    // one RNG keeps the pre-redesign draw sequence.
+    *rng = StdRng::from_state(items[0].rng.state());
+    Ok(results.pop().expect("one request in, one result out"))
+}
+
+/// Impute a coalesced batch of requests in one `[S_total, N, L]` reverse
+/// pass: a single `predict_eps_eval` per denoise step for the whole batch,
+/// with each request's randomness drawn from its own [`BatchItem::rng`].
+///
+/// All requests share the `sampler`; per-request sample counts may differ.
+/// Results come back in request order and are bitwise identical to solo
+/// [`impute`] calls made with the same per-request RNG states.
+pub fn impute_batch(
+    trained: &TrainedModel,
+    items: &mut [BatchItem<'_>],
+    sampler: Sampler,
+) -> Result<Vec<ImputationResult>> {
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (n, l) = (trained.model.n_nodes(), trained.model.window_len());
+    if let Sampler::Ddim { steps, eta } = sampler {
+        if steps < 1 {
+            return Err(PristiError::DegenerateConfig("DDIM needs at least one step".into()));
+        }
+        if !eta.is_finite() || eta < 0.0 {
+            return Err(PristiError::DegenerateConfig(format!(
+                "DDIM eta must be finite and non-negative, got {eta}"
+            )));
+        }
+    }
+    for item in items.iter() {
+        if item.n_samples < 1 {
+            return Err(PristiError::DegenerateConfig(
+                "need at least one sample per request".into(),
+            ));
+        }
+        if item.window.n_nodes() != n {
+            return Err(PristiError::ShapeMismatch {
+                what: "window node count",
+                expected: vec![n],
+                got: vec![item.window.n_nodes()],
+            });
+        }
+        if item.window.len() != l {
+            return Err(PristiError::ShapeMismatch {
+                what: "window length",
+                expected: vec![l],
+                got: vec![item.window.len()],
+            });
+        }
+    }
+    let s_total: usize = items.iter().map(|i| i.n_samples).sum();
+    let _span = st_obs::span!(
+        "impute",
+        requests = items.len() as u64,
+        samples = s_total as u64,
+        ddim_steps = match sampler {
+            Sampler::Ddim { steps, .. } => steps as u64,
+            Sampler::Ddpm => 0u64,
+        },
+    );
+
+    // Per-request conditioning (normalised values, masks, interpolated 𝒳).
+    struct Prep {
+        values_z: NdArray,
+        cond_mask: NdArray,
+        target_mask: NdArray,
+        cond: NdArray,
+    }
+    let preps: Vec<Prep> = items
+        .iter()
+        .map(|item| {
+            let mut values_z = item.window.values.clone();
+            trained.normalizer.normalize_window(&mut values_z);
+            let cond_mask = item.window.cond_mask();
+            // Everything not conditioned on is the imputation target
+            // (Algorithm 2: "the imputation target is all missing values").
+            let target_mask = cond_mask.map(|v| 1.0 - v);
+            let cond = build_cond(&values_z, &cond_mask, trained.model.cfg.use_interpolation);
+            Prep { values_z, cond_mask, target_mask, cond }
+        })
+        .collect();
+
+    // Batch every request's ensemble along the sample axis: [S_total, N, L]
+    // with each request's conditioner replicated over its samples. `spans`
+    // records each request's flat element range.
+    let mut cond_b = NdArray::zeros(&[s_total, n, l]);
+    let mut tmask_b = NdArray::zeros(&[s_total, n, l]);
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(items.len());
+    let mut offset = 0usize;
+    for (item, prep) in items.iter().zip(&preps) {
+        for s in 0..item.n_samples {
+            let base = (offset + s) * n * l;
+            cond_b.data_mut()[base..base + n * l].copy_from_slice(prep.cond.data());
+            tmask_b.data_mut()[base..base + n * l].copy_from_slice(prep.target_mask.data());
+        }
+        spans.push((offset * n * l, item.n_samples * n * l));
+        offset += item.n_samples;
+    }
+
+    // Initial noise, one slice per request from its own stream.
+    let mut x = NdArray::zeros(&[s_total, n, l]);
+    for (item, &(start, len)) in items.iter_mut().zip(&spans) {
+        let noise = NdArray::randn(&[item.n_samples, n, l], &mut item.rng);
+        x.data_mut()[start..start + len].copy_from_slice(noise.data());
+    }
+    x = x.mul(&tmask_b);
+
+    // Reverse process: the mean update is element-wise over the whole batch
+    // (bitwise equal to computing each slice alone); the noise is added per
+    // request slice from that request's stream.
+    match sampler {
+        Sampler::Ddpm => {
+            for t in (1..=trained.schedule.t_steps()).rev() {
+                let _step_span = st_obs::span!("denoise_step", t = t as u64);
+                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
+                let t0 = st_obs::op_start();
+                let mut next = p_sample_mean(&x, &eps_hat, &trained.schedule, t);
+                add_noise_per_request(
+                    &mut next,
+                    items,
+                    &spans,
+                    p_sample_noise_scale(&trained.schedule, t),
+                );
+                st_obs::record_op(st_obs::Phase::Fwd, "p_sample_step", t0, next.numel() as u64);
+                x = next.mul(&tmask_b);
+            }
+        }
+        Sampler::Ddim { steps, eta } => {
+            let taus = ddim_timesteps(trained.schedule.t_steps(), steps);
+            for i in (0..taus.len()).rev() {
+                let t = taus[i];
+                let t_prev = if i == 0 { 0 } else { taus[i - 1] };
+                let _step_span =
+                    st_obs::span!("denoise_step", t = t as u64, t_prev = t_prev as u64);
+                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
+                let t0 = st_obs::op_start();
+                let mut next = ddim_mean(&x, &eps_hat, &trained.schedule, t, t_prev, eta);
+                add_noise_per_request(
+                    &mut next,
+                    items,
+                    &spans,
+                    ddim_noise_scale(&trained.schedule, t, t_prev, eta),
+                );
+                st_obs::record_op(st_obs::Phase::Fwd, "ddim_step", t0, next.numel() as u64);
+                x = next.mul(&tmask_b);
+            }
+        }
+    }
+
+    // Merge with conditioned values and denormalise per sample
+    // (sample-parallel: each ensemble member is independent).
+    let xd = x.data();
+    let mut out = Vec::with_capacity(items.len());
+    for (item, (prep, &(start, _))) in items.iter().zip(preps.iter().zip(&spans)) {
+        let cond_part = prep.values_z.mul(&prep.cond_mask);
+        let samples = st_par::par_map(item.n_samples, |s| {
+            let sample =
+                NdArray::from_vec(&[n, l], xd[start + s * n * l..start + (s + 1) * n * l].to_vec());
+            let mut merged = sample.mul(&prep.target_mask).add(&cond_part);
+            trained.normalizer.denormalize_window(&mut merged);
+            merged
+        });
+        out.push(ImputationResult::new(samples, prep.target_mask.clone()));
+    }
+    Ok(out)
+}
+
+/// Add `scale · z` reverse-process noise to each request's slice of the
+/// batched tensor, drawing from that request's stream (no draws at all when
+/// `scale == 0`, e.g. the final DDPM step or deterministic DDIM).
+fn add_noise_per_request(
+    x: &mut NdArray,
+    items: &mut [BatchItem<'_>],
+    spans: &[(usize, usize)],
+    scale: f64,
+) {
+    if scale == 0.0 {
+        return;
+    }
+    let data = x.data_mut();
+    for (item, &(start, len)) in items.iter_mut().zip(spans) {
+        add_reverse_noise_slice(&mut data[start..start + len], scale, &mut item.rng);
+    }
+}
+
+/// Pre-redesign entry point: full DDPM sampling with a positional sample
+/// count. Panics on invalid input; migrate to [`impute`] for typed errors.
+#[deprecated(note = "use `impute` with `ImputeOptions { n_samples, sampler: Sampler::Ddpm }`")]
 pub fn impute_window(
     trained: &TrainedModel,
     window: &Window,
     n_samples: usize,
     rng: &mut StdRng,
 ) -> ImputationResult {
-    impute_window_impl(trained, window, n_samples, None, rng)
+    impute(trained, window, &ImputeOptions { n_samples, sampler: Sampler::Ddpm }, rng)
+        .expect("impute_window: invalid input (migrate to `impute` for typed errors)")
 }
 
-/// Accelerated imputation: the same trained model sampled with `ddim_steps`
-/// deterministic DDIM steps instead of the full `T`-step ancestral loop
-/// (the efficiency direction named in the paper's conclusion). Quality
-/// degrades gracefully as `ddim_steps` shrinks; 8–12 steps typically match
-/// the full loop closely.
+/// Pre-redesign entry point: deterministic DDIM sampling with positional
+/// arguments. Panics on invalid input; migrate to [`impute`] for typed errors.
+#[deprecated(
+    note = "use `impute` with `ImputeOptions { n_samples, sampler: Sampler::Ddim { steps, eta: 0.0 } }`"
+)]
 pub fn impute_window_fast(
     trained: &TrainedModel,
     window: &Window,
@@ -85,75 +398,13 @@ pub fn impute_window_fast(
     ddim_steps: usize,
     rng: &mut StdRng,
 ) -> ImputationResult {
-    impute_window_impl(trained, window, n_samples, Some(ddim_steps), rng)
-}
-
-fn impute_window_impl(
-    trained: &TrainedModel,
-    window: &Window,
-    n_samples: usize,
-    ddim_steps: Option<usize>,
-    rng: &mut StdRng,
-) -> ImputationResult {
-    assert!(n_samples >= 1, "need at least one sample");
-    let _span = st_obs::span!(
-        "impute_window",
-        samples = n_samples as u64,
-        ddim_steps = ddim_steps.unwrap_or(0) as u64,
-    );
-    let (n, l) = (window.n_nodes(), window.len());
-    assert_eq!(n, trained.model.n_nodes(), "window node count mismatch");
-    assert_eq!(l, trained.model.window_len(), "window length mismatch");
-
-    let mut values_z = window.values.clone();
-    trained.normalizer.normalize_window(&mut values_z);
-    let cond_mask = window.cond_mask();
-    // Everything not conditioned on is the imputation target (Algorithm 2:
-    // "the imputation target is all missing values").
-    let target_mask = cond_mask.map(|v| 1.0 - v);
-    let cond = build_cond(&values_z, &cond_mask, trained.model.cfg.use_interpolation);
-
-    // Batch the whole ensemble: [S, N, L] with the conditioner replicated.
-    let mut cond_b = NdArray::zeros(&[n_samples, n, l]);
-    let mut tmask_b = NdArray::zeros(&[n_samples, n, l]);
-    for s in 0..n_samples {
-        cond_b.data_mut()[s * n * l..(s + 1) * n * l].copy_from_slice(cond.data());
-        tmask_b.data_mut()[s * n * l..(s + 1) * n * l].copy_from_slice(target_mask.data());
-    }
-
-    let mut x = NdArray::randn(&[n_samples, n, l], rng).mul(&tmask_b);
-    match ddim_steps {
-        None => {
-            for t in (1..=trained.schedule.t_steps()).rev() {
-                let _step_span = st_obs::span!("denoise_step", t = t as u64);
-                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
-                x = p_sample_step(&x, &eps_hat, &trained.schedule, t, rng).mul(&tmask_b);
-            }
-        }
-        Some(steps) => {
-            let taus = st_diffusion::ddim_timesteps(trained.schedule.t_steps(), steps);
-            for i in (0..taus.len()).rev() {
-                let t = taus[i];
-                let t_prev = if i == 0 { 0 } else { taus[i - 1] };
-                let _step_span = st_obs::span!("denoise_step", t = t as u64, t_prev = t_prev as u64);
-                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
-                x = st_diffusion::ddim_step(&x, &eps_hat, &trained.schedule, t, t_prev, 0.0, rng)
-                    .mul(&tmask_b);
-            }
-        }
-    }
-
-    // Merge with conditioned values, denormalise per sample (sample-parallel:
-    // each ensemble member is independent).
-    let cond_part = values_z.mul(&cond_mask);
-    let xd = x.data();
-    let samples = st_par::par_map(n_samples, |s| {
-        let sample = NdArray::from_vec(&[n, l], xd[s * n * l..(s + 1) * n * l].to_vec());
-        let mut merged = sample.mul(&target_mask).add(&cond_part);
-        trained.normalizer.denormalize_window(&mut merged);
-        merged
-    });
-    ImputationResult { samples, target_mask }
+    impute(
+        trained,
+        window,
+        &ImputeOptions { n_samples, sampler: Sampler::Ddim { steps: ddim_steps, eta: 0.0 } },
+        rng,
+    )
+    .expect("impute_window_fast: invalid input (migrate to `impute` for typed errors)")
 }
 
 #[cfg(test)]
@@ -161,11 +412,11 @@ mod tests {
     use super::*;
     use crate::config::PristiConfig;
     use crate::train::{train, TrainConfig};
-    use st_rand::SeedableRng;
     use st_data::dataset::Split;
     use st_data::generators::{generate_air_quality, AirQualityConfig};
     use st_data::missing::inject_point_missing;
     use st_metrics::masked_mae;
+    use st_rand::SeedableRng;
 
     fn tiny_cfg() -> PristiConfig {
         let mut c = PristiConfig::small();
@@ -197,8 +448,12 @@ mod tests {
             seed: 4,
             ..Default::default()
         };
-        let trained = train(&data, tiny_cfg(), &tc);
+        let trained = train(&data, tiny_cfg(), &tc).unwrap();
         (data, trained)
+    }
+
+    fn ddpm_opts(n_samples: usize) -> ImputeOptions {
+        ImputeOptions { n_samples, sampler: Sampler::Ddpm }
     }
 
     #[test]
@@ -206,7 +461,7 @@ mod tests {
         let (data, trained) = trained_setup();
         let w = &data.windows(Split::Test, 12, 12)[0];
         let mut rng = StdRng::seed_from_u64(1);
-        let res = impute_window(&trained, w, 4, &mut rng);
+        let res = impute(&trained, w, &ddpm_opts(4), &mut rng).unwrap();
         assert_eq!(res.n_samples(), 4);
         let med = res.median();
         let cm = w.cond_mask();
@@ -229,7 +484,7 @@ mod tests {
         let (data, trained) = trained_setup();
         let w = &data.windows(Split::Test, 12, 12)[0];
         let mut rng = StdRng::seed_from_u64(2);
-        let res = impute_window(&trained, w, 8, &mut rng);
+        let res = impute(&trained, w, &ddpm_opts(8), &mut rng).unwrap();
         let q05 = res.quantile(0.05);
         let q50 = res.quantile(0.50);
         let q95 = res.quantile(0.95);
@@ -240,13 +495,40 @@ mod tests {
     }
 
     #[test]
+    fn cached_quantile_matches_fresh_per_position_sort() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let mut rng = StdRng::seed_from_u64(8);
+        let res = impute(&trained, w, &ddpm_opts(6), &mut rng).unwrap();
+        // Reference: the pre-cache implementation, re-sorting per position.
+        let mut buf = vec![0.0f32; res.n_samples()];
+        for alpha in [0.05, 0.5, 0.95] {
+            let q = res.quantile(alpha);
+            for i in 0..q.numel() {
+                for (s, sample) in res.samples.iter().enumerate() {
+                    buf[s] = sample.data()[i];
+                }
+                buf.sort_by(f32::total_cmp);
+                let expect = quantile_of_sorted(&buf, alpha) as f32;
+                assert_eq!(q.data()[i], expect, "alpha {alpha} position {i}");
+            }
+        }
+    }
+
+    #[test]
     fn fast_ddim_imputation_close_to_full() {
         let (data, trained) = trained_setup();
         let w = &data.windows(Split::Test, 12, 12)[0];
         let mut r1 = StdRng::seed_from_u64(4);
         let mut r2 = StdRng::seed_from_u64(4);
-        let full = impute_window(&trained, w, 6, &mut r1);
-        let fast = impute_window_fast(&trained, w, 6, 5, &mut r2);
+        let full = impute(&trained, w, &ddpm_opts(6), &mut r1).unwrap();
+        let fast = impute(
+            &trained,
+            w,
+            &ImputeOptions { n_samples: 6, sampler: Sampler::Ddim { steps: 5, eta: 0.0 } },
+            &mut r2,
+        )
+        .unwrap();
         assert_eq!(fast.n_samples(), 6);
         // both valid imputations: finite, observed preserved
         let cm = w.cond_mask();
@@ -280,7 +562,7 @@ mod tests {
             if w.eval.data().iter().all(|&v| v == 0.0) {
                 continue;
             }
-            let res = impute_window(&trained, w, 4, &mut rng);
+            let res = impute(&trained, w, &ddpm_opts(4), &mut rng).unwrap();
             let med = res.median();
             model_err += masked_mae(med.data(), w.values.data(), w.eval.data());
             let zeros = vec![0.0f32; med.numel()];
@@ -292,5 +574,80 @@ mod tests {
             model_err < naive_err,
             "model MAE {model_err:.3} should beat zero-imputation {naive_err:.3}"
         );
+    }
+
+    /// The micro-batching keystone: requests coalesced into one batch must
+    /// produce bitwise the same samples as solo calls with the same RNG
+    /// states, for both samplers and uneven ensemble sizes.
+    #[test]
+    fn batched_requests_bitwise_match_solo_calls() {
+        let (data, trained) = trained_setup();
+        let windows = data.windows(Split::Test, 12, 12);
+        let w0 = &windows[0];
+        let w1 = &windows[windows.len() - 1];
+        for sampler in [Sampler::Ddpm, Sampler::Ddim { steps: 4, eta: 0.5 }] {
+            let solo0 = {
+                let mut rng = StdRng::seed_from_u64(100);
+                impute(&trained, w0, &ImputeOptions { n_samples: 2, sampler }, &mut rng).unwrap()
+            };
+            let solo1 = {
+                let mut rng = StdRng::seed_from_u64(101);
+                impute(&trained, w1, &ImputeOptions { n_samples: 3, sampler }, &mut rng).unwrap()
+            };
+            let mut items = [
+                BatchItem { window: w0, n_samples: 2, rng: StdRng::seed_from_u64(100) },
+                BatchItem { window: w1, n_samples: 3, rng: StdRng::seed_from_u64(101) },
+            ];
+            let batched = impute_batch(&trained, &mut items, sampler).unwrap();
+            for (solo, both) in [(&solo0, &batched[0]), (&solo1, &batched[1])] {
+                assert_eq!(solo.n_samples(), both.n_samples());
+                for (a, b) in solo.samples.iter().zip(&both.samples) {
+                    assert!(
+                        a.to_bytes() == b.to_bytes(),
+                        "batched sample diverges from solo call ({sampler:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_return_typed_errors() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        // zero samples
+        let err = impute(&trained, w, &ddpm_opts(0), &mut rng).unwrap_err();
+        assert!(matches!(err, PristiError::DegenerateConfig(_)));
+        // zero DDIM steps
+        let err = impute(
+            &trained,
+            w,
+            &ImputeOptions { n_samples: 2, sampler: Sampler::Ddim { steps: 0, eta: 0.0 } },
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PristiError::DegenerateConfig(_)));
+        // wrong window length
+        let short = data.window_at(0, 6);
+        let err = impute(&trained, &short, &ddpm_opts(2), &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            PristiError::ShapeMismatch { what: "window length", .. }
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let mut r1 = StdRng::seed_from_u64(12);
+        let mut r2 = StdRng::seed_from_u64(12);
+        let via_wrapper = impute_window(&trained, w, 2, &mut r1);
+        let via_new = impute(&trained, w, &ddpm_opts(2), &mut r2).unwrap();
+        for (a, b) in via_wrapper.samples.iter().zip(&via_new.samples) {
+            assert!(a.to_bytes() == b.to_bytes());
+        }
     }
 }

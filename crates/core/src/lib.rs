@@ -28,28 +28,39 @@
 //!
 //! # Example
 //!
+//! Every public entry point returns [`error::Result`] — malformed input is a
+//! typed [`error::PristiError`], never a panic.
+//!
 //! ```no_run
 //! use pristi_core::train::{train, TrainConfig};
-//! use pristi_core::{impute_window, impute_window_fast, PristiConfig};
+//! use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
 //! use st_data::generators::{generate_air_quality, AirQualityConfig};
 //! use st_data::missing::inject_point_missing;
 //! use st_data::dataset::Split;
 //! use st_rand::{StdRng, SeedableRng};
 //!
+//! # fn main() -> pristi_core::error::Result<()> {
 //! // A synthetic air-quality panel with 25 % of observations hidden.
 //! let mut data = generate_air_quality(&AirQualityConfig::default());
 //! data.eval_mask = inject_point_missing(&data.observed_mask, 0.25, 7);
 //!
 //! // Train the full model (ablations: `PristiConfig::small().with_variant(..)`).
-//! let trained = train(&data, PristiConfig::small(), &TrainConfig::default());
+//! let trained = train(&data, PristiConfig::small(), &TrainConfig::default())?;
 //!
 //! // Probabilistic imputation of a test window.
 //! let window = &data.windows(Split::Test, 24, 24)[0];
 //! let mut rng = StdRng::seed_from_u64(0);
-//! let full = impute_window(&trained, window, 32, &mut rng);         // T-step DDPM
-//! let fast = impute_window_fast(&trained, window, 32, 8, &mut rng); // 8-step DDIM
+//! let full = impute(&trained, window, &ImputeOptions { n_samples: 32, sampler: Sampler::Ddpm }, &mut rng)?;
+//! let fast = impute(
+//!     &trained,
+//!     window,
+//!     &ImputeOptions { n_samples: 32, sampler: Sampler::Ddim { steps: 8, eta: 0.0 } },
+//!     &mut rng,
+//! )?;
 //! let (median, lo, hi) = (full.median(), full.quantile(0.05), full.quantile(0.95));
 //! # let _ = (median, lo, hi, fast);
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -61,12 +72,16 @@
 pub mod aux;
 pub mod cond_feature;
 pub mod config;
+pub mod error;
 pub mod impute;
 pub mod model;
 pub mod noise_estimation;
 pub mod train;
 
 pub use config::{ModelVariant, PristiConfig};
-pub use impute::{impute_window, impute_window_fast, ImputationResult};
+pub use error::{PristiError, Result};
+pub use impute::{impute, impute_batch, BatchItem, ImputationResult, ImputeOptions, Sampler};
+#[allow(deprecated)]
+pub use impute::{impute_window, impute_window_fast};
 pub use model::PristiModel;
 pub use train::{train, Reporter, TrainConfig, TrainedModel};

@@ -3,8 +3,9 @@
 use crate::aux::{AuxInfo, StepEmbedding};
 use crate::cond_feature::CondFeatureModule;
 use crate::config::PristiConfig;
+use crate::error::PristiError;
 use crate::noise_estimation::NoiseEstimationLayer;
-use st_rand::Rng;
+use st_rand::{Rng, SeedableRng, StdRng};
 use st_graph::SensorGraph;
 use st_tensor::graph::{Graph, Tx};
 use st_tensor::ndarray::NdArray;
@@ -14,6 +15,7 @@ use st_tensor::param::ParamStore;
 /// The assembled PriSTI noise predictor: input projections, auxiliary
 /// information, the conditional feature extraction module, a stack of noise
 /// estimation layers, and the two-convolution output head.
+#[derive(Debug)]
 pub struct PristiModel {
     /// All learnable parameters.
     pub store: ParamStore,
@@ -33,13 +35,16 @@ pub struct PristiModel {
 
 impl PristiModel {
     /// Build a model for a fixed sensor graph and window length.
+    ///
+    /// Returns [`PristiError::DegenerateConfig`] when the configuration's
+    /// switch combination would leave the model degenerate.
     pub fn new<R: Rng + ?Sized>(
         cfg: PristiConfig,
         graph: &SensorGraph,
         len: usize,
         rng: &mut R,
-    ) -> Self {
-        cfg.validate();
+    ) -> Result<Self, PristiError> {
+        cfg.validate()?;
         let mut store = ParamStore::new();
         let d = cfg.d_model;
         let n = graph.n_nodes();
@@ -76,7 +81,7 @@ impl PristiModel {
         // zero head blocks upstream gradients for dozens of steps, so a small
         // Xavier init converges markedly faster with no observed instability.
         let out2 = Linear::new(&mut store, "out2", d, 1, rng);
-        Self {
+        Ok(Self {
             store,
             cfg,
             n_nodes: n,
@@ -89,7 +94,51 @@ impl PristiModel {
             layers,
             out1,
             out2,
+        })
+    }
+
+    /// Rebuild a model from a configuration plus an already-trained
+    /// [`ParamStore`] (the checkpoint loading path).
+    ///
+    /// The architecture is reconstructed from `cfg`/`graph`/`len` (a fixed
+    /// dummy seed initialises throw-away weights), then the store is swapped
+    /// for `params` after verifying it holds exactly the parameter tensors —
+    /// by name and shape — that this architecture owns. Any disagreement is
+    /// reported as [`PristiError::CheckpointCorrupt`] /
+    /// [`PristiError::ShapeMismatch`].
+    pub fn from_parts(
+        cfg: PristiConfig,
+        graph: &SensorGraph,
+        len: usize,
+        params: ParamStore,
+    ) -> Result<Self, PristiError> {
+        let mut model = Self::new(cfg, graph, len, &mut StdRng::seed_from_u64(0))?;
+        if params.len() != model.store.len() {
+            return Err(PristiError::CheckpointCorrupt(format!(
+                "parameter count mismatch: architecture owns {} tensors, checkpoint holds {}",
+                model.store.len(),
+                params.len()
+            )));
         }
+        for (name, arr) in model.store.iter() {
+            match params.get(name) {
+                None => {
+                    return Err(PristiError::CheckpointCorrupt(format!(
+                        "checkpoint is missing parameter `{name}`"
+                    )))
+                }
+                Some(p) if p.shape() != arr.shape() => {
+                    return Err(PristiError::ShapeMismatch {
+                        what: "checkpoint parameter tensor",
+                        expected: arr.shape().to_vec(),
+                        got: p.shape().to_vec(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        model.store = params;
+        Ok(model)
     }
 
     /// Number of sensors the model was built for.
@@ -199,7 +248,7 @@ mod tests {
     #[test]
     fn forward_output_shape() {
         let mut rng = StdRng::seed_from_u64(60);
-        let model = PristiModel::new(tiny_cfg(), &graph(5), 6, &mut rng);
+        let model = PristiModel::new(tiny_cfg(), &graph(5), 6, &mut rng).unwrap();
         let mut g = Graph::new(&model.store);
         let noisy = g.input(NdArray::randn(&[2, 5, 6], &mut rng));
         let cond = g.input(NdArray::randn(&[2, 5, 6], &mut rng));
@@ -210,7 +259,7 @@ mod tests {
     #[test]
     fn untrained_head_outputs_are_bounded() {
         let mut rng = StdRng::seed_from_u64(61);
-        let model = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng);
+        let model = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng).unwrap();
         let noisy = NdArray::randn(&[1, 4, 5], &mut rng);
         let cond = NdArray::randn(&[1, 4, 5], &mut rng);
         let out = model.predict_eps_eval(&noisy, &cond, 5);
@@ -232,7 +281,7 @@ mod tests {
             ModelVariant::Csdi,
         ] {
             let cfg = tiny_cfg().with_variant(v);
-            let model = PristiModel::new(cfg, &graph(4), 5, &mut rng);
+            let model = PristiModel::new(cfg, &graph(4), 5, &mut rng).unwrap();
             let noisy = NdArray::randn(&[1, 4, 5], &mut rng);
             let cond = NdArray::randn(&[1, 4, 5], &mut rng);
             let out = model.predict_eps_eval(&noisy, &cond, 2);
@@ -243,7 +292,7 @@ mod tests {
     #[test]
     fn loss_backward_touches_most_params() {
         let mut rng = StdRng::seed_from_u64(63);
-        let model = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng);
+        let model = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng).unwrap();
         let mut g = Graph::new(&model.store);
         let noisy = g.input(NdArray::randn(&[2, 4, 5], &mut rng));
         let cond = g.input(NdArray::randn(&[2, 4, 5], &mut rng));
@@ -267,11 +316,11 @@ mod tests {
     #[test]
     fn variant_param_counts_ordered() {
         let mut rng = StdRng::seed_from_u64(64);
-        let full = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng);
+        let full = PristiModel::new(tiny_cfg(), &graph(4), 5, &mut rng).unwrap();
         let wo_cf =
-            PristiModel::new(tiny_cfg().with_variant(ModelVariant::WithoutCondFeature), &graph(4), 5, &mut rng);
+            PristiModel::new(tiny_cfg().with_variant(ModelVariant::WithoutCondFeature), &graph(4), 5, &mut rng).unwrap();
         let wo_spa =
-            PristiModel::new(tiny_cfg().with_variant(ModelVariant::WithoutSpatial), &graph(4), 5, &mut rng);
+            PristiModel::new(tiny_cfg().with_variant(ModelVariant::WithoutSpatial), &graph(4), 5, &mut rng).unwrap();
         assert!(full.n_params() > wo_cf.n_params());
         assert!(wo_cf.n_params() > wo_spa.n_params() || full.n_params() > wo_spa.n_params());
     }

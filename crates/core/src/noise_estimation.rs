@@ -195,7 +195,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(50);
         let mut cfg = PristiConfig::small().with_variant(variant);
         cfg.virtual_nodes = 2; // exercise the Eq. 9 downsampling path in tests
-        cfg.validate();
+        cfg.validate().unwrap();
         let graph = SensorGraph::from_coords(random_plane_layout(n, 20.0, 2), 0.1);
         let mut store = ParamStore::new();
         let layer = NoiseEstimationLayer::new(&mut store, "l0", &cfg, &graph, &mut rng);

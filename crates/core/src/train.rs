@@ -8,6 +8,7 @@
 //! ×0.1 at 90 % of epochs).
 
 use crate::config::PristiConfig;
+use crate::error::{PristiError, Result};
 use crate::model::PristiModel;
 use st_rand::StdRng;
 use st_rand::SliceRandom;
@@ -17,6 +18,7 @@ use st_data::interpolate::linear_interpolate;
 use st_data::mask_strategy::MaskStrategy;
 use st_data::normalize::Normalizer;
 use st_diffusion::{q_sample, DiffusionSchedule};
+use st_graph::adjacency::SensorGraph;
 use st_tensor::graph::Graph;
 use st_tensor::ndarray::NdArray;
 use st_tensor::optim::{clip_grad_norm, pristi_lr, Adam};
@@ -85,16 +87,16 @@ enum ReporterSink {
 }
 
 impl Reporter {
-    fn open(&self) -> ReporterSink {
-        match self {
+    fn open(&self) -> Result<ReporterSink> {
+        Ok(match self {
             Reporter::Silent => ReporterSink::Silent,
             Reporter::Stderr => ReporterSink::Stderr,
             Reporter::Jsonl(path) => ReporterSink::Jsonl(
-                st_obs::JsonlWriter::create(path).unwrap_or_else(|e| {
-                    panic!("Reporter::Jsonl: cannot create {}: {e}", path.display())
-                }),
+                st_obs::JsonlWriter::create(path).map_err(|e| {
+                    PristiError::Io(format!("Reporter::Jsonl: cannot create {}: {e}", path.display()))
+                })?,
             ),
-        }
+        })
     }
 }
 
@@ -156,9 +158,13 @@ impl Default for TrainConfig {
 }
 
 /// A trained model bundled with everything needed for imputation.
+#[derive(Debug)]
 pub struct TrainedModel {
     /// The noise predictor.
     pub model: PristiModel,
+    /// The sensor graph the model was built for (needed to rebuild the
+    /// architecture when loading a checkpoint).
+    pub graph: SensorGraph,
     /// The diffusion schedule it was trained with.
     pub schedule: DiffusionSchedule,
     /// The per-node scaler fitted on the training split.
@@ -168,20 +174,25 @@ pub struct TrainedModel {
 }
 
 /// Train PriSTI (or any configured variant) on a dataset's training split.
+///
+/// Returns [`PristiError::DegenerateConfig`] when the model configuration
+/// fails [`PristiConfig::validate`] or the split yields no training windows,
+/// and [`PristiError::Io`] when a [`Reporter::Jsonl`] path cannot be created.
 pub fn train(
     data: &SpatioTemporalDataset,
     model_cfg: PristiConfig,
     tc: &TrainConfig,
-) -> TrainedModel {
+) -> Result<TrainedModel> {
     st_par::set_threads(tc.threads);
     let mut rng = StdRng::seed_from_u64(tc.seed);
     let normalizer = Normalizer::fit(data);
     let windows = data.windows(Split::Train, tc.window_len, tc.window_stride);
-    assert!(
-        !windows.is_empty(),
-        "no training windows: split too short for window_len {}",
-        tc.window_len
-    );
+    if windows.is_empty() {
+        return Err(PristiError::DegenerateConfig(format!(
+            "no training windows: split too short for window_len {}",
+            tc.window_len
+        )));
+    }
     let strategy = build_strategy(tc.strategy, &windows);
     let schedule = DiffusionSchedule::new(
         model_cfg.schedule,
@@ -189,7 +200,7 @@ pub fn train(
         model_cfg.beta_min,
         model_cfg.beta_max,
     );
-    let mut model = PristiModel::new(model_cfg, &data.graph, tc.window_len, &mut rng);
+    let mut model = PristiModel::new(model_cfg, &data.graph, tc.window_len, &mut rng)?;
     let mut opt = Adam::new(tc.lr);
     let mut epoch_losses = Vec::with_capacity(tc.epochs);
 
@@ -209,7 +220,7 @@ pub fn train(
         windows = prepared.len() as u64,
         params = model.n_params() as u64,
     );
-    let mut sink = tc.reporter.open();
+    let mut sink = tc.reporter.open()?;
     let mut order: Vec<usize> = (0..prepared.len()).collect();
     for epoch in 0..tc.epochs {
         let _epoch_span = st_obs::span!("epoch", epoch = epoch as u64);
@@ -233,7 +244,7 @@ pub fn train(
         let wps = prepared.len() as f64 / epoch_t0.elapsed().as_secs_f64().max(1e-9);
         report_epoch(&mut sink, epoch, mean, mean_grad_norm, opt.lr, prepared.len(), wps);
     }
-    TrainedModel { model, schedule, normalizer, epoch_losses }
+    Ok(TrainedModel { model, graph: data.graph.clone(), schedule, normalizer, epoch_losses })
 }
 
 fn build_strategy(kind: MaskStrategyKind, windows: &[Window]) -> MaskStrategy {
@@ -394,7 +405,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         };
-        let trained = train(&data, tiny_model_cfg(), &tc);
+        let trained = train(&data, tiny_model_cfg(), &tc).unwrap();
         assert_eq!(trained.epoch_losses.len(), 60);
         // Per-epoch losses are noisy (random masks and diffusion steps), so
         // compare early-vs-late averages. The ε-objective has a high floor —
@@ -428,7 +439,7 @@ mod tests {
                 seed: 2,
                 ..Default::default()
             };
-            let trained = train(&data, tiny_model_cfg(), &tc);
+            let trained = train(&data, tiny_model_cfg(), &tc).unwrap();
             assert!(trained.epoch_losses[0].is_finite(), "{strategy:?} produced NaN loss");
         }
     }
@@ -444,8 +455,34 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let a = train(&data, tiny_model_cfg(), &tc);
-        let b = train(&data, tiny_model_cfg(), &tc);
+        let a = train(&data, tiny_model_cfg(), &tc).unwrap();
+        let b = train(&data, tiny_model_cfg(), &tc).unwrap();
         assert_eq!(a.epoch_losses, b.epoch_losses);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_typed_errors() {
+        use crate::error::PristiError;
+        let data = tiny_data();
+        // window longer than the training split
+        let tc = TrainConfig { epochs: 1, window_len: 100_000, ..Default::default() };
+        let err = train(&data, tiny_model_cfg(), &tc).unwrap_err();
+        assert!(matches!(err, PristiError::DegenerateConfig(ref m) if m.contains("window_len")));
+        // invalid model config surfaces through train()
+        let mut bad = tiny_model_cfg();
+        bad.heads = 3;
+        let tc = TrainConfig { epochs: 1, window_len: 12, ..Default::default() };
+        assert!(matches!(
+            train(&data, bad, &tc),
+            Err(PristiError::DegenerateConfig(_))
+        ));
+        // unwritable JSONL reporter path is a typed Io error, not a panic
+        let tc = TrainConfig {
+            epochs: 1,
+            window_len: 12,
+            reporter: Reporter::Jsonl("/nonexistent-dir/epochs.jsonl".into()),
+            ..Default::default()
+        };
+        assert!(matches!(train(&data, tiny_model_cfg(), &tc), Err(PristiError::Io(_))));
     }
 }

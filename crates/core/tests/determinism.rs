@@ -12,7 +12,7 @@
 //! global; a second concurrent test would race the setting.
 
 use pristi_core::train::{train, TrainConfig};
-use pristi_core::{impute_window, PristiConfig};
+use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
 use st_data::generators::{generate_air_quality, AirQualityConfig};
 use st_rand::SeedableRng;
 use st_rand::StdRng;
@@ -49,7 +49,7 @@ fn train_impute_bytes(threads: usize) -> (Vec<u8>, Vec<u8>) {
         threads,
         ..Default::default()
     };
-    let trained = train(&data, tiny_model_cfg(), &tc);
+    let trained = train(&data, tiny_model_cfg(), &tc).unwrap();
     assert_eq!(trained.epoch_losses.len(), 2);
     assert!(
         trained.epoch_losses.iter().all(|l| l.is_finite() && *l > 0.0),
@@ -60,7 +60,13 @@ fn train_impute_bytes(threads: usize) -> (Vec<u8>, Vec<u8>) {
 
     let mut rng = StdRng::seed_from_u64(9);
     let w = data.window_at(0, 12);
-    let res = impute_window(&trained, &w, 2, &mut rng);
+    let res = impute(
+        &trained,
+        &w,
+        &ImputeOptions { n_samples: 2, sampler: Sampler::Ddpm },
+        &mut rng,
+    )
+    .unwrap();
     let mut samples = Vec::new();
     for s in &res.samples {
         samples.extend_from_slice(&s.to_bytes());

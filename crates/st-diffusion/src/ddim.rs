@@ -18,7 +18,6 @@
 use crate::ddpm::NoisePredictor;
 use crate::schedule::DiffusionSchedule;
 use st_rand::StdRng;
-use st_rand::{Distribution, Normal};
 use st_tensor::NdArray;
 
 /// Evenly spaced subsequence of diffusion steps, always containing 1 and `T`.
@@ -36,10 +35,51 @@ pub fn ddim_timesteps(t_total: usize, n_steps: usize) -> Vec<usize> {
     out
 }
 
+/// Deterministic half of one DDIM update from step `t` to `t_prev`
+/// (`t_prev < t`, or 0 to end): the predicted-`x₀` projection plus the
+/// direction term, *without* the `σ·z` noise.
+///
+/// Element-wise, so any batch slice's mean equals the slice computed alone —
+/// the property the micro-batching imputation service relies on.
+pub fn ddim_mean(
+    x_t: &NdArray,
+    eps_hat: &NdArray,
+    schedule: &DiffusionSchedule,
+    t: usize,
+    t_prev: usize,
+    eta: f64,
+) -> NdArray {
+    assert!(t_prev < t, "ddim_step must move backwards: {t_prev} !< {t}");
+    assert_eq!(x_t.shape(), eps_hat.shape(), "x_t/eps shape mismatch");
+    let ab_t = schedule.alpha_bar(t);
+    let ab_prev = if t_prev == 0 { 1.0 } else { schedule.alpha_bar(t_prev) };
+    // predicted clean sample
+    let c_x = 1.0 / ab_t.sqrt();
+    let c_e = (1.0 - ab_t).sqrt() / ab_t.sqrt();
+    let sigma = ddim_noise_scale(schedule, t, t_prev, eta);
+    let dir_coef = (1.0 - ab_prev - sigma * sigma).max(0.0).sqrt();
+    let a = ab_prev.sqrt();
+
+    let mut out = NdArray::zeros(x_t.shape());
+    for ((o, &x), &e) in out.data_mut().iter_mut().zip(x_t.data()).zip(eps_hat.data()) {
+        let x0_hat = c_x as f32 * x - c_e as f32 * e;
+        *o = a as f32 * x0_hat + dir_coef as f32 * e;
+    }
+    out
+}
+
+/// The DDIM noise standard deviation `σ = η·√((1−ᾱ_{τ'})/(1−ᾱ_τ))·√(1−ᾱ_τ/ᾱ_{τ'})`
+/// (0 for deterministic sampling, `η = 0`).
+pub fn ddim_noise_scale(schedule: &DiffusionSchedule, t: usize, t_prev: usize, eta: f64) -> f64 {
+    let ab_t = schedule.alpha_bar(t);
+    let ab_prev = if t_prev == 0 { 1.0 } else { schedule.alpha_bar(t_prev) };
+    eta * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt() * (1.0 - ab_t / ab_prev).sqrt()
+}
+
 /// One DDIM update from step `t` to step `t_prev` (`t_prev < t`, or 0 to end).
 ///
 /// `eta` interpolates between deterministic DDIM (0.0) and ancestral DDPM
-/// noise levels (1.0).
+/// noise levels (1.0): [`ddim_mean`] plus `σ·z` noise.
 #[allow(clippy::too_many_arguments)]
 pub fn ddim_step(
     x_t: &NdArray,
@@ -50,30 +90,12 @@ pub fn ddim_step(
     eta: f64,
     rng: &mut StdRng,
 ) -> NdArray {
-    assert!(t_prev < t, "ddim_step must move backwards: {t_prev} !< {t}");
-    let ab_t = schedule.alpha_bar(t);
-    let ab_prev = if t_prev == 0 { 1.0 } else { schedule.alpha_bar(t_prev) };
-    // predicted clean sample
-    let c_x = 1.0 / ab_t.sqrt();
-    let c_e = (1.0 - ab_t).sqrt() / ab_t.sqrt();
-    // DDIM variance
-    let sigma = eta
-        * ((1.0 - ab_prev) / (1.0 - ab_t)).sqrt()
-        * (1.0 - ab_t / ab_prev).sqrt();
-    let dir_coef = (1.0 - ab_prev - sigma * sigma).max(0.0).sqrt();
-    let a = ab_prev.sqrt();
-
-    let mut out = NdArray::zeros(x_t.shape());
-    for ((o, &x), &e) in out.data_mut().iter_mut().zip(x_t.data()).zip(eps_hat.data()) {
-        let x0_hat = c_x as f32 * x - c_e as f32 * e;
-        *o = a as f32 * x0_hat + dir_coef as f32 * e;
-    }
-    if sigma > 0.0 {
-        let normal = Normal::new(0.0f32, sigma as f32).expect("valid normal");
-        for o in out.data_mut() {
-            *o += normal.sample(rng);
-        }
-    }
+    let mut out = ddim_mean(x_t, eps_hat, schedule, t, t_prev, eta);
+    crate::ddpm::add_reverse_noise_slice(
+        out.data_mut(),
+        ddim_noise_scale(schedule, t, t_prev, eta),
+        rng,
+    );
     out
 }
 

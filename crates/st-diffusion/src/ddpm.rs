@@ -35,14 +35,54 @@ pub fn q_sample(x0: &NdArray, eps: &NdArray, schedule: &DiffusionSchedule, t: us
     out
 }
 
-/// One reverse step (Algorithm 2, lines 4–5): given `X̃ᵗ` and the predicted
-/// noise, produce `X̃ᵗ⁻¹`.
-///
-/// The mean follows the standard DDPM parameterisation
+/// Deterministic half of one reverse step: the posterior mean
 /// `μ = (X̃ᵗ − β_t/√(1−ᾱ_t)·ε̂) / √α_t`
 /// (the paper's Eq. 3 prints `√ᾱ_t` in the denominator, a well-known typo for
-/// `√α_t`; the authors' released code uses `√α_t`). At `t = 1` no noise is
-/// added (`σ₁ = 0`).
+/// `√α_t`; the authors' released code uses `√α_t`).
+///
+/// The computation is purely element-wise, so the mean of any batch slice is
+/// bitwise identical to the mean of that slice computed on its own — the
+/// property the micro-batching imputation service relies on.
+pub fn p_sample_mean(
+    x_t: &NdArray,
+    eps_hat: &NdArray,
+    schedule: &DiffusionSchedule,
+    t: usize,
+) -> NdArray {
+    assert_eq!(x_t.shape(), eps_hat.shape(), "x_t/eps shape mismatch");
+    let beta = schedule.beta(t) as f32;
+    let alpha = schedule.alpha(t) as f32;
+    let ab = schedule.alpha_bar(t) as f32;
+    let coef = beta / (1.0 - ab).sqrt();
+    let inv_sqrt_alpha = 1.0 / alpha.sqrt();
+    x_t.zip_map(eps_hat, |x, e| inv_sqrt_alpha * (x - coef * e))
+}
+
+/// Standard deviation `σ_t` of the noise added after [`p_sample_mean`]
+/// (`0` at `t = 1`, Algorithm 2 line 5).
+pub fn p_sample_noise_scale(schedule: &DiffusionSchedule, t: usize) -> f64 {
+    if t <= 1 { 0.0 } else { schedule.sigma_sq(t).sqrt() }
+}
+
+/// Add `scale · z, z ~ N(0, 1)` to every element of `buf`, drawing from
+/// `rng` in buffer order. No-op (and no RNG draws) when `scale == 0`.
+///
+/// Exposed on the raw slice so callers owning a batched `[S, N, L]` tensor
+/// can drive each request's slice from its own RNG stream.
+pub fn add_reverse_noise_slice(buf: &mut [f32], scale: f64, rng: &mut StdRng) {
+    if scale == 0.0 {
+        return;
+    }
+    let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+    let s = scale as f32;
+    for v in buf {
+        *v += s * normal.sample(rng);
+    }
+}
+
+/// One reverse step (Algorithm 2, lines 4–5): given `X̃ᵗ` and the predicted
+/// noise, produce `X̃ᵗ⁻¹` — [`p_sample_mean`] plus `σ_t`-scaled noise. At
+/// `t = 1` no noise is added (`σ₁ = 0`).
 pub fn p_sample_step(
     x_t: &NdArray,
     eps_hat: &NdArray,
@@ -50,21 +90,9 @@ pub fn p_sample_step(
     t: usize,
     rng: &mut StdRng,
 ) -> NdArray {
-    assert_eq!(x_t.shape(), eps_hat.shape(), "x_t/eps shape mismatch");
     let t0 = st_obs::op_start();
-    let beta = schedule.beta(t) as f32;
-    let alpha = schedule.alpha(t) as f32;
-    let ab = schedule.alpha_bar(t) as f32;
-    let coef = beta / (1.0 - ab).sqrt();
-    let inv_sqrt_alpha = 1.0 / alpha.sqrt();
-    let mut out = x_t.zip_map(eps_hat, |x, e| inv_sqrt_alpha * (x - coef * e));
-    if t > 1 {
-        let sigma = (schedule.sigma_sq(t) as f32).sqrt();
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
-        for v in out.data_mut() {
-            *v += sigma * normal.sample(rng);
-        }
-    }
+    let mut out = p_sample_mean(x_t, eps_hat, schedule, t);
+    add_reverse_noise_slice(out.data_mut(), p_sample_noise_scale(schedule, t), rng);
     st_obs::record_op(st_obs::Phase::Fwd, "p_sample_step", t0, out.numel() as u64);
     out
 }

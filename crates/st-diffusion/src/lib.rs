@@ -17,6 +17,9 @@ pub mod ddim;
 pub mod ddpm;
 pub mod schedule;
 
-pub use ddim::{ddim_sample, ddim_step, ddim_timesteps};
-pub use ddpm::{p_sample_step, q_sample, reverse_sample, NoisePredictor};
+pub use ddim::{ddim_mean, ddim_noise_scale, ddim_sample, ddim_step, ddim_timesteps};
+pub use ddpm::{
+    add_reverse_noise_slice, p_sample_mean, p_sample_noise_scale, p_sample_step, q_sample,
+    reverse_sample, NoisePredictor,
+};
 pub use schedule::{BetaSchedule, DiffusionSchedule};

@@ -62,6 +62,31 @@ impl DiffusionSchedule {
         Self::new(BetaSchedule::Quadratic, t_steps, 1e-4, 0.2)
     }
 
+    /// Rebuild a schedule from its raw `β` sequence (the checkpoint format
+    /// stores `betas` verbatim). The derived `α` / `ᾱ` tables are recomputed
+    /// with the same fold as [`Self::new`], so a schedule round-tripped
+    /// through its betas is bitwise identical to the original.
+    pub fn from_betas(betas: Vec<f64>) -> Self {
+        assert!(betas.len() >= 2, "need at least 2 diffusion steps");
+        assert!(
+            betas.iter().all(|&b| 0.0 < b && b < 1.0),
+            "betas must lie strictly inside (0, 1)"
+        );
+        let alphas: Vec<f64> = betas.iter().map(|b| 1.0 - b).collect();
+        let mut alpha_bars = Vec::with_capacity(betas.len());
+        let mut prod = 1.0;
+        for &a in &alphas {
+            prod *= a;
+            alpha_bars.push(prod);
+        }
+        Self { betas, alphas, alpha_bars }
+    }
+
+    /// The raw `β` sequence, indexable as `betas()[t - 1]` for `t ∈ 1..=T`.
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
     /// Number of diffusion steps `T`.
     pub fn t_steps(&self) -> usize {
         self.betas.len()

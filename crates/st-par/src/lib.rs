@@ -217,11 +217,11 @@ fn pool() -> &'static Pool {
                 .name(format!("st-par-{w}"))
                 .spawn(move || {
                     IN_WORKER.with(|f| f.set(true));
+                    // Workers never emit telemetry: every pool counter is
+                    // recorded by the dispatching thread (see `run`), so the
+                    // event stream's order is independent of scheduling.
                     while let Ok(task) = rx.recv() {
-                        let ran = task.work();
-                        if ran > 0 {
-                            st_obs::counter_add("pool.worker_chunks", ran as f64);
-                        }
+                        task.work();
                     }
                 });
             if spawned.is_ok() {
@@ -266,10 +266,15 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
     st_obs::counter_add("pool.tasks", 1.0);
     st_obs::counter_add("pool.chunks", n as f64);
     let ran = task.work();
-    if ran > 0 {
-        st_obs::counter_add("pool.caller_chunks", ran as f64);
-    }
     task.wait();
+    // Emitted unconditionally from the dispatching thread once every chunk
+    // has finished: each chunk runs exactly once, so workers ran `n - ran`.
+    // Keeping workers out of the recorder makes the event stream's count and
+    // order a pure function of the dispatch sequence (the chunk *split*
+    // between caller and workers — the values — stays scheduling-dependent;
+    // `strip_timing` drops `pool.*` values for exactly that reason).
+    st_obs::counter_add("pool.caller_chunks", ran as f64);
+    st_obs::counter_add("pool.worker_chunks", (n - ran) as f64);
 }
 
 /// Raw-pointer wrapper so disjoint-slice closures can be `Sync`.

@@ -1,0 +1,399 @@
+//! Versioned binary checkpoints for trained PriSTI models.
+//!
+//! Format `st-ckpt/1`, little-endian throughout:
+//!
+//! ```text
+//! [0..8)    magic  b"st-ckpt/"
+//! [8..12)   u32    format version (currently 1)
+//! [12..20)  u64    payload length in bytes
+//! [20..28)  u64    FNV-1a 64 checksum of the payload
+//! [28..)    payload
+//! ```
+//!
+//! The payload stores everything [`TrainedModel`] needs to impute: the
+//! [`PristiConfig`] fields in fixed order, the window length, the sensor
+//! graph (coordinates + adjacency verbatim — transition matrices are a
+//! deterministic function of the adjacency and are recomputed on load), the
+//! fitted normalizer, the raw `β` table (the `α` / `ᾱ` tables are recomputed
+//! by the same fold, so the schedule round-trips bitwise), the named
+//! parameter tensors via [`ParamStore::to_bytes`]'s bitwise encoding, and the
+//! per-epoch training losses. A save → load → impute round-trip is therefore
+//! bit-for-bit identical to imputing with the in-memory model —
+//! `tests/ckpt.rs` pins that.
+//!
+//! Corruption (bad magic, failed checksum, truncation, inconsistent payload)
+//! surfaces as [`PristiError::CheckpointCorrupt`]; an unknown format version
+//! as [`PristiError::CheckpointVersionMismatch`]. Nothing on the load path
+//! panics on malformed bytes.
+
+use pristi_core::error::{PristiError, Result};
+use pristi_core::train::TrainedModel;
+use pristi_core::{PristiConfig, PristiModel};
+use st_data::normalize::Normalizer;
+use st_diffusion::{BetaSchedule, DiffusionSchedule};
+use st_graph::adjacency::SensorGraph;
+use st_graph::layout::Coord;
+use st_tensor::{NdArray, ParamStore};
+use std::path::Path;
+
+/// Leading magic of every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"st-ckpt/";
+/// The single format version this build reads and writes.
+pub const CKPT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit, the workspace-standard content checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn encode_config(out: &mut Vec<u8>, cfg: &PristiConfig) {
+    for v in [
+        cfg.d_model,
+        cfg.heads,
+        cfg.layers,
+        cfg.t_steps,
+        cfg.virtual_nodes,
+        cfg.time_emb_dim,
+        cfg.node_emb_dim,
+        cfg.step_emb_dim,
+        cfg.mpnn_order,
+        cfg.adaptive_dim,
+    ] {
+        put_u64(out, v as u64);
+    }
+    put_f64(out, cfg.beta_min);
+    put_f64(out, cfg.beta_max);
+    out.push(match cfg.schedule {
+        BetaSchedule::Quadratic => 0,
+        BetaSchedule::Linear => 1,
+    });
+    let mut flags = 0u8;
+    for (bit, on) in [
+        cfg.use_interpolation,
+        cfg.use_cond_feature,
+        cfg.use_temporal,
+        cfg.use_spatial,
+        cfg.use_mpnn,
+        cfg.use_attention,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if on {
+            flags |= 1 << bit;
+        }
+    }
+    out.push(flags);
+}
+
+fn encode_payload(trained: &TrainedModel) -> Vec<u8> {
+    let mut p = Vec::new();
+    encode_config(&mut p, &trained.model.cfg);
+    put_u64(&mut p, trained.model.window_len() as u64);
+
+    let graph = &trained.graph;
+    put_u64(&mut p, graph.n_nodes() as u64);
+    for c in &graph.coords {
+        put_f64(&mut p, c.x);
+        put_f64(&mut p, c.y);
+    }
+    put_bytes(&mut p, &graph.adjacency.to_bytes());
+
+    put_u64(&mut p, trained.normalizer.mean.len() as u64);
+    for &m in &trained.normalizer.mean {
+        p.extend_from_slice(&m.to_le_bytes());
+    }
+    for &s in &trained.normalizer.std {
+        p.extend_from_slice(&s.to_le_bytes());
+    }
+
+    let betas = trained.schedule.betas();
+    put_u64(&mut p, betas.len() as u64);
+    for &b in betas {
+        put_f64(&mut p, b);
+    }
+
+    put_bytes(&mut p, &trained.model.store.to_bytes());
+
+    put_u64(&mut p, trained.epoch_losses.len() as u64);
+    for &l in &trained.epoch_losses {
+        put_f64(&mut p, l);
+    }
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Payload decoding
+// ---------------------------------------------------------------------------
+
+/// Forward-only cursor over the payload; every read is bounds-checked and a
+/// short buffer is a typed corruption error, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let sl = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| PristiError::CheckpointCorrupt(format!("truncated while reading {what}")))?;
+        self.pos += n;
+        Ok(sl)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// A u64 length that must also be a plausible in-buffer size.
+    fn len(&mut self, what: &str) -> Result<usize> {
+        let v = self.u64(what)?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if v > remaining {
+            return Err(PristiError::CheckpointCorrupt(format!(
+                "{what} claims {v} entries/bytes but only {remaining} bytes remain"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_config(c: &mut Cursor<'_>) -> Result<PristiConfig> {
+    let mut dims = [0usize; 10];
+    for (i, slot) in dims.iter_mut().enumerate() {
+        let v = c.u64("config dimensions")?;
+        if v > u32::MAX as u64 {
+            return Err(PristiError::CheckpointCorrupt(format!(
+                "config dimension {i} is implausibly large ({v})"
+            )));
+        }
+        *slot = v as usize;
+    }
+    let beta_min = c.f64("beta_min")?;
+    let beta_max = c.f64("beta_max")?;
+    let schedule = match c.u8("schedule tag")? {
+        0 => BetaSchedule::Quadratic,
+        1 => BetaSchedule::Linear,
+        tag => {
+            return Err(PristiError::CheckpointCorrupt(format!("unknown schedule tag {tag}")))
+        }
+    };
+    let flags = c.u8("config flags")?;
+    let cfg = PristiConfig {
+        d_model: dims[0],
+        heads: dims[1],
+        layers: dims[2],
+        t_steps: dims[3],
+        virtual_nodes: dims[4],
+        time_emb_dim: dims[5],
+        node_emb_dim: dims[6],
+        step_emb_dim: dims[7],
+        mpnn_order: dims[8],
+        adaptive_dim: dims[9],
+        beta_min,
+        beta_max,
+        schedule,
+        use_interpolation: flags & (1 << 0) != 0,
+        use_cond_feature: flags & (1 << 1) != 0,
+        use_temporal: flags & (1 << 2) != 0,
+        use_spatial: flags & (1 << 3) != 0,
+        use_mpnn: flags & (1 << 4) != 0,
+        use_attention: flags & (1 << 5) != 0,
+    };
+    // A config that never could have been saved is corruption, not a
+    // caller error.
+    cfg.validate().map_err(|e| {
+        PristiError::CheckpointCorrupt(format!("checkpoint config fails validation: {e}"))
+    })?;
+    Ok(cfg)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<TrainedModel> {
+    let mut c = Cursor::new(payload);
+    let cfg = decode_config(&mut c)?;
+    let window_len = c.u64("window length")? as usize;
+
+    let n_nodes = c.len("node count")?;
+    let mut coords = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        coords.push(Coord { x: c.f64("coord x")?, y: c.f64("coord y")? });
+    }
+    let adj_len = c.len("adjacency blob length")?;
+    let adjacency = NdArray::from_bytes(c.take(adj_len, "adjacency blob")?)
+        .map_err(|e| PristiError::CheckpointCorrupt(format!("bad adjacency tensor: {e}")))?;
+    if adjacency.shape() != [n_nodes, n_nodes] {
+        return Err(PristiError::CheckpointCorrupt(format!(
+            "adjacency shape {:?} does not match node count {n_nodes}",
+            adjacency.shape()
+        )));
+    }
+    if !adjacency.data().iter().all(|v| v.is_finite()) {
+        return Err(PristiError::CheckpointCorrupt("non-finite adjacency weight".into()));
+    }
+    let graph = SensorGraph { coords, adjacency };
+
+    let norm_n = c.len("normalizer length")?;
+    if norm_n != n_nodes {
+        return Err(PristiError::CheckpointCorrupt(format!(
+            "normalizer covers {norm_n} nodes, graph has {n_nodes}"
+        )));
+    }
+    let mut mean = Vec::with_capacity(norm_n);
+    for _ in 0..norm_n {
+        mean.push(c.f32("normalizer mean")?);
+    }
+    let mut std = Vec::with_capacity(norm_n);
+    for _ in 0..norm_n {
+        std.push(c.f32("normalizer std")?);
+    }
+    if !mean.iter().chain(&std).all(|v| v.is_finite()) || std.iter().any(|&s| s <= 0.0) {
+        return Err(PristiError::CheckpointCorrupt("degenerate normalizer statistics".into()));
+    }
+    let normalizer = Normalizer { mean, std };
+
+    let n_betas = c.len("beta table length")?;
+    if n_betas != cfg.t_steps {
+        return Err(PristiError::CheckpointCorrupt(format!(
+            "beta table holds {n_betas} steps, config says {}",
+            cfg.t_steps
+        )));
+    }
+    let mut betas = Vec::with_capacity(n_betas);
+    for _ in 0..n_betas {
+        let b = c.f64("beta value")?;
+        if !(b.is_finite() && 0.0 < b && b < 1.0) {
+            return Err(PristiError::CheckpointCorrupt(format!("beta {b} outside (0, 1)")));
+        }
+        betas.push(b);
+    }
+    // Pre-validated above, so from_betas' internal invariants hold; the
+    // α / ᾱ tables are recomputed with the identical fold (bitwise equal).
+    let schedule = DiffusionSchedule::from_betas(betas);
+
+    let params_len = c.len("parameter blob length")?;
+    let store = ParamStore::from_bytes(c.take(params_len, "parameter blob")?)
+        .map_err(|e| PristiError::CheckpointCorrupt(format!("bad parameter blob: {e}")))?;
+
+    let n_losses = c.len("epoch loss count")?;
+    let mut epoch_losses = Vec::with_capacity(n_losses);
+    for _ in 0..n_losses {
+        epoch_losses.push(c.f64("epoch loss")?);
+    }
+    if !c.done() {
+        return Err(PristiError::CheckpointCorrupt(format!(
+            "{} trailing bytes after payload",
+            payload.len() - c.pos
+        )));
+    }
+
+    let model = PristiModel::from_parts(cfg, &graph, window_len, store)?;
+    Ok(TrainedModel { model, graph, schedule, normalizer, epoch_losses })
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Serialize a trained model to the `st-ckpt/1` byte format.
+pub fn checkpoint_to_bytes(trained: &TrainedModel) -> Vec<u8> {
+    let payload = encode_payload(trained);
+    let mut out = Vec::with_capacity(28 + payload.len());
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Reconstruct a trained model from `st-ckpt/1` bytes.
+pub fn checkpoint_from_bytes(bytes: &[u8]) -> Result<TrainedModel> {
+    if bytes.len() < 28 {
+        return Err(PristiError::CheckpointCorrupt(format!(
+            "file is {} bytes, header alone needs 28",
+            bytes.len()
+        )));
+    }
+    if &bytes[0..8] != CKPT_MAGIC {
+        return Err(PristiError::CheckpointCorrupt("bad magic: not an st-ckpt file".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CKPT_VERSION {
+        return Err(PristiError::CheckpointVersionMismatch {
+            found: version,
+            supported: CKPT_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let payload = &bytes[28..];
+    if payload.len() as u64 != payload_len {
+        return Err(PristiError::CheckpointCorrupt(format!(
+            "header says {payload_len} payload bytes, file holds {}",
+            payload.len()
+        )));
+    }
+    let actual = fnv1a(payload);
+    if actual != checksum {
+        return Err(PristiError::CheckpointCorrupt(format!(
+            "checksum mismatch: header {checksum:#018x}, payload hashes to {actual:#018x}"
+        )));
+    }
+    decode_payload(payload)
+}
+
+/// Save a trained model to `path` in the `st-ckpt/1` format.
+pub fn save_checkpoint(trained: &TrainedModel, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, checkpoint_to_bytes(trained))?;
+    Ok(())
+}
+
+/// Load a trained model from an `st-ckpt/1` file.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<TrainedModel> {
+    let bytes = std::fs::read(path)?;
+    checkpoint_from_bytes(&bytes)
+}

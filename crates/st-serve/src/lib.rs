@@ -1,0 +1,26 @@
+//! # st-serve
+//!
+//! The deployment layer of the PriSTI reproduction (the production-scale
+//! direction named in ROADMAP.md): **checkpointing** — a versioned binary
+//! format (`st-ckpt/1`) that round-trips a [`pristi_core::train::TrainedModel`]
+//! bit-for-bit — and **serving** — a micro-batching [`ImputeService`] that
+//! coalesces concurrent imputation requests into batched reverse passes
+//! without changing any request's results.
+//!
+//! Both halves lean on the workspace's determinism contract: checkpoint
+//! round-trips reproduce in-memory imputations exactly, and batching is
+//! invisible because every request owns an RNG stream keyed by its id and
+//! the batched engine is slice-exact. Everything malformed — corrupt files,
+//! wrong-shape windows, full queues, missed deadlines — is a typed
+//! [`pristi_core::PristiError`], never a panic.
+
+#![warn(missing_docs)]
+
+pub mod ckpt;
+pub mod service;
+
+pub use ckpt::{
+    checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint, CKPT_MAGIC,
+    CKPT_VERSION,
+};
+pub use service::{request_rng, ImputeRequest, ImputeService, ServeConfig};

@@ -1,0 +1,312 @@
+//! A micro-batching imputation service around one loaded [`TrainedModel`].
+//!
+//! Architecture: callers [`ImputeService::submit`] requests into a bounded
+//! queue; a single worker thread owns the model, pops runs of queued
+//! requests that share a sampler, and coalesces them into one
+//! [`pristi_core::impute_batch`] call — one `predict_eps_eval` per denoise
+//! step for the whole micro-batch instead of one per request.
+//!
+//! **Batching never changes results.** Every request's randomness comes from
+//! a private RNG stream keyed by its [`ImputeRequest::id`] (and the service's
+//! `base_seed`), and the batched engine guarantees per-request slices are
+//! bitwise identical to solo calls. A request is answered with the same bytes
+//! whether it rode alone, shared a batch, or hit a different queue ordering —
+//! `tests/service.rs` pins this under concurrent load.
+//!
+//! Requests carry deadlines: a request still queued past its deadline is
+//! answered with [`PristiError::Timeout`] instead of occupying batch space.
+//! Backpressure is explicit — a full queue fails fast with
+//! [`PristiError::QueueFull`].
+//!
+//! Telemetry (`serve.*`, via `st-obs`): `serve.queue_depth` gauge,
+//! `serve.batch_requests` / `serve.batch_samples` occupancy histograms, and a
+//! `serve.latency_ms` histogram (p50/p95 come out of the st-obs histogram
+//! summary at flush).
+
+use pristi_core::error::{PristiError, Result};
+use pristi_core::train::TrainedModel;
+use pristi_core::{impute_batch, BatchItem, ImputationResult, Sampler};
+use st_data::dataset::Window;
+use st_rand::{SeedableRng, StdRng};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum queued (not yet running) requests before submissions fail
+    /// fast with [`PristiError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Cap on the coalesced ensemble axis `S_total` of one micro-batch.
+    pub max_batch_samples: usize,
+    /// Deadline for requests that do not set their own.
+    pub default_deadline: Duration,
+    /// Mixed into every request's RNG stream; two services with the same
+    /// `base_seed` and model answer the same request identically.
+    pub base_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch_samples: 32,
+            default_deadline: Duration::from_secs(30),
+            base_seed: 0,
+        }
+    }
+}
+
+/// One imputation request.
+#[derive(Debug, Clone)]
+pub struct ImputeRequest {
+    /// Keys this request's RNG stream: same `(base_seed, id)` → same noise,
+    /// and therefore the same samples, regardless of batching.
+    pub id: u64,
+    /// The window to impute (must match the model's `[N, L]`).
+    pub window: Window,
+    /// Ensemble size.
+    pub n_samples: usize,
+    /// Reverse-process sampler; requests only coalesce with same-sampler
+    /// neighbours.
+    pub sampler: Sampler,
+    /// Per-request deadline override.
+    pub deadline: Option<Duration>,
+}
+
+/// The RNG stream a request with `id` gets under `base_seed` — SplitMix-style
+/// multiplicative mixing so adjacent ids land far apart in seed space.
+pub fn request_rng(base_seed: u64, id: u64) -> StdRng {
+    StdRng::seed_from_u64(base_seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+struct Pending {
+    req: ImputeRequest,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<ImputationResult>>,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    stopping: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    notify: Condvar,
+    // Model dims cached for submit-time validation (the model itself lives
+    // on the worker thread).
+    n_nodes: usize,
+    window_len: usize,
+}
+
+/// A running imputation service; dropping it drains the queue and joins the
+/// worker.
+pub struct ImputeService {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ImputeService {
+    /// Start a service around a loaded model.
+    ///
+    /// Returns [`PristiError::DegenerateConfig`] for a zero
+    /// `max_batch_samples` (a `queue_capacity` of zero is allowed — such a
+    /// service rejects every request, which the backpressure tests rely on).
+    pub fn start(trained: TrainedModel, cfg: ServeConfig) -> Result<Self> {
+        if cfg.max_batch_samples < 1 {
+            return Err(PristiError::DegenerateConfig(
+                "service needs max_batch_samples >= 1".into(),
+            ));
+        }
+        let shared = Arc::new(Shared {
+            n_nodes: trained.model.n_nodes(),
+            window_len: trained.model.window_len(),
+            cfg,
+            queue: Mutex::new(QueueState { items: VecDeque::new(), stopping: false }),
+            notify: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("st-serve-worker".into())
+            .spawn(move || worker_loop(&worker_shared, &trained))
+            .map_err(|e| PristiError::Io(format!("cannot spawn service worker: {e}")))?;
+        Ok(Self { shared, worker: Some(worker) })
+    }
+
+    /// Submit a request and block until its result (or typed failure).
+    ///
+    /// Malformed requests fail fast without reaching the queue:
+    /// [`PristiError::ShapeMismatch`] for a window that disagrees with the
+    /// model, [`PristiError::DegenerateConfig`] for a zero ensemble or a
+    /// zero-step DDIM. A full queue is [`PristiError::QueueFull`]; a request
+    /// that out-waits its deadline is [`PristiError::Timeout`].
+    pub fn submit(&self, req: ImputeRequest) -> Result<ImputationResult> {
+        self.validate(&req)?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.stopping {
+                return Err(PristiError::ServiceStopped);
+            }
+            if q.items.len() >= self.shared.cfg.queue_capacity {
+                return Err(PristiError::QueueFull { capacity: self.shared.cfg.queue_capacity });
+            }
+            q.items.push_back(Pending { req, enqueued: Instant::now(), tx });
+            st_obs::gauge_set("serve.queue_depth", q.items.len() as f64);
+        }
+        self.shared.notify.notify_one();
+        rx.recv().map_err(|_| PristiError::ServiceStopped)?
+    }
+
+    /// Submit-time validation, so one malformed request can never poison a
+    /// coalesced batch.
+    fn validate(&self, req: &ImputeRequest) -> Result<()> {
+        if req.n_samples < 1 {
+            return Err(PristiError::DegenerateConfig(
+                "need at least one sample per request".into(),
+            ));
+        }
+        if let Sampler::Ddim { steps, eta } = req.sampler {
+            if steps < 1 {
+                return Err(PristiError::DegenerateConfig("DDIM needs at least one step".into()));
+            }
+            if !eta.is_finite() || eta < 0.0 {
+                return Err(PristiError::DegenerateConfig(format!(
+                    "DDIM eta must be finite and non-negative, got {eta}"
+                )));
+            }
+        }
+        if req.window.n_nodes() != self.shared.n_nodes {
+            return Err(PristiError::ShapeMismatch {
+                what: "window node count",
+                expected: vec![self.shared.n_nodes],
+                got: vec![req.window.n_nodes()],
+            });
+        }
+        if req.window.len() != self.shared.window_len {
+            return Err(PristiError::ShapeMismatch {
+                what: "window length",
+                expected: vec![self.shared.window_len],
+                got: vec![req.window.len()],
+            });
+        }
+        Ok(())
+    }
+
+    /// Stop accepting new requests, answer everything already queued, and
+    /// join the worker. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.stopping = true;
+        }
+        self.shared.notify.notify_all();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ImputeService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, trained: &TrainedModel) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !q.items.is_empty() {
+                    break;
+                }
+                if q.stopping {
+                    return;
+                }
+                q = shared.notify.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            // Coalesce the longest same-sampler prefix that fits the sample
+            // budget. FIFO order: requests are never reordered, so a request
+            // is only ever delayed by work already ahead of it.
+            let first = q.items.pop_front().expect("loop above ensures non-empty");
+            let sampler = first.req.sampler;
+            let mut total = first.req.n_samples;
+            let mut batch = vec![first];
+            while let Some(next) = q.items.front() {
+                if next.req.sampler != sampler
+                    || total + next.req.n_samples > shared.cfg.max_batch_samples
+                {
+                    break;
+                }
+                total += next.req.n_samples;
+                batch.push(q.items.pop_front().expect("front() just returned Some"));
+            }
+            st_obs::gauge_set("serve.queue_depth", q.items.len() as f64);
+            batch
+        };
+        serve_batch(shared, trained, batch);
+    }
+}
+
+fn serve_batch(shared: &Shared, trained: &TrainedModel, batch: Vec<Pending>) {
+    // Expired requests get a typed Timeout instead of batch space.
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for p in batch {
+        let deadline = p.req.deadline.unwrap_or(shared.cfg.default_deadline);
+        let waited = p.enqueued.elapsed();
+        if waited > deadline {
+            let _ = p.tx.send(Err(PristiError::Timeout {
+                waited_ms: waited.as_millis() as u64,
+                deadline_ms: deadline.as_millis() as u64,
+            }));
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let sampler = live[0].req.sampler;
+    let total_samples: usize = live.iter().map(|p| p.req.n_samples).sum();
+    let _span = st_obs::span!(
+        "serve_batch",
+        requests = live.len() as u64,
+        samples = total_samples as u64,
+    );
+    st_obs::hist_record("serve.batch_requests", live.len() as f64);
+    st_obs::hist_record("serve.batch_samples", total_samples as f64);
+
+    let mut items: Vec<BatchItem<'_>> = live
+        .iter()
+        .map(|p| BatchItem {
+            window: &p.req.window,
+            n_samples: p.req.n_samples,
+            rng: request_rng(shared.cfg.base_seed, p.req.id),
+        })
+        .collect();
+    match impute_batch(trained, &mut items, sampler) {
+        Ok(results) => {
+            for (p, res) in live.iter().zip(results) {
+                st_obs::hist_record(
+                    "serve.latency_ms",
+                    p.enqueued.elapsed().as_secs_f64() * 1e3,
+                );
+                let _ = p.tx.send(Ok(res));
+            }
+        }
+        // Submit-time validation makes this unreachable in practice, but a
+        // failed batch must still answer every member.
+        Err(e) => {
+            for p in &live {
+                let _ = p.tx.send(Err(e.clone()));
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! ```
 
 use pristi_core::train::{train, MaskStrategyKind, TrainConfig};
-use pristi_core::{impute_window, PristiConfig};
+use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
 use st_data::dataset::Split;
@@ -48,7 +48,7 @@ fn main() {
         ..Default::default()
     };
     println!("training PriSTI with the hybrid+historical mask strategy...");
-    let trained = train(&data, cfg, &tc);
+    let trained = train(&data, cfg, &tc).expect("training config is valid");
 
     // Evaluate over the test split: separately for ordinary failures and for
     // the fully-dark station (the kriging case).
@@ -56,7 +56,13 @@ fn main() {
     let mut burst_err = MaskedErrors::new();
     let mut dark_err = MaskedErrors::new();
     for w in data.windows(Split::Test, 24, 24) {
-        let res = impute_window(&trained, &w, 8, &mut rng);
+        let res = impute(
+            &trained,
+            &w,
+            &ImputeOptions { n_samples: 8, sampler: Sampler::Ddpm },
+            &mut rng,
+        )
+        .expect("window shape matches the trained model");
         let med = res.median();
         for i in 0..w.n_nodes() {
             for t in 0..w.len() {

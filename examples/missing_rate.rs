@@ -10,7 +10,7 @@
 //! ```
 
 use pristi_core::train::{train, MaskStrategyKind, TrainConfig};
-use pristi_core::{impute_window, PristiConfig};
+use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
 use st_baselines::simple::LinearImputer;
@@ -40,7 +40,7 @@ fn main() {
         ..Default::default()
     };
     println!("training PriSTI once on the traffic panel...");
-    let trained = train(&base, cfg, &tc);
+    let trained = train(&base, cfg, &tc).expect("training config is valid");
 
     println!("\nrate   PriSTI   Lin-ITP");
     for rate in [0.1, 0.3, 0.5, 0.7, 0.9] {
@@ -55,7 +55,13 @@ fn main() {
         let mut t0 = s;
         while t0 + 24 <= e {
             let w = data.window_at(t0, 24);
-            let res = impute_window(&trained, &w, 6, &mut rng);
+            let res = impute(
+                &trained,
+                &w,
+                &ImputeOptions { n_samples: 6, sampler: Sampler::Ddpm },
+                &mut rng,
+            )
+            .expect("window shape matches the trained model");
             let med = res.median();
             for l in 0..24 {
                 for i in 0..n {

@@ -7,7 +7,7 @@
 //! ```
 
 use pristi_core::train::{train, MaskStrategyKind, TrainConfig};
-use pristi_core::{impute_window, PristiConfig};
+use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
 use st_data::dataset::Split;
@@ -49,7 +49,7 @@ fn main() {
         ..Default::default()
     };
     println!("training PriSTI ({} diffusion steps)...", model_cfg.t_steps);
-    let trained = train(&data, model_cfg, &train_cfg);
+    let trained = train(&data, model_cfg, &train_cfg).expect("training config is valid");
     println!(
         "trained: {} parameters, final epoch loss {:.4}",
         trained.model.n_params(),
@@ -59,7 +59,13 @@ fn main() {
     // 3. Impute a test window with a 10-sample ensemble.
     let window = &data.windows(Split::Test, 24, 24)[0];
     let mut rng = StdRng::seed_from_u64(1);
-    let result = impute_window(&trained, window, 10, &mut rng);
+    let result = impute(
+        &trained,
+        window,
+        &ImputeOptions { n_samples: 10, sampler: Sampler::Ddpm },
+        &mut rng,
+    )
+    .expect("window shape matches the trained model");
     let median = result.median();
     let q05 = result.quantile(0.05);
     let q95 = result.quantile(0.95);

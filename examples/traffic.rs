@@ -48,7 +48,7 @@ fn main() {
         ..Default::default()
     };
     println!("training PriSTI...");
-    let trained = train(&data, cfg, &tc);
+    let trained = train(&data, cfg, &tc).expect("training config is valid");
 
     // Impute the whole panel (downstream task consumes every split).
     let (mut panel, mask) = visible(&data);
@@ -58,7 +58,13 @@ fn main() {
     let mut t0 = 0;
     while t0 + len <= data.n_steps() {
         let w = data.window_at(t0, len);
-        let res = pristi_core::impute_window(&trained, &w, 6, &mut rng);
+        let res = pristi_core::impute(
+            &trained,
+            &w,
+            &pristi_core::ImputeOptions { n_samples: 6, sampler: pristi_core::Sampler::Ddpm },
+            &mut rng,
+        )
+        .expect("window shape matches the trained model");
         let med = res.median();
         for l in 0..len {
             for i in 0..n {

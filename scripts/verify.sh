@@ -40,9 +40,41 @@ for entry in \
     pristi_eps_theta_forward_4x24x24_tmax \
     attention_forward_backward_8x24x32_t1 \
     attention_forward_backward_8x24x32_t2 \
-    attention_forward_backward_8x24x32_tmax; do
+    attention_forward_backward_8x24x32_tmax \
+    quantile_cached_32x36x24 \
+    quantile_resort_32x36x24 \
+    serve_serial_4req_x2samples \
+    serve_batched_4req_x2samples; do
     grep -q "\"$entry\"" BENCH_micro.json \
-        || { echo "error: BENCH_micro.json missing scaling entry $entry" >&2; exit 1; }
+        || { echo "error: BENCH_micro.json missing bench entry $entry" >&2; exit 1; }
 done
+
+echo "== checkpoint round-trip + serve smoke (offline CLI) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+PRISTI=target/release/pristi
+"$PRISTI" generate --kind aqi --out "$SMOKE_DIR/panel.csv" --coords-out "$SMOKE_DIR/coords.csv"
+"$PRISTI" checkpoint save --data "$SMOKE_DIR/panel.csv" --coords "$SMOKE_DIR/coords.csv" \
+    --out "$SMOKE_DIR/model.ckpt" --epochs 1 --window 12 2>/dev/null
+"$PRISTI" checkpoint load-verify --ckpt "$SMOKE_DIR/model.ckpt"
+
+# Three JSONL requests (36 sensors x 12 steps, nulls = cells to impute) must
+# come back as three well-formed, ok:true response lines.
+N_CELLS=36
+ROW='[1.0,2.0,null,4.0,5.0,null,7.0,8.0,9.0,null,11.0,12.0]'
+ROWS="$ROW"
+for _ in $(seq 2 "$N_CELLS"); do ROWS="$ROWS,$ROW"; done
+for id in 1 2 3; do
+    echo "{\"id\":$id,\"values\":[$ROWS],\"n_samples\":2,\"ddim_steps\":4}"
+done > "$SMOKE_DIR/requests.jsonl"
+"$PRISTI" serve --ckpt "$SMOKE_DIR/model.ckpt" \
+    < "$SMOKE_DIR/requests.jsonl" > "$SMOKE_DIR/responses.jsonl" 2>/dev/null
+[ "$(wc -l < "$SMOKE_DIR/responses.jsonl")" -eq 3 ] \
+    || { echo "error: serve smoke expected 3 response lines" >&2; exit 1; }
+for id in 1 2 3; do
+    grep -q "^{\"id\":$id,\"ok\":true,\"median\":\[\[" "$SMOKE_DIR/responses.jsonl" \
+        || { echo "error: serve smoke missing ok response for id $id" >&2; exit 1; }
+done
+echo "serve smoke: 3 requests -> 3 well-formed responses"
 
 echo "verify: OK"

@@ -5,37 +5,80 @@
 //! pristi impute   --data panel.csv --coords coords.csv --out imputed.csv \
 //!                 [--epochs 30] [--samples 16] [--window 24] [--ddim 8] \
 //!                 [--quantiles lo.csv,hi.csv] [--steps-per-day 24]
+//! pristi checkpoint save        --data panel.csv --coords coords.csv --out model.ckpt \
+//!                               [--epochs 30] [--window 24] [--seed N] [--steps-per-day 24]
+//! pristi checkpoint load-verify --ckpt model.ckpt
+//! pristi serve    --ckpt model.ckpt [--samples 8] [--ddim K] [--batch 32] \
+//!                 [--deadline-ms 30000] [--seed N]
 //! ```
 //!
 //! `impute` trains PriSTI on the visible values of the panel (self-supervised
 //! re-masking, Algorithm 1), imputes every missing cell, and writes the
 //! completed panel back as CSV. With `--quantiles` it also writes the 5 % and
 //! 95 % ensemble quantiles for uncertainty-aware downstream use.
+//!
+//! `checkpoint save` trains the same way and persists the model as an
+//! `st-ckpt/1` file; `checkpoint load-verify` proves a file parses, verifies
+//! its checksum, and rebuilds the model. `serve` loads a checkpoint into a
+//! micro-batching [`st_serve::ImputeService`] and answers JSONL requests from
+//! stdin with one JSON response per line on stdout:
+//!
+//! ```text
+//! request:  {"id": 1, "values": [[1.0, null, ...], ...N rows of L cells...],
+//!            "n_samples": 8, "ddim_steps": 4}
+//! response: {"id": 1, "ok": true, "median": [[...]], "q05": [[...]], "q95": [[...]]}
+//! failure:  {"id": 1, "ok": false, "error": "shape mismatch for ..."}
+//! ```
+//!
+//! `null` cells are the missing values to impute; `ddim_steps` switches that
+//! request to DDIM sampling. Responses reproduce bit-for-bit for the same
+//! checkpoint, `--seed`, and request `id`, regardless of batching.
 
 use pristi_core::train::{train, MaskStrategyKind, Reporter, TrainConfig};
-use pristi_core::{impute_window, impute_window_fast, PristiConfig};
+use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
 use st_rand::StdRng;
 use st_rand::SeedableRng;
 use st_baselines::visible;
+use st_data::dataset::Window;
 use st_data::generators::{generate_air_quality, generate_traffic, AirQualityConfig, TrafficConfig};
 use st_data::io::{load_dataset, panel_to_csv};
 use st_data::SpatioTemporalDataset;
+use st_obs::json::{self, Json};
+use st_serve::{load_checkpoint, save_checkpoint, ImputeRequest, ImputeService, ServeConfig};
 use st_tensor::NdArray;
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("impute") => run_impute(parse_flags(&args[1..])),
         Some("generate") => run_generate(parse_flags(&args[1..])),
+        Some("serve") => run_serve(parse_flags(&args[1..])),
+        Some("checkpoint") => match args.get(1).map(String::as_str) {
+            Some("save") => run_checkpoint_save(parse_flags(&args[2..])),
+            Some("load-verify") => run_checkpoint_verify(parse_flags(&args[2..])),
+            _ => {
+                eprintln!("usage: pristi checkpoint <save|load-verify> [--flag value]...");
+                eprintln!("  pristi checkpoint save --data panel.csv --coords coords.csv --out model.ckpt");
+                eprintln!("                         [--epochs N] [--window L] [--steps-per-day N] [--seed N]");
+                eprintln!("  pristi checkpoint load-verify --ckpt model.ckpt");
+                ExitCode::from(2)
+            }
+        },
         _ => {
-            eprintln!("usage: pristi <impute|generate> [--flag value]...");
+            eprintln!("usage: pristi <impute|generate|checkpoint|serve> [--flag value]...");
             eprintln!("  pristi generate --kind aqi|metr-la|pems-bay --out panel.csv --coords-out coords.csv");
             eprintln!("  pristi impute --data panel.csv --coords coords.csv --out imputed.csv");
             eprintln!("                [--epochs N] [--samples S] [--window L] [--ddim K]");
             eprintln!("                [--steps-per-day N] [--quantiles lo.csv,hi.csv] [--seed N]");
+            eprintln!("  pristi checkpoint save --data panel.csv --coords coords.csv --out model.ckpt");
+            eprintln!("  pristi checkpoint load-verify --ckpt model.ckpt");
+            eprintln!("  pristi serve --ckpt model.ckpt [--samples S] [--ddim K] [--batch S_max]");
+            eprintln!("               [--deadline-ms N] [--seed N]   (JSONL requests on stdin)");
             ExitCode::from(2)
         }
     }
@@ -162,7 +205,13 @@ fn run_impute(flags: HashMap<String, String>) -> ExitCode {
         ..Default::default()
     };
     println!("training PriSTI ({epochs} epochs, window {window})...");
-    let trained = train(&data, cfg, &tc);
+    let trained = match train(&data, cfg, &tc) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("trained {} parameters", trained.model.n_params());
 
     // Impute the whole panel window by window.
@@ -177,9 +226,16 @@ fn run_impute(flags: HashMap<String, String>) -> ExitCode {
     }
     for (wi, &t0) in starts.iter().enumerate() {
         let w = data.window_at(t0, window);
-        let res = match ddim {
-            Some(k) => impute_window_fast(&trained, &w, n_samples, k, &mut rng),
-            None => impute_window(&trained, &w, n_samples, &mut rng),
+        let sampler = match ddim {
+            Some(k) => Sampler::Ddim { steps: k, eta: 0.0 },
+            None => Sampler::Ddpm,
+        };
+        let res = match impute(&trained, &w, &ImputeOptions { n_samples, sampler }, &mut rng) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("imputation failed: {e}");
+                return ExitCode::FAILURE;
+            }
         };
         let med = res.median();
         let q05 = res.quantile(0.05);
@@ -212,6 +268,275 @@ fn run_impute(flags: HashMap<String, String>) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Train exactly as `pristi impute` would, then persist the model as an
+/// `st-ckpt/1` file instead of imputing.
+fn run_checkpoint_save(flags: HashMap<String, String>) -> ExitCode {
+    let Some(data_path) = flags.get("data") else {
+        eprintln!("--data <panel.csv> is required");
+        return ExitCode::from(2);
+    };
+    let Some(coords_path) = flags.get("coords") else {
+        eprintln!("--coords <coords.csv> is required");
+        return ExitCode::from(2);
+    };
+    let out_path = flags.get("out").map(String::as_str).unwrap_or("model.ckpt");
+    let steps_per_day = get_usize(&flags, "steps-per-day", 24);
+    let epochs = get_usize(&flags, "epochs", 30);
+    let window = get_usize(&flags, "window", 24);
+    let seed = get_usize(&flags, "seed", 7) as u64;
+
+    let data = match load_dataset(Path::new(data_path), Path::new(coords_path), steps_per_day) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("failed to load dataset: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if data.n_steps() < 2 * window {
+        eprintln!("panel too short for --window {window}");
+        return ExitCode::FAILURE;
+    }
+    let mut cfg = PristiConfig::small();
+    cfg.virtual_nodes = cfg.virtual_nodes.min(data.n_nodes());
+    let tc = TrainConfig {
+        epochs,
+        window_len: window,
+        window_stride: (window / 2).max(1),
+        strategy: MaskStrategyKind::HybridBlock,
+        seed,
+        reporter: Reporter::Stderr,
+        ..Default::default()
+    };
+    println!("training PriSTI ({epochs} epochs, window {window})...");
+    let trained = match train(&data, cfg, &tc) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match save_checkpoint(&trained, Path::new(out_path)) {
+        Ok(()) => {
+            println!(
+                "checkpoint ({} parameters, {} sensors, window {}) -> {out_path}",
+                trained.model.n_params(),
+                trained.model.n_nodes(),
+                trained.model.window_len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("checkpoint save failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Load a checkpoint end to end — header, checksum, config validation, and
+/// full model rebuild — and print what it holds. A valid file exits 0.
+fn run_checkpoint_verify(flags: HashMap<String, String>) -> ExitCode {
+    let Some(ckpt_path) = flags.get("ckpt") else {
+        eprintln!("--ckpt <model.ckpt> is required");
+        return ExitCode::from(2);
+    };
+    match load_checkpoint(Path::new(ckpt_path)) {
+        Ok(trained) => {
+            println!("checkpoint OK: {ckpt_path}");
+            println!("  parameters: {}", trained.model.n_params());
+            println!("  sensors:    {}", trained.model.n_nodes());
+            println!("  window:     {}", trained.model.window_len());
+            println!("  t_steps:    {}", trained.schedule.betas().len());
+            match trained.epoch_losses.last() {
+                Some(last) => println!(
+                    "  training:   {} epochs, final loss {last:.6}",
+                    trained.epoch_losses.len()
+                ),
+                None => println!("  training:   no recorded epochs"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("checkpoint verify failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Serve a checkpoint over a stdin/stdout JSONL loop (one request per line,
+/// one response per line; see the module docs for the wire format).
+fn run_serve(flags: HashMap<String, String>) -> ExitCode {
+    let Some(ckpt_path) = flags.get("ckpt") else {
+        eprintln!("--ckpt <model.ckpt> is required");
+        return ExitCode::from(2);
+    };
+    let default_samples = get_usize(&flags, "samples", 8);
+    let default_ddim = flags.get("ddim").and_then(|v| v.parse::<usize>().ok());
+    let cfg = ServeConfig {
+        max_batch_samples: get_usize(&flags, "batch", 32),
+        default_deadline: Duration::from_millis(get_usize(&flags, "deadline-ms", 30_000) as u64),
+        base_seed: get_usize(&flags, "seed", 0) as u64,
+        ..Default::default()
+    };
+    let trained = match load_checkpoint(Path::new(ckpt_path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load checkpoint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (n_nodes, window_len) = (trained.model.n_nodes(), trained.model.window_len());
+    let service = match ImputeService::start(trained, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serving {ckpt_path} ({n_nodes} sensors, window {window_len}); \
+         reading JSONL requests from stdin"
+    );
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line, default_samples, default_ddim) {
+            Ok(req) => {
+                let id = req.id;
+                match service.submit(req) {
+                    Ok(res) => {
+                        let med = res.median();
+                        let q05 = res.quantile(0.05);
+                        let q95 = res.quantile(0.95);
+                        format!(
+                            "{{\"id\":{id},\"ok\":true,\"median\":{},\"q05\":{},\"q95\":{}}}",
+                            grid_json(&med),
+                            grid_json(&q05),
+                            grid_json(&q95)
+                        )
+                    }
+                    Err(e) => error_json(Some(id), &e.to_string()),
+                }
+            }
+            Err(msg) => error_json(None, &msg),
+        };
+        // Piped stdout is block-buffered; a serving loop must flush per line
+        // or clients waiting on a response deadlock.
+        if writeln!(stdout, "{response}").and_then(|()| stdout.flush()).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parse one JSONL request line into an [`ImputeRequest`]. `null` cells are
+/// missing; everything shape-related is left to the service's validation.
+fn parse_request(
+    line: &str,
+    default_samples: usize,
+    default_ddim: Option<usize>,
+) -> Result<ImputeRequest, String> {
+    let req = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = req
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("request needs a numeric \"id\"")?;
+    let rows = req
+        .get("values")
+        .and_then(Json::as_arr)
+        .ok_or("request needs a \"values\" array of sensor rows")?;
+    let n = rows.len();
+    let l = rows
+        .first()
+        .and_then(|r| r.as_arr())
+        .ok_or("\"values\" rows must be arrays")?
+        .len();
+    let mut values = NdArray::zeros(&[n, l]);
+    let mut observed = NdArray::zeros(&[n, l]);
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row.as_arr().ok_or("\"values\" rows must be arrays")?;
+        if cells.len() != l {
+            return Err(format!(
+                "ragged \"values\": row 0 has {l} cells, row {i} has {}",
+                cells.len()
+            ));
+        }
+        for (li, cell) in cells.iter().enumerate() {
+            match cell {
+                Json::Null => {}
+                other => {
+                    let v = other.as_f64().ok_or_else(|| {
+                        format!("cell [{i}][{li}] must be a number or null")
+                    })?;
+                    values.data_mut()[i * l + li] = v as f32;
+                    observed.data_mut()[i * l + li] = 1.0;
+                }
+            }
+        }
+    }
+    let n_samples = req
+        .get("n_samples")
+        .and_then(Json::as_u64)
+        .map_or(default_samples, |v| v as usize);
+    let ddim_steps = req
+        .get("ddim_steps")
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .or(default_ddim);
+    let sampler = match ddim_steps {
+        Some(steps) => Sampler::Ddim { steps, eta: 0.0 },
+        None => Sampler::Ddpm,
+    };
+    Ok(ImputeRequest {
+        id,
+        window: Window { values, observed, eval: NdArray::zeros(&[n, l]), t_start: 0 },
+        n_samples,
+        sampler,
+        deadline: None,
+    })
+}
+
+/// Render a `[N, L]` array as nested JSON arrays (rows = sensors).
+fn grid_json(a: &NdArray) -> String {
+    let (n, l) = (a.shape()[0], a.shape()[1]);
+    let mut out = String::from("[");
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for li in 0..l {
+            if li > 0 {
+                out.push(',');
+            }
+            let v = a.data()[i * l + li];
+            if v.is_finite() {
+                out.push_str(&format!("{v}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+fn error_json(id: Option<u64>, msg: &str) -> String {
+    let id = id.map_or_else(|| "null".to_string(), |v| v.to_string());
+    format!("{{\"id\":{id},\"ok\":false,\"error\":{}}}", json::escape(msg))
 }
 
 fn write_window(panel: &mut NdArray, mask: &NdArray, win: &NdArray, t0: usize, n: usize, l: usize) {

@@ -6,7 +6,7 @@
 //! reproducible, and a different seed must actually change the results.
 
 use pristi_suite::pristi_core::train::{train, MaskStrategyKind, Reporter, TrainConfig};
-use pristi_suite::pristi_core::{impute_window, PristiConfig, TrainedModel};
+use pristi_suite::pristi_core::{impute, ImputeOptions, PristiConfig, Sampler, TrainedModel};
 use pristi_suite::st_data::generators::{generate_air_quality, AirQualityConfig};
 use pristi_suite::st_data::missing::inject_point_missing;
 use pristi_suite::st_data::SpatioTemporalDataset;
@@ -55,10 +55,16 @@ fn train_cfg(seed: u64) -> TrainConfig {
 /// Run the short pipeline: train, then impute one window with `imp_seed`.
 fn run(train_seed: u64, imp_seed: u64) -> (TrainedModel, Vec<f64>, Vec<f32>) {
     let data = tiny_dataset();
-    let trained = train(&data, tiny_cfg(), &train_cfg(train_seed));
+    let trained = train(&data, tiny_cfg(), &train_cfg(train_seed)).unwrap();
     let w = data.window_at(0, 8);
     let mut rng = StdRng::seed_from_u64(imp_seed);
-    let res = impute_window(&trained, &w, 4, &mut rng);
+    let res = impute(
+        &trained,
+        &w,
+        &ImputeOptions { n_samples: 4, sampler: Sampler::Ddpm },
+        &mut rng,
+    )
+    .unwrap();
     let losses = trained.epoch_losses.clone();
     let samples = res.samples_flat();
     (trained, losses, samples)
@@ -108,7 +114,7 @@ fn same_seed_jsonl_reports_identical_after_timing_strip() {
     for p in &paths {
         let mut tc = train_cfg(42);
         tc.reporter = Reporter::Jsonl(p.clone());
-        let _ = train(&data, tiny_cfg(), &tc);
+        train(&data, tiny_cfg(), &tc).unwrap();
     }
     let a = std::fs::read_to_string(&paths[0]).unwrap();
     let b = std::fs::read_to_string(&paths[1]).unwrap();
@@ -129,15 +135,19 @@ fn same_seed_jsonl_reports_identical_after_timing_strip() {
 #[test]
 fn different_imputation_seed_changes_samples() {
     let data = tiny_dataset();
-    let trained = train(&data, tiny_cfg(), &train_cfg(5));
+    let trained = train(&data, tiny_cfg(), &train_cfg(5)).unwrap();
     let w = data.window_at(0, 8);
     let s1 = {
         let mut rng = StdRng::seed_from_u64(1);
-        impute_window(&trained, &w, 4, &mut rng).samples_flat()
+        impute(&trained, &w, &ImputeOptions { n_samples: 4, sampler: Sampler::Ddpm }, &mut rng)
+            .unwrap()
+            .samples_flat()
     };
     let s2 = {
         let mut rng = StdRng::seed_from_u64(2);
-        impute_window(&trained, &w, 4, &mut rng).samples_flat()
+        impute(&trained, &w, &ImputeOptions { n_samples: 4, sampler: Sampler::Ddpm }, &mut rng)
+            .unwrap()
+            .samples_flat()
     };
     assert_ne!(s1, s2, "distinct sampling seeds must give distinct imputations");
 }

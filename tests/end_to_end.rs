@@ -3,7 +3,7 @@
 //! crate together at smoke scale.
 
 use pristi_suite::pristi_core::train::{train, MaskStrategyKind, TrainConfig};
-use pristi_suite::pristi_core::{impute_window, ModelVariant, PristiConfig};
+use pristi_suite::pristi_core::{impute, ImputeOptions, ModelVariant, PristiConfig, Sampler};
 use pristi_suite::st_baselines::simple::LinearImputer;
 use pristi_suite::st_baselines::{evaluate_panel, visible, Imputer};
 use pristi_suite::st_data::dataset::Split;
@@ -61,8 +61,8 @@ fn train_cfg() -> TrainConfig {
 fn training_improves_imputation_end_to_end() {
     let data = tiny_dataset(100);
     let tc = train_cfg();
-    let trained = train(&data, tiny_cfg(), &tc);
-    let untrained = train(&data, tiny_cfg(), &TrainConfig { epochs: 0, ..tc.clone() });
+    let trained = train(&data, tiny_cfg(), &tc).unwrap();
+    let untrained = train(&data, tiny_cfg(), &TrainConfig { epochs: 0, ..tc.clone() }).unwrap();
 
     let impute_mae = |model: &pristi_suite::pristi_core::TrainedModel| -> f64 {
         let (mut panel, mask) = visible(&data);
@@ -72,7 +72,13 @@ fn training_improves_imputation_end_to_end() {
         let mut t0 = s;
         while t0 + 12 <= e {
             let w = data.window_at(t0, 12);
-            let res = impute_window(model, &w, 8, &mut rng);
+            let res = impute(
+                model,
+                &w,
+                &ImputeOptions { n_samples: 8, sampler: Sampler::Ddpm },
+                &mut rng,
+            )
+            .unwrap();
             let med = res.median();
             for l in 0..12 {
                 for i in 0..n {
@@ -112,7 +118,7 @@ fn pristi_and_mix_sti_train_stably() {
     let data = tiny_dataset(200);
     let tc = TrainConfig { epochs: 10, ..train_cfg() };
     for variant in [ModelVariant::Pristi, ModelVariant::MixSti] {
-        let trained = train(&data, tiny_cfg().with_variant(variant), &tc);
+        let trained = train(&data, tiny_cfg().with_variant(variant), &tc).unwrap();
         for (e, &l) in trained.epoch_losses.iter().enumerate() {
             assert!(l.is_finite(), "{variant:?} diverged at epoch {e}");
             assert!(l < 1.6, "{variant:?} loss {l:.3} at epoch {e} above the noise floor band");
@@ -126,7 +132,7 @@ fn pristi_and_mix_sti_train_stably() {
 fn checkpoint_round_trip_preserves_predictions() {
     use pristi_suite::st_tensor::{NdArray, ParamStore};
     let data = tiny_dataset(300);
-    let trained = train(&data, tiny_cfg(), &TrainConfig { epochs: 2, ..train_cfg() });
+    let trained = train(&data, tiny_cfg(), &TrainConfig { epochs: 2, ..train_cfg() }).unwrap();
     let blob = trained.model.store.to_bytes();
     let restored = ParamStore::from_bytes(&blob).expect("checkpoint parses");
     assert_eq!(restored.numel(), trained.model.store.numel());
@@ -139,7 +145,7 @@ fn checkpoint_round_trip_preserves_predictions() {
     let cond = NdArray::randn(&[1, 8, 12], &mut rng);
     let before = trained.model.predict_eps_eval(&noisy, &cond, 3);
     // rebuild model around restored store by swapping in place
-    let mut model2 = train(&data, tiny_cfg(), &TrainConfig { epochs: 0, ..train_cfg() });
+    let mut model2 = train(&data, tiny_cfg(), &TrainConfig { epochs: 0, ..train_cfg() }).unwrap();
     model2.model.store = restored;
     let after = model2.model.predict_eps_eval(&noisy, &cond, 3);
     assert_eq!(before, after);
@@ -168,10 +174,16 @@ fn conditioner_and_linitp_agree() {
 #[test]
 fn quantile_band_covers_majority_of_truths() {
     let data = tiny_dataset(500);
-    let trained = train(&data, tiny_cfg(), &train_cfg());
+    let trained = train(&data, tiny_cfg(), &train_cfg()).unwrap();
     let w = &data.windows(Split::Test, 12, 12)[0];
     let mut rng = StdRng::seed_from_u64(6);
-    let res = impute_window(&trained, w, 16, &mut rng);
+    let res = impute(
+        &trained,
+        w,
+        &ImputeOptions { n_samples: 16, sampler: Sampler::Ddpm },
+        &mut rng,
+    )
+    .unwrap();
     let q05 = res.quantile(0.05);
     let q95 = res.quantile(0.95);
     let mut inside = 0.0;

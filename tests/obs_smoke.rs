@@ -9,7 +9,7 @@
 //! inert).
 
 use pristi_suite::pristi_core::train::{train, MaskStrategyKind, TrainConfig};
-use pristi_suite::pristi_core::{impute_window, PristiConfig, TrainedModel};
+use pristi_suite::pristi_core::{impute, ImputeOptions, PristiConfig, Sampler, TrainedModel};
 use pristi_suite::st_data::generators::{generate_air_quality, AirQualityConfig};
 use pristi_suite::st_data::missing::inject_point_missing;
 use pristi_suite::st_data::SpatioTemporalDataset;
@@ -74,14 +74,20 @@ fn temp_path(tag: &str) -> PathBuf {
 fn run_recorded(path: &PathBuf) -> (usize, TrainedModel) {
     let data = tiny_dataset();
     let guard = st_obs::install(vec![Box::new(st_obs::JsonlSink::create(path).unwrap())]);
-    let trained = train(&data, tiny_cfg(), &train_cfg());
+    let trained = train(&data, tiny_cfg(), &train_cfg()).unwrap();
     // Aggregated op stats are emitted as deltas at each flush: everything up
     // to this line count is training telemetry, the rest is imputation.
     st_obs::flush();
     let train_lines = std::fs::read_to_string(path).unwrap().lines().count();
     let w = data.window_at(0, 8);
     let mut rng = StdRng::seed_from_u64(9);
-    let _ = impute_window(&trained, &w, 4, &mut rng);
+    let _ = impute(
+        &trained,
+        &w,
+        &ImputeOptions { n_samples: 4, sampler: Sampler::Ddpm },
+        &mut rng,
+    )
+    .unwrap();
     drop(guard);
     (train_lines, trained)
 }
@@ -138,7 +144,7 @@ fn telemetry_stream_covers_the_whole_pipeline() {
         .collect();
     for name in [
         "train", "epoch", "train_step", "batch_prep", "forward", "backward", "optimizer",
-        "impute_window", "denoise_step",
+        "impute", "denoise_step",
     ] {
         assert!(span_names.contains(name), "missing span {name:?}; saw {span_names:?}");
     }
@@ -259,11 +265,11 @@ fn disabled_recorder_changes_nothing() {
     let _g = lock();
     let data = tiny_dataset();
     assert!(!st_obs::is_enabled());
-    let quiet = train(&data, tiny_cfg(), &train_cfg());
+    let quiet = train(&data, tiny_cfg(), &train_cfg()).unwrap();
     let path = temp_path("inert");
     {
         let _guard = st_obs::install(vec![Box::new(st_obs::JsonlSink::create(&path).unwrap())]);
-        let recorded = train(&data, tiny_cfg(), &train_cfg());
+        let recorded = train(&data, tiny_cfg(), &train_cfg()).unwrap();
         assert_eq!(
             quiet.model.store.to_bytes(),
             recorded.model.store.to_bytes(),
