@@ -1,8 +1,9 @@
 //! Micro-benchmarks for the hot paths of the PriSTI stack: attention
 //! forward/backward, message passing, one reverse diffusion step, linear
-//! interpolation, a full noise-prediction forward pass, ensemble quantile
-//! extraction (cached sorted layout vs per-call resort), and micro-batched
-//! vs serial imputation serving.
+//! interpolation, a full noise-prediction forward pass, per-step denoise cost
+//! with and without the prior cache, ensemble quantile extraction (cached
+//! sorted layout vs per-call resort), and micro-batched vs serial imputation
+//! serving.
 //!
 //! This is a `harness = false` timing binary with no external benchmark
 //! framework: each case is warmed up, then timed over a fixed batch of
@@ -236,6 +237,49 @@ fn bench_full_noise_predictor(h: &mut Harness) {
     st_par::set_threads(0);
 }
 
+/// Per-step denoise cost with and without the prior cache (the prior-cached
+/// inference tentpole): one full reverse step — ε-prediction plus the
+/// `p_sample` update — on an `[8, 36, 24]` batch. The uncached variant
+/// rebuilds `H^pri`, `U`, and every prior-derived attention weight matrix
+/// inside `predict_eps_eval`; the cached variant replays them from a
+/// `PriorCache` built once outside the timed region, running only the
+/// step-dependent noise path. Outputs are bitwise identical (pinned in
+/// `crates/core/tests/prior_cache.rs`); the delta is the per-step share of
+/// the step-invariant prior work.
+fn bench_prior_cache(h: &mut Harness) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let graph = SensorGraph::from_coords(random_plane_layout(36, 40.0, 3), 0.1);
+    let mut cfg = pristi_core::PristiConfig::small();
+    cfg.d_model = 16;
+    cfg.heads = 4;
+    cfg.layers = 2;
+    cfg.time_emb_dim = 32;
+    cfg.node_emb_dim = 8;
+    cfg.step_emb_dim = 32;
+    cfg.virtual_nodes = 8;
+    let model = pristi_core::PristiModel::new(cfg, &graph, 24, &mut rng).unwrap();
+    let schedule = DiffusionSchedule::pristi_default(50);
+    let noisy = NdArray::randn(&[8, 36, 24], &mut rng);
+    // One request, 8 ensemble samples: the cache is built from the [1, N, L]
+    // deduplicated conditional, the uncached reference sees it replicated.
+    let cond_r = NdArray::randn(&[1, 36, 24], &mut rng);
+    let mut cond_b = NdArray::zeros(&[8, 36, 24]);
+    for s in 0..8 {
+        cond_b.data_mut()[s * 36 * 24..(s + 1) * 36 * 24].copy_from_slice(cond_r.data());
+    }
+
+    h.bench("p_sample_step_uncached_8x36x24", || {
+        let eps = model.predict_eps_eval(&noisy, &cond_b, 25);
+        black_box(p_sample_step(&noisy, &eps, &schedule, 25, &mut rng));
+    });
+
+    let cache = model.build_prior_cache(&cond_r, &[8]);
+    h.bench("p_sample_step_cached_8x36x24", || {
+        let eps = model.predict_eps_eval_cached(&cache, &noisy, 25);
+        black_box(p_sample_step(&noisy, &eps, &schedule, 25, &mut rng));
+    });
+}
+
 /// Quantile extraction from an imputation ensemble (satellite for the cached
 /// sorted layout): `quantile_cached` reads the position-major `[P, S]` sorted
 /// cache `ImputationResult` builds once, `quantile_resort` is the old
@@ -272,7 +316,9 @@ fn bench_quantile_cache(h: &mut Harness) {
 /// delta is pure batching throughput.
 fn bench_serve_batching(h: &mut Harness) {
     use pristi_core::train::{train, TrainConfig};
-    use pristi_core::{impute, impute_batch, BatchItem, ImputeOptions, Sampler};
+    use pristi_core::{
+        impute, impute_batch, impute_batch_with, BatchItem, ImputeOptions, PriorMode, Sampler,
+    };
     use st_data::generators::{generate_air_quality, AirQualityConfig};
     use st_data::missing::inject_point_missing;
 
@@ -325,6 +371,34 @@ fn bench_serve_batching(h: &mut Harness) {
             .collect();
         black_box(impute_batch(&trained, &mut items, opts.sampler).expect("bench batch is valid"));
     });
+
+    // End-to-end prior-cache A/B on the same coalesced batch: identical
+    // requests and RNG streams, identical (bitwise) outputs — the delta is
+    // the step-invariant prior work the cache hoists out of the reverse loop.
+    let make_items = || -> Vec<BatchItem<'_>> {
+        reqs.iter()
+            .enumerate()
+            .map(|(i, w)| BatchItem {
+                window: w,
+                n_samples: 2,
+                rng: StdRng::seed_from_u64(100 + i as u64),
+            })
+            .collect()
+    };
+    h.bench("impute_cached_4req_x2samples", || {
+        let mut items = make_items();
+        black_box(
+            impute_batch_with(&trained, &mut items, opts.sampler, PriorMode::Cached)
+                .expect("bench batch is valid"),
+        );
+    });
+    h.bench("impute_uncached_4req_x2samples", || {
+        let mut items = make_items();
+        black_box(
+            impute_batch_with(&trained, &mut items, opts.sampler, PriorMode::Recompute)
+                .expect("bench batch is valid"),
+        );
+    });
 }
 
 /// Path the `--json` report is written to: the workspace root, so tooling
@@ -350,6 +424,7 @@ fn main() {
     bench_diffusion_step(&mut h);
     bench_interpolation(&mut h);
     bench_full_noise_predictor(&mut h);
+    bench_prior_cache(&mut h);
     bench_quantile_cache(&mut h);
     bench_serve_batching(&mut h);
 

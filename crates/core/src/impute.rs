@@ -51,6 +51,25 @@ pub enum Sampler {
     },
 }
 
+/// Whether the reverse loop reuses the step-invariant prior tensors.
+///
+/// PriSTI's conditional prior `H^pri` — and everything derived from it,
+/// including every prior-weighted attention matrix — is constant across the
+/// whole reverse chain, so [`PriorMode::Cached`] computes it once per batch
+/// ([`crate::model::PristiModel::build_prior_cache`]) and runs only the
+/// step-dependent noise path per denoise step. Both modes are bitwise
+/// identical (pinned in `tests/prior_cache.rs`); `Recompute` is retained as
+/// the reference implementation and for A/B benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PriorMode {
+    /// Build a [`crate::model::PriorCache`] once per batch (the default).
+    #[default]
+    Cached,
+    /// Rebuild the full graph — prior included — at every denoise step (the
+    /// pre-cache behaviour).
+    Recompute,
+}
+
 /// Options for [`impute`]: ensemble size and sampler choice.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImputeOptions {
@@ -173,6 +192,53 @@ impl ImputationResult {
 /// model's node count / window length and
 /// [`PristiError::DegenerateConfig`] for degenerate options (zero samples,
 /// zero DDIM steps, non-finite `eta`).
+///
+/// # Example
+///
+/// Train a deliberately tiny model on a synthetic panel and impute one
+/// window (`Sampler::Ddim` keeps the reverse chain short — see the README's
+/// "Inference latency" section):
+///
+/// ```
+/// use pristi_core::train::{train, TrainConfig};
+/// use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
+/// use st_data::generators::{generate_air_quality, AirQualityConfig};
+/// use st_rand::{SeedableRng, StdRng};
+///
+/// # fn main() -> pristi_core::Result<()> {
+/// let data = generate_air_quality(&AirQualityConfig {
+///     n_nodes: 8,
+///     n_days: 4,
+///     ..Default::default()
+/// });
+/// let mut cfg = PristiConfig::small();
+/// cfg.d_model = 8;
+/// cfg.heads = 2;
+/// cfg.layers = 1;
+/// cfg.t_steps = 8;
+/// cfg.time_emb_dim = 8;
+/// cfg.node_emb_dim = 4;
+/// cfg.step_emb_dim = 8;
+/// cfg.virtual_nodes = 4;
+/// cfg.adaptive_dim = 2;
+/// let tc = TrainConfig {
+///     epochs: 1,
+///     batch_size: 4,
+///     window_len: 12,
+///     window_stride: 12,
+///     ..Default::default()
+/// };
+/// let trained = train(&data, cfg, &tc)?;
+///
+/// let window = data.window_at(0, 12);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let opts = ImputeOptions { n_samples: 2, sampler: Sampler::Ddim { steps: 2, eta: 0.0 } };
+/// let result = impute(&trained, &window, &opts, &mut rng)?;
+/// assert_eq!(result.n_samples(), 2);
+/// assert_eq!(result.median().shape(), &[8, 12]);
+/// # Ok(())
+/// # }
+/// ```
 pub fn impute(
     trained: &TrainedModel,
     window: &Window,
@@ -202,6 +268,22 @@ pub fn impute_batch(
     trained: &TrainedModel,
     items: &mut [BatchItem<'_>],
     sampler: Sampler,
+) -> Result<Vec<ImputationResult>> {
+    impute_batch_with(trained, items, sampler, PriorMode::Cached)
+}
+
+/// [`impute_batch`] with an explicit [`PriorMode`].
+///
+/// `PriorMode::Cached` (what [`impute_batch`] uses) builds the step-invariant
+/// prior tensors once per batch; `PriorMode::Recompute` rebuilds them every
+/// denoise step. The results are bitwise identical — the knob exists for
+/// benchmarking and as an escape hatch when the cache's memory footprint
+/// (`PriorCache::bytes`) matters more than latency.
+pub fn impute_batch_with(
+    trained: &TrainedModel,
+    items: &mut [BatchItem<'_>],
+    sampler: Sampler,
+    prior_mode: PriorMode,
 ) -> Result<Vec<ImputationResult>> {
     if items.is_empty() {
         return Ok(Vec::new());
@@ -287,6 +369,21 @@ pub fn impute_batch(
         offset += item.n_samples;
     }
 
+    // Step-invariant prior tensors, computed once per batch on the
+    // deduplicated per-request conditional (R rows, not S_total) and
+    // replicated per sample inside `build_prior_cache`.
+    let cache = match prior_mode {
+        PriorMode::Cached => {
+            let mut cond_r = NdArray::zeros(&[items.len(), n, l]);
+            for (i, prep) in preps.iter().enumerate() {
+                cond_r.data_mut()[i * n * l..(i + 1) * n * l].copy_from_slice(prep.cond.data());
+            }
+            let counts: Vec<usize> = items.iter().map(|i| i.n_samples).collect();
+            Some(trained.model.build_prior_cache(&cond_r, &counts))
+        }
+        PriorMode::Recompute => None,
+    };
+
     // Initial noise, one slice per request from its own stream.
     let mut x = NdArray::zeros(&[s_total, n, l]);
     for (item, &(start, len)) in items.iter_mut().zip(&spans) {
@@ -302,7 +399,10 @@ pub fn impute_batch(
         Sampler::Ddpm => {
             for t in (1..=trained.schedule.t_steps()).rev() {
                 let _step_span = st_obs::span!("denoise_step", t = t as u64);
-                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
+                let eps_hat = match &cache {
+                    Some(c) => trained.model.predict_eps_eval_cached(c, &x, t),
+                    None => trained.model.predict_eps_eval(&x, &cond_b, t),
+                };
                 let t0 = st_obs::op_start();
                 let mut next = p_sample_mean(&x, &eps_hat, &trained.schedule, t);
                 add_noise_per_request(
@@ -322,7 +422,10 @@ pub fn impute_batch(
                 let t_prev = if i == 0 { 0 } else { taus[i - 1] };
                 let _step_span =
                     st_obs::span!("denoise_step", t = t as u64, t_prev = t_prev as u64);
-                let eps_hat = trained.model.predict_eps_eval(&x, &cond_b, t);
+                let eps_hat = match &cache {
+                    Some(c) => trained.model.predict_eps_eval_cached(c, &x, t),
+                    None => trained.model.predict_eps_eval(&x, &cond_b, t),
+                };
                 let t0 = st_obs::op_start();
                 let mut next = ddim_mean(&x, &eps_hat, &trained.schedule, t, t_prev, eta);
                 add_noise_per_request(
@@ -609,6 +712,68 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The prior-cached tentpole invariant: `PriorMode::Cached` (the
+    /// default) and `PriorMode::Recompute` (the reference implementation)
+    /// must produce bitwise identical ensembles — for both samplers, for a
+    /// solo request and for an uneven coalesced batch.
+    #[test]
+    fn cached_and_recompute_prior_bitwise_identical() {
+        let (data, trained) = trained_setup();
+        let windows = data.windows(Split::Test, 12, 12);
+        let w0 = &windows[0];
+        let w1 = &windows[windows.len() - 1];
+        for sampler in [Sampler::Ddpm, Sampler::Ddim { steps: 4, eta: 0.5 }] {
+            for n_requests in [1usize, 4] {
+                let make_items = || -> Vec<BatchItem<'_>> {
+                    (0..n_requests)
+                        .map(|i| BatchItem {
+                            window: if i % 2 == 0 { w0 } else { w1 },
+                            n_samples: 1 + i, // uneven ensembles
+                            rng: StdRng::seed_from_u64(200 + i as u64),
+                        })
+                        .collect()
+                };
+                let mut cached_items = make_items();
+                let mut plain_items = make_items();
+                let cached =
+                    impute_batch_with(&trained, &mut cached_items, sampler, PriorMode::Cached)
+                        .unwrap();
+                let plain =
+                    impute_batch_with(&trained, &mut plain_items, sampler, PriorMode::Recompute)
+                        .unwrap();
+                for (c, p) in cached.iter().zip(&plain) {
+                    for (a, b) in c.samples.iter().zip(&p.samples) {
+                        assert!(
+                            a.to_bytes() == b.to_bytes(),
+                            "cached prior diverges from recompute ({sampler:?}, {n_requests} requests)"
+                        );
+                    }
+                }
+                // The RNG streams must advance identically too.
+                for (c, p) in cached_items.iter().zip(&plain_items) {
+                    assert_eq!(c.rng.state(), p.rng.state());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prior_cache_exposes_footprint_and_prior() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let mut values_z = w.values.clone();
+        trained.normalizer.normalize_window(&mut values_z);
+        let cond_mask = w.cond_mask();
+        let cond = build_cond(&values_z, &cond_mask, trained.model.cfg.use_interpolation);
+        let (n, l) = (w.n_nodes(), w.len());
+        let cond_r = NdArray::from_vec(&[1, n, l], cond.data().to_vec());
+        let cache = trained.model.build_prior_cache(&cond_r, &[3]);
+        assert_eq!(cache.n_samples_total(), 3);
+        assert!(cache.bytes() > 0);
+        let d = trained.model.cfg.d_model;
+        assert_eq!(cache.h_pri().expect("full model has a prior").shape(), &[1, n, l, d]);
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! * **auxiliary information** `U` ([`aux`]) — sinusoidal temporal encoding
 //!   plus a learnable node embedding — and a diffusion-step embedding;
 //! * the **training loop** of Algorithm 1 ([`train`]) and the **imputation /
-//!   ensemble sampling** of Algorithm 2 ([`impute`]).
+//!   ensemble sampling** of Algorithm 2 ([`impute`]) — which by default runs
+//!   the prior-cached inference path (DESIGN.md §11): everything derived
+//!   from `H^pri` is computed once per request into a
+//!   [`model::PriorCache`], and each denoise step evaluates only the
+//!   noise-dependent half of the network.
 //!
 //! Every ablation from Table VI (`mix-STI`, `w/o CF`, `w/o spa`, `w/o tem`,
 //! `w/o MPNN`, `w/o Attn`) and the CSDI comparator are expressed as
@@ -63,7 +67,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-based loops over several parallel buffers are the clearest way to
 // write the numeric kernels in this workspace.
 #![allow(clippy::needless_range_loop)]
@@ -80,8 +84,11 @@ pub mod train;
 
 pub use config::{ModelVariant, PristiConfig};
 pub use error::{PristiError, Result};
-pub use impute::{impute, impute_batch, BatchItem, ImputationResult, ImputeOptions, Sampler};
+pub use impute::{
+    impute, impute_batch, impute_batch_with, BatchItem, ImputationResult, ImputeOptions,
+    PriorMode, Sampler,
+};
 #[allow(deprecated)]
 pub use impute::{impute_window, impute_window_fast};
-pub use model::PristiModel;
+pub use model::{PriorCache, PristiModel};
 pub use train::{train, Reporter, TrainConfig, TrainedModel};

@@ -4,7 +4,7 @@ use crate::aux::{AuxInfo, StepEmbedding};
 use crate::cond_feature::CondFeatureModule;
 use crate::config::PristiConfig;
 use crate::error::PristiError;
-use crate::noise_estimation::NoiseEstimationLayer;
+use crate::noise_estimation::{LayerPriorCache, NoiseEstimationLayer};
 use st_rand::{Rng, SeedableRng, StdRng};
 use st_graph::SensorGraph;
 use st_tensor::graph::{Graph, Tx};
@@ -217,6 +217,184 @@ impl PristiModel {
         let out = self.predict_eps(&mut g, noisy_tx, cond_tx, &steps);
         g.value(out).clone()
     }
+
+    /// Materialise everything in the ε-prediction graph that does not depend
+    /// on the diffusion step: the conditional prior `H^pri` (Eq. 5), the
+    /// auxiliary embedding `U`, the replicated conditional input, and each
+    /// layer's prior-derived attention weights / adaptive adjacency.
+    ///
+    /// * `cond` — `[R, N, L]` conditional information, one row per *request*
+    ///   (deduplicated: not per ensemble sample);
+    /// * `counts` — ensemble size of each request (`counts.len() == R`).
+    ///
+    /// The prior runs once at batch `R` and its batch-carrying outputs are
+    /// replicated per request to `S_total = Σ counts` rows — valid bitwise
+    /// because every kernel in the model is batch-slice independent (each
+    /// batch element's output depends only on its own slice; pinned by the
+    /// batched-vs-solo tests). [`Self::predict_eps_eval_cached`] then runs
+    /// only the step-dependent noise path per denoise step.
+    pub fn build_prior_cache(&self, cond: &NdArray, counts: &[usize]) -> PriorCache {
+        let (n, l) = (self.n_nodes, self.len);
+        let r = counts.len();
+        assert!(r > 0, "prior cache needs at least one request");
+        assert!(counts.iter().all(|&c| c > 0), "requests need at least one sample");
+        assert_eq!(cond.shape(), &[r, n, l], "cond shape mismatch");
+        let s_total: usize = counts.iter().sum();
+
+        let mut g = Graph::new_eval(&self.store);
+        let cond_tx = g.input(cond.clone());
+        let cond4_tx = g.reshape(cond_tx, &[r, n, l, 1]);
+        let u_tx = self.aux.forward(&mut g);
+        let h_pri_tx = self.cond_feature.as_ref().map(|cf| {
+            let h0 = self.cond_proj.forward(&mut g, cond4_tx);
+            let h = g.add(h0, u_tx);
+            cf.forward(&mut g, h, r, n, l)
+        });
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let lc = layer.precompute(&mut g, h_pri_tx, r, n, l);
+                LayerPriorCache {
+                    attn_tem: lc.attn_tem.map(|w| expand_batch(&w, r, counts, s_total)),
+                    attn_spa: lc.attn_spa.map(|w| expand_batch(&w, r, counts, s_total)),
+                    mpnn_adp: lc.mpnn_adp,
+                }
+            })
+            .collect();
+        PriorCache {
+            s_total,
+            cond4: expand_batch(g.value(cond4_tx), r, counts, s_total),
+            u: g.value(u_tx).clone(),
+            h_pri: h_pri_tx.map(|t| g.value(t).clone()),
+            layers,
+        }
+    }
+
+    /// Build the step-dependent half of the ε-prediction graph against a
+    /// [`PriorCache`]: input projection of `𝒳 ‖ X̃ᵗ`, step embedding, and the
+    /// layer stack replaying the cached attention weights. Bitwise identical
+    /// to [`Self::predict_eps`] on the replicated conditional.
+    ///
+    /// `noisy` must be `[S_total, N, L]` with `S_total` matching the cache.
+    pub fn predict_eps_cached(
+        &self,
+        g: &mut Graph<'_>,
+        cache: &PriorCache,
+        noisy: Tx,
+        t: usize,
+    ) -> Tx {
+        let (n, l) = (self.n_nodes, self.len);
+        let b = cache.s_total;
+        assert_eq!(g.shape(noisy), &[b, n, l], "noisy shape mismatch");
+
+        let noisy4 = g.reshape(noisy, &[b, n, l, 1]);
+        let cond4 = g.input(cache.cond4.clone());
+        let u = g.input(cache.u.clone());
+
+        // Noisy input H^in = Conv(𝒳 ‖ X̃ᵗ) (+ U); the prior is already in
+        // the cache as per-layer attention weights.
+        let cat = g.concat_last(&[cond4, noisy4]);
+        let hin0 = self.input_proj.forward(g, cat);
+        let mut x = g.add(hin0, u);
+
+        let steps = vec![t; b];
+        let se = self.step_emb.forward(g, &steps); // [B, d]
+
+        let mut skips: Vec<Tx> = Vec::with_capacity(self.layers.len());
+        for (layer, lc) in self.layers.iter().zip(&cache.layers) {
+            let (res, skip) = layer.forward_cached(g, x, lc, se, b, n, l);
+            x = res;
+            skips.push(skip);
+        }
+        let mut skip_sum = skips[0];
+        for &s in &skips[1..] {
+            skip_sum = g.add(skip_sum, s);
+        }
+        let scaled = g.scale(skip_sum, 1.0 / (self.layers.len() as f32).sqrt());
+        let a1 = g.relu(scaled);
+        let h1 = self.out1.forward(g, a1);
+        let a2 = g.relu(h1);
+        let out = self.out2.forward(g, a2); // [B, N, L, 1]
+        g.reshape(out, &[b, n, l])
+    }
+
+    /// Evaluation-mode counterpart of [`Self::predict_eps_eval`] for the
+    /// prior-cached path: one fresh eval graph holding only the
+    /// step-dependent ops, with the cached tensors injected as inputs.
+    pub fn predict_eps_eval_cached(&self, cache: &PriorCache, noisy: &NdArray, t: usize) -> NdArray {
+        let mut g = Graph::new_eval(&self.store);
+        let noisy_tx = g.input(noisy.clone());
+        let out = self.predict_eps_cached(&mut g, cache, noisy_tx, t);
+        g.value(out).clone()
+    }
+}
+
+/// Step-invariant tensors for one coalesced impute batch, built by
+/// [`PristiModel::build_prior_cache`] and consumed by
+/// [`PristiModel::predict_eps_eval_cached`] at every reverse-diffusion step.
+///
+/// See DESIGN.md §11 for what is step-invariant in PriSTI and why, the memory
+/// footprint, and the bitwise-equality argument.
+#[derive(Debug, Clone)]
+pub struct PriorCache {
+    /// Total ensemble rows `Σ counts` the cache was expanded to.
+    s_total: usize,
+    /// Conditional information replicated per sample, `[S_total, N, L, 1]`.
+    cond4: NdArray,
+    /// Auxiliary embedding `U`, `[N, L, d]` (broadcasts over the batch).
+    u: NdArray,
+    /// Conditional feature `H^pri` (Eq. 5) per request, `[R, N, L, d]`;
+    /// `None` for prior-free variants. The per-step path only needs the
+    /// attention weights derived from it, but the prior itself is retained
+    /// for inspection and footprint accounting.
+    h_pri: Option<NdArray>,
+    /// Per-layer cached attention weights and adaptive adjacency.
+    layers: Vec<LayerPriorCache>,
+}
+
+impl PriorCache {
+    /// Total ensemble rows (`Σ counts`) this cache serves per step.
+    pub fn n_samples_total(&self) -> usize {
+        self.s_total
+    }
+
+    /// The conditional feature `H^pri`, `[R, N, L, d]`, when the model has a
+    /// conditional feature module.
+    pub fn h_pri(&self) -> Option<&NdArray> {
+        self.h_pri.as_ref()
+    }
+
+    /// Approximate memory footprint of all cached tensors in bytes.
+    pub fn bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        self.cond4.numel() * f
+            + self.u.numel() * f
+            + self.h_pri.as_ref().map_or(0, |h| h.numel() * f)
+            + self.layers.iter().map(LayerPriorCache::bytes).sum::<usize>()
+    }
+}
+
+/// Replicate each request's contiguous chunk of a batch-major tensor
+/// (`shape[0]` divisible by `r`, request-major) `counts[r]` times, growing the
+/// leading dimension from `R·rest` to `S_total·rest`.
+fn expand_batch(arr: &NdArray, r: usize, counts: &[usize], s_total: usize) -> NdArray {
+    if counts.iter().all(|&c| c == 1) {
+        return arr.clone();
+    }
+    let shape = arr.shape();
+    debug_assert_eq!(shape[0] % r, 0, "leading dim {} not divisible by {r}", shape[0]);
+    let chunk = arr.numel() / r;
+    let mut out_shape = shape.to_vec();
+    out_shape[0] = shape[0] / r * s_total;
+    let mut data = Vec::with_capacity(chunk * s_total);
+    for (ri, &c) in counts.iter().enumerate() {
+        let src = &arr.data()[ri * chunk..(ri + 1) * chunk];
+        for _ in 0..c {
+            data.extend_from_slice(src);
+        }
+    }
+    NdArray::from_vec(&out_shape, data)
 }
 
 #[cfg(test)]
@@ -286,6 +464,48 @@ mod tests {
             let cond = NdArray::randn(&[1, 4, 5], &mut rng);
             let out = model.predict_eps_eval(&noisy, &cond, 2);
             assert_eq!(out.shape(), &[1, 4, 5], "variant {v:?}");
+        }
+    }
+
+    /// The cached evaluator must be bitwise identical to the plain one for
+    /// every ablation variant — including the prior-free ones, where the
+    /// attention weights cannot be cached and the cached path must fall back
+    /// to self-attention — and across per-request expansion (counts ≠ 1).
+    #[test]
+    fn cached_eval_matches_uncached_for_all_variants() {
+        let mut rng = StdRng::seed_from_u64(65);
+        for v in [
+            ModelVariant::Pristi,
+            ModelVariant::MixSti,
+            ModelVariant::WithoutCondFeature,
+            ModelVariant::WithoutSpatial,
+            ModelVariant::WithoutTemporal,
+            ModelVariant::WithoutMpnn,
+            ModelVariant::WithoutAttention,
+            ModelVariant::Csdi,
+        ] {
+            let cfg = tiny_cfg().with_variant(v);
+            let model = PristiModel::new(cfg, &graph(4), 5, &mut rng).unwrap();
+            let (n, l) = (4, 5);
+            // Two requests with ensemble sizes 2 and 1.
+            let cond_r = NdArray::randn(&[2, n, l], &mut rng);
+            let counts = [2usize, 1];
+            let mut cond_b = NdArray::zeros(&[3, n, l]);
+            let chunk = n * l;
+            for (row, req) in [0usize, 0, 1].into_iter().enumerate() {
+                cond_b.data_mut()[row * chunk..(row + 1) * chunk]
+                    .copy_from_slice(&cond_r.data()[req * chunk..(req + 1) * chunk]);
+            }
+            let noisy = NdArray::randn(&[3, n, l], &mut rng);
+            let cache = model.build_prior_cache(&cond_r, &counts);
+            for t in [1usize, 5] {
+                let plain = model.predict_eps_eval(&noisy, &cond_b, t);
+                let cached = model.predict_eps_eval_cached(&cache, &noisy, t);
+                assert!(
+                    plain.to_bytes() == cached.to_bytes(),
+                    "cached eval diverges for variant {v:?} at t {t}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,105 @@
+//! Bitwise equality of prior-cached vs recompute inference.
+//!
+//! The tentpole contract of the prior-cached path: for every sampler, batch
+//! size, and thread count, `PriorMode::Cached` (build the step-invariant
+//! prior tensors once per batch) and `PriorMode::Recompute` (rebuild them at
+//! every denoise step) produce byte-identical ensembles and leave the
+//! per-request RNG streams in identical states. On top of that, the cached
+//! results themselves must be thread-count invariant (the `st-par` chunking
+//! contract, see `tests/determinism.rs`).
+//!
+//! Everything runs inside one `#[test]` because the pool size is process
+//! global; a second concurrent test would race the setting.
+
+use pristi_core::train::{train, TrainConfig};
+use pristi_core::{impute_batch_with, BatchItem, PriorMode, PristiConfig, Sampler};
+use st_data::dataset::Split;
+use st_data::generators::{generate_air_quality, AirQualityConfig};
+use st_data::missing::inject_point_missing;
+use st_rand::SeedableRng;
+use st_rand::StdRng;
+
+fn tiny_model_cfg() -> PristiConfig {
+    let mut c = PristiConfig::small();
+    c.d_model = 8;
+    c.heads = 2;
+    c.layers = 2;
+    c.t_steps = 8;
+    c.time_emb_dim = 8;
+    c.node_emb_dim = 4;
+    c.step_emb_dim = 8;
+    c.virtual_nodes = 4;
+    c.adaptive_dim = 2;
+    c
+}
+
+fn ensemble_bytes(results: &[pristi_core::ImputationResult]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in results {
+        for s in &r.samples {
+            out.extend_from_slice(&s.to_bytes());
+        }
+    }
+    out
+}
+
+#[test]
+fn cached_prior_bitwise_equals_recompute_across_threads() {
+    let mut data = generate_air_quality(&AirQualityConfig {
+        n_nodes: 8,
+        n_days: 6,
+        seed: 13,
+        ..Default::default()
+    });
+    data.eval_mask = inject_point_missing(&data.observed_mask, 0.2, 17);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        window_len: 12,
+        window_stride: 12,
+        seed: 21,
+        threads: 1,
+        ..Default::default()
+    };
+    let trained = train(&data, tiny_model_cfg(), &tc).unwrap();
+    let windows = data.windows(Split::Test, 12, 12);
+    let w0 = &windows[0];
+    let w1 = &windows[windows.len() - 1];
+
+    for sampler in [Sampler::Ddpm, Sampler::Ddim { steps: 4, eta: 0.5 }] {
+        for n_requests in [1usize, 4] {
+            // Reference run: recompute mode, single thread.
+            st_par::set_threads(1);
+            let make_items = || -> Vec<BatchItem<'_>> {
+                (0..n_requests)
+                    .map(|i| BatchItem {
+                        window: if i % 2 == 0 { w0 } else { w1 },
+                        n_samples: 1 + i, // uneven ensembles across the batch
+                        rng: StdRng::seed_from_u64(300 + i as u64),
+                    })
+                    .collect()
+            };
+            let mut ref_items = make_items();
+            let reference =
+                impute_batch_with(&trained, &mut ref_items, sampler, PriorMode::Recompute)
+                    .unwrap();
+            let ref_bytes = ensemble_bytes(&reference);
+            let ref_states: Vec<_> = ref_items.iter().map(|i| i.rng.state()).collect();
+
+            for threads in [1usize, 4] {
+                st_par::set_threads(threads);
+                let mut items = make_items();
+                let cached =
+                    impute_batch_with(&trained, &mut items, sampler, PriorMode::Cached).unwrap();
+                assert!(
+                    ensemble_bytes(&cached) == ref_bytes,
+                    "cached ({threads} threads) diverges from single-thread recompute \
+                     ({sampler:?}, {n_requests} requests)"
+                );
+                let states: Vec<_> = items.iter().map(|i| i.rng.state()).collect();
+                assert_eq!(states, ref_states, "RNG streams advanced differently");
+            }
+        }
+    }
+    st_par::set_threads(0);
+}

@@ -387,6 +387,52 @@ pub fn checkpoint_from_bytes(bytes: &[u8]) -> Result<TrainedModel> {
 }
 
 /// Save a trained model to `path` in the `st-ckpt/1` format.
+///
+/// # Example
+///
+/// Save → load round-trip; the restored model imputes bit-for-bit like the
+/// in-memory one (including through the prior-cached inference path the
+/// impute default uses — `tests/ckpt.rs` pins both):
+///
+/// ```
+/// use pristi_core::train::{train, TrainConfig};
+/// use pristi_core::PristiConfig;
+/// use st_data::generators::{generate_air_quality, AirQualityConfig};
+/// use st_serve::{load_checkpoint, save_checkpoint};
+///
+/// # fn main() -> pristi_core::Result<()> {
+/// let data = generate_air_quality(&AirQualityConfig {
+///     n_nodes: 8,
+///     n_days: 4,
+///     ..Default::default()
+/// });
+/// # let mut cfg = PristiConfig::small();
+/// # cfg.d_model = 8;
+/// # cfg.heads = 2;
+/// # cfg.layers = 1;
+/// # cfg.t_steps = 8;
+/// # cfg.time_emb_dim = 8;
+/// # cfg.node_emb_dim = 4;
+/// # cfg.step_emb_dim = 8;
+/// # cfg.virtual_nodes = 4;
+/// # cfg.adaptive_dim = 2;
+/// let tc = TrainConfig {
+///     epochs: 1,
+///     batch_size: 4,
+///     window_len: 12,
+///     window_stride: 12,
+///     ..Default::default()
+/// };
+/// let trained = train(&data, cfg, &tc)?;
+///
+/// let path = std::env::temp_dir().join(format!("pristi_doc_{}.ckpt", std::process::id()));
+/// save_checkpoint(&trained, &path)?;
+/// let restored = load_checkpoint(&path)?;
+/// std::fs::remove_file(&path).ok();
+/// assert_eq!(restored.model.store.to_bytes(), trained.model.store.to_bytes());
+/// # Ok(())
+/// # }
+/// ```
 pub fn save_checkpoint(trained: &TrainedModel, path: impl AsRef<Path>) -> Result<()> {
     std::fs::write(path, checkpoint_to_bytes(trained))?;
     Ok(())

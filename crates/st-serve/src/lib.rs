@@ -13,8 +13,14 @@
 //! the batched engine is slice-exact. Everything malformed — corrupt files,
 //! wrong-shape windows, full queues, missed deadlines — is a typed
 //! [`pristi_core::PristiError`], never a panic.
+//!
+//! Batched serving also rides the prior-cached inference path (DESIGN.md
+//! §11): each coalesced batch builds one [`pristi_core::PriorCache`] — the
+//! step-invariant attention weights, adaptive adjacency, and auxiliary
+//! embedding, computed once per request — so every denoise step runs only
+//! the noise-dependent half of the network.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ckpt;
 pub mod service;

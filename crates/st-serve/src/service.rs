@@ -106,6 +106,57 @@ struct Shared {
 
 /// A running imputation service; dropping it drains the queue and joins the
 /// worker.
+///
+/// # Example
+///
+/// Start a service around a (tiny, 1-epoch) trained model and answer one
+/// request; concurrent [`submit`](Self::submit) calls from other threads
+/// would coalesce into micro-batches without changing any response:
+///
+/// ```
+/// use pristi_core::train::{train, TrainConfig};
+/// use pristi_core::{PristiConfig, Sampler};
+/// use st_data::generators::{generate_air_quality, AirQualityConfig};
+/// use st_serve::{ImputeRequest, ImputeService, ServeConfig};
+///
+/// # fn main() -> pristi_core::Result<()> {
+/// let data = generate_air_quality(&AirQualityConfig {
+///     n_nodes: 8,
+///     n_days: 4,
+///     ..Default::default()
+/// });
+/// # let mut cfg = PristiConfig::small();
+/// # cfg.d_model = 8;
+/// # cfg.heads = 2;
+/// # cfg.layers = 1;
+/// # cfg.t_steps = 8;
+/// # cfg.time_emb_dim = 8;
+/// # cfg.node_emb_dim = 4;
+/// # cfg.step_emb_dim = 8;
+/// # cfg.virtual_nodes = 4;
+/// # cfg.adaptive_dim = 2;
+/// let tc = TrainConfig {
+///     epochs: 1,
+///     batch_size: 4,
+///     window_len: 12,
+///     window_stride: 12,
+///     ..Default::default()
+/// };
+/// let trained = train(&data, cfg, &tc)?;
+///
+/// let service = ImputeService::start(trained, ServeConfig::default())?;
+/// let result = service.submit(ImputeRequest {
+///     id: 1,
+///     window: data.window_at(0, 12),
+///     n_samples: 2,
+///     // DDIM with few steps is the low-latency option for serving.
+///     sampler: Sampler::Ddim { steps: 2, eta: 0.0 },
+///     deadline: None,
+/// })?;
+/// assert_eq!(result.n_samples(), 2);
+/// # Ok(())
+/// # }
+/// ```
 pub struct ImputeService {
     shared: Arc<Shared>,
     worker: Option<JoinHandle<()>>,

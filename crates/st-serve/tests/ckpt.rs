@@ -3,7 +3,10 @@
 //! typed error.
 
 use pristi_core::train::{train, TrainConfig};
-use pristi_core::{impute, ImputeOptions, PristiConfig, PristiError, Sampler};
+use pristi_core::{
+    impute, impute_batch_with, BatchItem, ImputeOptions, PriorMode, PristiConfig, PristiError,
+    Sampler,
+};
 use st_data::dataset::Split;
 use st_data::generators::{generate_air_quality, AirQualityConfig};
 use st_data::missing::inject_point_missing;
@@ -77,6 +80,41 @@ fn round_trip_is_bitwise_identical_through_imputation() {
         let b = impute(&restored, w, &opts, &mut r2).unwrap();
         for (x, y) in a.samples.iter().zip(&b.samples) {
             assert!(x.to_bytes() == y.to_bytes(), "restored model diverges ({sampler:?})");
+        }
+    }
+}
+
+/// The prior-cached inference path through a restored checkpoint: building a
+/// `PriorCache` from reloaded parameters must give bitwise the same ensembles
+/// as (a) the in-memory model's cached run and (b) the restored model running
+/// in recompute mode.
+#[test]
+fn restored_checkpoint_cached_path_bitwise_identical() {
+    let (data, trained) = trained_setup();
+    let path = temp_path("cached");
+    save_checkpoint(&trained, &path).unwrap();
+    let restored = load_checkpoint(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let w = &data.windows(Split::Test, 12, 12)[0];
+    for sampler in [Sampler::Ddpm, Sampler::Ddim { steps: 4, eta: 0.0 }] {
+        let run = |tm: &pristi_core::TrainedModel, mode: PriorMode| {
+            let mut items =
+                [BatchItem { window: w, n_samples: 3, rng: StdRng::seed_from_u64(41) }];
+            let mut res = impute_batch_with(tm, &mut items, sampler, mode).unwrap();
+            res.pop().unwrap()
+        };
+        let mem_cached = run(&trained, PriorMode::Cached);
+        let disk_cached = run(&restored, PriorMode::Cached);
+        let disk_plain = run(&restored, PriorMode::Recompute);
+        for (other, what) in [(&disk_cached, "restored cached"), (&disk_plain, "restored recompute")]
+        {
+            for (a, b) in mem_cached.samples.iter().zip(&other.samples) {
+                assert!(
+                    a.to_bytes() == b.to_bytes(),
+                    "{what} diverges from in-memory cached run ({sampler:?})"
+                );
+            }
         }
     }
 }

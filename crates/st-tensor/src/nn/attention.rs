@@ -84,28 +84,36 @@ impl MultiHeadAttention {
     ///
     /// Both inputs must be `[B, S, d_model]` with the same `B` and `S`.
     pub fn forward(&self, g: &mut Graph<'_>, qk_src: Tx, v_src: Tx) -> Tx {
+        let attn = self.attention_weights(g, qk_src);
+        self.forward_with_weights(g, attn, v_src)
+    }
+
+    /// Compute only the softmaxed attention weight matrix
+    /// `softmax(QKᵀ/√dₕ)` of shape `[B*heads, S, S_kv]` from `qk_src`
+    /// (`[B, S, d_model]`).
+    ///
+    /// In PriSTI's prior-weighted attention Q and K come from `H^pri`, which
+    /// is constant across all reverse-diffusion steps, so the result can be
+    /// computed once per request and replayed with [`forward_with_weights`]
+    /// at every denoise step (`Self::forward` is exactly that composition).
+    pub fn attention_weights(&self, g: &mut Graph<'_>, qk_src: Tx) -> Tx {
         let shape = g.shape(qk_src).to_vec();
         assert_eq!(shape.len(), 3, "attention input must be [B,S,d], got {shape:?}");
-        assert_eq!(g.shape(v_src), &shape[..], "qk/v source shapes differ");
         let (b, s, d) = (shape[0], shape[1], shape[2]);
         assert_eq!(d, self.d_model);
         let dh = d / self.heads;
 
         let q = self.wq.forward(g, qk_src);
         let mut k = self.wk.forward(g, qk_src);
-        let mut v = self.wv.forward(g, v_src);
         let mut s_kv = s;
-        if let Some((pk, pv, kn)) = &self.downsample {
+        if let Some((pk, _, kn)) = &self.downsample {
             let pk_t = g.param(pk);
-            let pv_t = g.param(pv);
             k = g.shared_left_matmul(pk_t, k);
-            v = g.shared_left_matmul(pv_t, v);
             s_kv = *kn;
         }
 
         let qh = self.split_heads(g, q, b, s, dh);
         let kh = self.split_heads(g, k, b, s_kv, dh);
-        let vh = self.split_heads(g, v, b, s_kv, dh);
 
         // Composite timing for the score computation (QK^T, scale, softmax):
         // overlaps the primitive op kinds it is made of; see DESIGN.md
@@ -115,6 +123,35 @@ impl MultiHeadAttention {
         let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
         let attn = g.softmax_last(scaled);
         st_obs::record_op(st_obs::Phase::Fwd, "attention_qk", t0, g.value(attn).numel() as u64);
+        attn
+    }
+
+    /// Apply precomputed attention weights `attn` (`[B*heads, S, S_kv]`, as
+    /// produced by [`attention_weights`]) to values projected from `v_src`
+    /// (`[B, S, d_model]`): `W_o · (attn · V)`.
+    ///
+    /// [`attention_weights`]: Self::attention_weights
+    pub fn forward_with_weights(&self, g: &mut Graph<'_>, attn: Tx, v_src: Tx) -> Tx {
+        let shape = g.shape(v_src).to_vec();
+        assert_eq!(shape.len(), 3, "attention value input must be [B,S,d], got {shape:?}");
+        let (b, s, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.d_model);
+        let dh = d / self.heads;
+
+        let mut v = self.wv.forward(g, v_src);
+        let mut s_kv = s;
+        if let Some((_, pv, kn)) = &self.downsample {
+            let pv_t = g.param(pv);
+            v = g.shared_left_matmul(pv_t, v);
+            s_kv = *kn;
+        }
+        let vh = self.split_heads(g, v, b, s_kv, dh);
+        assert_eq!(
+            g.shape(attn),
+            &[b * self.heads, s, s_kv],
+            "attention weights shape mismatch"
+        );
+
         let ctx = g.batch_matmul(attn, vh); // [B*h, S, dh]
         let merged = self.merge_heads(g, ctx, b, s, dh);
         self.wo.forward(g, merged)

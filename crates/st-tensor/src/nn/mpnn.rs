@@ -66,12 +66,47 @@ impl Mpnn {
 
     /// Apply message passing to `x [B, N, d]`.
     pub fn forward(&self, g: &mut Graph<'_>, x: Tx) -> Tx {
+        let adp = self.adaptive_adjacency(g);
+        self.forward_with_adaptive(g, x, adp)
+    }
+
+    /// Build the adaptive adjacency `A_adp = softmax(relu(E₁E₂ᵀ))` (`[N, N]`),
+    /// or `None` when the layer has no adaptive embeddings.
+    ///
+    /// The result depends only on the learned node embeddings — not on the
+    /// layer input — so at inference time it can be computed once and replayed
+    /// across all reverse-diffusion steps via [`forward_with_adaptive`].
+    ///
+    /// [`forward_with_adaptive`]: Self::forward_with_adaptive
+    pub fn adaptive_adjacency(&self, g: &mut Graph<'_>) -> Option<Tx> {
+        self.adaptive.as_ref().map(|(e1n, e2n)| {
+            let e1 = g.param(e1n);
+            let e2 = g.param(e2n);
+            // E1 [N,a] @ E2^T [a,N]
+            let e2t = g.permute(e2, &[1, 0]);
+            let raw = g.matmul(e1, e2t);
+            let act = g.relu(raw);
+            g.softmax_last(act)
+        })
+    }
+
+    /// Apply message passing to `x [B, N, d]` with a precomputed adaptive
+    /// adjacency (as produced by [`adaptive_adjacency`]); pass `None` iff the
+    /// layer has no adaptive embeddings.
+    ///
+    /// [`adaptive_adjacency`]: Self::adaptive_adjacency
+    pub fn forward_with_adaptive(&self, g: &mut Graph<'_>, x: Tx, adp: Option<Tx>) -> Tx {
         // Composite timing for the whole diffusion-convolution block
         // (overlaps the primitive op kinds inside; see DESIGN.md).
         let t0 = st_obs::op_start();
         let shape = g.shape(x).to_vec();
         assert_eq!(shape.len(), 3, "mpnn input must be [B,N,d], got {shape:?}");
         assert_eq!(shape[2], self.d_model);
+        assert_eq!(
+            adp.is_some(),
+            self.adaptive.is_some(),
+            "adaptive adjacency presence must match layer configuration"
+        );
 
         let mut parts: Vec<Tx> = vec![x];
         for s in &self.supports {
@@ -82,14 +117,7 @@ impl Mpnn {
                 parts.push(h);
             }
         }
-        if let Some((e1n, e2n)) = &self.adaptive {
-            let e1 = g.param(e1n);
-            let e2 = g.param(e2n);
-            // E1 [N,a] @ E2^T [a,N]
-            let e2t = g.permute(e2, &[1, 0]);
-            let raw = g.matmul(e1, e2t);
-            let act = g.relu(raw);
-            let adp = g.softmax_last(act);
+        if let Some(adp) = adp {
             let mut h = x;
             for _ in 0..self.order {
                 h = g.shared_left_matmul(adp, h);

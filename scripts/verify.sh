@@ -29,11 +29,14 @@ ST_PAR_THREADS=4 cargo test -q --workspace --offline
 echo "== cargo clippy --all-targets (offline, deny warnings) =="
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== cargo doc --no-deps (offline, deny rustdoc warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --quiet
+
 echo "== quick micro-bench with JSON report =="
 cargo bench -p pristi-bench --bench micro --offline -- --quick --json
 test -s BENCH_micro.json || { echo "error: BENCH_micro.json missing or empty" >&2; exit 1; }
 
-echo "== thread-scaling entries present in BENCH_micro.json =="
+echo "== thread-scaling + prior-cache entries present in BENCH_micro.json =="
 for entry in \
     pristi_eps_theta_forward_4x24x24_t1 \
     pristi_eps_theta_forward_4x24x24_t2 \
@@ -44,7 +47,11 @@ for entry in \
     quantile_cached_32x36x24 \
     quantile_resort_32x36x24 \
     serve_serial_4req_x2samples \
-    serve_batched_4req_x2samples; do
+    serve_batched_4req_x2samples \
+    p_sample_step_cached_8x36x24 \
+    p_sample_step_uncached_8x36x24 \
+    impute_cached_4req_x2samples \
+    impute_uncached_4req_x2samples; do
     grep -q "\"$entry\"" BENCH_micro.json \
         || { echo "error: BENCH_micro.json missing bench entry $entry" >&2; exit 1; }
 done
