@@ -15,6 +15,10 @@
 //!
 //! Every binary honours `PRISTI_SCALE={smoke,fast,full}` (default `fast`) and
 //! writes CSV output into `results/`.
+//!
+//! Beyond the paper tables, [`serve_report`] is the schema-versioned
+//! (`st-serve-bench/1`) report model behind `pristi loadtest` /
+//! `BENCH_serve.json` — see DESIGN.md §12.
 
 #![warn(missing_docs)]
 // Index-based loops over several parallel buffers are the clearest way to
@@ -26,8 +30,13 @@ pub mod datasets;
 pub mod methods;
 pub mod report;
 pub mod scale;
+pub mod serve_report;
 
 pub use datasets::{build_dataset, Setting};
 pub use methods::{run_deterministic, run_diffusion, DiffusionOutcome};
 pub use report::{write_csv, Table};
 pub use scale::Scale;
+pub use serve_report::{
+    percentile, strip_report_timing, validate_serve_report, ServeEntry, ServeReport, ServeTiming,
+    SERVE_SCHEMA,
+};

@@ -1,0 +1,308 @@
+//! The `BENCH_serve.json` report model for the `pristi loadtest` harness.
+//!
+//! The loadtest binary drives the multi-worker [`st-serve`] `ImputeService`
+//! with a seeded closed-loop schedule and writes its results as one
+//! schema-versioned JSON document ([`SERVE_SCHEMA`], `st-serve-bench/1`).
+//! The document is split into two kinds of fields:
+//!
+//! * **deterministic** fields — request/ok/shed/timeout counts and the
+//!   order-independent response `checksum` — which must be byte-identical
+//!   between two runs with the same seed (that is what
+//!   `scripts/verify.sh` pins);
+//! * **timing** fields — p50/p99/p999 latency, sustained RPS, wall time —
+//!   which vary run-to-run and are therefore nested inside a single
+//!   `"timing":{...}` object per entry, so [`strip_report_timing`] can
+//!   blank them in one pass.
+//!
+//! [`st-serve`]: ../../st_serve/index.html
+
+use crate::report::fmt_metric;
+use st_obs::json::{escape, parse, Json};
+
+/// Schema tag of the `BENCH_serve.json` document.
+pub const SERVE_SCHEMA: &str = "st-serve-bench/1";
+
+/// Scheduling-dependent statistics of one loadtest entry, rendered as the
+/// nested `"timing":{...}` object that [`strip_report_timing`] blanks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeTiming {
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile request latency in milliseconds.
+    pub p999_ms: f64,
+    /// Sustained completed-requests-per-second over the phase.
+    pub rps: f64,
+    /// Wall-clock duration of the phase in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One loadtest phase (e.g. `closed_loop_w4`, `shed_storm`).
+#[derive(Debug, Clone)]
+pub struct ServeEntry {
+    /// Phase name; `scripts/verify.sh` greps for the canonical set.
+    pub name: String,
+    /// Worker count the service ran with.
+    pub workers: usize,
+    /// Concurrent closed-loop client count.
+    pub clients: usize,
+    /// Total requests issued.
+    pub requests: u64,
+    /// Requests answered with imputation samples.
+    pub ok: u64,
+    /// Requests rejected by admission control (`QueueFull { shed: true }`).
+    pub shed: u64,
+    /// Requests rejected for a missed deadline.
+    pub timeout: u64,
+    /// Order-independent checksum over all successful responses (wrapping
+    /// sum of per-request FNV-1a hashes) — pins bitwise determinism without
+    /// caring which client finished first.
+    pub checksum: u64,
+    /// Scheduling-dependent latency/throughput statistics.
+    pub timing: ServeTiming,
+}
+
+/// The full `BENCH_serve.json` document.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Base seed of the request schedule (same seed → same trace).
+    pub seed: u64,
+    /// Whether this was a `--quick` run (shorter phases, CI smoke only).
+    pub quick: bool,
+    /// One entry per loadtest phase.
+    pub entries: Vec<ServeEntry>,
+}
+
+impl ServeReport {
+    /// Render as the `st-serve-bench/1` JSON document (single line + `\n`).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"name\":{},\"workers\":{},\"clients\":{},\"requests\":{},\
+                     \"ok\":{},\"shed\":{},\"timeout\":{},\"checksum\":{},\
+                     \"timing\":{{\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{},\
+                     \"rps\":{},\"wall_ms\":{}}}}}",
+                    escape(&e.name),
+                    e.workers,
+                    e.clients,
+                    e.requests,
+                    e.ok,
+                    e.shed,
+                    e.timeout,
+                    e.checksum,
+                    e.timing.p50_ms,
+                    e.timing.p99_ms,
+                    e.timing.p999_ms,
+                    e.timing.rps,
+                    e.timing.wall_ms,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"{}\",\"seed\":{},\"quick\":{},\"entries\":[{}]}}\n",
+            SERVE_SCHEMA,
+            self.seed,
+            self.quick,
+            entries.join(",")
+        )
+    }
+
+    /// Render an aligned human-readable summary (one row per entry).
+    pub fn render_table(&self) -> String {
+        let mut t = crate::report::Table::new(
+            &format!("pristi loadtest (seed {})", self.seed),
+            &["phase", "workers", "clients", "req", "ok", "shed", "timeout", "p50 ms", "p99 ms", "p999 ms", "rps"],
+        );
+        for e in &self.entries {
+            t.row(vec![
+                e.name.clone(),
+                e.workers.to_string(),
+                e.clients.to_string(),
+                e.requests.to_string(),
+                e.ok.to_string(),
+                e.shed.to_string(),
+                e.timeout.to_string(),
+                fmt_metric(e.timing.p50_ms),
+                fmt_metric(e.timing.p99_ms),
+                fmt_metric(e.timing.p999_ms),
+                fmt_metric(e.timing.rps),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Exact nearest-rank percentile over an **already sorted** slice of
+/// latencies; `q` in `[0, 1]`. Empty input yields 0.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Blank every `"timing":{...}` object in a rendered report, leaving all
+/// deterministic fields in place: two same-seed loadtest runs must be
+/// byte-identical after this transformation (the contract
+/// `scripts/verify.sh` pins by diffing two stripped runs).
+///
+/// Works on the raw text so the stripped form is stable regardless of JSON
+/// parser float formatting; the input must come from [`ServeReport::to_json`]
+/// (timing objects contain no nested braces).
+pub fn strip_report_timing(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    const KEY: &str = "\"timing\":{";
+    while let Some(at) = rest.find(KEY) {
+        let after_open = at + KEY.len();
+        out.push_str(&rest[..after_open]);
+        match rest[after_open..].find('}') {
+            Some(close) => rest = &rest[after_open + close..],
+            None => {
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Parse and validate a `BENCH_serve.json` document: schema tag, non-empty
+/// entry list, and every deterministic + timing field present on each entry.
+/// Returns the entry names in document order.
+pub fn validate_serve_report(json: &str) -> Result<Vec<String>, String> {
+    let doc = parse(json)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SERVE_SCHEMA => {}
+        Some(s) => return Err(format!("schema {s:?}, expected {SERVE_SCHEMA:?}")),
+        None => return Err("missing schema field".into()),
+    }
+    doc.get("seed").and_then(Json::as_u64).ok_or("missing seed field")?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing entries array")?;
+    if entries.is_empty() {
+        return Err("entries array is empty".into());
+    }
+    let mut names = Vec::with_capacity(entries.len());
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("entry missing name")?
+            .to_string();
+        for key in ["workers", "clients", "requests", "ok", "shed", "timeout", "checksum"] {
+            e.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("entry {name:?} missing {key}"))?;
+        }
+        let timing = e.get("timing").ok_or_else(|| format!("entry {name:?} missing timing"))?;
+        for key in ["p50_ms", "p99_ms", "p999_ms", "rps", "wall_ms"] {
+            timing
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry {name:?} missing timing.{key}"))?;
+        }
+        names.push(name);
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(latency_scale: f64) -> ServeReport {
+        ServeReport {
+            seed: 7,
+            quick: true,
+            entries: vec![
+                ServeEntry {
+                    name: "closed_loop_w1".into(),
+                    workers: 1,
+                    clients: 4,
+                    requests: 32,
+                    ok: 32,
+                    shed: 0,
+                    timeout: 0,
+                    checksum: 0xDEAD_BEEF,
+                    timing: ServeTiming {
+                        p50_ms: 3.0 * latency_scale,
+                        p99_ms: 9.0 * latency_scale,
+                        p999_ms: 9.5 * latency_scale,
+                        rps: 120.0 / latency_scale,
+                        wall_ms: 266.0 * latency_scale,
+                    },
+                },
+                ServeEntry {
+                    name: "shed_storm".into(),
+                    workers: 1,
+                    clients: 4,
+                    requests: 16,
+                    ok: 0,
+                    shed: 16,
+                    timeout: 0,
+                    checksum: 0,
+                    timing: ServeTiming::default(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let json = sample_report(1.0).to_json();
+        let names = validate_serve_report(&json).unwrap();
+        assert_eq!(names, vec!["closed_loop_w1", "shed_storm"]);
+    }
+
+    #[test]
+    fn stripping_timing_makes_same_seed_runs_identical() {
+        // Two runs whose latencies differ by 3x but whose deterministic
+        // fields agree must be byte-identical after stripping.
+        let a = strip_report_timing(&sample_report(1.0).to_json());
+        let b = strip_report_timing(&sample_report(3.0).to_json());
+        assert_eq!(a, b);
+        assert!(a.contains("\"timing\":{}"), "timing objects blanked: {a}");
+        assert!(a.contains("\"checksum\":3735928559"), "checksum kept: {a}");
+        // A checksum difference survives stripping.
+        let mut diverged = sample_report(1.0);
+        diverged.entries[0].checksum ^= 1;
+        assert_ne!(a, strip_report_timing(&diverged.to_json()));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        assert!(validate_serve_report("not json").is_err());
+        assert!(validate_serve_report("{\"schema\":\"st-bench/1\",\"entries\":[]}").is_err());
+        let err = validate_serve_report(
+            "{\"schema\":\"st-serve-bench/1\",\"seed\":1,\"quick\":false,\"entries\":[]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        // An entry missing a timing percentile is rejected.
+        let mut report = sample_report(1.0);
+        report.entries.truncate(1);
+        let json = report.to_json().replace("\"p999_ms\"", "\"p998_ms\"");
+        let err = validate_serve_report(&json).unwrap_err();
+        assert!(err.contains("p999_ms"), "{err}");
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 0.999), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[42.0], 0.999), 42.0);
+    }
+}

@@ -44,13 +44,25 @@ pub enum PristiError {
         /// The deadline it was given, in milliseconds.
         deadline_ms: u64,
     },
-    /// The service's bounded request queue is at capacity.
+    /// The service rejected a submission at admission: either the bounded
+    /// queue is at hard capacity, or admission control shed a best-effort
+    /// request because the queue depth crossed the shed threshold.
     QueueFull {
         /// The configured queue capacity.
         capacity: usize,
+        /// Queue depth observed at the rejecting submit.
+        depth: usize,
+        /// `true` when the rejection was a load-shedding decision (a
+        /// best-effort request over the shed threshold) rather than the
+        /// queue being at hard capacity.
+        shed: bool,
     },
     /// The service has shut down (or its worker died) before responding.
     ServiceStopped,
+    /// A service worker panicked while serving a batch. The panic is
+    /// contained — every affected request gets this error and the service
+    /// drains — but it indicates a bug in the model or a test fault hook.
+    WorkerPanicked(String),
     /// An underlying I/O failure (checkpoint read/write), with the
     /// `std::io::Error` rendered to keep this type `Clone + PartialEq`.
     Io(String),
@@ -71,10 +83,20 @@ impl fmt::Display for PristiError {
             PristiError::Timeout { waited_ms, deadline_ms } => {
                 write!(f, "request timed out after {waited_ms} ms (deadline {deadline_ms} ms)")
             }
-            PristiError::QueueFull { capacity } => {
-                write!(f, "service queue full (capacity {capacity})")
+            PristiError::QueueFull { capacity, depth, shed } => {
+                if *shed {
+                    write!(
+                        f,
+                        "request shed by admission control (queue depth {depth}, capacity {capacity})"
+                    )
+                } else {
+                    write!(f, "service queue full (depth {depth}, capacity {capacity})")
+                }
             }
             PristiError::ServiceStopped => write!(f, "imputation service has stopped"),
+            PristiError::WorkerPanicked(msg) => {
+                write!(f, "service worker panicked while serving a batch: {msg}")
+            }
             PristiError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -98,8 +120,12 @@ mod tests {
         assert!(e.to_string().contains("window nodes"));
         let e = PristiError::CheckpointVersionMismatch { found: 9, supported: 1 };
         assert!(e.to_string().contains("v9"));
-        let e = PristiError::QueueFull { capacity: 16 };
+        let e = PristiError::QueueFull { capacity: 16, depth: 16, shed: false };
         assert!(e.to_string().contains("16"));
+        let e = PristiError::QueueFull { capacity: 16, depth: 12, shed: true };
+        assert!(e.to_string().contains("shed"), "shed rejection must be distinguishable");
+        let e = PristiError::WorkerPanicked("boom".into());
+        assert!(e.to_string().contains("boom"));
     }
 
     #[test]

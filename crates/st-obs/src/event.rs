@@ -80,18 +80,26 @@ pub fn is_timing_field(key: &str) -> bool {
     key.ends_with("_ns") || key == "wps"
 }
 
-/// True for gauge/counter names whose values reflect scheduling or allocator
-/// activity rather than computed results: the whole `pool.` namespace
-/// (worker claims, inline runs, buffer-pool hit rates). Like timings, these
-/// legitimately vary between two same-seed runs — a warm buffer pool hits
-/// where a cold one missed — so the determinism contract strips their values
-/// (the events themselves, and thus event order/count, stay).
+/// True for metric names whose values reflect scheduling or allocator
+/// activity rather than computed results: the `pool.` namespace (worker
+/// claims, inline runs, buffer-pool hit rates) and the `serve.` namespace
+/// (queue depth, batch coalescing, per-worker latency histograms). Like
+/// timings, these legitimately vary between two same-seed runs — a warm
+/// buffer pool hits where a cold one missed, a racier queue coalesces larger
+/// batches — so the determinism contract strips their values (the events
+/// themselves, and thus event order/count, stay).
 pub fn is_activity_metric(name: &str) -> bool {
-    name.starts_with("pool.")
+    name.starts_with("pool.") || name.starts_with("serve.")
 }
 
+/// Fields of gauge/counter/hist events that carry activity-dependent values
+/// and are stripped for activity metrics (see [`is_activity_metric`]).
+const ACTIVITY_VALUE_FIELDS: [&str; 8] =
+    ["value", "count", "min", "max", "mean", "p50", "p99", "p999"];
+
 /// Re-serialise one JSONL line with every timing field removed (and, for
-/// `pool.*` gauge/counter events, the activity-dependent `value` field).
+/// activity-metric gauge/counter/hist events, the activity-dependent value
+/// and statistics fields).
 ///
 /// Two same-seed runs of a deterministic pipeline must produce identical
 /// streams after this transformation — the canonical stability contract that
@@ -103,7 +111,7 @@ pub fn strip_timing(line: &str) -> Result<String, String> {
     };
     let activity = matches!(
         pairs.iter().find(|(k, _)| k == "ev").and_then(|(_, v)| v.as_str()),
-        Some("gauge") | Some("counter")
+        Some("gauge") | Some("counter") | Some("hist")
     ) && matches!(
         pairs.iter().find(|(k, _)| k == "name").and_then(|(_, v)| v.as_str()),
         Some(name) if is_activity_metric(name)
@@ -111,8 +119,9 @@ pub fn strip_timing(line: &str) -> Result<String, String> {
     let mut out = String::with_capacity(line.len());
     out.push('{');
     let mut first = true;
-    for (k, v) in
-        pairs.iter().filter(|(k, _)| !(is_timing_field(k) || activity && k == "value"))
+    for (k, v) in pairs
+        .iter()
+        .filter(|(k, _)| !(is_timing_field(k) || activity && ACTIVITY_VALUE_FIELDS.contains(&k.as_str())))
     {
         if !first {
             out.push(',');
@@ -199,6 +208,50 @@ mod tests {
         );
         let stripped = strip_timing(&e.to_json()).unwrap();
         assert_eq!(stripped, r#"{"ev":"span","path":"train/epoch","count":2}"#);
+    }
+
+    #[test]
+    fn strip_timing_drops_activity_metric_statistics() {
+        // serve.* histograms carry scheduling-dependent latency stats; after
+        // stripping, two runs with different latencies must be identical.
+        let a = Event::new(
+            "hist",
+            1,
+            vec![
+                ("name", Value::S("serve.worker0.latency_ms".into())),
+                ("count", Value::U(4)),
+                ("min", Value::F(1.0)),
+                ("max", Value::F(9.0)),
+                ("mean", Value::F(4.0)),
+                ("p50", Value::F(3.0)),
+                ("p99", Value::F(9.0)),
+                ("p999", Value::F(9.0)),
+            ],
+        );
+        let b = Event::new(
+            "hist",
+            2,
+            vec![
+                ("name", Value::S("serve.worker0.latency_ms".into())),
+                ("count", Value::U(7)),
+                ("min", Value::F(0.5)),
+                ("max", Value::F(20.0)),
+                ("mean", Value::F(6.0)),
+                ("p50", Value::F(5.0)),
+                ("p99", Value::F(19.0)),
+                ("p999", Value::F(20.0)),
+            ],
+        );
+        let stripped = strip_timing(&a.to_json()).unwrap();
+        assert_eq!(stripped, strip_timing(&b.to_json()).unwrap());
+        assert_eq!(stripped, r#"{"ev":"hist","name":"serve.worker0.latency_ms"}"#);
+        // Non-activity histograms keep their statistics.
+        let c = Event::new(
+            "hist",
+            3,
+            vec![("name", Value::S("train.loss".into())), ("count", Value::U(4))],
+        );
+        assert_eq!(strip_timing(&c.to_json()).unwrap(), r#"{"ev":"hist","name":"train.loss","count":4}"#);
     }
 
     #[test]

@@ -53,12 +53,50 @@ struct OpStat {
     elements: u64,
 }
 
+/// Log-spaced bucket count for histogram percentile estimation: bucket `i`
+/// covers values whose `floor(log2(v))` is `i - 32`, spanning ~2⁻³² to ~2³²
+/// (latencies in ms, queue depths, batch sizes all land comfortably inside).
+const HIST_BUCKETS: usize = 64;
+
 #[derive(Clone, Copy)]
 struct HistStat {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`]); non-positive
+    /// and non-finite values land in bucket 0.
+    buckets: [u64; HIST_BUCKETS],
+}
+
+/// The log-spaced bucket a value falls into.
+fn hist_bucket(value: f64) -> usize {
+    if value <= 0.0 || !value.is_finite() {
+        return 0;
+    }
+    (value.log2().floor() as i64 + 32).clamp(0, HIST_BUCKETS as i64 - 1) as usize
+}
+
+impl HistStat {
+    /// Percentile estimate from the bucket counts: the upper bound of the
+    /// first bucket whose cumulative count reaches `q·count`, clamped to the
+    /// exact observed `[min, max]`. Within a factor of 2 of the true value —
+    /// plenty for p50/p99/p999 trend lines in a summary.
+    fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = 2f64.powi(i as i32 - 31);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 struct Inner {
@@ -112,6 +150,9 @@ impl Inner {
                     ("min", Value::F(h.min)),
                     ("max", Value::F(h.max)),
                     ("mean", Value::F(if h.count > 0 { h.sum / h.count as f64 } else { 0.0 })),
+                    ("p50", Value::F(h.percentile(0.50))),
+                    ("p99", Value::F(h.percentile(0.99))),
+                    ("p999", Value::F(h.percentile(0.999))),
                 ],
             );
         }
@@ -204,15 +245,22 @@ pub fn gauge_set(name: &'static str, value: f64) {
 }
 
 /// Record one observation into a named histogram (emitted aggregated at
-/// flush: count/min/max/mean).
+/// flush: count/min/max/mean plus log-bucketed p50/p99/p999 estimates).
 pub fn hist_record(name: &'static str, value: f64) {
     if let Some(inner) = current() {
         let mut hists = inner.hists.lock().expect("st-obs hist lock");
-        let h = hists.entry(name).or_insert(HistStat { count: 0, sum: 0.0, min: value, max: value });
+        let h = hists.entry(name).or_insert(HistStat {
+            count: 0,
+            sum: 0.0,
+            min: value,
+            max: value,
+            buckets: [0; HIST_BUCKETS],
+        });
         h.count += 1;
         h.sum += value;
         h.min = h.min.min(value);
         h.max = h.max.max(value);
+        h.buckets[hist_bucket(value)] += 1;
     }
 }
 
@@ -423,5 +471,34 @@ mod tests {
         assert_eq!(hist.get("min").unwrap().as_f64(), Some(1.0));
         assert_eq!(hist.get("max").unwrap().as_f64(), Some(3.0));
         assert_eq!(hist.get("mean").unwrap().as_f64(), Some(2.0));
+        // Bucketed percentile estimates stay within the observed range.
+        let p50 = hist.get("p50").unwrap().as_f64().unwrap();
+        let p999 = hist.get("p999").unwrap().as_f64().unwrap();
+        assert!((1.0..=3.0).contains(&p50), "p50 {p50} outside observed range");
+        assert!(p50 <= p999 && p999 <= 3.0, "p999 {p999} not ordered/clamped");
+    }
+
+    #[test]
+    fn hist_percentiles_track_a_skewed_distribution() {
+        let _g = lock();
+        let lines = run_recorded(|| {
+            // 90 fast observations at 1ms, 10 slow at 900ms: p50 must stay
+            // in the fast mode, p999 must reach the slow tail's bucket.
+            for _ in 0..90 {
+                hist_record("lat", 1.0);
+            }
+            for _ in 0..10 {
+                hist_record("lat", 900.0);
+            }
+        });
+        let hist = lines
+            .iter()
+            .map(|l| crate::json::parse(l).unwrap())
+            .find(|e| e.get("ev").unwrap().as_str() == Some("hist"))
+            .expect("hist event at flush");
+        let p50 = hist.get("p50").unwrap().as_f64().unwrap();
+        let p999 = hist.get("p999").unwrap().as_f64().unwrap();
+        assert!(p50 <= 2.0, "p50 {p50} should sit in the fast mode");
+        assert!(p999 >= 500.0, "p999 {p999} should see the outlier");
     }
 }

@@ -3,9 +3,11 @@
 //! The deployment layer of the PriSTI reproduction (the production-scale
 //! direction named in ROADMAP.md): **checkpointing** — a versioned binary
 //! format (`st-ckpt/1`) that round-trips a [`pristi_core::train::TrainedModel`]
-//! bit-for-bit — and **serving** — a micro-batching [`ImputeService`] that
-//! coalesces concurrent imputation requests into batched reverse passes
-//! without changing any request's results.
+//! bit-for-bit — and **serving** — a micro-batching, multi-worker
+//! [`ImputeService`] whose replica pool shares one checkpoint via `Arc`,
+//! coalesces concurrent imputation requests into batched reverse passes, and
+//! sheds best-effort load under pressure ([`AdmissionTier`]) — all without
+//! changing any request's results.
 //!
 //! Both halves lean on the workspace's determinism contract: checkpoint
 //! round-trips reproduce in-memory imputations exactly, and batching is
@@ -29,4 +31,6 @@ pub use ckpt::{
     checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint, CKPT_MAGIC,
     CKPT_VERSION,
 };
-pub use service::{request_rng, ImputeRequest, ImputeService, ServeConfig};
+pub use service::{
+    request_rng, AdmissionTier, FaultHook, ImputeRequest, ImputeService, ServeConfig,
+};

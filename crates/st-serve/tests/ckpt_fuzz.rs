@@ -1,0 +1,82 @@
+//! Checkpoint corruption fuzzing: ~200 seeded single-bit flips and
+//! truncations of a valid `st-ckpt/1` byte image. Every corrupted image must
+//! fail to load with a typed [`PristiError`] — never a panic, and never a
+//! silent success (the FNV-1a payload checksum plus header validation make
+//! any single-bit flip detectable).
+
+use pristi_core::train::{train, TrainConfig};
+use pristi_core::PristiConfig;
+use st_data::generators::{generate_air_quality, AirQualityConfig};
+use st_data::missing::inject_point_missing;
+use st_rand::{Rng, SeedableRng, StdRng};
+use st_serve::{checkpoint_from_bytes, checkpoint_to_bytes};
+
+fn checkpoint_bytes() -> Vec<u8> {
+    let mut cfg = PristiConfig::small();
+    cfg.d_model = 8;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.t_steps = 8;
+    cfg.time_emb_dim = 8;
+    cfg.node_emb_dim = 4;
+    cfg.step_emb_dim = 8;
+    cfg.virtual_nodes = 4;
+    cfg.adaptive_dim = 2;
+    let mut data = generate_air_quality(&AirQualityConfig {
+        n_nodes: 8,
+        n_days: 6,
+        seed: 211,
+        episodes_per_week: 0.0,
+        ..Default::default()
+    });
+    data.eval_mask = inject_point_missing(&data.observed_mask, 0.2, 212);
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        window_len: 12,
+        window_stride: 12,
+        seed: 213,
+        ..Default::default()
+    };
+    checkpoint_to_bytes(&train(&data, cfg, &tc).unwrap())
+}
+
+/// Load a (possibly corrupt) image inside an unwind boundary so a panic
+/// fails the test with the offending case, not an opaque abort.
+fn must_fail_typed(bytes: &[u8], what: &str) {
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checkpoint_from_bytes(bytes)));
+    match outcome {
+        Ok(Err(_)) => {} // typed PristiError — the only acceptable outcome
+        Ok(Ok(_)) => panic!("{what}: corrupt checkpoint loaded silently"),
+        Err(_) => panic!("{what}: checkpoint_from_bytes panicked"),
+    }
+}
+
+#[test]
+fn single_bit_flips_always_fail_typed() {
+    let valid = checkpoint_bytes();
+    assert!(checkpoint_from_bytes(&valid).is_ok(), "baseline image must load");
+
+    let mut rng = StdRng::seed_from_u64(0xF1_1C);
+    for case in 0..150 {
+        let byte = rng.random_range(0..valid.len());
+        let bit = rng.random_range(0..8u32);
+        let mut corrupt = valid.clone();
+        corrupt[byte] ^= 1 << bit;
+        must_fail_typed(&corrupt, &format!("case {case}: bit {bit} of byte {byte}"));
+    }
+}
+
+#[test]
+fn truncations_always_fail_typed() {
+    let valid = checkpoint_bytes();
+    let mut rng = StdRng::seed_from_u64(0x7A_11);
+    for case in 0..50 {
+        let keep = rng.random_range(0..valid.len());
+        must_fail_typed(&valid[..keep], &format!("case {case}: truncated to {keep} bytes"));
+    }
+    // The degenerate edges, explicitly.
+    must_fail_typed(&[], "empty image");
+    must_fail_typed(&valid[..valid.len() - 1], "one byte short");
+}

@@ -8,7 +8,7 @@ use pristi_core::{impute, ImputeOptions, PristiConfig, PristiError, Sampler};
 use st_data::dataset::{Split, Window};
 use st_data::generators::{generate_air_quality, AirQualityConfig};
 use st_data::missing::inject_point_missing;
-use st_serve::{request_rng, ImputeRequest, ImputeService, ServeConfig};
+use st_serve::{request_rng, AdmissionTier, ImputeRequest, ImputeService, ServeConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -53,6 +53,7 @@ fn request(id: u64, window: &Window, n_samples: usize) -> ImputeRequest {
         window: window.clone(),
         n_samples,
         sampler: Sampler::Ddpm,
+        tier: AdmissionTier::Interactive,
         deadline: None,
     }
 }
@@ -139,8 +140,27 @@ fn failure_modes_are_typed_errors() {
         .unwrap();
         assert!(matches!(
             service.submit(request(1, w, 2)),
-            Err(PristiError::QueueFull { capacity: 0 })
+            Err(PristiError::QueueFull { capacity: 0, depth: 0, shed: false })
         ));
+    }
+
+    // Shed threshold of zero: deterministic load-shed for best-effort
+    // requests (shed: true distinguishes it from hard capacity), while
+    // interactive requests are still admitted and served.
+    {
+        let (_, trained) = trained_setup();
+        let service = ImputeService::start(
+            trained,
+            ServeConfig { shed_threshold: 0, ..Default::default() },
+        )
+        .unwrap();
+        let mut best_effort = request(7, w, 2);
+        best_effort.tier = AdmissionTier::BestEffort;
+        assert!(matches!(
+            service.submit(best_effort),
+            Err(PristiError::QueueFull { depth: 0, shed: true, .. })
+        ));
+        assert_eq!(service.submit(request(8, w, 2)).unwrap().n_samples(), 2);
     }
 
     // Zero deadline: deterministic Timeout (the worker always finds the

@@ -84,4 +84,35 @@ for id in 1 2 3; do
 done
 echo "serve smoke: 3 requests -> 3 well-formed responses"
 
+echo "== multi-worker serve smoke (--workers 4, same requests) =="
+"$PRISTI" serve --ckpt "$SMOKE_DIR/model.ckpt" --workers 4 \
+    < "$SMOKE_DIR/requests.jsonl" > "$SMOKE_DIR/responses_w4.jsonl" 2>/dev/null
+# Worker-count invariance at the CLI level: byte-identical responses.
+sort "$SMOKE_DIR/responses.jsonl" > "$SMOKE_DIR/responses.sorted"
+sort "$SMOKE_DIR/responses_w4.jsonl" > "$SMOKE_DIR/responses_w4.sorted"
+cmp -s "$SMOKE_DIR/responses.sorted" "$SMOKE_DIR/responses_w4.sorted" \
+    || { echo "error: --workers 4 responses diverge from --workers 1" >&2; exit 1; }
+echo "serve smoke: --workers 4 responses byte-identical to --workers 1"
+
+echo "== loadtest: schema, entries, and seeded determinism =="
+"$PRISTI" loadtest --quick --seed 7 --out "$SMOKE_DIR/serve_a.json" 2>/dev/null
+grep -q '"schema":"st-serve-bench/1"' "$SMOKE_DIR/serve_a.json" \
+    || { echo "error: BENCH_serve report missing st-serve-bench/1 schema" >&2; exit 1; }
+for entry in closed_loop_w1 closed_loop_w4 shed_storm timeout_storm; do
+    grep -q "\"name\":\"$entry\"" "$SMOKE_DIR/serve_a.json" \
+        || { echo "error: BENCH_serve report missing entry $entry" >&2; exit 1; }
+done
+for key in p50_ms p99_ms p999_ms rps shed timeout checksum; do
+    grep -q "\"$key\":" "$SMOKE_DIR/serve_a.json" \
+        || { echo "error: BENCH_serve report missing key $key" >&2; exit 1; }
+done
+# Same seed -> byte-identical report once per-entry "timing":{...} objects
+# (the only run-varying fields) are blanked.
+"$PRISTI" loadtest --quick --seed 7 --out "$SMOKE_DIR/serve_b.json" 2>/dev/null
+sed -E 's/"timing":\{[^}]*\}/"timing":{}/g' "$SMOKE_DIR/serve_a.json" > "$SMOKE_DIR/serve_a.stripped"
+sed -E 's/"timing":\{[^}]*\}/"timing":{}/g' "$SMOKE_DIR/serve_b.json" > "$SMOKE_DIR/serve_b.stripped"
+cmp -s "$SMOKE_DIR/serve_a.stripped" "$SMOKE_DIR/serve_b.stripped" \
+    || { echo "error: same-seed loadtest reports differ after timing strip" >&2; exit 1; }
+echo "loadtest: same-seed reports byte-identical modulo timing"
+
 echo "verify: OK"

@@ -9,7 +9,9 @@
 //!                               [--epochs 30] [--window 24] [--seed N] [--steps-per-day 24]
 //! pristi checkpoint load-verify --ckpt model.ckpt
 //! pristi serve    --ckpt model.ckpt [--samples 8] [--ddim K] [--batch 32] \
-//!                 [--deadline-ms 30000] [--seed N]
+//!                 [--deadline-ms 30000] [--seed N] [--workers N]
+//! pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4] \
+//!                 [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]
 //! ```
 //!
 //! `impute` trains PriSTI on the visible values of the panel (self-supervised
@@ -31,8 +33,13 @@
 //! ```
 //!
 //! `null` cells are the missing values to impute; `ddim_steps` switches that
-//! request to DDIM sampling. Responses reproduce bit-for-bit for the same
-//! checkpoint, `--seed`, and request `id`, regardless of batching.
+//! request to DDIM sampling (and an optional `"tier"` of `"interactive"` or
+//! `"best_effort"` selects the admission-control tier). Responses reproduce
+//! bit-for-bit for the same checkpoint, `--seed`, and request `id`,
+//! regardless of batching or `--workers` count.
+//!
+//! `loadtest` drives the same service with a seeded closed-loop schedule and
+//! writes `BENCH_serve.json` (see the [`loadtest`] module docs).
 
 use pristi_core::train::{train, MaskStrategyKind, Reporter, TrainConfig};
 use pristi_core::{impute, ImputeOptions, PristiConfig, Sampler};
@@ -44,7 +51,9 @@ use st_data::generators::{generate_air_quality, generate_traffic, AirQualityConf
 use st_data::io::{load_dataset, panel_to_csv};
 use st_data::SpatioTemporalDataset;
 use st_obs::json::{self, Json};
-use st_serve::{load_checkpoint, save_checkpoint, ImputeRequest, ImputeService, ServeConfig};
+use st_serve::{
+    load_checkpoint, save_checkpoint, AdmissionTier, ImputeRequest, ImputeService, ServeConfig,
+};
 use st_tensor::NdArray;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -52,12 +61,18 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
+// A crate root's submodules resolve beside it (`src/bin/`), where any `.rs`
+// file would be auto-discovered as another binary — park it a level down.
+#[path = "pristi/loadtest.rs"]
+mod loadtest;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("impute") => run_impute(parse_flags(&args[1..])),
         Some("generate") => run_generate(parse_flags(&args[1..])),
         Some("serve") => run_serve(parse_flags(&args[1..])),
+        Some("loadtest") => loadtest::run(&args[1..]),
         Some("checkpoint") => match args.get(1).map(String::as_str) {
             Some("save") => run_checkpoint_save(parse_flags(&args[2..])),
             Some("load-verify") => run_checkpoint_verify(parse_flags(&args[2..])),
@@ -70,7 +85,7 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: pristi <impute|generate|checkpoint|serve> [--flag value]...");
+            eprintln!("usage: pristi <impute|generate|checkpoint|serve|loadtest> [--flag value]...");
             eprintln!("  pristi generate --kind aqi|metr-la|pems-bay --out panel.csv --coords-out coords.csv");
             eprintln!("  pristi impute --data panel.csv --coords coords.csv --out imputed.csv");
             eprintln!("                [--epochs N] [--samples S] [--window L] [--ddim K]");
@@ -78,7 +93,9 @@ fn main() -> ExitCode {
             eprintln!("  pristi checkpoint save --data panel.csv --coords coords.csv --out model.ckpt");
             eprintln!("  pristi checkpoint load-verify --ckpt model.ckpt");
             eprintln!("  pristi serve --ckpt model.ckpt [--samples S] [--ddim K] [--batch S_max]");
-            eprintln!("               [--deadline-ms N] [--seed N]   (JSONL requests on stdin)");
+            eprintln!("               [--deadline-ms N] [--seed N] [--workers N]   (JSONL requests on stdin)");
+            eprintln!("  pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4]");
+            eprintln!("                  [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]");
             ExitCode::from(2)
         }
     }
@@ -375,6 +392,7 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
     let default_ddim = flags.get("ddim").and_then(|v| v.parse::<usize>().ok());
     let cfg = ServeConfig {
         max_batch_samples: get_usize(&flags, "batch", 32),
+        workers: get_usize(&flags, "workers", 1),
         default_deadline: Duration::from_millis(get_usize(&flags, "deadline-ms", 30_000) as u64),
         base_seed: get_usize(&flags, "seed", 0) as u64,
         ..Default::default()
@@ -499,11 +517,21 @@ fn parse_request(
         Some(steps) => Sampler::Ddim { steps, eta: 0.0 },
         None => Sampler::Ddpm,
     };
+    let tier = match req.get("tier").and_then(Json::as_str) {
+        None | Some("interactive") => AdmissionTier::Interactive,
+        Some("best_effort") => AdmissionTier::BestEffort,
+        Some(other) => {
+            return Err(format!(
+                "unknown \"tier\" `{other}` (expected \"interactive\" or \"best_effort\")"
+            ))
+        }
+    };
     Ok(ImputeRequest {
         id,
         window: Window { values, observed, eval: NdArray::zeros(&[n, l]), t_start: 0 },
         n_samples,
         sampler,
+        tier,
         deadline: None,
     })
 }
