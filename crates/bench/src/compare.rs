@@ -1,0 +1,279 @@
+//! Bench regression comparison: diff two bench reports and flag entries whose
+//! timings regressed beyond a noise threshold.
+//!
+//! Backs `pristi bench --compare OLD,NEW`, the gate `scripts/verify.sh` runs
+//! against the committed `results/BENCH_micro_baseline.json`. Two report
+//! schemas are auto-detected from the `"schema"` tag:
+//!
+//! * `st-bench/1` (`BENCH_micro.json`, see `benches/micro.rs`) — one
+//!   `ns_per_iter` metric per entry;
+//! * `st-serve-bench/1` (`BENCH_serve.json`, see [`crate::serve_report`]) —
+//!   `timing.p50_ms` and `timing.p99_ms` per entry.
+//!
+//! An entry **regresses** when `new > old × (1 + threshold/100)`. An entry
+//! present in the old report but missing from the new one is always a
+//! failure (a silently dropped benchmark is how regressions hide); entries
+//! only in the new report are reported but don't fail the comparison.
+
+use st_obs::json::{parse, Json};
+
+/// One metric extracted from a report entry: `(entry name, metric name,
+/// value)`. Serve reports contribute multiple metrics per entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Entry name (`attention_forward_backward_8x24x32`, `closed_loop_w1`…).
+    pub name: String,
+    /// Metric key within the entry (`ns_per_iter`, `p50_ms`, `p99_ms`).
+    pub metric: &'static str,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// One old-vs-new comparison row.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Entry name.
+    pub name: String,
+    /// Metric key.
+    pub metric: &'static str,
+    /// Old (baseline) value.
+    pub old: f64,
+    /// New (candidate) value.
+    pub new: f64,
+    /// `100 × (new − old) / old`.
+    pub delta_pct: f64,
+    /// True when the delta exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The result of comparing two reports.
+#[derive(Debug)]
+pub struct CompareOutcome {
+    /// Every metric present in both reports, in old-report order.
+    pub rows: Vec<CompareRow>,
+    /// Entries in the old report with no counterpart in the new one.
+    pub missing: Vec<String>,
+    /// Entries only in the new report (informational).
+    pub added: Vec<String>,
+    /// The threshold the rows were judged against (percent).
+    pub threshold_pct: f64,
+}
+
+impl CompareOutcome {
+    /// True when nothing regressed and nothing went missing.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && !self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Render an aligned human-readable table plus the verdict line.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<45} {:>12} {:>14} {:>14} {:>9}  {}\n",
+            "entry", "metric", "old", "new", "delta %", "flag"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<45} {:>12} {:>14.1} {:>14.1} {:>+9.1}  {}\n",
+                r.name,
+                r.metric,
+                r.old,
+                r.new,
+                r.delta_pct,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name:<45} MISSING from new report\n"));
+        }
+        for name in &self.added {
+            out.push_str(&format!("{name:<45} new entry (not in baseline)\n"));
+        }
+        let regressed = self.rows.iter().filter(|r| r.regressed).count();
+        out.push_str(&format!(
+            "verdict: {} ({} metric(s) compared, {} regressed > {:.0}%, {} missing)\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.rows.len(),
+            regressed,
+            self.threshold_pct,
+            self.missing.len()
+        ));
+        out
+    }
+}
+
+/// Extract the comparable metrics from a report, auto-detecting the schema.
+pub fn extract_metrics(json: &str) -> Result<Vec<Metric>, String> {
+    let doc = parse(json)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("report has no schema field")?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("report has no entries array")?;
+    if entries.is_empty() {
+        return Err("report has no entries".into());
+    }
+    let mut out = Vec::new();
+    match schema {
+        "st-bench/1" => {
+            for e in entries {
+                let name = e
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("st-bench/1 entry missing name")?;
+                let ns = e
+                    .get("ns_per_iter")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("entry `{name}` missing ns_per_iter"))?;
+                out.push(Metric { name: name.into(), metric: "ns_per_iter", value: ns });
+            }
+        }
+        "st-serve-bench/1" => {
+            for e in entries {
+                let name = e
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("st-serve-bench/1 entry missing name")?;
+                let timing = e
+                    .get("timing")
+                    .ok_or_else(|| format!("entry `{name}` missing timing object"))?;
+                for metric in ["p50_ms", "p99_ms"] {
+                    let v = timing
+                        .get(metric)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("entry `{name}` missing timing.{metric}"))?;
+                    out.push(Metric { name: name.into(), metric, value: v });
+                }
+            }
+        }
+        other => return Err(format!("unsupported report schema `{other}`")),
+    }
+    Ok(out)
+}
+
+/// Compare two rendered reports (same schema on both sides) with a noise
+/// threshold in percent.
+pub fn compare_reports(
+    old_json: &str,
+    new_json: &str,
+    threshold_pct: f64,
+) -> Result<CompareOutcome, String> {
+    if !threshold_pct.is_finite() || threshold_pct < 0.0 {
+        return Err(format!("threshold must be a non-negative percentage, got {threshold_pct}"));
+    }
+    let old = extract_metrics(old_json).map_err(|e| format!("old report: {e}"))?;
+    let new = extract_metrics(new_json).map_err(|e| format!("new report: {e}"))?;
+
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for m in &old {
+        match new.iter().find(|n| n.name == m.name && n.metric == m.metric) {
+            Some(n) => {
+                let old_v = m.value.max(f64::MIN_POSITIVE);
+                let delta_pct = 100.0 * (n.value - m.value) / old_v;
+                rows.push(CompareRow {
+                    name: m.name.clone(),
+                    metric: m.metric,
+                    old: m.value,
+                    new: n.value,
+                    delta_pct,
+                    regressed: n.value > m.value * (1.0 + threshold_pct / 100.0),
+                });
+            }
+            None if missing.last() != Some(&m.name) => missing.push(m.name.clone()),
+            None => {}
+        }
+    }
+    let mut added: Vec<String> = Vec::new();
+    for n in &new {
+        let known = old.iter().any(|m| m.name == n.name);
+        if !known && !added.contains(&n.name) {
+            added.push(n.name.clone());
+        }
+    }
+    Ok(CompareOutcome { rows, missing, added, threshold_pct })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro(entries: &[(&str, u64)]) -> String {
+        let body: Vec<String> = entries
+            .iter()
+            .map(|(n, v)| format!("{{\"name\":\"{n}\",\"ns_per_iter\":{v},\"iters\":10}}"))
+            .collect();
+        format!("{{\"schema\":\"st-bench/1\",\"quick\":true,\"entries\":[{}]}}", body.join(","))
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let doc = micro(&[("matmul", 1000), ("attention", 5000)]);
+        let out = compare_reports(&doc, &doc, 20.0).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.rows.len(), 2);
+        assert!(out.rows.iter().all(|r| !r.regressed && r.delta_pct == 0.0));
+    }
+
+    #[test]
+    fn injected_regression_fails() {
+        let old = micro(&[("matmul", 1000), ("attention", 5000)]);
+        let new = micro(&[("matmul", 1000), ("attention", 50_000)]); // 10x slower
+        let out = compare_reports(&old, &new, 50.0).unwrap();
+        assert!(!out.passed());
+        let bad: Vec<&CompareRow> = out.rows.iter().filter(|r| r.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "attention");
+        assert!(out.render_table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn threshold_is_a_noise_floor() {
+        let old = micro(&[("matmul", 1000)]);
+        let new = micro(&[("matmul", 1100)]); // +10%
+        assert!(compare_reports(&old, &new, 20.0).unwrap().passed());
+        assert!(!compare_reports(&old, &new, 5.0).unwrap().passed());
+        // Speedups never regress, no matter the threshold.
+        let fast = micro(&[("matmul", 10)]);
+        assert!(compare_reports(&old, &fast, 0.0).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_entry_fails_and_added_entry_does_not() {
+        let old = micro(&[("matmul", 1000), ("attention", 5000)]);
+        let new = micro(&[("matmul", 1000), ("brand_new", 7)]);
+        let out = compare_reports(&old, &new, 20.0).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.missing, vec!["attention".to_string()]);
+        assert_eq!(out.added, vec!["brand_new".to_string()]);
+
+        let superset_only = compare_reports(&micro(&[("matmul", 1000)]), &new, 20.0).unwrap();
+        assert!(superset_only.passed(), "new-only entries are informational");
+    }
+
+    #[test]
+    fn serve_schema_compares_p50_and_p99() {
+        let serve = |p50: f64, p99: f64| {
+            format!(
+                "{{\"schema\":\"st-serve-bench/1\",\"seed\":7,\"entries\":[\
+                 {{\"name\":\"closed_loop_w1\",\"workers\":1,\
+                 \"timing\":{{\"p50_ms\":{p50},\"p99_ms\":{p99},\"rps\":1.0}}}}]}}"
+            )
+        };
+        let out = compare_reports(&serve(10.0, 30.0), &serve(11.0, 31.0), 25.0).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.rows.len(), 2);
+        let out = compare_reports(&serve(10.0, 30.0), &serve(40.0, 30.0), 25.0).unwrap();
+        assert!(!out.passed(), "p50 4x worse must regress");
+    }
+
+    #[test]
+    fn schema_mismatch_and_garbage_are_errors() {
+        assert!(compare_reports("{\"schema\":\"st-bench/9\",\"entries\":[{}]}", "{}", 10.0).is_err());
+        assert!(compare_reports("not json", "not json", 10.0).is_err());
+        assert!(compare_reports(&micro(&[("m", 1)]), &micro(&[("m", 1)]), -3.0).is_err());
+    }
+}

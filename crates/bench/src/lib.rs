@@ -26,12 +26,14 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
 
+pub mod compare;
 pub mod datasets;
 pub mod methods;
 pub mod report;
 pub mod scale;
 pub mod serve_report;
 
+pub use compare::{compare_reports, extract_metrics, CompareOutcome, CompareRow, Metric};
 pub use datasets::{build_dataset, Setting};
 pub use methods::{run_deterministic, run_diffusion, DiffusionOutcome};
 pub use report::{write_csv, Table};

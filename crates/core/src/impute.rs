@@ -160,7 +160,7 @@ impl ImputationResult {
             }
             // 256 positions per chunk: a multiple of `s` elements, so chunk
             // boundaries never split a position's run.
-            st_par::par_chunks_mut(&mut buf, s * 256, |_ci, chunk| {
+            st_par::par_chunks_mut("quantile_sort", &mut buf, s * 256, |_ci, chunk| {
                 for run in chunk.chunks_mut(s) {
                     run.sort_by(f32::total_cmp);
                 }
@@ -332,6 +332,7 @@ pub fn impute_batch_with(
     );
 
     // Per-request conditioning (normalised values, masks, interpolated 𝒳).
+    let prep_span = st_obs::span!("cond_prep");
     struct Prep {
         values_z: NdArray,
         cond_mask: NdArray,
@@ -368,20 +369,25 @@ pub fn impute_batch_with(
         spans.push((offset * n * l, item.n_samples * n * l));
         offset += item.n_samples;
     }
+    drop(prep_span);
 
     // Step-invariant prior tensors, computed once per batch on the
     // deduplicated per-request conditional (R rows, not S_total) and
     // replicated per sample inside `build_prior_cache`.
-    let cache = match prior_mode {
-        PriorMode::Cached => {
-            let mut cond_r = NdArray::zeros(&[items.len(), n, l]);
-            for (i, prep) in preps.iter().enumerate() {
-                cond_r.data_mut()[i * n * l..(i + 1) * n * l].copy_from_slice(prep.cond.data());
+    let cache = {
+        let _cache_span = st_obs::span!("prior_cache");
+        match prior_mode {
+            PriorMode::Cached => {
+                let mut cond_r = NdArray::zeros(&[items.len(), n, l]);
+                for (i, prep) in preps.iter().enumerate() {
+                    cond_r.data_mut()[i * n * l..(i + 1) * n * l]
+                        .copy_from_slice(prep.cond.data());
+                }
+                let counts: Vec<usize> = items.iter().map(|i| i.n_samples).collect();
+                Some(trained.model.build_prior_cache(&cond_r, &counts))
             }
-            let counts: Vec<usize> = items.iter().map(|i| i.n_samples).collect();
-            Some(trained.model.build_prior_cache(&cond_r, &counts))
+            PriorMode::Recompute => None,
         }
-        PriorMode::Recompute => None,
     };
 
     // Initial noise, one slice per request from its own stream.
@@ -442,11 +448,12 @@ pub fn impute_batch_with(
 
     // Merge with conditioned values and denormalise per sample
     // (sample-parallel: each ensemble member is independent).
+    let merge_span = st_obs::span!("denorm_merge");
     let xd = x.data();
     let mut out = Vec::with_capacity(items.len());
     for (item, (prep, &(start, _))) in items.iter().zip(preps.iter().zip(&spans)) {
         let cond_part = prep.values_z.mul(&prep.cond_mask);
-        let samples = st_par::par_map(item.n_samples, |s| {
+        let samples = st_par::par_map("denorm_samples", item.n_samples, |s| {
             let sample =
                 NdArray::from_vec(&[n, l], xd[start + s * n * l..start + (s + 1) * n * l].to_vec());
             let mut merged = sample.mul(&prep.target_mask).add(&cond_part);
@@ -455,6 +462,7 @@ pub fn impute_batch_with(
         });
         out.push(ImputationResult::new(samples, prep.target_mask.clone()));
     }
+    drop(merge_span);
     Ok(out)
 }
 

@@ -313,7 +313,7 @@ fn train_step(
             })
             .collect();
         let use_interp = model.cfg.use_interpolation;
-        let samples = st_par::par_map(b, |bi| {
+        let samples = st_par::par_map("train_batch_prep", b, |bi| {
             let (target, t_step, eps) = &drawn[bi];
             let (values_z, cond_observed) = &prepared[chunk[bi]];
             let cond_train =

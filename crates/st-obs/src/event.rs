@@ -6,11 +6,31 @@
 //! clock, so two identical runs differ only in timing fields). All
 //! duration-like fields end in `_ns`, which is what [`strip_timing`] keys on
 //! to make determinism tests byte-stable.
+//!
+//! Schema `st-obs/2` extends `st-obs/1` with hierarchical span trees and
+//! parallel attribution while keeping the flat one-line encoding:
+//!
+//! * `span` events carry a stream-unique id (`sid`), their parent span id
+//!   (`parent`, omitted at the root), an optional request trace id
+//!   (`trace`), and `self_ns` — the span's duration minus the summed
+//!   durations of its direct children.
+//! * `par` events (emitted at flush, one per dispatch label) aggregate
+//!   per-dispatch thread-pool telemetry: dispatch/chunk counts,
+//!   `worthwhile` accept/reject counts, summed busy and span nanoseconds,
+//!   and the computed efficiency `eff_pct = busy / (threads × span)`.
+//! * `trace` events link a request-scoped trace id to the coalesced batch
+//!   trace id it was served under.
+//! * `hist` events may carry `"exact_tail": true` when a reported
+//!   percentile fell back to the exact maximum because the sample count
+//!   was too small for a meaningful tail estimate.
+//!
+//! All ids are allocation-order-dependent and therefore run-varying; they
+//! are stripped by [`strip_timing`] alongside the timing fields.
 
 use crate::json::escape;
 
 /// Schema tag written by the `header` event of every JSONL stream.
-pub const SCHEMA: &str = "st-obs/1";
+pub const SCHEMA: &str = "st-obs/2";
 
 /// A field value; keeps events flat and trivially serialisable.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +43,8 @@ pub enum Value {
     F(f64),
     /// String.
     S(String),
+    /// Boolean (e.g. the `exact_tail` marker on histogram events).
+    B(bool),
 }
 
 impl Value {
@@ -33,6 +55,7 @@ impl Value {
             Value::F(v) if v.is_finite() => out.push_str(&v.to_string()),
             Value::F(_) => out.push_str("null"),
             Value::S(s) => out.push_str(&escape(s)),
+            Value::B(b) => out.push_str(if *b { "true" } else { "false" }),
         }
     }
 }
@@ -80,6 +103,16 @@ pub fn is_timing_field(key: &str) -> bool {
     key.ends_with("_ns") || key == "wps"
 }
 
+/// True for field names that carry stream-unique ids allocated from global
+/// counters: span ids (`sid`), parent span ids (`parent`), and request /
+/// batch trace ids (`trace`, `batch`). Allocation order depends on thread
+/// interleaving and on how many spans earlier phases opened, so — like
+/// timings — ids legitimately differ between two same-seed runs and are
+/// stripped by [`strip_timing`].
+pub fn is_id_field(key: &str) -> bool {
+    matches!(key, "sid" | "parent" | "trace" | "batch")
+}
+
 /// True for metric names whose values reflect scheduling or allocator
 /// activity rather than computed results: the `pool.` namespace (worker
 /// claims, inline runs, buffer-pool hit rates) and the `serve.` namespace
@@ -94,35 +127,49 @@ pub fn is_activity_metric(name: &str) -> bool {
 
 /// Fields of gauge/counter/hist events that carry activity-dependent values
 /// and are stripped for activity metrics (see [`is_activity_metric`]).
-const ACTIVITY_VALUE_FIELDS: [&str; 8] =
-    ["value", "count", "min", "max", "mean", "p50", "p99", "p999"];
+const ACTIVITY_VALUE_FIELDS: [&str; 9] =
+    ["value", "count", "min", "max", "mean", "p50", "p99", "p999", "exact_tail"];
 
-/// Re-serialise one JSONL line with every timing field removed (and, for
-/// activity-metric gauge/counter/hist events, the activity-dependent value
-/// and statistics fields).
+/// Fields of `par` (per-dispatch parallel telemetry) events whose values
+/// depend on the configured thread count and the `worthwhile` gate outcome:
+/// dispatch/chunk counts, accept/reject tallies, participating-thread sums
+/// and the computed efficiency. Stripped so streams stay byte-identical
+/// across `ST_PAR_THREADS` values; the label set itself is thread-count
+/// invariant because every gate/dispatch call site records its label
+/// unconditionally.
+const PAR_VALUE_FIELDS: [&str; 6] =
+    ["dispatches", "chunks", "accept", "reject", "threads", "eff_pct"];
+
+/// Re-serialise one JSONL line with every run-varying field removed: timing
+/// fields, span/trace id fields, activity-dependent statistics on
+/// gauge/counter/hist events for activity metrics, and thread-count
+/// dependent values on `par` events.
 ///
-/// Two same-seed runs of a deterministic pipeline must produce identical
-/// streams after this transformation — the canonical stability contract that
+/// Two same-seed runs of a deterministic pipeline — at *any*
+/// `ST_PAR_THREADS` setting — must produce identical streams after this
+/// transformation: the canonical stability contract that
 /// `tests/determinism.rs` and the obs smoke test pin.
 pub fn strip_timing(line: &str) -> Result<String, String> {
     let parsed = crate::json::parse(line)?;
     let crate::json::Json::Obj(pairs) = parsed else {
         return Err("JSONL line is not an object".into());
     };
-    let activity = matches!(
-        pairs.iter().find(|(k, _)| k == "ev").and_then(|(_, v)| v.as_str()),
-        Some("gauge") | Some("counter") | Some("hist")
-    ) && matches!(
-        pairs.iter().find(|(k, _)| k == "name").and_then(|(_, v)| v.as_str()),
-        Some(name) if is_activity_metric(name)
-    );
+    let ev = pairs.iter().find(|(k, _)| k == "ev").and_then(|(_, v)| v.as_str());
+    let activity = matches!(ev, Some("gauge") | Some("counter") | Some("hist"))
+        && matches!(
+            pairs.iter().find(|(k, _)| k == "name").and_then(|(_, v)| v.as_str()),
+            Some(name) if is_activity_metric(name)
+        );
+    let par = ev == Some("par");
     let mut out = String::with_capacity(line.len());
     out.push('{');
     let mut first = true;
-    for (k, v) in pairs
-        .iter()
-        .filter(|(k, _)| !(is_timing_field(k) || activity && ACTIVITY_VALUE_FIELDS.contains(&k.as_str())))
-    {
+    for (k, v) in pairs.iter().filter(|(k, _)| {
+        !(is_timing_field(k)
+            || is_id_field(k)
+            || activity && ACTIVITY_VALUE_FIELDS.contains(&k.as_str())
+            || par && PAR_VALUE_FIELDS.contains(&k.as_str()))
+    }) {
         if !first {
             out.push(',');
         }
@@ -252,6 +299,108 @@ mod tests {
             vec![("name", Value::S("train.loss".into())), ("count", Value::U(4))],
         );
         assert_eq!(strip_timing(&c.to_json()).unwrap(), r#"{"ev":"hist","name":"train.loss","count":4}"#);
+    }
+
+    #[test]
+    fn strip_timing_removes_span_and_trace_ids() {
+        let a = Event::new(
+            "span",
+            10,
+            vec![
+                ("name", Value::S("denoise_step".into())),
+                ("sid", Value::U(41)),
+                ("parent", Value::U(40)),
+                ("trace", Value::U(7)),
+                ("t", Value::U(3)),
+                ("dur_ns", Value::U(999)),
+                ("self_ns", Value::U(900)),
+            ],
+        );
+        let b = Event::new(
+            "span",
+            20,
+            vec![
+                ("name", Value::S("denoise_step".into())),
+                ("sid", Value::U(1041)),
+                ("parent", Value::U(1040)),
+                ("trace", Value::U(93)),
+                ("t", Value::U(3)),
+                ("dur_ns", Value::U(123)),
+                ("self_ns", Value::U(50)),
+            ],
+        );
+        let stripped = strip_timing(&a.to_json()).unwrap();
+        assert_eq!(stripped, strip_timing(&b.to_json()).unwrap());
+        assert_eq!(stripped, r#"{"ev":"span","name":"denoise_step","t":3}"#);
+    }
+
+    #[test]
+    fn strip_timing_removes_par_dispatch_values_but_keeps_label() {
+        let a = Event::new(
+            "par",
+            5,
+            vec![
+                ("label", Value::S("matmul".into())),
+                ("dispatches", Value::U(12)),
+                ("chunks", Value::U(48)),
+                ("accept", Value::U(10)),
+                ("reject", Value::U(2)),
+                ("threads", Value::U(4)),
+                ("busy_ns", Value::U(1000)),
+                ("span_ns", Value::U(400)),
+                ("eff_pct", Value::F(62.5)),
+            ],
+        );
+        let b = Event::new(
+            "par",
+            9,
+            vec![
+                ("label", Value::S("matmul".into())),
+                ("dispatches", Value::U(0)),
+                ("chunks", Value::U(0)),
+                ("accept", Value::U(0)),
+                ("reject", Value::U(12)),
+                ("threads", Value::U(1)),
+                ("busy_ns", Value::U(7)),
+                ("span_ns", Value::U(7)),
+                ("eff_pct", Value::F(100.0)),
+            ],
+        );
+        let stripped = strip_timing(&a.to_json()).unwrap();
+        assert_eq!(stripped, strip_timing(&b.to_json()).unwrap());
+        assert_eq!(stripped, r#"{"ev":"par","label":"matmul"}"#);
+    }
+
+    #[test]
+    fn bool_values_serialise_and_exact_tail_survives_on_result_metrics() {
+        let e = Event::new(
+            "hist",
+            3,
+            vec![
+                ("name", Value::S("train.epoch_loss".into())),
+                ("count", Value::U(4)),
+                ("exact_tail", Value::B(true)),
+            ],
+        );
+        let line = e.to_json();
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("exact_tail"), Some(&crate::json::Json::Bool(true)));
+        // exact_tail is count-derived, thus deterministic for result metrics
+        // and kept; for activity metrics it is stripped with the other stats.
+        assert_eq!(
+            strip_timing(&line).unwrap(),
+            r#"{"ev":"hist","name":"train.epoch_loss","count":4,"exact_tail":true}"#
+        );
+        let act = Event::new(
+            "hist",
+            3,
+            vec![
+                ("name", Value::S("serve.latency_ms".into())),
+                ("count", Value::U(4)),
+                ("exact_tail", Value::B(true)),
+            ],
+        );
+        assert_eq!(strip_timing(&act.to_json()).unwrap(), r#"{"ev":"hist","name":"serve.latency_ms"}"#);
     }
 
     #[test]

@@ -272,4 +272,148 @@ mod tests {
         assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
         assert_eq!(parse("-2.5E-2").unwrap().as_f64(), Some(-0.025));
     }
+
+    #[test]
+    fn parses_deeply_nested_documents() {
+        // 128 levels of arrays, then of objects: the recursive-descent parser
+        // must handle depth well beyond anything the event stream produces.
+        const DEPTH: usize = 128;
+        let arrays = format!("{}7{}", "[".repeat(DEPTH), "]".repeat(DEPTH));
+        let mut v = &parse(&arrays).unwrap();
+        for _ in 0..DEPTH {
+            v = &v.as_arr().unwrap()[0];
+        }
+        assert_eq!(v.as_u64(), Some(7));
+
+        let objects =
+            format!("{}3{}", "{\"k\":".repeat(DEPTH), "}".repeat(DEPTH));
+        let mut v = &parse(&objects).unwrap();
+        for _ in 0..DEPTH {
+            v = v.get("k").unwrap();
+        }
+        assert_eq!(v.as_u64(), Some(3));
+    }
+
+    #[test]
+    fn decodes_every_escape_including_unicode() {
+        let doc = r#""a\"b\\c\/d\ne\tf\rg\bh\fiéA""#;
+        let parsed = parse(doc).unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c/d\ne\tf\rg\u{8}h\u{c}i\u{e9}A"));
+        // Escape writes control characters as \u escapes; the decoder must
+        // round-trip them.
+        let s = "\u{1} control \u{1f} and é plain";
+        assert_eq!(parse(&escape(s)).unwrap().as_str(), Some(s));
+        // Truncated and malformed escapes are rejected, not mangled.
+        assert!(parse(r#""\u00""#).is_err());
+        assert!(parse(r#""\u00zz""#).is_err());
+        assert!(parse(r#""\q""#).is_err());
+    }
+
+    /// Every `st-obs/2` event shape must round-trip through [`parse`]:
+    /// header, span (ids + self time + trace), op, counter, gauge, hist
+    /// (with the `exact_tail` bool), par, trace link, and epoch.
+    #[test]
+    fn round_trips_every_st_obs_2_event_shape() {
+        use crate::event::{Event, Value};
+        let shapes: Vec<Event> = vec![
+            Event::new("header", 0, vec![("schema", Value::S(crate::SCHEMA.into()))]),
+            Event::new(
+                "span",
+                10,
+                vec![
+                    ("name", Value::S("denoise_step".into())),
+                    ("path", Value::S("serve_batch/impute/denoise_step".into())),
+                    ("sid", Value::U(12)),
+                    ("parent", Value::U(11)),
+                    ("trace", Value::U(3)),
+                    ("t", Value::U(8)),
+                    ("dur_ns", Value::U(1234)),
+                    ("self_ns", Value::U(1200)),
+                ],
+            ),
+            Event::new(
+                "op",
+                20,
+                vec![
+                    ("phase", Value::S("fwd".into())),
+                    ("kind", Value::S("matmul".into())),
+                    ("calls", Value::U(4)),
+                    ("total_ns", Value::U(987)),
+                    ("elements", Value::U(4096)),
+                ],
+            ),
+            Event::new(
+                "counter",
+                30,
+                vec![("name", Value::S("pool.tasks".into())), ("value", Value::F(2.0))],
+            ),
+            Event::new(
+                "gauge",
+                40,
+                vec![("name", Value::S("train.loss".into())), ("value", Value::F(-0.25))],
+            ),
+            Event::new(
+                "hist",
+                50,
+                vec![
+                    ("name", Value::S("serve.latency_ms".into())),
+                    ("count", Value::U(3)),
+                    ("min", Value::F(0.5)),
+                    ("max", Value::F(2.5)),
+                    ("mean", Value::F(1.5)),
+                    ("p50", Value::F(1.0)),
+                    ("p99", Value::F(2.5)),
+                    ("p999", Value::F(2.5)),
+                    ("exact_tail", Value::B(true)),
+                ],
+            ),
+            Event::new(
+                "par",
+                60,
+                vec![
+                    ("label", Value::S("matmul".into())),
+                    ("dispatches", Value::U(2)),
+                    ("chunks", Value::U(8)),
+                    ("accept", Value::U(2)),
+                    ("reject", Value::U(1)),
+                    ("threads", Value::U(4)),
+                    ("busy_ns", Value::U(500)),
+                    ("span_ns", Value::U(200)),
+                    ("eff_pct", Value::F(62.5)),
+                ],
+            ),
+            Event::new(
+                "trace",
+                70,
+                vec![("trace", Value::U(5)), ("batch", Value::U(9)), ("request", Value::U(41))],
+            ),
+            Event::new(
+                "epoch",
+                80,
+                vec![
+                    ("epoch", Value::U(1)),
+                    ("loss", Value::F(0.125)),
+                    ("grad_norm", Value::F(1.5)),
+                    ("lr", Value::F(0.001)),
+                    ("wps", Value::F(1e6)),
+                ],
+            ),
+        ];
+        for e in shapes {
+            let line = e.to_json();
+            let parsed = parse(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert_eq!(parsed.get("ev").and_then(Json::as_str), Some(e.kind));
+            assert_eq!(parsed.get("t_ns").and_then(Json::as_u64), Some(e.t_ns as u64));
+            for (k, v) in &e.fields {
+                let got = parsed.get(k).unwrap_or_else(|| panic!("{line}: missing {k}"));
+                match v {
+                    Value::U(n) => assert_eq!(got.as_u64(), Some(*n), "{line}: {k}"),
+                    Value::I(n) => assert_eq!(got.as_f64(), Some(*n as f64), "{line}: {k}"),
+                    Value::F(f) => assert_eq!(got.as_f64(), Some(*f), "{line}: {k}"),
+                    Value::S(s) => assert_eq!(got.as_str(), Some(s.as_str()), "{line}: {k}"),
+                    Value::B(b) => assert_eq!(got, &Json::Bool(*b), "{line}: {k}"),
+                }
+            }
+        }
+    }
 }

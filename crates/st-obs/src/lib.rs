@@ -24,14 +24,21 @@
 //! assert!(std::fs::read_to_string(&jsonl).unwrap().lines().count() >= 3);
 //! ```
 //!
-//! ## Event stream contract (`st-obs/1`)
+//! ## Event stream contract (`st-obs/2`)
 //!
 //! One flat JSON object per line. `ev` is the kind, `t_ns` nanoseconds since
 //! the recorder was installed (monotonic-relative — never wall clock).
-//! Timing-dependent fields are exactly those matched by
-//! [`event::is_timing_field`] (`*_ns` and `wps`); [`strip_timing`] removes
-//! them, and two same-seed runs must then be byte-identical. See
-//! DESIGN.md §"Observability" for the full schema.
+//! Spans form a tree: each `span` event carries a stream-unique `sid`, its
+//! parent's `parent` id (omitted at the root), an optional request-scoped
+//! `trace` id (see [`trace_scope`]), and both `dur_ns` and `self_ns`.
+//! Parallel regions aggregate per-dispatch telemetry into `par` events with
+//! a computed efficiency. Run-varying fields are exactly those matched by
+//! [`event::is_timing_field`] (`*_ns` and `wps`) and
+//! [`event::is_id_field`] (`sid`/`parent`/`trace`/`batch`) plus the
+//! activity/dispatch statistics; [`strip_timing`] removes them all, and two
+//! same-seed runs — at any `ST_PAR_THREADS` — must then be byte-identical.
+//! See DESIGN.md §13 for the full schema and migration notes from
+//! `st-obs/1`.
 
 #![warn(missing_docs)]
 
@@ -40,10 +47,11 @@ pub mod json;
 pub mod recorder;
 pub mod sink;
 
-pub use event::{is_timing_field, strip_timing, Event, Value, SCHEMA};
+pub use event::{is_id_field, is_timing_field, strip_timing, Event, Value, SCHEMA};
 pub use recorder::{
-    counter_add, emit, flush, gauge_set, hist_record, install, is_enabled, op_start, record_op,
-    span, span_with, OpStart, Phase, RecorderGuard, SpanGuard,
+    counter_add, counter_agg, current_trace, emit, flush, gauge_set, hist_record, install,
+    is_enabled, next_trace_id, op_start, record_op, record_par_dispatch, record_par_gate, span,
+    span_with, trace_scope, OpStart, Phase, RecorderGuard, SpanGuard, TraceGuard,
 };
 pub use sink::{JsonlSink, JsonlWriter, Sink, SummarySink};
 
@@ -74,6 +82,12 @@ impl From<f64> for Value {
 impl From<f32> for Value {
     fn from(v: f32) -> Self {
         Value::F(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::B(v)
     }
 }
 

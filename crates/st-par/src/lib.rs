@@ -40,18 +40,33 @@
 //! determinism tests can exercise real multi-threading even on single-core
 //! hosts.
 //!
-//! When a recorder is installed, `st-obs` gauges/counters expose the pool:
-//! `pool.threads` (capacity), `pool.active_threads`, `pool.tasks`,
-//! `pool.chunks`, `pool.caller_chunks` / `pool.worker_chunks` (who actually
-//! ran the work — the worker share is the "steal" depth), and
-//! `pool.inline_runs` (dispatches that stayed on the caller).
+//! ## Telemetry
+//!
+//! Every entry point takes a `&'static str` **label** naming the parallel
+//! region (`"matmul"`, `"conv1d_fwd"`, …). When an `st-obs` recorder is
+//! installed, each dispatch records per-label telemetry aggregated by the
+//! recorder and emitted at flush:
+//!
+//! * `par` events — dispatch/chunk counts, [`worthwhile`] accept/reject
+//!   tallies, per-thread busy nanoseconds summed across participants, and
+//!   the computed efficiency `eff_pct = Σbusy / Σ(threads × span)`;
+//! * aggregated `pool.*` counters — `pool.inline_runs`, `pool.tasks`,
+//!   `pool.chunks`, `pool.caller_chunks` / `pool.worker_chunks` (who
+//!   actually ran the work — the worker share is the "steal" depth) — all
+//!   five names recorded on *every* dispatch (zero deltas included) so the
+//!   flushed name set is identical across `ST_PAR_THREADS` values;
+//! * a `pool.active_threads` gauge from [`set_threads`].
+//!
+//! Workers never talk to the recorder; only the dispatching thread does, so
+//! event count and order are a pure function of the dispatch sequence.
 
 #![warn(missing_docs)]
 
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// The pool always keeps capacity for at least this many threads, so
 /// [`set_threads`] can exercise genuine multi-threading (determinism tests,
@@ -106,8 +121,16 @@ pub fn set_threads(n: usize) -> usize {
 
 /// Shape-only gate: is `work` (total output elements / flops of the whole
 /// dispatch) big enough to be worth handing to the pool?
-pub fn worthwhile(work: usize) -> bool {
-    threads() > 1 && work >= MIN_PAR_ELEMS
+///
+/// The decision is recorded under `label` (accept/reject tallies on the
+/// flushed `par` event), so a profile can show which regions never clear the
+/// [`MIN_PAR_ELEMS`] threshold. Call sites must gate unconditionally — the
+/// recorded label set is part of the cross-thread-count determinism
+/// contract.
+pub fn worthwhile(label: &'static str, work: usize) -> bool {
+    let accepted = threads() > 1 && work >= MIN_PAR_ELEMS;
+    st_obs::record_par_gate(label, accepted);
+    accepted
 }
 
 // ---------------------------------------------------------------------------
@@ -127,6 +150,14 @@ struct Task {
     next: AtomicUsize,
     /// Chunks not yet finished; the decrement to zero signals `done`.
     remaining: AtomicUsize,
+    /// Nanoseconds spent executing chunks, summed over all participating
+    /// threads (caller included). Only accumulated while a recorder is
+    /// installed; each chunk's time is added *before* its `remaining`
+    /// decrement, so the release-sequence on `remaining` makes every
+    /// contribution visible to the dispatcher once `wait` returns.
+    busy_ns: AtomicU64,
+    /// Threads that executed at least one chunk (caller included).
+    participants: AtomicUsize,
     /// First panic payload raised inside a chunk, re-thrown by the caller.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     done: Mutex<bool>,
@@ -145,6 +176,8 @@ impl Task {
             n,
             next: AtomicUsize::new(0),
             remaining: AtomicUsize::new(n),
+            busy_ns: AtomicU64::new(0),
+            participants: AtomicUsize::new(0),
             panic: Mutex::new(None),
             done: Mutex::new(false),
             cv: Condvar::new(),
@@ -154,12 +187,17 @@ impl Task {
     /// Claim and run chunks until none are left. Returns how many this
     /// thread executed.
     fn work(&self) -> usize {
+        let timed = st_obs::is_enabled();
         let mut ran = 0usize;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.n {
                 return ran;
             }
+            if ran == 0 {
+                self.participants.fetch_add(1, Ordering::Relaxed);
+            }
+            let t0 = if timed { Some(Instant::now()) } else { None };
             // SAFETY: the caller of `run` is still inside `wait`, so the
             // borrow behind `f` is alive.
             let f = unsafe { &*self.f };
@@ -167,6 +205,10 @@ impl Task {
             if let Err(payload) = outcome {
                 let mut slot = self.panic.lock().unwrap();
                 slot.get_or_insert(payload);
+            }
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                self.busy_ns.fetch_add(ns, Ordering::Relaxed);
             }
             ran += 1;
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -228,26 +270,50 @@ fn pool() -> &'static Pool {
                 senders.push(tx);
             }
         }
-        st_obs::gauge_set("pool.threads", (senders.len() + 1) as f64);
+        // No telemetry here on purpose: the pool is built lazily on the
+        // first multi-threaded dispatch, so an event emitted from this path
+        // would exist at ST_PAR_THREADS=4 but not =1, breaking the
+        // cross-thread-count stream-identity contract. Capacity is implied
+        // by the `pool.active_threads` gauge from `set_threads`.
         Pool { senders }
     })
 }
 
-/// Run `f(i)` for every `i` in `0..n`, possibly on pool workers.
+/// Record the full `pool.*` counter set for one dispatch. Zero deltas are
+/// recorded too: the aggregated-counter name set (which survives
+/// `strip_timing`) must not depend on which path the dispatch took or on
+/// the active thread count.
+fn record_pool_counters(inline: u64, tasks: u64, chunks: u64, caller: u64, worker: u64) {
+    st_obs::counter_agg("pool.inline_runs", inline as f64);
+    st_obs::counter_agg("pool.tasks", tasks as f64);
+    st_obs::counter_agg("pool.chunks", chunks as f64);
+    st_obs::counter_agg("pool.caller_chunks", caller as f64);
+    st_obs::counter_agg("pool.worker_chunks", worker as f64);
+}
+
+/// Run `f(i)` for every `i` in `0..n`, possibly on pool workers, recording
+/// per-dispatch telemetry under `label`.
 ///
 /// `n` and what each index computes must derive from the problem shape only;
 /// each index must touch state disjoint from every other index. Runs inline
 /// when `n <= 1`, when one thread is active, or when called from inside a
 /// pool worker (nested dispatch).
-pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
+pub fn run(label: &'static str, n: usize, f: &(dyn Fn(usize) + Sync)) {
     if n == 0 {
         return;
     }
+    let timed = st_obs::is_enabled();
     let t = threads();
     if n == 1 || t <= 1 || IN_WORKER.with(|w| w.get()) {
-        st_obs::counter_add("pool.inline_runs", 1.0);
+        let t0 = if timed { Some(Instant::now()) } else { None };
         for i in 0..n {
             f(i);
+        }
+        if let Some(t0) = t0 {
+            // Inline: one thread, busy for the whole dispatch (eff = 100%).
+            let ns = t0.elapsed().as_nanos();
+            st_obs::record_par_dispatch(label, n as u64, 1, ns, ns);
+            record_pool_counters(1, 0, 0, 0, 0);
         }
         return;
     }
@@ -258,23 +324,28 @@ pub fn run(n: usize, f: &(dyn Fn(usize) + Sync)) {
     let task = Task::new(f_erased, n);
     let helpers = (t - 1).min(n - 1);
     let pool = pool();
+    let t0 = if timed { Some(Instant::now()) } else { None };
     for tx in pool.senders.iter().take(helpers) {
         // A worker whose channel died (spawn failure) is simply skipped;
         // remaining chunks are claimed by the caller and surviving workers.
         let _ = tx.send(Arc::clone(&task));
     }
-    st_obs::counter_add("pool.tasks", 1.0);
-    st_obs::counter_add("pool.chunks", n as f64);
     let ran = task.work();
     task.wait();
-    // Emitted unconditionally from the dispatching thread once every chunk
+    // Recorded unconditionally from the dispatching thread once every chunk
     // has finished: each chunk runs exactly once, so workers ran `n - ran`.
     // Keeping workers out of the recorder makes the event stream's count and
     // order a pure function of the dispatch sequence (the chunk *split*
     // between caller and workers — the values — stays scheduling-dependent;
-    // `strip_timing` drops `pool.*` values for exactly that reason).
-    st_obs::counter_add("pool.caller_chunks", ran as f64);
-    st_obs::counter_add("pool.worker_chunks", (n - ran) as f64);
+    // `strip_timing` drops `pool.*` and `par` values for exactly that
+    // reason).
+    if let Some(t0) = t0 {
+        let span_ns = t0.elapsed().as_nanos();
+        let busy_ns = u128::from(task.busy_ns.load(Ordering::Acquire));
+        let participants = task.participants.load(Ordering::Acquire) as u64;
+        st_obs::record_par_dispatch(label, n as u64, participants.max(1), busy_ns, span_ns);
+        record_pool_counters(0, 1, n as u64, ran as u64, (n - ran) as u64);
+    }
 }
 
 /// Raw-pointer wrapper so disjoint-slice closures can be `Sync`.
@@ -290,14 +361,15 @@ impl<T> SendPtr<T> {
 }
 
 /// Run `f(i)` for `i` in `0..n` (convenience over [`run`]).
-pub fn par_index(n: usize, f: impl Fn(usize) + Sync) {
-    run(n, &f);
+pub fn par_index(label: &'static str, n: usize, f: impl Fn(usize) + Sync) {
+    run(label, n, &f);
 }
 
 /// Split `data` into consecutive chunks of `chunk_len` (last may be short)
 /// and run `f(chunk_index, chunk)` for each — the chunk boundaries are a
 /// pure function of `data.len()` and `chunk_len`, never of the thread count.
 pub fn par_chunks_mut<T: Send>(
+    label: &'static str,
     data: &mut [T],
     chunk_len: usize,
     f: impl Fn(usize, &mut [T]) + Sync,
@@ -306,7 +378,7 @@ pub fn par_chunks_mut<T: Send>(
     let len = data.len();
     let n_chunks = len.div_ceil(chunk_len);
     let base = SendPtr(data.as_mut_ptr());
-    run(n_chunks, &|ci| {
+    run(label, n_chunks, &|ci| {
         let start = ci * chunk_len;
         let end = (start + chunk_len).min(len);
         // SAFETY: chunk `ci` covers `[start, end)`, disjoint from every other
@@ -319,11 +391,11 @@ pub fn par_chunks_mut<T: Send>(
 /// Compute `f(i)` for `i` in `0..n` and return the results **in index
 /// order**, so the caller can fold them with a thread-count-independent
 /// reduction order.
-pub fn par_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+pub fn par_map<R: Send>(label: &'static str, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     let mut slots: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(n);
     slots.resize_with(n, std::mem::MaybeUninit::uninit);
     let base = SendPtr(slots.as_mut_ptr());
-    run(n, &|i| {
+    run(label, n, &|i| {
         // SAFETY: slot `i` is written exactly once, by the single execution
         // of chunk `i`; `slots` outlives the dispatch.
         unsafe { (*base.get().add(i)).write(f(i)) };
@@ -352,7 +424,7 @@ mod tests {
         for t in [1, 2, 8] {
             set_threads(t);
             let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
-            par_index(103, |i| {
+            par_index("test", 103, |i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
             assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "threads={t}");
@@ -366,7 +438,7 @@ mod tests {
         let reference: Vec<u64> = {
             set_threads(1);
             let mut v = vec![0u64; 1000];
-            par_chunks_mut(&mut v, 64, |ci, chunk| {
+            par_chunks_mut("test", &mut v, 64, |ci, chunk| {
                 for (j, x) in chunk.iter_mut().enumerate() {
                     *x = (ci * 1_000_003 + j) as u64;
                 }
@@ -376,7 +448,7 @@ mod tests {
         for t in [2, 3, 8] {
             set_threads(t);
             let mut v = vec![0u64; 1000];
-            par_chunks_mut(&mut v, 64, |ci, chunk| {
+            par_chunks_mut("test", &mut v, 64, |ci, chunk| {
                 for (j, x) in chunk.iter_mut().enumerate() {
                     *x = (ci * 1_000_003 + j) as u64;
                 }
@@ -390,7 +462,7 @@ mod tests {
     fn par_map_preserves_index_order() {
         let _l = lock();
         set_threads(8);
-        let out = par_map(257, |i| i * i);
+        let out = par_map("test", 257, |i| i * i);
         assert_eq!(out.len(), 257);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
         set_threads(0);
@@ -403,7 +475,7 @@ mod tests {
         // matter how many threads computed the partials.
         let fold = |t: usize| -> u64 {
             set_threads(t);
-            let partials = par_map(37, |i| {
+            let partials = par_map("test", 37, |i| {
                 let mut acc = 0.0f32;
                 for j in 0..1000 {
                     acc += ((i * 1000 + j) as f32).sqrt() * 1e-3;
@@ -423,7 +495,7 @@ mod tests {
         let _l = lock();
         set_threads(4);
         let caught = std::panic::catch_unwind(|| {
-            par_index(64, |i| {
+            par_index("test", 64, |i| {
                 if i == 13 {
                     panic!("chunk 13 exploded");
                 }
@@ -440,9 +512,9 @@ mod tests {
         let _l = lock();
         set_threads(4);
         let outer: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
-        par_index(16, |i| {
+        par_index("test", 16, |i| {
             // Nested call: must complete inline on whichever thread runs it.
-            let inner = par_map(8, |j| j + i);
+            let inner = par_map("test", 8, |j| j + i);
             assert_eq!(inner.iter().sum::<usize>(), 28 + 8 * i);
             outer[i].fetch_add(1, Ordering::Relaxed);
         });
@@ -463,8 +535,8 @@ mod tests {
     fn empty_and_single_runs_are_inline() {
         let _l = lock();
         set_threads(8);
-        par_index(0, |_| panic!("must not run"));
-        run(1, &|i| {
+        par_index("test", 0, |_| panic!("must not run"));
+        run("test", 1, &|i| {
             assert_eq!(i, 0);
             // Single-chunk dispatches stay on the caller thread.
             assert!(!IN_WORKER.with(|w| w.get()));

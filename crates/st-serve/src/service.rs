@@ -169,6 +169,9 @@ pub fn request_rng(base_seed: u64, id: u64) -> StdRng {
 struct Pending {
     req: ImputeRequest,
     enqueued: Instant,
+    /// Request-scoped trace id, allocated at submission; `trace` events link
+    /// it to the coalesced batch the request was ultimately served in.
+    trace: u64,
     tx: mpsc::Sender<Result<ImputationResult>>,
 }
 
@@ -356,7 +359,12 @@ impl ImputeService {
                     shed: true,
                 });
             }
-            q.items.push_back(Pending { req, enqueued: Instant::now(), tx });
+            q.items.push_back(Pending {
+                req,
+                enqueued: Instant::now(),
+                trace: st_obs::next_trace_id(),
+                tx,
+            });
             st_obs::gauge_set("serve.queue_depth", q.items.len() as f64);
         }
         self.shared.notify.notify_one();
@@ -499,6 +507,22 @@ fn serve_batch(shared: &Shared, trained: &TrainedModel, widx: usize, batch: Vec<
 
     let sampler = live[0].req.sampler;
     let total_samples: usize = live.iter().map(|p| p.req.n_samples).sum();
+    // The whole coalesced batch runs under one batch-scoped trace id; a
+    // `trace` event per member links each request's submission-time trace to
+    // it, so every span below (serve_batch → impute → denoise_step) can be
+    // attributed back to the exact requests it served.
+    let batch_trace = st_obs::next_trace_id();
+    for p in &live {
+        st_obs::emit(
+            "trace",
+            vec![
+                ("trace", st_obs::Value::U(p.trace)),
+                ("batch", st_obs::Value::U(batch_trace)),
+                ("request", st_obs::Value::U(p.req.id)),
+            ],
+        );
+    }
+    let _trace = st_obs::trace_scope(batch_trace);
     let _span = st_obs::span!(
         "serve_batch",
         requests = live.len() as u64,

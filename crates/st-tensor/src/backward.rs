@@ -78,8 +78,8 @@ pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
                 let xd = xv.data();
                 let mut gs = NdArray::zeros(&[n, np]);
                 let gsd = gs.data_mut();
-                if st_par::worthwhile(bs * n * d * np) && bs > 1 {
-                    let partials = st_par::par_map(bs, |bi| {
+                if st_par::worthwhile("mpnn_bwd_gs", bs * n * d * np) && bs > 1 {
+                    let partials = st_par::par_map("mpnn_bwd_gs", bs, |bi| {
                         let mut part = vec![0.0f32; n * np];
                         matmul_transb_kernel(
                             &mut part,
@@ -330,7 +330,7 @@ fn conv1d_backward(
     // Per-batch partials, always — so the (gx, gw, gb) summation order is a
     // function of the batch split alone and identical at every thread count
     // (par_map runs the same per-batch closures inline when single-threaded).
-    let per_batch = st_par::par_map(bs, |bi| {
+    let per_batch = st_par::par_map("conv1d_bwd", bs, |bi| {
         let mut gxb = vec![0.0f32; l * cin];
         let mut gwb = vec![0.0f32; k * cin * cout];
         let mut gbb = vec![0.0f32; cout];

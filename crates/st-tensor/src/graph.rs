@@ -552,7 +552,7 @@ impl<'s> Graph<'s> {
         let bd = bv.data();
         let od = out.data_mut();
         // Batch-parallel: each batch writes only its own [l, cout] chunk.
-        crate::ndarray::batch_dispatch(od, l * cout, bs * l * k * cin * cout, |bi, chunk| {
+        crate::ndarray::batch_dispatch("conv1d_fwd", od, l * cout, bs * l * k * cin * cout, |bi, chunk| {
             for t in 0..l {
                 let orow = &mut chunk[t * cout..(t + 1) * cout];
                 orow.copy_from_slice(bd);

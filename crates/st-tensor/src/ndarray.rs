@@ -482,8 +482,8 @@ impl NdArray {
         assert_eq!(k, k2, "matmul inner dims: {:?} vs {:?}", self.shape, other.shape);
         let mut data = pool::zeroed(m * n);
         let (a, b) = (self.data.as_slice(), other.data.as_slice());
-        if st_par::worthwhile(m * n * k) && m > ROW_CHUNK {
-            st_par::par_chunks_mut(&mut data, ROW_CHUNK * n, |ci, chunk| {
+        if st_par::worthwhile("matmul", m * n * k) && m > ROW_CHUNK {
+            st_par::par_chunks_mut("matmul", &mut data, ROW_CHUNK * n, |ci, chunk| {
                 let i0 = ci * ROW_CHUNK;
                 let rows = chunk.len() / n;
                 matmul_kernel(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
@@ -503,8 +503,8 @@ impl NdArray {
         assert_eq!(k, k2, "matmul_transb inner dims: {:?} vs {:?}", self.shape, other.shape);
         let mut data = pool::zeroed(m * n);
         let (a, b) = (self.data.as_slice(), other.data.as_slice());
-        if st_par::worthwhile(m * n * k) && m > ROW_CHUNK {
-            st_par::par_chunks_mut(&mut data, ROW_CHUNK * n, |ci, chunk| {
+        if st_par::worthwhile("matmul_transb", m * n * k) && m > ROW_CHUNK {
+            st_par::par_chunks_mut("matmul_transb", &mut data, ROW_CHUNK * n, |ci, chunk| {
                 let i0 = ci * ROW_CHUNK;
                 let rows = chunk.len() / n;
                 matmul_transb_kernel(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
@@ -537,7 +537,7 @@ impl NdArray {
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
         let mut data = pool::zeroed(b * m * n);
         let (av, bv) = (self.data.as_slice(), other.data.as_slice());
-        batch_dispatch(&mut data, m * n, b * m * n * k, |i, chunk| {
+        batch_dispatch("batch_matmul", &mut data, m * n, b * m * n * k, |i, chunk| {
             matmul_kernel(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * k * n..(i + 1) * k * n], m, k, n);
         });
         NdArray::from_parts(vec![b, m, n], data)
@@ -553,7 +553,7 @@ impl NdArray {
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
         let mut data = pool::zeroed(b * m * n);
         let (av, bv) = (self.data.as_slice(), other.data.as_slice());
-        batch_dispatch(&mut data, m * n, b * m * n * k, |i, chunk| {
+        batch_dispatch("batch_matmul_transb", &mut data, m * n, b * m * n * k, |i, chunk| {
             matmul_transb_kernel(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * n * k..(i + 1) * n * k], m, k, n);
         });
         NdArray::from_parts(vec![b, m, n], data)
@@ -569,7 +569,7 @@ impl NdArray {
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
         let mut data = pool::zeroed(b * m * n);
         let (av, bv) = (self.data.as_slice(), other.data.as_slice());
-        batch_dispatch(&mut data, m * n, b * m * n * k, |i, chunk| {
+        batch_dispatch("batch_matmul_transa", &mut data, m * n, b * m * n * k, |i, chunk| {
             matmul_transa_kernel(chunk, &av[i * k * m..(i + 1) * k * m], &bv[i * k * n..(i + 1) * k * n], m, k, n);
         });
         NdArray::from_parts(vec![b, m, n], data)
@@ -585,7 +585,7 @@ impl NdArray {
         assert_eq!(np, np2, "shared matmul inner dims: s {:?} x {:?}", s.shape, self.shape);
         let mut data = pool::zeroed(b * n * d);
         let (sv, xv) = (s.data.as_slice(), self.data.as_slice());
-        batch_dispatch(&mut data, n * d, b * n * d * np, |i, chunk| {
+        batch_dispatch("matmul_shared_left", &mut data, n * d, b * n * d * np, |i, chunk| {
             matmul_kernel(chunk, sv, &xv[i * np * d..(i + 1) * np * d], n, np, d);
         });
         NdArray::from_parts(vec![b, n, d], data)
@@ -857,13 +857,14 @@ pub const ROW_CHUNK: usize = 32;
 /// on the `st-par` pool when `work` (total flops) warrants it, serially
 /// otherwise. Either way every chunk computes the same values.
 pub(crate) fn batch_dispatch(
+    label: &'static str,
     out: &mut [f32],
     per: usize,
     work: usize,
     f: impl Fn(usize, &mut [f32]) + Sync,
 ) {
-    if st_par::worthwhile(work) && out.len() > per {
-        st_par::par_chunks_mut(out, per, f);
+    if st_par::worthwhile(label, work) && out.len() > per {
+        st_par::par_chunks_mut(label, out, per, f);
     } else {
         for (i, chunk) in out.chunks_mut(per).enumerate() {
             f(i, chunk);

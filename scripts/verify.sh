@@ -115,4 +115,38 @@ cmp -s "$SMOKE_DIR/serve_a.stripped" "$SMOKE_DIR/serve_b.stripped" \
     || { echo "error: same-seed loadtest reports differ after timing strip" >&2; exit 1; }
 echo "loadtest: same-seed reports byte-identical modulo timing"
 
+echo "== pristi profile: determinism + leaf attribution gate =="
+"$PRISTI" profile --quick --out "$SMOKE_DIR/profile_a.json" \
+    --folded "$SMOKE_DIR/folded_a.txt" >/dev/null
+"$PRISTI" profile --quick --out "$SMOKE_DIR/profile_b.json" \
+    --folded "$SMOKE_DIR/folded_b.txt" >/dev/null
+grep -q '"schema": *"st-profile/1"' "$SMOKE_DIR/profile_a.json" \
+    || { echo "error: PROFILE report missing st-profile/1 schema" >&2; exit 1; }
+sed -E 's/"timing":\{[^}]*\}/"timing":{}/g' "$SMOKE_DIR/profile_a.json" > "$SMOKE_DIR/profile_a.stripped"
+sed -E 's/"timing":\{[^}]*\}/"timing":{}/g' "$SMOKE_DIR/profile_b.json" > "$SMOKE_DIR/profile_b.stripped"
+cmp -s "$SMOKE_DIR/profile_a.stripped" "$SMOKE_DIR/profile_b.stripped" \
+    || { echo "error: profile reports differ after timing strip" >&2; exit 1; }
+# >= 95% of root wall time must be attributed to leaf spans.
+LEAF_PCT="$(sed -nE 's/.*"leaf_pct": *([0-9]+(\.[0-9]+)?).*/\1/p' "$SMOKE_DIR/profile_a.json")"
+[ -n "$LEAF_PCT" ] || { echo "error: PROFILE report missing leaf_pct" >&2; exit 1; }
+awk -v p="$LEAF_PCT" 'BEGIN { exit !(p >= 95.0) }' \
+    || { echo "error: leaf attribution $LEAF_PCT% below the 95% gate" >&2; exit 1; }
+echo "profile: stripped reports byte-identical, leaf attribution ${LEAF_PCT}%"
+
+echo "== pristi bench --compare: regression gate =="
+# Fresh quick run vs the committed baseline must pass (generous threshold:
+# quick-run noise on this VM is +/-10-30%, see EXPERIMENTS.md).
+"$PRISTI" bench --compare results/BENCH_micro_baseline.json,BENCH_micro.json \
+    --threshold-pct 150 \
+    || { echo "error: bench compare against committed baseline failed" >&2; exit 1; }
+# The detector itself must fire: the committed fixture pair injects a 10x
+# regression, so compare must exit nonzero even at a 100% threshold.
+if "$PRISTI" bench --compare \
+    results/bench_compare_fixture_old.json,results/bench_compare_fixture_new.json \
+    --threshold-pct 100 >/dev/null; then
+    echo "error: bench compare passed the injected-regression fixture" >&2
+    exit 1
+fi
+echo "bench compare: baseline gate passes, injected regression detected"
+
 echo "verify: OK"

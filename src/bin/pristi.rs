@@ -12,6 +12,8 @@
 //!                 [--deadline-ms 30000] [--seed N] [--workers N]
 //! pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4] \
 //!                 [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]
+//! pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt] [--quick]
+//! pristi bench    --compare OLD,NEW [--threshold-pct P]
 //! ```
 //!
 //! `impute` trains PriSTI on the visible values of the panel (self-supervised
@@ -65,6 +67,8 @@ use std::time::Duration;
 // file would be auto-discovered as another binary — park it a level down.
 #[path = "pristi/loadtest.rs"]
 mod loadtest;
+#[path = "pristi/profile.rs"]
+mod profile;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +77,8 @@ fn main() -> ExitCode {
         Some("generate") => run_generate(parse_flags(&args[1..])),
         Some("serve") => run_serve(parse_flags(&args[1..])),
         Some("loadtest") => loadtest::run(&args[1..]),
+        Some("profile") => profile::run(&args[1..]),
+        Some("bench") => run_bench_compare(&args[1..]),
         Some("checkpoint") => match args.get(1).map(String::as_str) {
             Some("save") => run_checkpoint_save(parse_flags(&args[2..])),
             Some("load-verify") => run_checkpoint_verify(parse_flags(&args[2..])),
@@ -96,6 +102,83 @@ fn main() -> ExitCode {
             eprintln!("               [--deadline-ms N] [--seed N] [--workers N]   (JSONL requests on stdin)");
             eprintln!("  pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4]");
             eprintln!("                  [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]");
+            eprintln!("  pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt]");
+            eprintln!("                  [--quick]");
+            eprintln!("  pristi bench --compare OLD,NEW [--threshold-pct P]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `pristi bench --compare OLD,NEW [--threshold-pct P]` — diff two bench
+/// reports (`st-bench/1` or `st-serve-bench/1`, auto-detected) and exit
+/// nonzero when any entry regressed beyond the threshold or went missing.
+/// `OLD NEW` as two separate arguments is accepted too.
+fn run_bench_compare(args: &[String]) -> ExitCode {
+    let mut old_path: Option<String> = None;
+    let mut new_path: Option<String> = None;
+    let mut threshold_pct = 25.0f64;
+    let usage = || {
+        eprintln!("usage: pristi bench --compare OLD,NEW [--threshold-pct P]");
+        ExitCode::from(2)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--compare" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--compare needs OLD,NEW report paths");
+                    return usage();
+                };
+                if let Some((old, new)) = value.split_once(',') {
+                    old_path = Some(old.to_string());
+                    new_path = Some(new.to_string());
+                    i += 2;
+                } else {
+                    let Some(new) = args.get(i + 2).filter(|a| !a.starts_with("--")) else {
+                        eprintln!("--compare needs two report paths (OLD,NEW or OLD NEW)");
+                        return usage();
+                    };
+                    old_path = Some(value.clone());
+                    new_path = Some(new.clone());
+                    i += 3;
+                }
+            }
+            "--threshold-pct" => {
+                let parsed = args.get(i + 1).and_then(|v| v.parse::<f64>().ok());
+                let Some(p) = parsed else {
+                    eprintln!("--threshold-pct needs a numeric percentage");
+                    return usage();
+                };
+                threshold_pct = p;
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let (Some(old_path), Some(new_path)) = (old_path, new_path) else {
+        return usage();
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))
+    };
+    let outcome = read(&old_path)
+        .and_then(|old| read(&new_path).map(|new| (old, new)))
+        .and_then(|(old, new)| pristi_bench::compare_reports(&old, &new, threshold_pct));
+    match outcome {
+        Ok(out) => {
+            print!("{}", out.render_table());
+            if out.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench compare failed: {e}");
             ExitCode::from(2)
         }
     }

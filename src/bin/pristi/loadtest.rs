@@ -214,8 +214,9 @@ fn parse_opts(args: &[String]) -> Result<LoadtestOpts, String> {
 }
 
 /// Train the fallback model: tiny config, fixed-seed synthetic panel — a few
-/// seconds of work, deterministic for a given `--seed`.
-fn train_tiny_model(seed: u64) -> pristi_core::Result<TrainedModel> {
+/// seconds of work, deterministic for a given `--seed`. Also the pinned
+/// model behind `pristi profile`'s impute/serve phases.
+pub(crate) fn train_tiny_model(seed: u64) -> pristi_core::Result<TrainedModel> {
     let mut cfg = PristiConfig::small();
     cfg.d_model = 8;
     cfg.heads = 2;
@@ -247,7 +248,7 @@ fn train_tiny_model(seed: u64) -> pristi_core::Result<TrainedModel> {
 
 /// A pool of seeded request windows matching the model's shape: ~80 %
 /// observed cells, values drawn from the schedule RNG.
-fn synth_windows(seed: u64, n_nodes: usize, window_len: usize) -> Vec<Window> {
+pub(crate) fn synth_windows(seed: u64, n_nodes: usize, window_len: usize) -> Vec<Window> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x57_1F_D0_57);
     (0..8)
         .map(|_| {

@@ -72,9 +72,16 @@ fn temp_path(tag: &str) -> PathBuf {
 /// Returns `(line count after the post-train flush, trained model)` so
 /// callers can split the stream into a train part and an impute part.
 fn run_recorded(path: &PathBuf) -> (usize, TrainedModel) {
+    run_recorded_with_threads(path, 0)
+}
+
+/// [`run_recorded`] with an explicit `st-par` pool size (`TrainConfig::
+/// threads`, which `train` applies process-wide — the imputation after it
+/// runs at the same setting).
+fn run_recorded_with_threads(path: &PathBuf, threads: usize) -> (usize, TrainedModel) {
     let data = tiny_dataset();
     let guard = st_obs::install(vec![Box::new(st_obs::JsonlSink::create(path).unwrap())]);
-    let trained = train(&data, tiny_cfg(), &train_cfg()).unwrap();
+    let trained = train(&data, tiny_cfg(), &TrainConfig { threads, ..train_cfg() }).unwrap();
     // Aggregated op stats are emitted as deltas at each flush: everything up
     // to this line count is training telemetry, the rest is imputation.
     st_obs::flush();
@@ -190,6 +197,22 @@ fn telemetry_stream_covers_the_whole_pipeline() {
         assert!(e.get("elements").and_then(Json::as_u64).is_some());
     }
 
+    // st-obs/2 span tree: unique sids, self time bounded by duration, and
+    // every `parent` id refers to a span that was actually emitted.
+    let mut sids = std::collections::BTreeSet::new();
+    for e in events.iter().filter(|e| str_field(e, "ev") == "span") {
+        let sid = e.get("sid").and_then(Json::as_u64).expect("sid on every span");
+        assert!(sids.insert(sid), "duplicate span id {sid}");
+        let dur = e.get("dur_ns").and_then(Json::as_u64).expect("dur_ns");
+        let self_ns = e.get("self_ns").and_then(Json::as_u64).expect("self_ns");
+        assert!(self_ns <= dur, "self_ns {self_ns} > dur_ns {dur}");
+    }
+    for e in events.iter().filter(|e| str_field(e, "ev") == "span") {
+        if let Some(parent) = e.get("parent").and_then(Json::as_u64) {
+            assert!(sids.contains(&parent), "span parent {parent} never emitted");
+        }
+    }
+
     let _ = std::fs::remove_file(&path);
 }
 
@@ -255,6 +278,96 @@ fn same_seed_streams_identical_after_timing_strip() {
     }
     let _ = std::fs::remove_file(&p1);
     let _ = std::fs::remove_file(&p2);
+}
+
+/// The stripped stream must be invariant not just across same-seed runs but
+/// across `st-par` pool sizes: telemetry is aggregated and flushed in sorted
+/// order precisely so that 1-thread and 4-thread runs emit the same events
+/// in the same order (only the values inside timing fields may differ).
+#[test]
+fn streams_identical_across_thread_counts_after_timing_strip() {
+    let _g = lock();
+    let p1 = temp_path("thr1");
+    let p4 = temp_path("thr4");
+    run_recorded_with_threads(&p1, 1);
+    run_recorded_with_threads(&p4, 4);
+    let a = std::fs::read_to_string(&p1).unwrap();
+    let b = std::fs::read_to_string(&p4).unwrap();
+    let a_lines: Vec<&str> = a.lines().collect();
+    let b_lines: Vec<&str> = b.lines().collect();
+    assert_eq!(
+        a_lines.len(),
+        b_lines.len(),
+        "1-thread and 4-thread runs must emit the same event count"
+    );
+    for (i, (x, y)) in a_lines.iter().zip(&b_lines).enumerate() {
+        let sx = st_obs::strip_timing(x).unwrap_or_else(|e| panic!("line {i}: {e}"));
+        let sy = st_obs::strip_timing(y).unwrap_or_else(|e| panic!("line {i}: {e}"));
+        assert_eq!(sx, sy, "line {i} differs across thread counts:\n1: {x}\n4: {y}");
+    }
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}
+
+/// Request-scoped tracing through the serving stack: every submitted request
+/// gets a `trace` event linking its request trace to the batch trace, the
+/// worker's `serve_batch` span carries that batch trace, and so do the
+/// `denoise_step` spans of the imputation run inside the batch.
+#[test]
+fn serve_requests_carry_trace_ids_into_denoise_steps() {
+    let _g = lock();
+    let data = tiny_dataset();
+    let trained = train(&data, tiny_cfg(), &train_cfg()).unwrap();
+    let path = temp_path("serve_trace");
+    {
+        let _guard = st_obs::install(vec![Box::new(st_obs::JsonlSink::create(&path).unwrap())]);
+        let service = st_serve::ImputeService::start(
+            trained,
+            st_serve::ServeConfig { workers: 1, base_seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        for id in [5001u64, 5002] {
+            let w = data.window_at(0, 8);
+            service
+                .submit(st_serve::ImputeRequest {
+                    id,
+                    window: w,
+                    n_samples: 2,
+                    sampler: Sampler::Ddpm,
+                    tier: st_serve::AdmissionTier::Interactive,
+                    deadline: None,
+                })
+                .unwrap();
+        }
+        service.shutdown();
+    }
+    let events = parse_lines(&path);
+
+    let traces: Vec<&Json> = events.iter().filter(|e| str_field(e, "ev") == "trace").collect();
+    assert_eq!(traces.len(), 2, "one trace link event per request");
+    let mut request_traces = std::collections::BTreeSet::new();
+    for (expected_id, e) in [5001u64, 5002].iter().zip(&traces) {
+        assert_eq!(e.get("request").and_then(Json::as_u64), Some(*expected_id));
+        let req_trace = e.get("trace").and_then(Json::as_u64).expect("request trace id");
+        let batch_trace = e.get("batch").and_then(Json::as_u64).expect("batch trace id");
+        assert!(request_traces.insert(req_trace), "request trace ids must be unique");
+        let batch_spans: Vec<&Json> = events
+            .iter()
+            .filter(|s| {
+                str_field(s, "ev") == "span"
+                    && str_field(s, "name") == "serve_batch"
+                    && s.get("trace").and_then(Json::as_u64) == Some(batch_trace)
+            })
+            .collect();
+        assert_eq!(batch_spans.len(), 1, "exactly one serve_batch span per batch trace");
+        let denoise_in_batch = events.iter().any(|s| {
+            str_field(s, "ev") == "span"
+                && str_field(s, "name") == "denoise_step"
+                && s.get("trace").and_then(Json::as_u64) == Some(batch_trace)
+        });
+        assert!(denoise_in_batch, "denoise_step spans must carry the batch trace id");
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 /// With no recorder installed, training must run exactly as before — the
