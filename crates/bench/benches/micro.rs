@@ -1,14 +1,9 @@
-//! Micro-benchmarks for the hot paths of the PriSTI stack: attention
-//! forward/backward, message passing, one reverse diffusion step, linear
-//! interpolation, a full noise-prediction forward pass, per-step denoise cost
-//! with and without the prior cache, ensemble quantile extraction (cached
-//! sorted layout vs per-call resort), and micro-batched vs serial imputation
-//! serving.
+//! Thin CLI wrapper over [`pristi_bench::micro`] (the cases live in the
+//! library so `pristi bench --filter` can run them in-process too).
 //!
 //! This is a `harness = false` timing binary with no external benchmark
-//! framework: each case is warmed up, then timed over a fixed batch of
-//! iterations with `std::time::Instant`, reporting ns/iter. Run with
-//! `cargo bench -p pristi-bench` (append `-- <filter>` to run a subset).
+//! framework. Run with `cargo bench -p pristi-bench` (append `-- <filter>`
+//! to run a subset).
 //!
 //! Flags (after `--`):
 //!
@@ -17,393 +12,7 @@
 //!   (schema `st-bench/1`, one `{name, ns_per_iter, iters}` entry per case;
 //!   see EXPERIMENTS.md).
 
-use st_data::interpolate::linear_interpolate;
-use st_diffusion::{p_sample_step, DiffusionSchedule};
-use st_graph::{random_plane_layout, SensorGraph};
-use st_rand::SeedableRng;
-use st_rand::StdRng;
-use st_tensor::graph::Graph;
-use st_tensor::ndarray::NdArray;
-use st_tensor::nn::{Mpnn, MultiHeadAttention};
-use st_tensor::param::ParamStore;
-use std::hint::black_box;
-use std::time::Instant;
-
-const WARMUP_ITERS: u32 = 5;
-const MIN_SAMPLE_ITERS: u32 = 10;
-/// Keep timing until at least this much wall clock has been spent.
-const TARGET_NANOS: u128 = 200_000_000;
-/// `--quick` variants: enough for a CI smoke signal, not for a stable number.
-const QUICK_WARMUP_ITERS: u32 = 1;
-const QUICK_TARGET_NANOS: u128 = 10_000_000;
-
-/// One finished benchmark case.
-struct BenchResult {
-    name: String,
-    ns_per_iter: u128,
-    iters: u32,
-}
-
-/// Shared state for a bench run: CLI options plus collected results.
-struct Harness {
-    filter: Option<String>,
-    quick: bool,
-    results: Vec<BenchResult>,
-}
-
-impl Harness {
-    /// Time `f`, printing a criterion-style `name ... ns/iter` line and
-    /// recording the result for the optional JSON report.
-    fn bench(&mut self, name: &str, mut f: impl FnMut()) {
-        if let Some(pat) = &self.filter {
-            if !name.contains(pat.as_str()) {
-                return;
-            }
-        }
-        let (warmup, target) = if self.quick {
-            (QUICK_WARMUP_ITERS, QUICK_TARGET_NANOS)
-        } else {
-            (WARMUP_ITERS, TARGET_NANOS)
-        };
-        for _ in 0..warmup {
-            f();
-        }
-        let mut iters = 0u32;
-        let mut elapsed = 0u128;
-        while elapsed < target {
-            let start = Instant::now();
-            for _ in 0..MIN_SAMPLE_ITERS {
-                f();
-            }
-            elapsed += start.elapsed().as_nanos();
-            iters += MIN_SAMPLE_ITERS;
-        }
-        let per_iter = elapsed / u128::from(iters);
-        println!("{name:<45} {per_iter:>12} ns/iter ({iters} iters)");
-        self.results.push(BenchResult { name: name.to_string(), ns_per_iter: per_iter, iters });
-    }
-
-    /// Render the collected results as the `st-bench/1` JSON document.
-    fn to_json(&self) -> String {
-        let entries: Vec<String> = self
-            .results
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"name\":{},\"ns_per_iter\":{},\"iters\":{}}}",
-                    st_obs::json::escape(&r.name),
-                    r.ns_per_iter,
-                    r.iters
-                )
-            })
-            .collect();
-        format!(
-            "{{\"schema\":\"st-bench/1\",\"quick\":{},\"entries\":[{}]}}\n",
-            self.quick,
-            entries.join(",")
-        )
-    }
-}
-
-fn bench_attention(h: &mut Harness) {
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut store = ParamStore::new();
-    let attn = MultiHeadAttention::new(&mut store, "a", 32, 4, &mut rng);
-    let x_val = NdArray::randn(&[8, 24, 32], &mut rng);
-
-    h.bench("attention_forward_8x24x32", || {
-        let mut g = Graph::new_eval(&store);
-        let x = g.input(black_box(x_val.clone()));
-        let y = attn.forward_self(&mut g, x);
-        black_box(g.value(y).data()[0]);
-    });
-
-    let fwd_bwd = |store: &ParamStore, x_val: &NdArray| {
-        let mut g = Graph::new(store);
-        let x = g.input(black_box(x_val.clone()));
-        let y = attn.forward_self(&mut g, x);
-        let t = g.input(NdArray::zeros(&[8, 24, 32]));
-        let m = g.input(NdArray::ones(&[8, 24, 32]));
-        let loss = g.mse_masked(y, t, m);
-        black_box(g.backward(loss).len());
-    };
-
-    h.bench("attention_forward_backward_8x24x32", || fwd_bwd(&store, &x_val));
-
-    // Thread-scaling variants: the same case pinned to 1, 2, and max pool
-    // threads (see EXPERIMENTS.md — on a single-core host t2/tmax measure
-    // dispatch overhead, not speedup).
-    for (n, tag) in thread_scaling_points() {
-        st_par::set_threads(n);
-        h.bench(&format!("attention_forward_backward_8x24x32_{tag}"), || fwd_bwd(&store, &x_val));
-    }
-    st_par::set_threads(0);
-}
-
-/// The (thread count, entry-name suffix) points used for scaling entries;
-/// `scripts/verify.sh` greps BENCH_micro.json for the resulting names.
-fn thread_scaling_points() -> [(usize, &'static str); 3] {
-    [(1, "t1"), (2, "t2"), (st_par::max_threads(), "tmax")]
-}
-
-/// Dense-path matmul timing (satellite for the branch-free kernel change):
-/// the cache-blocked kernel no longer skips `a == 0.0` entries, so dense and
-/// half-zero inputs now run at the same speed — the dense entry tracks the
-/// win over the old branchy kernel, the half-zero entry documents the traded
-/// away masked-input shortcut.
-fn bench_matmul_kernels(h: &mut Harness) {
-    let mut rng = StdRng::seed_from_u64(7);
-    let a_dense = NdArray::randn(&[96, 96], &mut rng);
-    let b = NdArray::randn(&[96, 96], &mut rng);
-    let a_half_zero =
-        a_dense.zip_map(&NdArray::rand_uniform(&[96, 96], 0.0, 1.0, &mut rng), |v, u| {
-            if u < 0.5 {
-                0.0
-            } else {
-                v
-            }
-        });
-
-    h.bench("matmul_dense_96x96x96", || {
-        black_box(black_box(&a_dense).matmul(black_box(&b)));
-    });
-    h.bench("matmul_half_zero_96x96x96", || {
-        black_box(black_box(&a_half_zero).matmul(black_box(&b)));
-    });
-}
-
-fn bench_mpnn(h: &mut Harness) {
-    let mut rng = StdRng::seed_from_u64(2);
-    let graph = SensorGraph::from_coords(random_plane_layout(36, 40.0, 3), 0.1);
-    let (fwd, bwd) = graph.transition_matrices();
-    let mut store = ParamStore::new();
-    let mpnn = Mpnn::new(&mut store, "mp", 32, vec![fwd, bwd], 36, 2, 8, &mut rng);
-    let x_val = NdArray::randn(&[24, 36, 32], &mut rng);
-
-    h.bench("mpnn_forward_24x36x32", || {
-        let mut g = Graph::new_eval(&store);
-        let x = g.input(black_box(x_val.clone()));
-        let y = mpnn.forward(&mut g, x);
-        black_box(g.value(y).data()[0]);
-    });
-}
-
-fn bench_diffusion_step(h: &mut Harness) {
-    let schedule = DiffusionSchedule::pristi_default(50);
-    let mut rng = StdRng::seed_from_u64(4);
-    let x = NdArray::randn(&[8, 36, 24], &mut rng);
-    let eps = NdArray::randn(&[8, 36, 24], &mut rng);
-
-    h.bench("p_sample_step_8x36x24", || {
-        black_box(p_sample_step(&x, &eps, &schedule, 25, &mut rng));
-    });
-}
-
-fn bench_interpolation(h: &mut Harness) {
-    let mut rng = StdRng::seed_from_u64(5);
-    let values = NdArray::randn(&[36, 48], &mut rng);
-    let mask = NdArray::rand_uniform(&[36, 48], 0.0, 1.0, &mut rng).map(|v| f32::from(v > 0.3));
-
-    h.bench("linear_interpolate_36x48", || {
-        black_box(linear_interpolate(&values, &mask, 0.0));
-    });
-}
-
-fn bench_full_noise_predictor(h: &mut Harness) {
-    let mut rng = StdRng::seed_from_u64(6);
-    let graph = SensorGraph::from_coords(random_plane_layout(24, 30.0, 7), 0.1);
-    let mut cfg = pristi_core::PristiConfig::small();
-    cfg.d_model = 16;
-    cfg.heads = 4;
-    cfg.layers = 2;
-    cfg.time_emb_dim = 32;
-    cfg.node_emb_dim = 8;
-    cfg.step_emb_dim = 32;
-    cfg.virtual_nodes = 8;
-    let model = pristi_core::PristiModel::new(cfg, &graph, 24, &mut rng).unwrap();
-    let noisy = NdArray::randn(&[4, 24, 24], &mut rng);
-    let cond = NdArray::randn(&[4, 24, 24], &mut rng);
-
-    h.bench("pristi_eps_theta_forward_4x24x24", || {
-        black_box(model.predict_eps_eval(&noisy, &cond, 10));
-    });
-
-    for (n, tag) in thread_scaling_points() {
-        st_par::set_threads(n);
-        h.bench(&format!("pristi_eps_theta_forward_4x24x24_{tag}"), || {
-            black_box(model.predict_eps_eval(&noisy, &cond, 10));
-        });
-    }
-    st_par::set_threads(0);
-}
-
-/// Per-step denoise cost with and without the prior cache (the prior-cached
-/// inference tentpole): one full reverse step — ε-prediction plus the
-/// `p_sample` update — on an `[8, 36, 24]` batch. The uncached variant
-/// rebuilds `H^pri`, `U`, and every prior-derived attention weight matrix
-/// inside `predict_eps_eval`; the cached variant replays them from a
-/// `PriorCache` built once outside the timed region, running only the
-/// step-dependent noise path. Outputs are bitwise identical (pinned in
-/// `crates/core/tests/prior_cache.rs`); the delta is the per-step share of
-/// the step-invariant prior work.
-fn bench_prior_cache(h: &mut Harness) {
-    let mut rng = StdRng::seed_from_u64(12);
-    let graph = SensorGraph::from_coords(random_plane_layout(36, 40.0, 3), 0.1);
-    let mut cfg = pristi_core::PristiConfig::small();
-    cfg.d_model = 16;
-    cfg.heads = 4;
-    cfg.layers = 2;
-    cfg.time_emb_dim = 32;
-    cfg.node_emb_dim = 8;
-    cfg.step_emb_dim = 32;
-    cfg.virtual_nodes = 8;
-    let model = pristi_core::PristiModel::new(cfg, &graph, 24, &mut rng).unwrap();
-    let schedule = DiffusionSchedule::pristi_default(50);
-    let noisy = NdArray::randn(&[8, 36, 24], &mut rng);
-    // One request, 8 ensemble samples: the cache is built from the [1, N, L]
-    // deduplicated conditional, the uncached reference sees it replicated.
-    let cond_r = NdArray::randn(&[1, 36, 24], &mut rng);
-    let mut cond_b = NdArray::zeros(&[8, 36, 24]);
-    for s in 0..8 {
-        cond_b.data_mut()[s * 36 * 24..(s + 1) * 36 * 24].copy_from_slice(cond_r.data());
-    }
-
-    h.bench("p_sample_step_uncached_8x36x24", || {
-        let eps = model.predict_eps_eval(&noisy, &cond_b, 25);
-        black_box(p_sample_step(&noisy, &eps, &schedule, 25, &mut rng));
-    });
-
-    let cache = model.build_prior_cache(&cond_r, &[8]);
-    h.bench("p_sample_step_cached_8x36x24", || {
-        let eps = model.predict_eps_eval_cached(&cache, &noisy, 25);
-        black_box(p_sample_step(&noisy, &eps, &schedule, 25, &mut rng));
-    });
-}
-
-/// Quantile extraction from an imputation ensemble (satellite for the cached
-/// sorted layout): `quantile_cached` reads the position-major `[P, S]` sorted
-/// cache `ImputationResult` builds once, `quantile_resort` is the old
-/// behaviour — gather and re-sort every position's ensemble on every call.
-fn bench_quantile_cache(h: &mut Harness) {
-    let (s, n, l) = (32, 36, 24);
-    let mut rng = StdRng::seed_from_u64(8);
-    let samples: Vec<NdArray> = (0..s).map(|_| NdArray::randn(&[n, l], &mut rng)).collect();
-    let mask = NdArray::ones(&[n, l]);
-    let res = pristi_core::ImputationResult::new(samples.clone(), mask);
-    res.quantile(0.5); // build the cache outside the timed region
-
-    h.bench("quantile_cached_32x36x24", || {
-        black_box(res.quantile(black_box(0.9)));
-    });
-    h.bench("quantile_resort_32x36x24", || {
-        let mut out = NdArray::zeros(&[n, l]);
-        let mut buf = vec![0.0f32; s];
-        for p in 0..n * l {
-            for (si, sample) in samples.iter().enumerate() {
-                buf[si] = sample.data()[p];
-            }
-            buf.sort_unstable_by(f32::total_cmp);
-            out.data_mut()[p] = st_metrics::quantile_of_sorted(&buf, 0.9) as f32;
-        }
-        black_box(out);
-    });
-}
-
-/// Micro-batched serving vs one-at-a-time serving (the st-serve tentpole):
-/// the same four 2-sample requests run as one coalesced `impute_batch` call
-/// (one `predict_eps_eval` per denoise step for all of them) and as four
-/// serial `impute` calls. Same RNG streams, bitwise-identical outputs — the
-/// delta is pure batching throughput.
-fn bench_serve_batching(h: &mut Harness) {
-    use pristi_core::train::{train, TrainConfig};
-    use pristi_core::{
-        impute, impute_batch, impute_batch_with, BatchItem, ImputeOptions, PriorMode, Sampler,
-    };
-    use st_data::generators::{generate_air_quality, AirQualityConfig};
-    use st_data::missing::inject_point_missing;
-
-    let mut data = generate_air_quality(&AirQualityConfig {
-        n_nodes: 8,
-        n_days: 4,
-        seed: 9,
-        episodes_per_week: 0.0,
-        ..Default::default()
-    });
-    data.eval_mask = inject_point_missing(&data.observed_mask, 0.2, 10);
-    let mut cfg = pristi_core::PristiConfig::small();
-    cfg.d_model = 8;
-    cfg.heads = 2;
-    cfg.layers = 1;
-    cfg.t_steps = 8;
-    cfg.time_emb_dim = 8;
-    cfg.node_emb_dim = 4;
-    cfg.step_emb_dim = 8;
-    cfg.virtual_nodes = 4;
-    cfg.adaptive_dim = 2;
-    let tc = TrainConfig {
-        epochs: 1,
-        batch_size: 4,
-        window_len: 12,
-        window_stride: 12,
-        seed: 11,
-        ..Default::default()
-    };
-    let trained = train(&data, cfg, &tc).expect("bench training config is valid");
-    let windows = data.windows(st_data::dataset::Split::Test, 12, 12);
-    let reqs: Vec<_> = (0..4u64).map(|i| &windows[i as usize % windows.len()]).collect();
-    let opts = ImputeOptions { n_samples: 2, sampler: Sampler::Ddpm };
-
-    h.bench("serve_serial_4req_x2samples", || {
-        for (i, w) in reqs.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(100 + i as u64);
-            black_box(impute(&trained, w, &opts, &mut rng).expect("bench window is valid"));
-        }
-    });
-    h.bench("serve_batched_4req_x2samples", || {
-        let mut items: Vec<BatchItem<'_>> = reqs
-            .iter()
-            .enumerate()
-            .map(|(i, w)| BatchItem {
-                window: w,
-                n_samples: 2,
-                rng: StdRng::seed_from_u64(100 + i as u64),
-            })
-            .collect();
-        black_box(impute_batch(&trained, &mut items, opts.sampler).expect("bench batch is valid"));
-    });
-
-    // End-to-end prior-cache A/B on the same coalesced batch: identical
-    // requests and RNG streams, identical (bitwise) outputs — the delta is
-    // the step-invariant prior work the cache hoists out of the reverse loop.
-    let make_items = || -> Vec<BatchItem<'_>> {
-        reqs.iter()
-            .enumerate()
-            .map(|(i, w)| BatchItem {
-                window: w,
-                n_samples: 2,
-                rng: StdRng::seed_from_u64(100 + i as u64),
-            })
-            .collect()
-    };
-    h.bench("impute_cached_4req_x2samples", || {
-        let mut items = make_items();
-        black_box(
-            impute_batch_with(&trained, &mut items, opts.sampler, PriorMode::Cached)
-                .expect("bench batch is valid"),
-        );
-    });
-    h.bench("impute_uncached_4req_x2samples", || {
-        let mut items = make_items();
-        black_box(
-            impute_batch_with(&trained, &mut items, opts.sampler, PriorMode::Recompute)
-                .expect("bench batch is valid"),
-        );
-    });
-}
-
-/// Path the `--json` report is written to: the workspace root, so tooling
-/// (scripts/verify.sh, EXPERIMENTS.md readers) can find it without arguments.
-const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+use pristi_bench::micro::{run_all, MicroHarness, JSON_PATH};
 
 fn main() {
     // `cargo bench -- <filter>` forwards everything after `--` to us; accept
@@ -411,26 +20,17 @@ fn main() {
     // `--quick` / `--json` flags, and ignore harness flags like `--bench`
     // that cargo may inject.
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut h = Harness {
-        filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
-        quick: args.iter().any(|a| a == "--quick"),
-        results: Vec::new(),
-    };
+    let mut h = MicroHarness::new(
+        args.iter().find(|a| !a.starts_with('-')).cloned(),
+        args.iter().any(|a| a == "--quick"),
+    );
     let json = args.iter().any(|a| a == "--json");
 
-    bench_attention(&mut h);
-    bench_matmul_kernels(&mut h);
-    bench_mpnn(&mut h);
-    bench_diffusion_step(&mut h);
-    bench_interpolation(&mut h);
-    bench_full_noise_predictor(&mut h);
-    bench_prior_cache(&mut h);
-    bench_quantile_cache(&mut h);
-    bench_serve_batching(&mut h);
+    run_all(&mut h);
 
     if json {
         std::fs::write(JSON_PATH, h.to_json())
             .unwrap_or_else(|e| panic!("cannot write {JSON_PATH}: {e}"));
-        println!("wrote {} entries to {JSON_PATH}", h.results.len());
+        println!("wrote {} entries to {JSON_PATH}", h.results().len());
     }
 }

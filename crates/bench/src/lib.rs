@@ -28,9 +28,11 @@
 
 pub mod compare;
 pub mod datasets;
+pub mod micro;
 pub mod methods;
 pub mod report;
 pub mod scale;
+pub mod scaling;
 pub mod serve_report;
 
 pub use compare::{compare_reports, extract_metrics, CompareOutcome, CompareRow, Metric};

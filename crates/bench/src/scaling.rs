@@ -1,0 +1,85 @@
+//! Thread-scaling verdict shared by `pristi profile` and the dispatch-policy
+//! regression tests.
+//!
+//! `pristi profile` re-runs its forward workload pinned to 1 thread and to
+//! `st_par::max_threads()` and records per-op totals; the functions here turn
+//! that table into the report's verdict. Factored into the library so
+//! `crates/bench/tests/dispatch_policy.rs` can assert — against measured op
+//! totals — that `fwd.batch_matmul_transb` no longer regresses at tmax now
+//! that the per-label `st_par` policy keeps its sub-tile chunks inline.
+
+use std::collections::BTreeMap;
+
+/// Regression flag threshold: tmax is "regressing" when it takes >10 % more
+/// wall time than t1 for the same pinned work.
+pub const REGRESSION_RATIO: f64 = 1.10;
+
+/// `(op, t1_ns, tmax_ns, ratio)` of the worst regressing op: the largest
+/// tmax/t1 ratio among ops big enough to matter (≥1 % of scan-t1 time)
+/// whose absolute slowdown `tmax - t1` is also ≥1 % of scan-t1 time.
+///
+/// The absolute-delta bar keeps measurement noise out of the verdict: when
+/// every dispatch in the scan runs inline at both thread counts the two
+/// segments execute identical code, and a small op can still jitter past
+/// [`REGRESSION_RATIO`] in relative terms without threading having cost
+/// anything. An op only earns the verdict when threading measurably moved
+/// total runtime.
+///
+/// Keys are `"phase.kind"` op names, values `(t1_ns, tmax_ns)` totals.
+pub fn worst_scaling(scaling: &BTreeMap<String, (u64, u64)>) -> Option<(String, u64, u64, f64)> {
+    let t1_total: u64 = scaling.values().map(|&(t1, _)| t1).sum();
+    let floor = (t1_total / 100).max(1);
+    scaling
+        .iter()
+        .filter(|(_, &(t1, tmax))| t1 > floor && tmax.saturating_sub(t1) > floor)
+        .map(|(op, &(t1, tmax))| (op.clone(), t1, tmax, tmax as f64 / t1.max(1) as f64))
+        .max_by(|a, b| a.3.total_cmp(&b.3))
+}
+
+/// Whether a tmax/t1 ratio counts as a regression under [`REGRESSION_RATIO`].
+pub fn regresses(ratio: f64) -> bool {
+    ratio > REGRESSION_RATIO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[(&str, u64, u64)]) -> BTreeMap<String, (u64, u64)> {
+        rows.iter().map(|&(op, t1, tmax)| (op.to_string(), (t1, tmax))).collect()
+    }
+
+    #[test]
+    fn picks_largest_ratio_above_floor() {
+        let t = table(&[
+            ("fwd.matmul", 1_000_000, 1_050_000),
+            ("fwd.batch_matmul_transb", 200_000, 500_000),
+            ("fwd.add", 2, 100), // below the 1% floor: ignored
+        ]);
+        let (op, _, _, ratio) = worst_scaling(&t).unwrap();
+        assert_eq!(op, "fwd.batch_matmul_transb");
+        assert!(regresses(ratio));
+    }
+
+    #[test]
+    fn equal_path_totals_do_not_regress() {
+        let t = table(&[("fwd.matmul", 1_000_000, 1_000_000)]);
+        assert!(worst_scaling(&t).is_none(), "zero delta clears the absolute bar");
+    }
+
+    #[test]
+    fn relative_jitter_on_a_small_op_is_filtered() {
+        // 1.18x on an op whose absolute slowdown is < 1% of scan time is
+        // measurement noise, not a threading regression.
+        let t = table(&[
+            ("fwd.attention_qk", 30_000_000, 29_500_000),
+            ("fwd.concat_last", 800_000, 945_000),
+        ]);
+        assert!(worst_scaling(&t).is_none());
+    }
+
+    #[test]
+    fn empty_table_has_no_verdict() {
+        assert!(worst_scaling(&BTreeMap::new()).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Regression gate for the per-label `st_par` dispatch policy.
+//!
+//! The profile tentpole found `fwd.batch_matmul_transb` fanning its per-head
+//! attention panels (4×24 tiles, well under one `MR x NR` kernel tile of
+//! work) across the pool, so the tmax leg of `pristi profile` ran *slower*
+//! than the pinned single-thread leg. The fix is the per-label policy table
+//! in `st_par::policy`: matmul-family labels demand enough work per
+//! participant that sub-tile batches stay inline. This suite pins both
+//! halves:
+//!
+//! 1. deterministic assertions on the policy table and the `worthwhile` /
+//!    `chunk_items` gates at pinned thread counts, and
+//! 2. a measured mini-scan that replays the profile mechanism — the same
+//!    denoiser workload as `pristi_eps_theta_forward_4x24x24`, instrumented
+//!    via `st_obs` at 1 thread and at `max_threads()` — and asserts that
+//!    whatever op the scaling verdict names, it is not
+//!    `fwd.batch_matmul_transb` (and on this all-inline workload, that no op
+//!    regresses past the delta bar at all would be ideal, but only the
+//!    attention-batch claim is stable under CI noise).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use pristi_bench::scaling::{regresses, worst_scaling};
+use st_rand::SeedableRng;
+use st_rand::StdRng;
+use st_tensor::ndarray::NdArray;
+
+#[test]
+fn policy_table_pins_matmul_family_thresholds() {
+    // Batched attention products: panels are tiny, so the per-thread floor
+    // is high enough that the profile workload (≤ 96·24·16 ≈ 37k work per
+    // batch) never fans out.
+    for label in ["batch_matmul", "batch_matmul_transb", "batch_matmul_transa", "matmul_shared_left"]
+    {
+        let p = st_par::policy(label);
+        assert_eq!(p.min_work_per_thread, 128 * 1024, "{label}");
+        assert_eq!(p.min_chunk_work, 64 * 1024, "{label}");
+    }
+    // 2-D matmuls amortise better but still need most of a millisecond of
+    // kernel work per participant before the fan-out pays.
+    for label in ["matmul", "matmul_transb"] {
+        let p = st_par::policy(label);
+        assert_eq!(p.min_work_per_thread, 768 * 1024, "{label}");
+        assert_eq!(p.min_chunk_work, 64 * 1024, "{label}");
+    }
+    // Conv/MPNN backward loops have heavier per-element work.
+    for label in ["conv1d_fwd", "conv1d_bwd", "mpnn_bwd_gs"] {
+        let p = st_par::policy(label);
+        assert_eq!(p.min_work_per_thread, 64 * 1024, "{label}");
+        assert_eq!(p.min_chunk_work, 32 * 1024, "{label}");
+    }
+    // Unknown labels fall back to the generic floor.
+    let p = st_par::policy("anything_else");
+    assert_eq!(p.min_work_per_thread, st_par::MIN_PAR_ELEMS);
+    assert_eq!(p.min_chunk_work, st_par::MIN_PAR_ELEMS);
+}
+
+#[test]
+fn chunk_items_respects_kernel_tiles() {
+    // A chunk must carry at least `min_chunk_work` scalar ops. For the
+    // attention batches (per-item work = m·k·n of one head's panel), that
+    // means dozens of items per chunk — never the one-item-per-task splits
+    // that caused the regression.
+    let per_item = 4 * 16 * 24; // one [4,16]x[16,24] head panel
+    assert!(st_par::chunk_items("batch_matmul_transb", per_item) >= 32);
+    // Degenerate inputs still produce a positive chunk size.
+    assert!(st_par::chunk_items("batch_matmul_transb", 0) >= 1);
+    assert!(st_par::chunk_items("batch_matmul_transb", usize::MAX) >= 1);
+}
+
+#[test]
+fn worthwhile_gates_profile_sized_batches_inline() {
+    // Serialise against other tests that pin the pool width.
+    let _guard = THREADS.lock().unwrap();
+    st_par::set_threads(4);
+    // The profile workload's biggest attention batch: 96 panels of
+    // [4,24]x[24,4] work ≈ 37k scalar ops — far below 4 threads × 128k.
+    assert!(!st_par::worthwhile("batch_matmul_transb", 96 * 4 * 24 * 4));
+    // The gate opens once a batch really carries enough work to split.
+    assert!(st_par::worthwhile("batch_matmul_transb", 4 * 128 * 1024));
+    // Single-threaded pools never dispatch, regardless of work.
+    st_par::set_threads(1);
+    assert!(!st_par::worthwhile("batch_matmul_transb", usize::MAX / 2));
+    st_par::set_threads(0);
+}
+
+/// Global lock: `set_threads` is process-wide, so the measured scan and the
+/// `worthwhile` assertions must not interleave.
+static THREADS: Mutex<()> = Mutex::new(());
+
+struct Collect(Arc<Mutex<Vec<String>>>);
+impl st_obs::Sink for Collect {
+    fn event(&mut self, e: &st_obs::Event) {
+        self.0.lock().unwrap().push(e.to_json());
+    }
+}
+
+/// Parse an op event line into `("phase.kind", total_ns)`.
+fn parse(l: &str) -> Option<(String, u64)> {
+    if !l.contains("\"ev\":\"op\"") {
+        return None;
+    }
+    let i = l.find("\"phase\":\"")? + 9;
+    let phase = &l[i..i + l[i..].find('"')?];
+    let i = l.find("\"kind\":\"")? + 8;
+    let kind = &l[i..i + l[i..].find('"')?];
+    let pat = "\"total_ns\":";
+    let i = l.find(pat)? + pat.len();
+    let rest = &l[i..];
+    let end = rest.find([',', '}'])?;
+    Some((format!("{phase}.{kind}"), rest[..end].parse().ok()?))
+}
+
+/// Run the denoiser forward pinned at `threads`, return per-op totals.
+fn instrumented_forward(
+    model: &pristi_core::PristiModel,
+    noisy: &NdArray,
+    cond: &NdArray,
+    threads: usize,
+    iters: usize,
+) -> BTreeMap<String, u64> {
+    st_par::set_threads(threads);
+    let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let _rec = st_obs::install(vec![Box::new(Collect(Arc::clone(&lines)))]);
+        for _ in 0..iters {
+            let _ = std::hint::black_box(model.predict_eps_eval(noisy, cond, 10));
+        }
+    }
+    st_par::set_threads(0);
+    let mut totals = BTreeMap::new();
+    for l in lines.lock().unwrap().iter() {
+        if let Some((op, ns)) = parse(l) {
+            *totals.entry(op).or_insert(0u64) += ns;
+        }
+    }
+    totals
+}
+
+/// The measured gate: replay `pristi profile`'s thread-scaling scan on the
+/// denoiser hot path and assert the verdict no longer names the attention
+/// batch. This is the exact workload whose profile report motivated the
+/// per-label policy (see DESIGN.md §14).
+#[test]
+fn profile_scaling_verdict_clears_batch_matmul_transb() {
+    let _guard = THREADS.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let graph =
+        st_graph::SensorGraph::from_coords(st_graph::random_plane_layout(24, 30.0, 7), 0.1);
+    let mut cfg = pristi_core::PristiConfig::small();
+    cfg.d_model = 16;
+    cfg.heads = 4;
+    cfg.layers = 2;
+    cfg.time_emb_dim = 32;
+    cfg.node_emb_dim = 8;
+    cfg.step_emb_dim = 32;
+    cfg.virtual_nodes = 8;
+    let model = pristi_core::PristiModel::new(cfg, &graph, 24, &mut rng).unwrap();
+    let noisy = NdArray::randn(&[4, 24, 24], &mut rng);
+    let cond = NdArray::randn(&[4, 24, 24], &mut rng);
+    // Warm the allocator pool and code paths outside the measured region.
+    let _ = model.predict_eps_eval(&noisy, &cond, 10);
+
+    let iters = 3;
+    let t1 = instrumented_forward(&model, &noisy, &cond, 1, iters);
+    let tmax = instrumented_forward(&model, &noisy, &cond, st_par::max_threads(), iters);
+
+    let mut scaling: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (op, &a) in &t1 {
+        let b = tmax.get(op).copied().unwrap_or(0);
+        scaling.insert(op.clone(), (a, b));
+    }
+    assert!(!scaling.is_empty(), "no op events collected");
+
+    // With every matmul-family gate rejecting this workload, both legs run
+    // identical inline code; any verdict the delta bar lets through is
+    // jitter on some other op. The policy regression this pins: the verdict
+    // must never again name the attention score batches.
+    if let Some((op, t1_ns, tmax_ns, ratio)) = worst_scaling(&scaling) {
+        if regresses(ratio) {
+            assert_ne!(
+                op, "fwd.batch_matmul_transb",
+                "attention batches regressed again at tmax: {t1_ns}ns -> {tmax_ns}ns ({ratio:.2}x)"
+            );
+        }
+    }
+}

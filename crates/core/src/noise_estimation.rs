@@ -210,8 +210,7 @@ impl NoiseEstimationLayer {
         let proj = self.out_proj.forward(g, gated);
         let res_half = g.slice_last(proj, 0, d);
         let skip = g.slice_last(proj, d, d);
-        let summed = g.add(x, res_half);
-        let residual = g.scale(summed, std::f32::consts::FRAC_1_SQRT_2);
+        let residual = g.add_scale(x, res_half, std::f32::consts::FRAC_1_SQRT_2);
         (residual, skip)
     }
 
@@ -329,8 +328,7 @@ impl NoiseEstimationLayer {
         let proj = self.out_proj.forward(g, gated);
         let res_half = g.slice_last(proj, 0, d);
         let skip = g.slice_last(proj, d, d);
-        let summed = g.add(x, res_half);
-        let residual = g.scale(summed, std::f32::consts::FRAC_1_SQRT_2);
+        let residual = g.add_scale(x, res_half, std::f32::consts::FRAC_1_SQRT_2);
         (residual, skip)
     }
 }

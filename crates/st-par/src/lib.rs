@@ -73,10 +73,73 @@ use std::time::Instant;
 /// scaling benches) even when the host reports a single core.
 pub const MIN_CAPACITY: usize = 8;
 
-/// Work below this many output elements is not worth dispatching; callers
-/// use [`worthwhile`] as a shape-only gate (the threshold never changes what
-/// a chunk computes, only whether chunks run on the pool or inline).
+/// Default floor on *work per participating thread* below which a dispatch
+/// is not worth its wake-up/claim overhead; callers use [`worthwhile`] as a
+/// shape-only gate (the threshold never changes what a chunk computes, only
+/// whether chunks run on the pool or inline).
 pub const MIN_PAR_ELEMS: usize = 16 * 1024;
+
+/// Per-label dispatch policy: how much work a parallel region needs before
+/// fanning out, and how coarse its chunks should be. Calibrated from the
+/// PROFILE.json `par` table (see DESIGN.md §14) — the flat [`MIN_PAR_ELEMS`]
+/// gate let `batch_matmul_transb` fan 576-flop attention tiles out across 8
+/// threads, where dispatch overhead alone regressed `_tmax` 2× vs `_t1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Policy {
+    /// Dispatch only when `work >= threads() * min_work_per_thread`: below
+    /// that, each participant's share is smaller than the cost of waking it.
+    pub min_work_per_thread: usize,
+    /// Target work (same unit as the gate: flops or elements) per claimed
+    /// chunk. Callers size chunks as `ceil(min_chunk_work / per_item_work)`
+    /// items via [`chunk_items`], so one atomic claim covers enough work to
+    /// amortize itself and chunk counts stay near the thread count.
+    pub min_chunk_work: usize,
+}
+
+/// The dispatch policy for a parallel region label.
+///
+/// The table is static — a pure function of the label, never of the host or
+/// thread count — so chunk boundaries derived from it keep the shape-only
+/// determinism contract. Matmul-family labels quote work in flops
+/// (`m*n*k`-style) and need far more of it per thread than memory-bound
+/// element loops: their per-chunk state (the shared B panel, register tiles
+/// of the MR=4/NR=16 grid) is re-warmed per participant, so sub-tile chunks
+/// thrash caches instead of helping.
+pub fn policy(label: &str) -> Policy {
+    match label {
+        // Per-batch-element tiles are tiny (attention: m=n=24, k=head_dim 4
+        // → 2304 flops each); only very large batch counts justify fan-out,
+        // and chunks must group many elements to clear one claim's overhead.
+        "batch_matmul" | "batch_matmul_transb" | "batch_matmul_transa"
+        | "matmul_shared_left" => {
+            Policy { min_work_per_thread: 128 * 1024, min_chunk_work: 64 * 1024 }
+        }
+        // 2-D matmuls split into ROW_CHUNK row bands; each band re-reads the
+        // whole B panel, so bands below ~64k flops churn more than they win.
+        // The per-thread bar is high because the AVX2 kernel clears ~768k
+        // flops in well under 100 µs — fan-out below that loses to the wake
+        // cost (the profile's 1–4 Mflop denoiser matmuls regressed 1.3× at
+        // 8 threads under a 128k bar).
+        "matmul" | "matmul_transb" => {
+            Policy { min_work_per_thread: 768 * 1024, min_chunk_work: 64 * 1024 }
+        }
+        // Convolution / MPNN backward loops: flop-quoted like the matmuls.
+        "conv1d_fwd" | "conv1d_bwd" | "mpnn_bwd_gs" => {
+            Policy { min_work_per_thread: 64 * 1024, min_chunk_work: 32 * 1024 }
+        }
+        // Coarse outer loops (per-window training/imputation batches) whose
+        // items are whole model passes: always worth a thread each.
+        _ => Policy { min_work_per_thread: MIN_PAR_ELEMS, min_chunk_work: MIN_PAR_ELEMS },
+    }
+}
+
+/// Number of items one chunk should group so it carries at least the
+/// label's `min_chunk_work`: `ceil(min_chunk_work / per_item_work)`, at
+/// least 1. Pure function of (label, per-item work) — safe to derive chunk
+/// boundaries from.
+pub fn chunk_items(label: &str, per_item_work: usize) -> usize {
+    policy(label).min_chunk_work.div_ceil(per_item_work.max(1)).max(1)
+}
 
 /// Thread count requested by the environment: `ST_PAR_THREADS` if set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`].
@@ -120,15 +183,19 @@ pub fn set_threads(n: usize) -> usize {
 }
 
 /// Shape-only gate: is `work` (total output elements / flops of the whole
-/// dispatch) big enough to be worth handing to the pool?
+/// dispatch) big enough to be worth handing to the pool under `label`'s
+/// [`policy`]? Accepts when every participating thread would get at least
+/// `min_work_per_thread` of it — so raising the thread count *raises* the
+/// bar, instead of slicing fixed work ever thinner.
 ///
 /// The decision is recorded under `label` (accept/reject tallies on the
-/// flushed `par` event), so a profile can show which regions never clear the
-/// [`MIN_PAR_ELEMS`] threshold. Call sites must gate unconditionally — the
-/// recorded label set is part of the cross-thread-count determinism
-/// contract.
+/// flushed `par` event), so a profile can show which regions never clear
+/// their threshold. Call sites must gate unconditionally — the recorded
+/// label set is part of the cross-thread-count determinism contract. The
+/// gate only picks the execution path; chunk *values* never depend on it.
 pub fn worthwhile(label: &'static str, work: usize) -> bool {
-    let accepted = threads() > 1 && work >= MIN_PAR_ELEMS;
+    let t = threads();
+    let accepted = t > 1 && work >= policy(label).min_work_per_thread.saturating_mul(t);
     st_obs::record_par_gate(label, accepted);
     accepted
 }

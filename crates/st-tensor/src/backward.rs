@@ -6,18 +6,34 @@
 //! Each node's gradient rule is timed into the `bwd.<kind>` telemetry
 //! aggregate, mirroring the `fwd.<kind>` timing taken in
 //! [`crate::graph::Graph::push`].
+//!
+//! The walk also performs tape-buffer liveness reclamation: a node's
+//! forward value is only ever read by the gradient rules of its consumers
+//! (all at higher tape indices, already processed) and by its own rule, so
+//! once the walk passes index `i` the value at `i` is dead. [`backprop`]
+//! drops it there and then, returning the buffer to [`crate::pool`] where
+//! the gradient allocations of the remaining (lower-index) nodes
+//! immediately reuse it — roughly halving peak tape memory on a training
+//! step. This is why the tape is taken `&mut` and why forward values must
+//! be read *before* calling [`crate::graph::Graph::backward`].
 
 use crate::graph::{sigmoid_f, Gradients, Node, Op, Tx};
 use crate::ndarray::{matmul_transb_kernel, NdArray};
 
-/// Compute parameter gradients for the scalar node `loss`.
-pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
+/// Compute parameter gradients for the scalar node `loss`. Frees each
+/// node's forward value as the reverse walk passes it (see module docs).
+pub(crate) fn backprop(nodes: &mut [Node], loss: Tx) -> Gradients {
     let mut grads: Vec<Option<NdArray>> = vec![None; nodes.len()];
     grads[loss.0] = Some(NdArray::ones(nodes[loss.0].value.shape()));
     let mut out = Gradients::default();
 
     for i in (0..=loss.0).rev() {
-        let Some(g) = grads[i].take() else { continue };
+        let Some(g) = grads[i].take() else {
+            // Off the loss path, but the value is equally dead: no rule
+            // below index `i` can read it.
+            nodes[i].value = NdArray::zeros(&[0]);
+            continue;
+        };
         let t0 = st_obs::op_start();
         let g_elems = g.numel() as u64;
         match &nodes[i].op {
@@ -49,6 +65,18 @@ pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
                 let gb = nodes[a.0].value.matmul_transa(&g);
                 acc(&mut grads, nodes, *a, &ga);
                 acc(&mut grads, nodes, *b, &gb);
+            }
+            Op::MatmulBias { a, w, bias } => {
+                // Same rules as the unfused Matmul + broadcast-Add pair:
+                // the add passes the gradient through untouched, so a/w get
+                // the Op::Matmul rules and the bias gets the Add rule's
+                // row-sum reduction.
+                let ga = g.matmul_transb(&nodes[w.0].value);
+                let gw = nodes[a.0].value.matmul_transa(&g);
+                let gbias = g.reduce_to_shape(nodes[bias.0].value.shape());
+                acc(&mut grads, nodes, *a, &ga);
+                acc(&mut grads, nodes, *w, &gw);
+                acc(&mut grads, nodes, *bias, &gbias);
             }
             Op::BatchMatmul(a, b) => {
                 let ga = g.batch_matmul_transb(&nodes[b.0].value);
@@ -228,8 +256,73 @@ pub(crate) fn backprop(nodes: &[Node], loss: Tx) -> Gradients {
             Op::Conv1dCausal { x, w, b, dilation } => {
                 conv1d_backward(nodes, &mut grads, &g, *x, *w, *b, *dilation);
             }
+            Op::GatedUnit(x) => {
+                // Unfused chain: slice, slice, tanh, sigmoid, mul. tanh(a)
+                // and σ(b) are recomputed from the input (deterministic, and
+                // cheaper than keeping both activations on the tape). Each
+                // half's expression tree matches the unfused rules exactly —
+                // mul backward feeding the tanh/sigmoid zip_maps — including
+                // the trailing `+ 0.0` both halves pick up when the two
+                // slice-backwards scatter into a zeroed buffer (which
+                // normalises any -0.0 product to +0.0).
+                let xv = &nodes[x.0].value;
+                let last = *xv.shape().last().unwrap();
+                let half = last / 2;
+                let rows = xv.numel() / last;
+                let mut gx = NdArray::zeros(xv.shape());
+                let xd = xv.data();
+                let gd = g.data();
+                let gxd = gx.data_mut();
+                for r in 0..rows {
+                    let xrow = &xd[r * last..(r + 1) * last];
+                    let grow = &gd[r * half..(r + 1) * half];
+                    let orow = &mut gxd[r * last..(r + 1) * last];
+                    for j in 0..half {
+                        let ta = xrow[j].tanh();
+                        let sb = sigmoid_f(xrow[half + j]);
+                        let gv = grow[j];
+                        orow[j] = (gv * sb) * (1.0 - ta * ta) + 0.0;
+                        orow[half + j] = ((gv * ta) * sb) * (1.0 - sb) + 0.0;
+                    }
+                }
+                acc(&mut grads, nodes, *x, &gx);
+            }
+            Op::ScaledSoftmax(a, c) => {
+                // y = softmax(c·x); unfused: softmax backward
+                // (`yv * (gv - dot)`, sequential row dot) feeding a scale
+                // backward (`* c`) — fused into one pass with no
+                // intermediate gradient buffer.
+                let c = *c;
+                let y = &nodes[i].value;
+                let d = *y.shape().last().unwrap();
+                let rows = y.numel() / d;
+                let mut gx = NdArray::zeros(y.shape());
+                for r in 0..rows {
+                    let yrow = &y.data()[r * d..(r + 1) * d];
+                    let grow = &g.data()[r * d..(r + 1) * d];
+                    let dot: f32 = yrow.iter().zip(grow).map(|(&yv, &gv)| yv * gv).sum();
+                    let orow = &mut gx.data_mut()[r * d..(r + 1) * d];
+                    for ((o, &yv), &gv) in orow.iter_mut().zip(yrow).zip(grow) {
+                        *o = (yv * (gv - dot)) * c;
+                    }
+                }
+                acc(&mut grads, nodes, *a, &gx);
+            }
+            Op::AddScale(a, b, c) => {
+                // Unfused: scale backward (`g * c`) feeding an add backward
+                // whose reduce-to-shape is the identity (shapes asserted
+                // equal at the forward), so both operands get the same
+                // scaled gradient.
+                let gs = g.scale(*c);
+                acc(&mut grads, nodes, *a, &gs);
+                acc(&mut grads, nodes, *b, &gs);
+            }
         }
         st_obs::record_op(st_obs::Phase::Bwd, nodes[i].op.kind(), t0, g_elems);
+        // Liveness: every consumer of node `i` sits at a higher index and
+        // has already run; drop the forward value so the pool can serve it
+        // back as a gradient buffer for the nodes still to come.
+        nodes[i].value = NdArray::zeros(&[0]);
     }
     out
 }

@@ -59,6 +59,19 @@ pub(crate) enum Op {
     MseMasked { pred: Tx, target: Tx, mask: Tx },
     MaeMasked { pred: Tx, target: Tx, mask: Tx },
     Conv1dCausal { x: Tx, w: Tx, b: Tx, dilation: usize },
+    /// Fused `tanh(a) ⊙ σ(b)` over the two halves of the last axis
+    /// (replaces a slice/slice/tanh/sigmoid/mul chain — see
+    /// [`Graph::gated_unit`]).
+    GatedUnit(Tx),
+    /// Fused `softmax_last(x * c)` (replaces a scale/softmax chain — see
+    /// [`Graph::scaled_softmax_last`]).
+    ScaledSoftmax(Tx, f32),
+    /// Fused `(a + b) * c`, equal shapes (replaces an add/scale chain —
+    /// see [`Graph::add_scale`]).
+    AddScale(Tx, Tx, f32),
+    /// Fused linear layer `a [m,k] @ w [k,n] + bias [n]` (replaces a
+    /// matmul/broadcast-add chain — see [`Graph::matmul_bias`]).
+    MatmulBias { a: Tx, w: Tx, bias: Tx },
 }
 
 impl Op {
@@ -97,6 +110,10 @@ impl Op {
             Op::MseMasked { .. } => "mse_masked",
             Op::MaeMasked { .. } => "mae_masked",
             Op::Conv1dCausal { .. } => "conv1d_causal",
+            Op::GatedUnit(_) => "gated_unit",
+            Op::ScaledSoftmax(..) => "scaled_softmax",
+            Op::AddScale(..) => "add_scale",
+            Op::MatmulBias { .. } => "matmul_bias",
         }
     }
 }
@@ -315,6 +332,51 @@ impl<'s> Graph<'s> {
     }
 
     // ------------------------------------------------------------------
+    // Fused element-wise chains
+    //
+    // Each op below replaces a chain of primitive tape nodes with a single
+    // node: one value allocation instead of several, one forward pass over
+    // the operands, and one backward rule instead of a gradient buffer per
+    // link. All three are pinned bitwise identical to their unfused chains
+    // (forward and backward) by `tests/fusion_equivalence.rs`.
+    // ------------------------------------------------------------------
+
+    /// Fused WaveNet gate `tanh(a) ⊙ σ(b)` over the two halves of the last
+    /// axis (size `2d` in, `d` out). Replaces the five-node
+    /// slice/slice/tanh/sigmoid/mul chain.
+    pub fn gated_unit(&mut self, x: Tx) -> Tx {
+        let t0 = st_obs::op_start();
+        let v = self.nodes[x.0].value.gated_unit();
+        self.push(v, Op::GatedUnit(x), t0)
+    }
+
+    /// Fused `softmax_last(a * c)` (attention score scaling). Replaces the
+    /// scale/softmax chain and its backward's intermediate gradient buffer.
+    pub fn scaled_softmax_last(&mut self, a: Tx, c: f32) -> Tx {
+        let t0 = st_obs::op_start();
+        let v = self.nodes[a.0].value.scaled_softmax_last(c);
+        self.push(v, Op::ScaledSoftmax(a, c), t0)
+    }
+
+    /// Fused residual merge `(a + b) * c` (equal shapes only). Replaces the
+    /// add/scale chain.
+    pub fn add_scale(&mut self, a: Tx, b: Tx, c: f32) -> Tx {
+        let t0 = st_obs::op_start();
+        let v = self.nodes[a.0].value.add_scale(&self.nodes[b.0].value, c);
+        self.push(v, Op::AddScale(a, b, c), t0)
+    }
+
+    /// Fused linear layer `a @ w + bias` (see [`NdArray::matmul_bias`]).
+    /// Replaces the matmul/broadcast-add pair on the Linear hot path: the
+    /// bias is added while each output row is cache-hot, skipping one
+    /// allocation and one full pass over the `[m, n]` product.
+    pub fn matmul_bias(&mut self, a: Tx, w: Tx, bias: Tx) -> Tx {
+        let t0 = st_obs::op_start();
+        let v = self.nodes[a.0].value.matmul_bias(&self.nodes[w.0].value, &self.nodes[bias.0].value);
+        self.push(v, Op::MatmulBias { a, w, bias }, t0)
+    }
+
+    // ------------------------------------------------------------------
     // Linear algebra
     // ------------------------------------------------------------------
 
@@ -441,18 +503,21 @@ impl<'s> Graph<'s> {
         assert_eq!(self.nodes[gain.0].value.shape(), &[d], "layer_norm gain shape");
         assert_eq!(self.nodes[bias.0].value.shape(), &[d], "layer_norm bias shape");
         let rows = xv.numel() / d;
-        let mut out = xv.clone();
         let gv = self.nodes[gain.0].value.data();
         let bv = self.nodes[bias.0].value.data();
-        for r in 0..rows {
-            let row = &mut out.data_mut()[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        // dirty: the normalise pass writes every element, reading straight
+        // from the input rows (no working copy). The mean/var sums stay the
+        // sequential folds the repo's reduction contract pins.
+        let mut data = crate::pool::dirty(rows * d);
+        for (srow, drow) in xv.data().chunks_exact(d).zip(data.chunks_exact_mut(d)) {
+            let mean = srow.iter().sum::<f32>() / d as f32;
+            let var = srow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv = 1.0 / (var + eps).sqrt();
-            for (j, v) in row.iter_mut().enumerate() {
-                *v = gv[j] * (*v - mean) * inv + bv[j];
+            for (((dv, &sv), &gj), &bj) in drow.iter_mut().zip(srow).zip(gv).zip(bv) {
+                *dv = gj * (sv - mean) * inv + bj;
             }
         }
+        let out = NdArray::from_parts(xv.shape().to_vec(), data);
         self.push(out, Op::LayerNorm { x, gain, bias, eps }, t0)
     }
 
@@ -580,14 +645,19 @@ impl<'s> Graph<'s> {
 
     /// Run reverse-mode differentiation from scalar `loss`, returning
     /// gradients for every named parameter that influenced it.
-    pub fn backward(&self, loss: Tx) -> Gradients {
+    ///
+    /// Takes `&mut self` because the walk frees each node's forward value
+    /// as soon as its gradient rule has run (see [`crate::backward`]); the
+    /// tape must not be read through [`Graph::value`] afterwards. Callers
+    /// that need forward values (loss, predictions) read them first.
+    pub fn backward(&mut self, loss: Tx) -> Gradients {
         assert_eq!(
             self.nodes[loss.0].value.numel(),
             1,
             "backward requires a scalar loss, got shape {:?}",
             self.nodes[loss.0].value.shape()
         );
-        backprop(&self.nodes, loss)
+        backprop(&mut self.nodes, loss)
     }
 }
 

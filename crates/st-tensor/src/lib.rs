@@ -31,6 +31,7 @@ pub mod backward;
 pub mod graph;
 pub mod ndarray;
 pub mod pool;
+pub mod simd;
 pub mod nn;
 pub mod optim;
 pub mod param;

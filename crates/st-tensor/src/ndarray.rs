@@ -15,9 +15,12 @@
 //! (see DESIGN.md §9).
 
 use crate::pool;
+use crate::simd::{self, BinOp};
 use st_rand::Rng;
 use st_rand::{Distribution, Normal, Uniform};
 use std::sync::Arc;
+
+pub use crate::simd::{matmul_kernel, matmul_transa_kernel, matmul_transb_kernel};
 
 /// A dense row-major tensor of `f32` values with copy-on-write storage.
 ///
@@ -53,7 +56,7 @@ impl NdArray {
 
     /// Create a rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Self::from_parts(vec![1], vec![value])
+        Self::from_parts(vec![1], pool::AVec::from_slice(&[value]))
     }
 
     /// Create an array from a flat buffer; panics if sizes disagree.
@@ -67,9 +70,12 @@ impl NdArray {
         Self::from_parts(shape.to_vec(), data)
     }
 
-    /// Internal constructor from already-validated parts.
+    /// Internal constructor from already-validated parts. Accepts either a
+    /// pool-served [`pool::AVec`] (the hot paths) or a plain `Vec<f32>`
+    /// (cold constructors), which is copied into aligned storage.
     #[inline]
-    fn from_parts(shape: Vec<usize>, data: Vec<f32>) -> Self {
+    pub(crate) fn from_parts(shape: Vec<usize>, data: impl Into<pool::AVec>) -> Self {
+        let data = data.into();
         debug_assert_eq!(shape.iter().product::<usize>(), data.len());
         Self { shape, data: Arc::new(pool::Buffer::new(data)) }
     }
@@ -396,37 +402,156 @@ impl NdArray {
         NdArray::from_parts(out_shape, data)
     }
 
+    /// Broadcast binary arithmetic through the SIMD element-wise kernels
+    /// (see [`crate::simd`]): same-shape, scalar-operand, and contiguous
+    /// last-axis row cases run the vector loops; only the strided general
+    /// case falls back to the scalar odometer walk. Per element every path
+    /// applies the identical IEEE op, so results are bit-identical to
+    /// [`Self::broadcast_binary`] with the matching closure.
+    fn broadcast_op(&self, other: &NdArray, op: BinOp) -> NdArray {
+        if self.shape == other.shape {
+            let mut data = pool::dirty(self.data.len());
+            simd::binary(op, &mut data, &self.data, &other.data);
+            return NdArray::from_parts(self.shape.clone(), data);
+        }
+        if other.numel() == 1 && other.ndim() <= self.ndim() {
+            let b = other.data[0];
+            let mut data = pool::dirty(self.data.len());
+            simd::binary_scalar(op, &mut data, &self.data, b, false);
+            return NdArray::from_parts(self.shape.clone(), data);
+        }
+        if self.numel() == 1 && self.ndim() <= other.ndim() {
+            let a = self.data[0];
+            let mut data = pool::dirty(other.data.len());
+            simd::binary_scalar(op, &mut data, &other.data, a, true);
+            return NdArray::from_parts(other.shape.clone(), data);
+        }
+        let out_shape = broadcast_shape(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape)
+        });
+        let rank = out_shape.len();
+        let a_strides = broadcast_strides(&self.shape, &out_shape);
+        let b_strides = broadcast_strides(&other.shape, &out_shape);
+        let last = out_shape[rank - 1];
+        let rows = out_shape[..rank - 1].iter().product::<usize>();
+        let (a_last, b_last) = (a_strides[rank - 1], b_strides[rank - 1]);
+        let mut data = pool::dirty(rows * last);
+        let mut idx = vec![0usize; rank - 1];
+        let (a_buf, b_buf) = (self.data.as_slice(), other.data.as_slice());
+        for drow in data.chunks_exact_mut(last) {
+            let mut ai = 0;
+            let mut bi = 0;
+            for (d, &i) in idx.iter().enumerate() {
+                ai += i * a_strides[d];
+                bi += i * b_strides[d];
+            }
+            match (a_last, b_last) {
+                // Both contiguous along the last axis: vector row kernel.
+                (1, 1) => simd::binary(op, drow, &a_buf[ai..ai + last], &b_buf[bi..bi + last]),
+                // One side constant along the last axis (bias rows).
+                (1, 0) => {
+                    simd::binary_scalar(op, drow, &a_buf[ai..ai + last], b_buf[bi], false);
+                }
+                (0, 1) => {
+                    simd::binary_scalar(op, drow, &b_buf[bi..bi + last], a_buf[ai], true);
+                }
+                _ => {
+                    for (j, d) in drow.iter_mut().enumerate() {
+                        *d = op.apply(a_buf[ai + j * a_last], b_buf[bi + j * b_last]);
+                    }
+                }
+            }
+            for d in (0..rank - 1).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        NdArray::from_parts(out_shape, data)
+    }
+
     /// Element-wise addition with broadcasting.
     pub fn add(&self, other: &NdArray) -> NdArray {
-        self.broadcast_binary(other, |a, b| a + b)
+        self.broadcast_op(other, BinOp::Add)
     }
 
     /// Element-wise subtraction with broadcasting.
     pub fn sub(&self, other: &NdArray) -> NdArray {
-        self.broadcast_binary(other, |a, b| a - b)
+        self.broadcast_op(other, BinOp::Sub)
     }
 
     /// Element-wise multiplication with broadcasting.
     pub fn mul(&self, other: &NdArray) -> NdArray {
-        self.broadcast_binary(other, |a, b| a * b)
+        self.broadcast_op(other, BinOp::Mul)
     }
 
     /// Multiply every element by a scalar.
     pub fn scale(&self, c: f32) -> NdArray {
-        self.map(|x| x * c)
+        let mut data = pool::dirty(self.data.len());
+        simd::binary_scalar(BinOp::Mul, &mut data, &self.data, c, false);
+        NdArray::from_parts(self.shape.clone(), data)
     }
 
     /// Add a scalar to every element.
     pub fn add_scalar(&self, c: f32) -> NdArray {
-        self.map(|x| x + c)
+        let mut data = pool::dirty(self.data.len());
+        simd::binary_scalar(BinOp::Add, &mut data, &self.data, c, false);
+        NdArray::from_parts(self.shape.clone(), data)
     }
 
-    /// Accumulate `other * scale` into `self` (same shape).
+    /// Fused residual merge `(self + other) * c` (equal shapes only).
+    ///
+    /// One pass over the operands instead of an `add` materialising an
+    /// intermediate that a `scale` immediately re-reads. Per element the
+    /// expression performs the same two roundings (add, then mul) as the
+    /// unfused pair, so the result is bitwise identical.
+    pub fn add_scale(&self, other: &NdArray, c: f32) -> NdArray {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_scale requires equal shapes, got {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        let mut out = pool::dirty(self.data.len());
+        for ((o, &x), &y) in out.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = (x + y) * c;
+        }
+        NdArray::from_parts(self.shape.clone(), out)
+    }
+
+    /// Fused WaveNet gate: with last axis `2d`, returns `tanh(a) ⊙ σ(b)`
+    /// where `a` / `b` are the first / second halves of that axis.
+    ///
+    /// One pass over strided reads instead of materialising two slice
+    /// copies, a tanh map and a sigmoid map; every element goes through the
+    /// exact `tanh(a) * sigmoid_f(b)` expression the unfused chain computes,
+    /// so the result is bitwise identical.
+    pub fn gated_unit(&self) -> NdArray {
+        let last = *self.shape.last().expect("gated_unit needs rank >= 1");
+        assert_eq!(last % 2, 0, "gated_unit needs an even channel count, got {last}");
+        let half = last / 2;
+        let rows = self.numel() / last;
+        let mut shape = self.shape.clone();
+        *shape.last_mut().unwrap() = half;
+        let mut out = pool::dirty(rows * half);
+        let xd = self.data.as_slice();
+        for r in 0..rows {
+            let xrow = &xd[r * last..(r + 1) * last];
+            let orow = &mut out[r * half..(r + 1) * half];
+            for j in 0..half {
+                orow[j] = xrow[j].tanh() * crate::graph::sigmoid_f(xrow[half + j]);
+            }
+        }
+        NdArray::from_parts(shape, out)
+    }
+
+    /// Accumulate `other * scale` into `self` (same shape). Two roundings
+    /// per element (mul, then add) on every tier — never FMA.
     pub fn axpy(&mut self, scale: f32, other: &NdArray) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data.iter()) {
-            *a += scale * b;
-        }
+        let src = Arc::clone(&other.data);
+        simd::axpy(self.data_mut(), scale, src.as_slice());
     }
 
     /// Sum `self` down to `target_shape` (inverse of broadcasting).
@@ -480,16 +605,56 @@ impl NdArray {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {:?} vs {:?}", self.shape, other.shape);
-        let mut data = pool::zeroed(m * n);
+        // dirty: the overwriting kernel stores every output element (bit-
+        // identical to `+=` on a zeroed buffer), so the zeroing sweep is skipped.
+        let mut data = pool::dirty(m * n);
         let (a, b) = (self.data.as_slice(), other.data.as_slice());
-        if st_par::worthwhile("matmul", m * n * k) && m > ROW_CHUNK {
-            st_par::par_chunks_mut("matmul", &mut data, ROW_CHUNK * n, |ci, chunk| {
-                let i0 = ci * ROW_CHUNK;
+        let band = band_rows("matmul", n, k);
+        if st_par::worthwhile("matmul", m * n * k) && m > band {
+            st_par::par_chunks_mut("matmul", &mut data, band * n, |ci, chunk| {
+                let i0 = ci * band;
                 let rows = chunk.len() / n;
-                matmul_kernel(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+                simd::matmul_kernel_set(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
             });
         } else {
-            matmul_kernel(&mut data, a, b, m, k, n);
+            simd::matmul_kernel_set(&mut data, a, b, m, k, n);
+        }
+        NdArray::from_parts(vec![m, n], data)
+    }
+
+    /// Fused linear layer: `self [m,k] @ other [k,n] + bias [n]`.
+    ///
+    /// Same banded dispatch and kernels as [`Self::matmul`]; the bias row
+    /// is added to each output row while it is still cache-hot. Each
+    /// element sees exactly one extra IEEE add — the same op the separate
+    /// broadcast add performs — so the result is bitwise identical to
+    /// `matmul(other).add(bias)` with one fewer allocation and full-array
+    /// pass.
+    pub fn matmul_bias(&self, other: &NdArray, bias: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 2, "matmul_bias lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul_bias rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_bias inner dims: {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(bias.shape(), &[n], "matmul_bias bias must be [{n}], got {:?}", bias.shape);
+        let mut data = pool::dirty(m * n);
+        let (a, b) = (self.data.as_slice(), other.data.as_slice());
+        let bd = bias.data.as_slice();
+        let band = band_rows("matmul", n, k);
+        if st_par::worthwhile("matmul", m * n * k) && m > band {
+            st_par::par_chunks_mut("matmul", &mut data, band * n, |ci, chunk| {
+                let i0 = ci * band;
+                let rows = chunk.len() / n;
+                simd::matmul_kernel_set(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+                for row in chunk.chunks_exact_mut(n) {
+                    simd::add_inplace(row, bd);
+                }
+            });
+        } else {
+            simd::matmul_kernel_set(&mut data, a, b, m, k, n);
+            for row in data.chunks_exact_mut(n) {
+                simd::add_inplace(row, bd);
+            }
         }
         NdArray::from_parts(vec![m, n], data)
     }
@@ -501,16 +666,17 @@ impl NdArray {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_transb inner dims: {:?} vs {:?}", self.shape, other.shape);
-        let mut data = pool::zeroed(m * n);
+        let mut data = pool::dirty(m * n);
         let (a, b) = (self.data.as_slice(), other.data.as_slice());
-        if st_par::worthwhile("matmul_transb", m * n * k) && m > ROW_CHUNK {
-            st_par::par_chunks_mut("matmul_transb", &mut data, ROW_CHUNK * n, |ci, chunk| {
-                let i0 = ci * ROW_CHUNK;
+        let band = band_rows("matmul_transb", n, k);
+        if st_par::worthwhile("matmul_transb", m * n * k) && m > band {
+            st_par::par_chunks_mut("matmul_transb", &mut data, band * n, |ci, chunk| {
+                let i0 = ci * band;
                 let rows = chunk.len() / n;
-                matmul_transb_kernel(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+                simd::matmul_transb_kernel_set(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
             });
         } else {
-            matmul_transb_kernel(&mut data, a, b, m, k, n);
+            simd::matmul_transb_kernel_set(&mut data, a, b, m, k, n);
         }
         NdArray::from_parts(vec![m, n], data)
     }
@@ -522,8 +688,8 @@ impl NdArray {
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_transa inner dims: {:?} vs {:?}", self.shape, other.shape);
-        let mut data = pool::zeroed(m * n);
-        matmul_transa_kernel(&mut data, &self.data, &other.data, m, k, n);
+        let mut data = pool::dirty(m * n);
+        simd::matmul_transa_kernel_set(&mut data, &self.data, &other.data, m, k, n);
         NdArray::from_parts(vec![m, n], data)
     }
 
@@ -535,10 +701,10 @@ impl NdArray {
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "batch dims differ");
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
-        let mut data = pool::zeroed(b * m * n);
+        let mut data = pool::dirty(b * m * n);
         let (av, bv) = (self.data.as_slice(), other.data.as_slice());
         batch_dispatch("batch_matmul", &mut data, m * n, b * m * n * k, |i, chunk| {
-            matmul_kernel(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * k * n..(i + 1) * k * n], m, k, n);
+            simd::matmul_kernel_set(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * k * n..(i + 1) * k * n], m, k, n);
         });
         NdArray::from_parts(vec![b, m, n], data)
     }
@@ -551,10 +717,10 @@ impl NdArray {
         let (b2, n, k2) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "batch dims differ");
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
-        let mut data = pool::zeroed(b * m * n);
+        let mut data = pool::dirty(b * m * n);
         let (av, bv) = (self.data.as_slice(), other.data.as_slice());
         batch_dispatch("batch_matmul_transb", &mut data, m * n, b * m * n * k, |i, chunk| {
-            matmul_transb_kernel(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * n * k..(i + 1) * n * k], m, k, n);
+            simd::matmul_transb_kernel_set(chunk, &av[i * m * k..(i + 1) * m * k], &bv[i * n * k..(i + 1) * n * k], m, k, n);
         });
         NdArray::from_parts(vec![b, m, n], data)
     }
@@ -567,10 +733,10 @@ impl NdArray {
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "batch dims differ");
         assert_eq!(k, k2, "inner dims differ: {:?} vs {:?}", self.shape, other.shape);
-        let mut data = pool::zeroed(b * m * n);
+        let mut data = pool::dirty(b * m * n);
         let (av, bv) = (self.data.as_slice(), other.data.as_slice());
         batch_dispatch("batch_matmul_transa", &mut data, m * n, b * m * n * k, |i, chunk| {
-            matmul_transa_kernel(chunk, &av[i * k * m..(i + 1) * k * m], &bv[i * k * n..(i + 1) * k * n], m, k, n);
+            simd::matmul_transa_kernel_set(chunk, &av[i * k * m..(i + 1) * k * m], &bv[i * k * n..(i + 1) * k * n], m, k, n);
         });
         NdArray::from_parts(vec![b, m, n], data)
     }
@@ -583,10 +749,10 @@ impl NdArray {
         let (b, np, d) = (self.shape[0], self.shape[1], self.shape[2]);
         let (n, np2) = (s.shape[0], s.shape[1]);
         assert_eq!(np, np2, "shared matmul inner dims: s {:?} x {:?}", s.shape, self.shape);
-        let mut data = pool::zeroed(b * n * d);
+        let mut data = pool::dirty(b * n * d);
         let (sv, xv) = (s.data.as_slice(), self.data.as_slice());
         batch_dispatch("matmul_shared_left", &mut data, n * d, b * n * d * np, |i, chunk| {
-            matmul_kernel(chunk, sv, &xv[i * np * d..(i + 1) * np * d], n, np, d);
+            simd::matmul_kernel_set(chunk, sv, &xv[i * np * d..(i + 1) * np * d], n, np, d);
         });
         NdArray::from_parts(vec![b, n, d], data)
     }
@@ -615,6 +781,39 @@ impl NdArray {
             return self.clone();
         }
         let src_buf = self.data.as_slice();
+        // Head split/merge `[A,B,C,D] -> [A,C,B,D]`: the attention hot
+        // pattern. Plain nested loops instead of the odometer — same row
+        // copies in the same order, just without per-row index arithmetic
+        // through a Vec.
+        if rank == 4 && perm == [0, 2, 1, 3] {
+            let (a_n, b_n, c_n, d_n) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+            let mut data = pool::dirty(n);
+            let mut dst = 0;
+            for a in 0..a_n {
+                let abase = a * b_n * c_n * d_n;
+                for c in 0..c_n {
+                    let mut src = abase + c * d_n;
+                    for _ in 0..b_n {
+                        data[dst..dst + d_n].copy_from_slice(&src_buf[src..src + d_n]);
+                        dst += d_n;
+                        src += c_n * d_n;
+                    }
+                }
+            }
+            return NdArray::from_parts(out_shape, data);
+        }
+        // 2-D transpose: strided gather per output row, no odometer.
+        if rank == 2 && perm == [1, 0] {
+            let (r_n, c_n) = (self.shape[0], self.shape[1]);
+            let mut data = pool::dirty(n);
+            for j in 0..c_n {
+                let drow = &mut data[j * r_n..(j + 1) * r_n];
+                for (i, d) in drow.iter_mut().enumerate() {
+                    *d = src_buf[i * c_n + j];
+                }
+            }
+            return NdArray::from_parts(out_shape, data);
+        }
         // Fast path: last axis unchanged -> copy whole contiguous rows.
         if rank >= 2 && perm[rank - 1] == rank - 1 {
             let last = out_shape[rank - 1];
@@ -670,9 +869,8 @@ impl NdArray {
         let mut col_off = 0usize;
         for p in parts {
             let w = *p.shape.last().unwrap();
-            for r in 0..rows {
-                data[r * last_total + col_off..r * last_total + col_off + w]
-                    .copy_from_slice(&p.data[r * w..(r + 1) * w]);
+            for (drow, srow) in data.chunks_exact_mut(last_total).zip(p.data.chunks_exact(w)) {
+                drow[col_off..col_off + w].copy_from_slice(srow);
             }
             col_off += w;
         }
@@ -703,65 +901,43 @@ impl NdArray {
         let last = *self.shape.last().expect("softmax on 0-rank array");
         let rows = self.numel() / last;
         let src = self.data.as_slice();
+        // Tier resolved once: attention runs tens of thousands of short
+        // rows per pass, so per-row dispatch through `active_tier()` costs
+        // more than the row kernels themselves.
+        let tier = simd::active_tier();
         // dirty: the exp pass writes every element before it is read.
         let mut data = pool::dirty(rows * last);
-        for r in 0..rows {
-            let srow = &src[r * last..(r + 1) * last];
-            let drow = &mut data[r * last..(r + 1) * last];
-            let mx = row_max(srow);
-            // exp_nonpos is branch-free, so this loop vectorizes too.
-            for (d, &s) in drow.iter_mut().zip(srow.iter()) {
-                *d = exp_nonpos(s - mx);
-            }
-            let inv = 1.0 / row_sum(drow);
-            for d in drow.iter_mut() {
-                *d *= inv;
-            }
+        for (srow, drow) in src.chunks_exact(last).zip(data.chunks_exact_mut(last)) {
+            drow.copy_from_slice(srow);
+            simd::softmax_row_at(tier, drow);
         }
         NdArray::from_parts(self.shape.clone(), data)
     }
-}
 
-/// Max of a row via four independent lanes (vectorizable, unlike a single
-/// sequential `max` chain). Max is associative, so the value matches the
-/// naive fold for any NaN-free input; for `-0.0`/`+0.0` ties the chosen bit
-/// pattern may differ but every use subtracts the max, where both zeros act
-/// identically.
-#[inline]
-fn row_max(row: &[f32]) -> f32 {
-    let mut lanes = [f32::NEG_INFINITY; 4];
-    let mut it = row.chunks_exact(4);
-    for ch in &mut it {
-        for (l, &v) in lanes.iter_mut().zip(ch) {
-            *l = l.max(v);
+    /// Fused `softmax_last(self * c)` (attention score scaling).
+    ///
+    /// The scale lands in the output row right before that row's softmax —
+    /// the same `x * c` rounding [`Self::scale`] applies and the exact
+    /// [`Self::softmax_last`] row recipe after it, so the result is bitwise
+    /// identical to `scale(c).softmax_last()` without materialising the
+    /// scaled scores as a separate array.
+    pub fn scaled_softmax_last(&self, c: f32) -> NdArray {
+        let last = *self.shape.last().expect("softmax on 0-rank array");
+        let rows = self.numel() / last;
+        let src = self.data.as_slice();
+        let tier = simd::active_tier();
+        // dirty: the scale pass writes every element before it is read.
+        let mut data = pool::dirty(rows * last);
+        // The scale runs per row (same `x * c` rounding as `Self::scale` —
+        // elementwise, so batching makes no value difference) right before
+        // that row's softmax recipe: the row stays L1-hot across all four
+        // passes instead of streaming the whole array through memory twice.
+        for (srow, drow) in src.chunks_exact(last).zip(data.chunks_exact_mut(last)) {
+            simd::binary_scalar_at(tier, simd::BinOp::Mul, drow, srow, c, false);
+            simd::softmax_row_at(tier, drow);
         }
+        NdArray::from_parts(self.shape.clone(), data)
     }
-    let mut m = (lanes[0].max(lanes[1])).max(lanes[2].max(lanes[3]));
-    for &v in it.remainder() {
-        m = m.max(v);
-    }
-    m
-}
-
-/// Sum of a row in four fixed lanes: lane `i` accumulates positions
-/// `i, i+4, ...` in ascending order, lanes fold as `(l0+l1)+(l2+l3)`, then
-/// remainder elements add in order. A fixed function of the row length, so
-/// results are reproducible run-to-run and across thread counts (unlike a
-/// naive chain it also vectorizes).
-#[inline]
-fn row_sum(row: &[f32]) -> f32 {
-    let mut lanes = [0.0f32; 4];
-    let mut it = row.chunks_exact(4);
-    for ch in &mut it {
-        for (l, &v) in lanes.iter_mut().zip(ch) {
-            *l += v;
-        }
-    }
-    let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    for &v in it.remainder() {
-        s += v;
-    }
-    s
 }
 
 /// `e^x` for non-positive arguments (softmax residuals `x - max <= 0`):
@@ -848,14 +1024,29 @@ fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
     s
 }
 
-/// Rows per parallel band when a single 2-D matmul is split across the pool.
-/// A fixed constant (never derived from the thread count) so band boundaries
-/// — and therefore results — are identical at any `ST_PAR_THREADS`.
+/// Minimum rows per parallel band when a single 2-D matmul is split across
+/// the pool. A fixed constant (never derived from the thread count) so band
+/// boundaries — and therefore results — are identical at any
+/// `ST_PAR_THREADS`. A multiple of the MR=4 register-tile height, so bands
+/// never split a tile row.
 pub const ROW_CHUNK: usize = 32;
 
+/// Rows per parallel band for a 2-D matmul under `label`'s `st-par` policy:
+/// the smallest multiple of [`ROW_CHUNK`] whose band carries at least the
+/// policy's chunk work (`band * n * k` flops). Pure function of shape and
+/// the static policy table — never of the thread count.
+fn band_rows(label: &str, n: usize, k: usize) -> usize {
+    ROW_CHUNK * st_par::chunk_items(label, ROW_CHUNK * n * k)
+}
+
 /// Run `f(batch_index, out_chunk)` for each `per`-element chunk of `out`,
-/// on the `st-par` pool when `work` (total flops) warrants it, serially
-/// otherwise. Either way every chunk computes the same values.
+/// on the `st-par` pool when `work` (total flops) clears `label`'s policy
+/// gate, serially otherwise. Parallel chunks *group* consecutive batch
+/// elements so each claimed chunk carries at least the policy's
+/// `min_chunk_work` (the flat one-element-per-chunk split let
+/// `batch_matmul_transb` fan 576-flop attention tiles out to 8 threads).
+/// Group size derives from shape and the static policy only, and every
+/// chunk computes the same values on every path.
 pub(crate) fn batch_dispatch(
     label: &'static str,
     out: &mut [f32],
@@ -863,262 +1054,20 @@ pub(crate) fn batch_dispatch(
     work: usize,
     f: impl Fn(usize, &mut [f32]) + Sync,
 ) {
-    if st_par::worthwhile(label, work) && out.len() > per {
-        st_par::par_chunks_mut(label, out, per, f);
-    } else {
-        for (i, chunk) in out.chunks_mut(per).enumerate() {
-            f(i, chunk);
+    let nb = out.len().checked_div(per).unwrap_or(0);
+    if st_par::worthwhile(label, work) && nb > 1 {
+        let group = st_par::chunk_items(label, work / nb).min(nb);
+        if nb > group {
+            st_par::par_chunks_mut(label, out, per * group, |ci, chunk| {
+                for (j, sub) in chunk.chunks_mut(per).enumerate() {
+                    f(ci * group + j, sub);
+                }
+            });
+            return;
         }
     }
-}
-
-/// Register-tile sizes for the blocked kernels: an `MR x NR` block of output
-/// accumulators stays in registers while the `p` loop streams both inputs
-/// once. NR spans whole SIMD lanes; MR deepens reuse of each loaded b-row.
-const MR: usize = 4;
-const NR: usize = 16;
-
-/// Bitwise contract shared by all three kernels: every output element is
-/// accumulated in a single f32 register as an ascending-`p` sum starting
-/// from +0.0, then added to `out` once. That is exactly what a naive
-/// single-accumulator loop computes, so the tiled kernels are bit-identical
-/// to their naive references (pinned by `tests/kernel_equivalence.rs`) and
-/// independent of tile shape or thread count. The kernels are dense by
-/// design: the old `a == 0.0` skip paid off only for mostly-zero (masked)
-/// lhs inputs and cost a branch per element on the dense activations that
-/// dominate this model, while blocking vectorization of the inner loop.
-///
-/// `out += a @ b` for row-major buffers, `a [m,k]`, `b [k,n]`.
-pub fn matmul_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(out.len(), m * n);
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    let mut i = 0;
-    while i + MR <= m {
-        let mut j = 0;
-        while j + NR <= n {
-            // Hot full tile: MR x NR accumulators, outer product over p.
-            let mut acc = [[0.0f32; NR]; MR];
-            for p in 0..k {
-                let brow = &b[p * n + j..p * n + j + NR];
-                for r in 0..MR {
-                    let av = a[(i + r) * k + p];
-                    for c in 0..NR {
-                        acc[r][c] += av * brow[c];
-                    }
-                }
-            }
-            for r in 0..MR {
-                let orow = &mut out[(i + r) * n + j..(i + r) * n + j + NR];
-                for c in 0..NR {
-                    orow[c] += acc[r][c];
-                }
-            }
-            j += NR;
-        }
-        if j < n {
-            mm_edge(out, a, b, k, n, i, MR, j, n - j);
-        }
-        i += MR;
-    }
-    if i < m {
-        let mut j = 0;
-        while j < n {
-            let jw = NR.min(n - j);
-            mm_edge(out, a, b, k, n, i, m - i, j, jw);
-            j += jw;
-        }
-    }
-}
-
-/// Edge tile of [`matmul_kernel`]: `mr x jw` block at `(i0, j0)`, same
-/// per-element accumulation order as the full tile. The common widths the
-/// attention/MPNN shapes hit (head dim 4, virtual-node dim 8, 24 % NR = 8,
-/// 12) dispatch to a monomorphized fixed-width strip so the inner loop fully
-/// unrolls and the accumulators stay in registers; odd widths take the
-/// runtime-width strip.
-#[allow(clippy::too_many_arguments)] // raw kernel: all six dims are load-bearing
-fn mm_edge(
-    out: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    k: usize,
-    n: usize,
-    i0: usize,
-    mr: usize,
-    j0: usize,
-    jw: usize,
-) {
-    debug_assert!(jw <= NR);
-    match jw {
-        4 => mm_edge_fixed::<4>(out, a, b, k, n, i0, mr, j0),
-        8 => mm_edge_fixed::<8>(out, a, b, k, n, i0, mr, j0),
-        12 => mm_edge_fixed::<12>(out, a, b, k, n, i0, mr, j0),
-        16 => mm_edge_fixed::<16>(out, a, b, k, n, i0, mr, j0),
-        _ => {
-            for r in 0..mr {
-                let mut acc = [0.0f32; NR];
-                let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
-                for (p, &av) in arow.iter().enumerate() {
-                    let brow = &b[p * n + j0..p * n + j0 + jw];
-                    for c in 0..jw {
-                        acc[c] += av * brow[c];
-                    }
-                }
-                let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw];
-                for c in 0..jw {
-                    orow[c] += acc[c];
-                }
-            }
-        }
-    }
-}
-
-/// Fixed-width edge strip: identical accumulation order to the runtime-width
-/// strip above, with `JW` known at compile time.
-#[allow(clippy::too_many_arguments)] // raw kernel: all six dims are load-bearing
-fn mm_edge_fixed<const JW: usize>(
-    out: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    k: usize,
-    n: usize,
-    i0: usize,
-    mr: usize,
-    j0: usize,
-) {
-    // Two output rows per pass reuse each loaded b-row once more; the pair of
-    // accumulator strips still fits in registers for every JW used here.
-    let mut r = 0;
-    while r + 2 <= mr {
-        let mut acc0 = [0.0f32; JW];
-        let mut acc1 = [0.0f32; JW];
-        let a0 = &a[(i0 + r) * k..(i0 + r) * k + k];
-        let a1 = &a[(i0 + r + 1) * k..(i0 + r + 1) * k + k];
-        for p in 0..k {
-            let brow = &b[p * n + j0..p * n + j0 + JW];
-            let (av0, av1) = (a0[p], a1[p]);
-            for c in 0..JW {
-                acc0[c] += av0 * brow[c];
-                acc1[c] += av1 * brow[c];
-            }
-        }
-        let o0 = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + JW];
-        for c in 0..JW {
-            o0[c] += acc0[c];
-        }
-        let o1 = &mut out[(i0 + r + 1) * n + j0..(i0 + r + 1) * n + j0 + JW];
-        for c in 0..JW {
-            o1[c] += acc1[c];
-        }
-        r += 2;
-    }
-    if r < mr {
-        let mut acc = [0.0f32; JW];
-        let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
-        for (p, &av) in arow.iter().enumerate() {
-            let brow = &b[p * n + j0..p * n + j0 + JW];
-            for c in 0..JW {
-                acc[c] += av * brow[c];
-            }
-        }
-        let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + JW];
-        for c in 0..JW {
-            orow[c] += acc[c];
-        }
-    }
-}
-
-/// `out += a @ b^T` where `a [m,k]`, `b [n,k]`: both operands are contiguous
-/// along `k`, so this tiles 4x4 independent dot-product chains for ILP.
-///
-/// For short dot products (k < NR, the attention head-dim case) the chains
-/// are too shallow to amortize the strided b-column access, so b is instead
-/// transposed into a scratch buffer and the block runs through
-/// [`matmul_kernel`]: identical products in the identical ascending-`p`
-/// order, so the result is bit-for-bit the same.
-pub fn matmul_transb_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(out.len(), m * n);
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    if k < NR {
-        // Stack scratch for the common tiny blocks (per-head attention runs
-        // this once per batch element — a heap alloc per call would dominate).
-        let mut stack = [0.0f32; 1024];
-        let mut heap;
-        let bt: &mut [f32] = if k * n <= stack.len() {
-            &mut stack[..k * n]
-        } else {
-            heap = vec![0.0f32; k * n];
-            &mut heap
-        };
-        for j in 0..n {
-            for p in 0..k {
-                bt[p * n + j] = b[j * k + p];
-            }
-        }
-        matmul_kernel(out, a, bt, m, k, n);
-        return;
-    }
-    const TR: usize = 4;
-    let mut i = 0;
-    while i < m {
-        let mr = TR.min(m - i);
-        let mut j = 0;
-        while j < n {
-            let nr = TR.min(n - j);
-            let mut acc = [[0.0f32; TR]; TR];
-            for p in 0..k {
-                for r in 0..mr {
-                    let av = a[(i + r) * k + p];
-                    for c in 0..nr {
-                        acc[r][c] += av * b[(j + c) * k + p];
-                    }
-                }
-            }
-            for r in 0..mr {
-                for c in 0..nr {
-                    out[(i + r) * n + j + c] += acc[r][c];
-                }
-            }
-            j += nr;
-        }
-        i += mr;
-    }
-}
-
-/// `out += a^T @ b` where `a [k,m]`, `b [k,n]`: same outer-product tiling as
-/// [`matmul_kernel`] with the lhs read at stride `m`. Dense by design — see
-/// the masked-input tradeoff note above.
-pub fn matmul_transa_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(out.len(), m * n);
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    let mut i = 0;
-    while i < m {
-        let mr = MR.min(m - i);
-        let mut j = 0;
-        while j < n {
-            let jw = NR.min(n - j);
-            let mut acc = [[0.0f32; NR]; MR];
-            for p in 0..k {
-                let brow = &b[p * n + j..p * n + j + jw];
-                for r in 0..mr {
-                    let av = a[p * m + i + r];
-                    for c in 0..jw {
-                        acc[r][c] += av * brow[c];
-                    }
-                }
-            }
-            for r in 0..mr {
-                let orow = &mut out[(i + r) * n + j..(i + r) * n + j + jw];
-                for c in 0..jw {
-                    orow[c] += acc[r][c];
-                }
-            }
-            j += jw;
-        }
-        i += mr;
+    for (i, chunk) in out.chunks_mut(per).enumerate() {
+        f(i, chunk);
     }
 }
 

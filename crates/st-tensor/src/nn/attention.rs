@@ -120,8 +120,7 @@ impl MultiHeadAttention {
         // §"Observability" for the double-counting caveat.
         let t0 = st_obs::op_start();
         let scores = g.batch_matmul_transb(qh, kh);
-        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
-        let attn = g.softmax_last(scaled);
+        let attn = g.scaled_softmax_last(scores, 1.0 / (dh as f32).sqrt());
         st_obs::record_op(st_obs::Phase::Fwd, "attention_qk", t0, g.value(attn).numel() as u64);
         attn
     }

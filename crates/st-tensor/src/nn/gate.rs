@@ -5,15 +5,12 @@ use crate::graph::{Graph, Tx};
 
 /// Apply the gated activation to a tensor whose last axis has even size `2d`,
 /// producing a tensor with last axis `d`.
+///
+/// Records the fused [`Graph::gated_unit`] op: one tape node (and one value
+/// buffer) instead of the five-node slice/slice/tanh/sigmoid/mul chain,
+/// bitwise identical to it in both directions.
 pub fn gated_activation(g: &mut Graph<'_>, x: Tx) -> Tx {
-    let last = *g.shape(x).last().expect("gated activation needs rank >= 1");
-    assert_eq!(last % 2, 0, "gated activation needs an even channel count, got {last}");
-    let half = last / 2;
-    let a = g.slice_last(x, 0, half);
-    let b = g.slice_last(x, half, half);
-    let ta = g.tanh(a);
-    let sb = g.sigmoid(b);
-    g.mul(ta, sb)
+    g.gated_unit(x)
 }
 
 #[cfg(test)]

@@ -64,11 +64,12 @@ impl Linear {
         let rows: usize = shape[..shape.len() - 1].iter().product();
         let flat = g.reshape(x, &[rows, self.d_in]);
         let w = g.param(&self.w);
-        let mut y = g.matmul(flat, w);
-        if let Some(bname) = &self.b {
+        let y = if let Some(bname) = &self.b {
             let b = g.param(bname);
-            y = g.add(y, b);
-        }
+            g.matmul_bias(flat, w, b)
+        } else {
+            g.matmul(flat, w)
+        };
         let mut out_shape = shape;
         *out_shape.last_mut().unwrap() = self.d_out;
         g.reshape(y, &out_shape)

@@ -1,4 +1,4 @@
-//! Thread-local recycling pool for tensor storage.
+//! Thread-local recycling pool for 32-byte-aligned tensor storage.
 //!
 //! A model forward/backward pass allocates hundreds of output buffers per
 //! step, most of them hundreds of kilobytes — past glibc's mmap threshold.
@@ -8,17 +8,25 @@
 //! thread-local free list turns that churn into cache-warm reuse with no
 //! locking (worker threads each keep their own pool).
 //!
-//! Reuse never changes values: callers either take a [`zeroed`] buffer or a
-//! [`dirty`] one they fully overwrite. [`Buffer`] is the RAII handle tensor
-//! storage lives in — dropping it returns the allocation to the pool.
+//! Storage is an [`AVec`]: a fixed-length `f32` allocation whose base pointer
+//! is 32-byte aligned, so SIMD kernels (see [`crate::simd`]) always start
+//! from a vector-register-aligned base. Reuse never changes values: callers
+//! either take a [`zeroed`] buffer or a [`dirty`] one they fully overwrite.
+//! [`Buffer`] is the RAII handle tensor storage lives in — dropping it
+//! returns the allocation to the pool.
 
+use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
 
-/// Buffers shorter than this stay on plain `malloc`: the allocator already
-/// serves small sizes from its fast bins, and pooling them would just bloat
-/// the class map.
+/// Alignment (bytes) of every pooled allocation: one AVX2 `__m256` lane row.
+pub const ALIGN: usize = 32;
+
+/// Buffers shorter than this stay unpooled: the allocator already serves
+/// small sizes from its fast bins, and pooling them would just bloat the
+/// class map.
 const MIN_POOL_LEN: usize = 4096;
 /// Keep at most this many spare buffers per size class. One forward pass can
 /// hold dozens of same-shaped attention maps live on the autodiff tape at
@@ -28,8 +36,94 @@ const MAX_PER_CLASS: usize = 256;
 /// Per-thread cap on pooled floats (128 MiB); beyond it, freed buffers drop.
 const MAX_POOLED: usize = 32 << 20;
 
+/// A heap allocation of exactly `len` `f32`s whose base pointer is
+/// [`ALIGN`]-byte aligned. Unlike `Vec` there is no spare capacity: length
+/// and allocation size always agree, which keeps the pool's size classes
+/// exact. Dereferences to `[f32]` for all element access.
+pub(crate) struct AVec {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+// SAFETY: AVec uniquely owns its allocation of plain `f32`s; moving it (or a
+// shared `&AVec`) across threads is as safe as for `Vec<f32>`.
+unsafe impl Send for AVec {}
+unsafe impl Sync for AVec {}
+
+impl AVec {
+    fn layout(len: usize) -> Layout {
+        // 4 bytes per f32; len is bounded by available memory long before
+        // the Layout size overflow check could fail on 64-bit targets.
+        Layout::from_size_align(len * 4, ALIGN).expect("AVec layout")
+    }
+
+    /// A zero-filled allocation of `len` floats (no pool interaction).
+    fn alloc_zeroed(len: usize) -> Self {
+        if len == 0 {
+            // Dangling but [`ALIGN`]-aligned; never dereferenced or freed.
+            let ptr = unsafe { NonNull::new_unchecked(ALIGN as *mut f32) };
+            return AVec { ptr, len: 0 };
+        }
+        // SAFETY: layout has non-zero size; alloc failure aborts via the
+        // global handler.
+        let raw = unsafe { alloc_zeroed(Self::layout(len)) } as *mut f32;
+        let ptr = NonNull::new(raw)
+            .unwrap_or_else(|| std::alloc::handle_alloc_error(Self::layout(len)));
+        AVec { ptr, len }
+    }
+
+    /// Copy a slice into a fresh (pool-served when possible) allocation.
+    pub(crate) fn from_slice(src: &[f32]) -> Self {
+        let mut v = dirty(src.len());
+        v.copy_from_slice(src);
+        v
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Drop for AVec {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: ptr was allocated with exactly this layout.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) }
+        }
+    }
+}
+
+impl Deref for AVec {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        // SAFETY: ptr/len describe a live, initialized allocation (all
+        // construction paths zero-fill or fully copy).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AVec {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus unique ownership.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl From<&[f32]> for AVec {
+    fn from(src: &[f32]) -> Self {
+        AVec::from_slice(src)
+    }
+}
+
+impl From<Vec<f32>> for AVec {
+    fn from(src: Vec<f32>) -> Self {
+        AVec::from_slice(&src)
+    }
+}
+
 struct Pool {
-    classes: HashMap<usize, Vec<Vec<f32>>>,
+    classes: HashMap<usize, Vec<AVec>>,
     total: usize,
 }
 
@@ -67,7 +161,7 @@ pub fn stats() -> PoolStats {
 }
 
 /// Pop a recycled buffer of exactly `len` elements, if one is pooled.
-fn take(len: usize) -> Option<Vec<f32>> {
+fn take(len: usize) -> Option<AVec> {
     if len < MIN_POOL_LEN {
         return None;
     }
@@ -88,28 +182,30 @@ fn take(len: usize) -> Option<Vec<f32>> {
 }
 
 /// A length-`len` buffer with arbitrary (stale) contents. The caller must
-/// overwrite every element before the values can mean anything.
-pub(crate) fn dirty(len: usize) -> Vec<f32> {
-    take(len).unwrap_or_else(|| vec![0.0; len])
+/// overwrite every element before the values can mean anything. (Fresh
+/// allocations come zeroed — only recycled buffers are actually stale —
+/// so the contents are always initialized memory.)
+pub(crate) fn dirty(len: usize) -> AVec {
+    take(len).unwrap_or_else(|| AVec::alloc_zeroed(len))
 }
 
 /// A length-`len` buffer of zeros. Only recycled buffers pay the memset —
-/// fresh allocations come zeroed from calloc (lazily, per touched page).
-pub(crate) fn zeroed(len: usize) -> Vec<f32> {
+/// fresh allocations come zeroed straight from the allocator.
+pub(crate) fn zeroed(len: usize) -> AVec {
     match take(len) {
         Some(mut v) => {
             v.fill(0.0);
             v
         }
-        None => vec![0.0; len],
+        None => AVec::alloc_zeroed(len),
     }
 }
 
 /// Return a buffer to the current thread's pool (or free it if the pool is
-/// full or the buffer has spare capacity, which would poison its size class).
-pub(crate) fn give(v: Vec<f32>) {
+/// full).
+pub(crate) fn give(v: AVec) {
     let len = v.len();
-    if len < MIN_POOL_LEN || len != v.capacity() {
+    if len < MIN_POOL_LEN {
         return;
     }
     POOL.with(|p| {
@@ -126,40 +222,45 @@ pub(crate) fn give(v: Vec<f32>) {
     });
 }
 
-/// RAII handle for tensor storage: behaves as a `[f32]`, recycles its
-/// allocation through the thread-local pool on drop.
-pub struct Buffer(Vec<f32>);
+/// RAII handle for tensor storage: behaves as a `[f32]` with a 32-byte
+/// aligned base pointer, recycles its allocation through the thread-local
+/// pool on drop.
+pub struct Buffer(Option<AVec>);
 
 impl Buffer {
-    pub(crate) fn new(v: Vec<f32>) -> Self {
-        Buffer(v)
+    pub(crate) fn new(v: AVec) -> Self {
+        Buffer(Some(v))
+    }
+
+    fn inner(&self) -> &AVec {
+        self.0.as_ref().expect("Buffer storage present")
     }
 
     pub(crate) fn as_slice(&self) -> &[f32] {
-        self.0.as_slice()
+        self.inner()
     }
 
     pub(crate) fn as_mut_slice(&mut self) -> &mut [f32] {
-        self.0.as_mut_slice()
+        self.0.as_mut().expect("Buffer storage present")
     }
 
-    /// Extract the underlying `Vec`, bypassing the pool.
-    pub(crate) fn into_vec(mut self) -> Vec<f32> {
-        std::mem::take(&mut self.0)
+    /// Copy out as a plain `Vec` (the aligned allocation itself recycles).
+    pub(crate) fn into_vec(self) -> Vec<f32> {
+        self.as_slice().to_vec()
     }
 }
 
 impl Drop for Buffer {
     fn drop(&mut self) {
-        give(std::mem::take(&mut self.0));
+        if let Some(v) = self.0.take() {
+            give(v);
+        }
     }
 }
 
 impl Clone for Buffer {
     fn clone(&self) -> Self {
-        let mut v = dirty(self.0.len());
-        v.copy_from_slice(&self.0);
-        Buffer(v)
+        Buffer(Some(AVec::from_slice(self.inner())))
     }
 }
 
@@ -167,19 +268,19 @@ impl Deref for Buffer {
     type Target = [f32];
 
     fn deref(&self) -> &[f32] {
-        &self.0
+        self.inner()
     }
 }
 
 impl PartialEq for Buffer {
     fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl std::fmt::Debug for Buffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        self.as_slice().fmt(f)
     }
 }
 
@@ -188,8 +289,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn all_buffers_are_32_byte_aligned() {
+        for len in [0, 1, 7, 100, MIN_POOL_LEN, MIN_POOL_LEN + 3] {
+            let v = dirty(len);
+            assert_eq!(v.as_ptr() as usize % ALIGN, 0, "len {len}");
+            give(v);
+        }
+    }
+
+    #[test]
     fn small_buffers_bypass_the_pool() {
-        give(vec![1.0; 8]);
+        give(AVec::from_slice(&[1.0; 8]));
         let v = dirty(8);
         assert!(v.iter().all(|&x| x == 0.0), "small takes must be fresh");
     }
@@ -207,7 +317,7 @@ mod tests {
     fn buffer_drop_feeds_later_takes() {
         let n = MIN_POOL_LEN * 2;
         {
-            let mut b = Buffer::new(vec![0.0; n]);
+            let mut b = Buffer::new(zeroed(n));
             b.as_mut_slice().fill(1.0);
         }
         let v = dirty(n);
@@ -218,9 +328,10 @@ mod tests {
     }
 
     #[test]
-    fn into_vec_bypasses_recycling() {
-        let b = Buffer::new(vec![2.0; MIN_POOL_LEN]);
+    fn into_vec_copies_out() {
+        let b = Buffer::new(AVec::from_slice(&vec![2.0; MIN_POOL_LEN]));
         let v = b.into_vec();
+        assert_eq!(v.len(), MIN_POOL_LEN);
         assert!(v.iter().all(|&x| x == 2.0));
     }
 }

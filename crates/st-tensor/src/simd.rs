@@ -1,0 +1,1222 @@
+//! Runtime-dispatched SIMD microkernels for the dense hot path.
+//!
+//! Three tiers, selected once per process by [`active_tier`]:
+//!
+//! * [`Tier::Avx2`] — explicit 256-bit register tiles for the matmul
+//!   kernels and 8-wide element-wise loops (`_mm256_mul_ps` +
+//!   `_mm256_add_ps`; **never FMA**, whose single rounding would change
+//!   bits vs the scalar reference).
+//! * [`Tier::Sse2`] — explicit 128-bit element-wise and reduction loops;
+//!   matmul runs the scalar-structured tiles (whose fixed-width inner loops
+//!   the compiler already auto-vectorizes at the x86-64 SSE2 baseline).
+//! * [`Tier::Scalar`] — pure scalar loops; the escape hatch (`ST_SIMD=0`)
+//!   and the reference the other tiers are pinned against.
+//!
+//! ## Bitwise contract
+//!
+//! Every tier computes **bit-identical** results (pinned by
+//! `tests/simd_equivalence.rs`):
+//!
+//! * Element-wise kernels apply the same IEEE op per element — lane width
+//!   is invisible in the result.
+//! * Matmul tiles keep the repo-wide accumulation contract: each output
+//!   element is a single f32 accumulator summed over ascending `p` from
+//!   +0.0. Vectorizing across *columns* (independent accumulators) cannot
+//!   reorder any element's sum; FMA is banned because contracting
+//!   `mul+add` into one rounding would.
+//! * Reductions ([`row_sum_at`] / [`row_max_at`]) keep the fixed 4-lane
+//!   tree (lane `i` covers positions `i, i+4, …`; lanes fold as
+//!   `(l0+l1)+(l2+l3)`; remainder in order) — so the SSE2 path stays
+//!   4 lanes wide even under the AVX2 tier, and the fold is performed in
+//!   the identical association.
+//!
+//! Storage from [`crate::pool`] is 32-byte aligned, so whole-buffer loops
+//! start on vector-aligned bases; kernels still use unaligned loads
+//! (`loadu`/`storeu`) because row/tile sub-slices carry arbitrary offsets —
+//! on every AVX2-era core `loadu` on an aligned address runs at aligned
+//! speed, so alignment buys the fast path without an alignment precondition.
+
+use std::sync::OnceLock;
+
+/// SIMD dispatch tier (see module docs). Ordering is capability: a tier may
+/// fall back to any lower tier's code path, never the reverse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Pure scalar loops (the bitwise reference; forced by `ST_SIMD=0`).
+    Scalar,
+    /// Explicit 128-bit kernels (x86-64 baseline; forced by `ST_SIMD=sse2`).
+    Sse2,
+    /// Explicit 256-bit kernels (runtime-detected).
+    Avx2,
+}
+
+fn detect() -> Tier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            return Tier::Avx2;
+        }
+        Tier::Sse2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Tier::Scalar
+    }
+}
+
+/// The tier every kernel dispatches to, resolved once per process:
+/// `ST_SIMD=0` forces [`Tier::Scalar`], `ST_SIMD=sse2` caps at
+/// [`Tier::Sse2`], anything else (or unset) takes the best runtime-detected
+/// tier. Tier choice never changes results — only which bit-identical
+/// kernel computes them.
+pub fn active_tier() -> Tier {
+    static TIER: OnceLock<Tier> = OnceLock::new();
+    *TIER.get_or_init(|| match std::env::var("ST_SIMD").ok().as_deref() {
+        Some("0") => Tier::Scalar,
+        Some("sse2") => detect().min(Tier::Sse2),
+        _ => detect(),
+    })
+}
+
+/// Register-tile sizes for the blocked kernels: an `MR x NR` block of output
+/// accumulators stays in registers while the `p` loop streams both inputs
+/// once. NR spans two AVX2 lanes; MR deepens reuse of each loaded b-row.
+pub(crate) const MR: usize = 4;
+pub(crate) const NR: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Matmul kernels
+// ---------------------------------------------------------------------------
+
+/// Bitwise contract shared by all three kernels: every output element is
+/// accumulated in a single f32 register as an ascending-`p` sum starting
+/// from +0.0, then added to `out` once. That is exactly what a naive
+/// single-accumulator loop computes, so the tiled kernels are bit-identical
+/// to their naive references (pinned by `tests/kernel_equivalence.rs`) and
+/// independent of tile shape, thread count, or SIMD tier. The kernels are
+/// dense by design: an `a == 0.0` skip pays off only for mostly-zero lhs
+/// inputs and costs a branch per element on the dense activations that
+/// dominate this model, while blocking vectorization of the inner loop.
+///
+/// `out += a @ b` for row-major buffers, `a [m,k]`, `b [k,n]`, at the
+/// process-wide [`active_tier`].
+pub fn matmul_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    matmul_kernel_at(active_tier(), out, a, b, m, k, n);
+}
+
+/// `out = a @ b` (overwriting store) at the process-wide [`active_tier`].
+///
+/// Identical accumulation to [`matmul_kernel`]; only the final write
+/// changes from `out[i] += acc` to `out[i] = acc`. On a `+0.0`-filled
+/// output the two are bit-identical (`0.0 + acc == acc` for every `acc`
+/// the ascending-`p` sum can produce from `+0.0`), so forward-path callers
+/// use this on *uninitialised* pooled buffers and skip the zeroing sweep —
+/// one full memory pass per matmul — without changing a single output bit.
+pub fn matmul_kernel_set(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    matmul_kernel_set_at(active_tier(), out, a, b, m, k, n);
+}
+
+/// [`matmul_kernel`] at an explicit tier (exposed so equivalence tests can
+/// compare tiers within one process).
+pub fn matmul_kernel_at(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_kernel_impl::<true>(tier, out, a, b, m, k, n);
+}
+
+/// [`matmul_kernel_set`] at an explicit tier (for equivalence tests).
+pub fn matmul_kernel_set_at(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_kernel_impl::<false>(tier, out, a, b, m, k, n);
+}
+
+fn matmul_kernel_impl<const ACC: bool>(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            #[cfg(target_arch = "x86_64")]
+            if tier == Tier::Avx2 {
+                // SAFETY: AVX2 presence is what put us on this tier.
+                unsafe { mm_tile_4x16_avx2::<ACC>(out, a, b, k, n, i, j) };
+                j += NR;
+                continue;
+            }
+            mm_tile_4x16_scalar::<ACC>(out, a, b, k, n, i, j);
+            j += NR;
+        }
+        if j < n {
+            mm_edge::<ACC>(tier, out, a, b, k, n, i, MR, j, n - j);
+        }
+        i += MR;
+    }
+    if i < m {
+        let mut j = 0;
+        while j < n {
+            let jw = NR.min(n - j);
+            mm_edge::<ACC>(tier, out, a, b, k, n, i, m - i, j, jw);
+            j += jw;
+        }
+    }
+}
+
+/// Hot full tile of [`matmul_kernel`]: `MR x NR` accumulators, outer
+/// product over `p` (scalar-structured; fixed trip counts auto-vectorize at
+/// the SSE2 baseline).
+#[inline]
+fn mm_tile_4x16_scalar<const ACC: bool>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let brow = &b[p * n + j..p * n + j + NR];
+        for r in 0..MR {
+            let av = a[(i + r) * k + p];
+            for c in 0..NR {
+                acc[r][c] += av * brow[c];
+            }
+        }
+    }
+    for r in 0..MR {
+        let orow = &mut out[(i + r) * n + j..(i + r) * n + j + NR];
+        for c in 0..NR {
+            if ACC {
+                orow[c] += acc[r][c];
+            } else {
+                orow[c] = acc[r][c];
+            }
+        }
+    }
+}
+
+/// AVX2 full tile: 4 rows x two `__m256` column strips = 8 accumulator
+/// registers; each b-row is loaded once and reused across all four rows.
+/// Identical per-element op sequence to [`mm_tile_4x16_scalar`]
+/// (broadcast-mul then add, ascending `p`), hence bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mm_tile_4x16_avx2<const ACC: bool>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for p in 0..k {
+        let bp = b.as_ptr().add(p * n + j);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for r in 0..MR {
+            let av = _mm256_set1_ps(*a.get_unchecked((i + r) * k + p));
+            acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(av, b0));
+            acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(av, b1));
+        }
+    }
+    for r in 0..MR {
+        let op = out.as_mut_ptr().add((i + r) * n + j);
+        if ACC {
+            _mm256_storeu_ps(op, _mm256_add_ps(_mm256_loadu_ps(op), acc[r][0]));
+            _mm256_storeu_ps(op.add(8), _mm256_add_ps(_mm256_loadu_ps(op.add(8)), acc[r][1]));
+        } else {
+            _mm256_storeu_ps(op, acc[r][0]);
+            _mm256_storeu_ps(op.add(8), acc[r][1]);
+        }
+    }
+}
+
+/// Edge tile: `mr x jw` block at `(i0, j0)`, same per-element accumulation
+/// order as the full tile. The common widths the attention/MPNN shapes hit
+/// (head dim 4, virtual-node dim 8, 24 % NR = 8, 12) dispatch to a
+/// monomorphized fixed-width strip so the inner loop fully unrolls and the
+/// accumulators stay in registers; odd widths take the runtime-width strip.
+#[allow(clippy::too_many_arguments)] // raw kernel: all six dims are load-bearing
+fn mm_edge<const ACC: bool>(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    mr: usize,
+    j0: usize,
+    jw: usize,
+) {
+    debug_assert!(jw <= NR);
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        unsafe {
+            match jw {
+                4 => return mm_edge_avx2::<0, true, ACC>(out, a, b, k, n, i0, mr, j0),
+                8 => return mm_edge_avx2::<1, false, ACC>(out, a, b, k, n, i0, mr, j0),
+                12 => return mm_edge_avx2::<1, true, ACC>(out, a, b, k, n, i0, mr, j0),
+                16 => return mm_edge_avx2::<2, false, ACC>(out, a, b, k, n, i0, mr, j0),
+                _ => {}
+            }
+        }
+    }
+    let _ = tier;
+    match jw {
+        4 => mm_edge_fixed::<4, ACC>(out, a, b, k, n, i0, mr, j0),
+        8 => mm_edge_fixed::<8, ACC>(out, a, b, k, n, i0, mr, j0),
+        12 => mm_edge_fixed::<12, ACC>(out, a, b, k, n, i0, mr, j0),
+        16 => mm_edge_fixed::<16, ACC>(out, a, b, k, n, i0, mr, j0),
+        _ => {
+            for r in 0..mr {
+                let mut acc = [0.0f32; NR];
+                let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
+                for (p, &av) in arow.iter().enumerate() {
+                    let brow = &b[p * n + j0..p * n + j0 + jw];
+                    for c in 0..jw {
+                        acc[c] += av * brow[c];
+                    }
+                }
+                let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw];
+                for c in 0..jw {
+                    if ACC {
+                        orow[c] += acc[c];
+                    } else {
+                        orow[c] = acc[c];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fixed-width edge strip: identical accumulation order to the runtime-width
+/// strip above, with `JW` known at compile time.
+#[allow(clippy::too_many_arguments)] // raw kernel: all six dims are load-bearing
+fn mm_edge_fixed<const JW: usize, const ACC: bool>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    mr: usize,
+    j0: usize,
+) {
+    // Two output rows per pass reuse each loaded b-row once more; the pair of
+    // accumulator strips still fits in registers for every JW used here.
+    let mut r = 0;
+    while r + 2 <= mr {
+        let mut acc0 = [0.0f32; JW];
+        let mut acc1 = [0.0f32; JW];
+        let a0 = &a[(i0 + r) * k..(i0 + r) * k + k];
+        let a1 = &a[(i0 + r + 1) * k..(i0 + r + 1) * k + k];
+        for p in 0..k {
+            let brow = &b[p * n + j0..p * n + j0 + JW];
+            let (av0, av1) = (a0[p], a1[p]);
+            for c in 0..JW {
+                acc0[c] += av0 * brow[c];
+                acc1[c] += av1 * brow[c];
+            }
+        }
+        let o0 = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + JW];
+        for c in 0..JW {
+            if ACC {
+                o0[c] += acc0[c];
+            } else {
+                o0[c] = acc0[c];
+            }
+        }
+        let o1 = &mut out[(i0 + r + 1) * n + j0..(i0 + r + 1) * n + j0 + JW];
+        for c in 0..JW {
+            if ACC {
+                o1[c] += acc1[c];
+            } else {
+                o1[c] = acc1[c];
+            }
+        }
+        r += 2;
+    }
+    if r < mr {
+        let mut acc = [0.0f32; JW];
+        let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n + j0..p * n + j0 + JW];
+            for c in 0..JW {
+                acc[c] += av * brow[c];
+            }
+        }
+        let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + JW];
+        for c in 0..JW {
+            if ACC {
+                orow[c] += acc[c];
+            } else {
+                orow[c] = acc[c];
+            }
+        }
+    }
+}
+
+/// AVX2 fixed-width edge strip covering `JW = 8*V8 + 4*(HAS4 as usize)`
+/// (so `<0,true>` = 4, `<1,false>` = 8, `<1,true>` = 12, `<2,false>` = 16).
+/// Mirrors [`mm_edge_fixed`]: two rows per pass, single-row tail, identical
+/// per-element accumulation order.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)] // raw kernel: all six dims are load-bearing
+#[target_feature(enable = "avx2")]
+unsafe fn mm_edge_avx2<const V8: usize, const HAS4: bool, const ACC: bool>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    mr: usize,
+    j0: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut r = 0;
+    while r + 2 <= mr {
+        let mut acc0 = [_mm256_setzero_ps(); V8];
+        let mut acc1 = [_mm256_setzero_ps(); V8];
+        let mut t0 = _mm_setzero_ps();
+        let mut t1 = _mm_setzero_ps();
+        for p in 0..k {
+            let bp = b.as_ptr().add(p * n + j0);
+            let av0 = _mm256_set1_ps(*a.get_unchecked((i0 + r) * k + p));
+            let av1 = _mm256_set1_ps(*a.get_unchecked((i0 + r + 1) * k + p));
+            for s in 0..V8 {
+                let bv = _mm256_loadu_ps(bp.add(8 * s));
+                acc0[s] = _mm256_add_ps(acc0[s], _mm256_mul_ps(av0, bv));
+                acc1[s] = _mm256_add_ps(acc1[s], _mm256_mul_ps(av1, bv));
+            }
+            if HAS4 {
+                let bv = _mm_loadu_ps(bp.add(8 * V8));
+                t0 = _mm_add_ps(t0, _mm_mul_ps(_mm256_castps256_ps128(av0), bv));
+                t1 = _mm_add_ps(t1, _mm_mul_ps(_mm256_castps256_ps128(av1), bv));
+            }
+        }
+        let o0 = out.as_mut_ptr().add((i0 + r) * n + j0);
+        let o1 = out.as_mut_ptr().add((i0 + r + 1) * n + j0);
+        for s in 0..V8 {
+            if ACC {
+                acc0[s] = _mm256_add_ps(_mm256_loadu_ps(o0.add(8 * s)), acc0[s]);
+                acc1[s] = _mm256_add_ps(_mm256_loadu_ps(o1.add(8 * s)), acc1[s]);
+            }
+            _mm256_storeu_ps(o0.add(8 * s), acc0[s]);
+            _mm256_storeu_ps(o1.add(8 * s), acc1[s]);
+        }
+        if HAS4 {
+            if ACC {
+                t0 = _mm_add_ps(_mm_loadu_ps(o0.add(8 * V8)), t0);
+                t1 = _mm_add_ps(_mm_loadu_ps(o1.add(8 * V8)), t1);
+            }
+            _mm_storeu_ps(o0.add(8 * V8), t0);
+            _mm_storeu_ps(o1.add(8 * V8), t1);
+        }
+        r += 2;
+    }
+    if r < mr {
+        let mut acc = [_mm256_setzero_ps(); V8];
+        let mut t = _mm_setzero_ps();
+        for p in 0..k {
+            let bp = b.as_ptr().add(p * n + j0);
+            let av = _mm256_set1_ps(*a.get_unchecked((i0 + r) * k + p));
+            for s in 0..V8 {
+                let bv = _mm256_loadu_ps(bp.add(8 * s));
+                acc[s] = _mm256_add_ps(acc[s], _mm256_mul_ps(av, bv));
+            }
+            if HAS4 {
+                let bv = _mm_loadu_ps(bp.add(8 * V8));
+                t = _mm_add_ps(t, _mm_mul_ps(_mm256_castps256_ps128(av), bv));
+            }
+        }
+        let o = out.as_mut_ptr().add((i0 + r) * n + j0);
+        for s in 0..V8 {
+            if ACC {
+                acc[s] = _mm256_add_ps(_mm256_loadu_ps(o.add(8 * s)), acc[s]);
+            }
+            _mm256_storeu_ps(o.add(8 * s), acc[s]);
+        }
+        if HAS4 {
+            if ACC {
+                t = _mm_add_ps(_mm_loadu_ps(o.add(8 * V8)), t);
+            }
+            _mm_storeu_ps(o.add(8 * V8), t);
+        }
+    }
+}
+
+/// `out += a @ b^T` where `a [m,k]`, `b [n,k]`, at the process-wide
+/// [`active_tier`].
+///
+/// `b` is transposed into a scratch panel and the block runs through
+/// [`matmul_kernel_at`]: identical products in the identical ascending-`p`
+/// order, so the result is bit-for-bit the same as dotting b's rows
+/// directly — and the one transpose (amortized over all `m` output rows)
+/// buys the column-contiguous access the register tiles want. Small panels
+/// (the per-head attention case, run once per batch element) use stack
+/// scratch; larger ones borrow a pooled buffer.
+pub fn matmul_transb_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    matmul_transb_kernel_at(active_tier(), out, a, b, m, k, n);
+}
+
+/// `out = a @ b^T` (overwriting store — see [`matmul_kernel_set`]) at the
+/// process-wide [`active_tier`].
+pub fn matmul_transb_kernel_set(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_transb_kernel_impl::<false>(active_tier(), out, a, b, m, k, n);
+}
+
+/// [`matmul_transb_kernel`] at an explicit tier (for equivalence tests).
+pub fn matmul_transb_kernel_at(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_transb_kernel_impl::<true>(tier, out, a, b, m, k, n);
+}
+
+fn matmul_transb_kernel_impl<const ACC: bool>(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    // 128 floats covers the per-head attention panels (k*n = 96 and 32) that
+    // run once per batch element; keeping the array small keeps the implicit
+    // zero-fill off the profile for those hot sub-tile calls.
+    let mut stack = [0.0f32; 128];
+    let mut heap: Option<crate::pool::AVec> = None;
+    let bt: &mut [f32] = if k * n <= stack.len() {
+        &mut stack[..k * n]
+    } else {
+        heap.insert(crate::pool::dirty(k * n))
+    };
+    for j in 0..n {
+        for p in 0..k {
+            bt[p * n + j] = b[j * k + p];
+        }
+    }
+    matmul_kernel_impl::<ACC>(tier, out, a, bt, m, k, n);
+    if let Some(h) = heap {
+        // Hand the scratch back to the pool (AVec's own Drop would free it).
+        crate::pool::give(h);
+    }
+}
+
+/// `out += a^T @ b` where `a [k,m]`, `b [k,n]`: same outer-product tiling as
+/// [`matmul_kernel`] with the lhs read at stride `m`. Runs at the
+/// process-wide [`active_tier`].
+pub fn matmul_transa_kernel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    matmul_transa_kernel_at(active_tier(), out, a, b, m, k, n);
+}
+
+/// `out = a^T @ b` (overwriting store — see [`matmul_kernel_set`]) at the
+/// process-wide [`active_tier`].
+pub fn matmul_transa_kernel_set(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_transa_kernel_impl::<false>(active_tier(), out, a, b, m, k, n);
+}
+
+/// [`matmul_transa_kernel`] at an explicit tier (for equivalence tests).
+pub fn matmul_transa_kernel_at(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    matmul_transa_kernel_impl::<true>(tier, out, a, b, m, k, n);
+}
+
+fn matmul_transa_kernel_impl<const ACC: bool>(
+    tier: Tier,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    let mut i = 0;
+    while i < m {
+        let mr = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jw = NR.min(n - j);
+            #[cfg(target_arch = "x86_64")]
+            if tier == Tier::Avx2 && jw == NR {
+                // SAFETY: AVX2 presence is what put us on this tier.
+                unsafe { mm_tile_transa_avx2::<ACC>(out, a, b, m, k, n, i, mr, j) };
+                j += jw;
+                continue;
+            }
+            let _ = tier;
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                let brow = &b[p * n + j..p * n + j + jw];
+                for r in 0..mr {
+                    let av = a[p * m + i + r];
+                    for c in 0..jw {
+                        acc[r][c] += av * brow[c];
+                    }
+                }
+            }
+            for r in 0..mr {
+                let orow = &mut out[(i + r) * n + j..(i + r) * n + j + jw];
+                for c in 0..jw {
+                    if ACC {
+                        orow[c] += acc[r][c];
+                    } else {
+                        orow[c] = acc[r][c];
+                    }
+                }
+            }
+            j += jw;
+        }
+        i += mr;
+    }
+}
+
+/// AVX2 transposed-lhs tile: full NR-wide strip, `mr <= MR` rows, lhs read
+/// at stride `m`. Same per-element accumulation order as the scalar tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)] // raw kernel: all dims are load-bearing
+#[target_feature(enable = "avx2")]
+unsafe fn mm_tile_transa_avx2<const ACC: bool>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    i: usize,
+    mr: usize,
+    j: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for p in 0..k {
+        let bp = b.as_ptr().add(p * n + j);
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+            let av = _mm256_set1_ps(*a.get_unchecked(p * m + i + r));
+            accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(av, b0));
+            accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(av, b1));
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let op = out.as_mut_ptr().add((i + r) * n + j);
+        if ACC {
+            _mm256_storeu_ps(op, _mm256_add_ps(_mm256_loadu_ps(op), accr[0]));
+            _mm256_storeu_ps(op.add(8), _mm256_add_ps(_mm256_loadu_ps(op.add(8)), accr[1]));
+        } else {
+            _mm256_storeu_ps(op, accr[0]);
+            _mm256_storeu_ps(op.add(8), accr[1]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise kernels
+// ---------------------------------------------------------------------------
+
+/// Element-wise binary op vectorized by [`binary_at`] and friends. Each
+/// lane applies one IEEE op, so every tier is trivially bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+}
+
+impl BinOp {
+    /// Apply the op to one element pair (the scalar reference all vector
+    /// paths are pinned against).
+    #[inline(always)]
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+        }
+    }
+}
+
+/// `out[i] = a[i] op b[i]` at the process-wide [`active_tier`].
+pub fn binary(op: BinOp, out: &mut [f32], a: &[f32], b: &[f32]) {
+    binary_at(active_tier(), op, out, a, b);
+}
+
+/// [`binary`] at an explicit tier (for equivalence tests).
+pub fn binary_at(tier: Tier, op: BinOp, out: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(out.len(), a.len());
+    assert_eq!(out.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    match tier {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        Tier::Avx2 => return unsafe { binary_avx2(op, out, a, b) },
+        Tier::Sse2 => return binary_sse2(op, out, a, b),
+        Tier::Scalar => {}
+    }
+    let _ = tier;
+    for i in 0..out.len() {
+        out[i] = op.apply(a[i], b[i]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn binary_avx2(op: BinOp, out: &mut [f32], a: &[f32], b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = _mm256_loadu_ps(a.as_ptr().add(i));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+        let r = match op {
+            BinOp::Add => _mm256_add_ps(av, bv),
+            BinOp::Sub => _mm256_sub_ps(av, bv),
+            BinOp::Mul => _mm256_mul_ps(av, bv),
+        };
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+        i += 8;
+    }
+    while i < n {
+        out[i] = op.apply(a[i], b[i]);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn binary_sse2(op: BinOp, out: &mut [f32], a: &[f32], b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY: SSE2 is the x86-64 baseline; bounds hold by the loop guard.
+        unsafe {
+            let av = _mm_loadu_ps(a.as_ptr().add(i));
+            let bv = _mm_loadu_ps(b.as_ptr().add(i));
+            let r = match op {
+                BinOp::Add => _mm_add_ps(av, bv),
+                BinOp::Sub => _mm_sub_ps(av, bv),
+                BinOp::Mul => _mm_mul_ps(av, bv),
+            };
+            _mm_storeu_ps(out.as_mut_ptr().add(i), r);
+        }
+        i += 4;
+    }
+    while i < n {
+        out[i] = op.apply(a[i], b[i]);
+        i += 1;
+    }
+}
+
+/// `out[i] = a[i] op s` (or `s op a[i]` when `scalar_left`), at the
+/// process-wide [`active_tier`].
+pub fn binary_scalar(op: BinOp, out: &mut [f32], a: &[f32], s: f32, scalar_left: bool) {
+    binary_scalar_at(active_tier(), op, out, a, s, scalar_left);
+}
+
+/// [`binary_scalar`] at an explicit tier (for equivalence tests).
+pub fn binary_scalar_at(tier: Tier, op: BinOp, out: &mut [f32], a: &[f32], s: f32, scalar_left: bool) {
+    assert_eq!(out.len(), a.len());
+    #[cfg(target_arch = "x86_64")]
+    match tier {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        Tier::Avx2 => return unsafe { binary_scalar_avx2(op, out, a, s, scalar_left) },
+        Tier::Sse2 | Tier::Scalar => {}
+    }
+    let _ = tier;
+    // The scalar loop is shape (x op const): trivially auto-vectorized at
+    // the SSE2 baseline, so no explicit 128-bit variant is needed.
+    if scalar_left {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = op.apply(s, x);
+        }
+    } else {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = op.apply(x, s);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn binary_scalar_avx2(op: BinOp, out: &mut [f32], a: &[f32], s: f32, scalar_left: bool) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let sv = _mm256_set1_ps(s);
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = _mm256_loadu_ps(a.as_ptr().add(i));
+        let (l, r) = if scalar_left { (sv, av) } else { (av, sv) };
+        let y = match op {
+            BinOp::Add => _mm256_add_ps(l, r),
+            BinOp::Sub => _mm256_sub_ps(l, r),
+            BinOp::Mul => _mm256_mul_ps(l, r),
+        };
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), y);
+        i += 8;
+    }
+    while i < n {
+        out[i] = if scalar_left { op.apply(s, a[i]) } else { op.apply(a[i], s) };
+        i += 1;
+    }
+}
+
+/// `dst[i] += scale * src[i]` (two roundings: mul then add — matching the
+/// scalar expression, never FMA), at the process-wide [`active_tier`].
+pub fn axpy(dst: &mut [f32], scale: f32, src: &[f32]) {
+    axpy_at(active_tier(), dst, scale, src);
+}
+
+/// [`axpy`] at an explicit tier (for equivalence tests).
+pub fn axpy_at(tier: Tier, dst: &mut [f32], scale: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        return unsafe { axpy_avx2(dst, scale, src) };
+    }
+    let _ = tier;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += scale * s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(dst: &mut [f32], scale: f32, src: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let sv = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, _mm256_mul_ps(sv, s)));
+        i += 8;
+    }
+    while i < n {
+        dst[i] += scale * src[i];
+        i += 1;
+    }
+}
+
+/// `dst[i] += src[i]` in place (bias rows fused onto matmul outputs), at
+/// the process-wide [`active_tier`].
+pub fn add_inplace(dst: &mut [f32], src: &[f32]) {
+    add_inplace_at(active_tier(), dst, src);
+}
+
+/// [`add_inplace`] at an explicit tier (for equivalence tests).
+pub fn add_inplace_at(tier: Tier, dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        return unsafe { add_inplace_avx2(dst, src) };
+    }
+    let _ = tier;
+    // Plain `x + y` accumulate: auto-vectorized at the SSE2 baseline.
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_inplace_avx2(dst: &mut [f32], src: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, s));
+        i += 8;
+    }
+    while i < n {
+        dst[i] += src[i];
+        i += 1;
+    }
+}
+
+/// `d[i] = exp_nonpos(d[i] - mx)` in place (the softmax exp pass), at an
+/// explicit tier.
+///
+/// The AVX2 lane replays [`crate::ndarray::exp_nonpos`] step for step —
+/// same clamp, same magic-number range reduction, same polynomial nesting,
+/// same integer exponent reconstruction — in 8-wide exact-rounding IEEE
+/// ops, so every lane produces the scalar function's bits. (`_mm256_max_ps`
+/// returns its second operand on NaN, matching `f32::max`'s NaN-ignoring
+/// clamp.)
+pub fn exp_sub_inplace_at(tier: Tier, d: &mut [f32], mx: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        return unsafe { exp_sub_inplace_avx2(d, mx) };
+    }
+    let _ = tier;
+    for v in d.iter_mut() {
+        *v = crate::ndarray::exp_nonpos(*v - mx);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::excessive_precision)]
+unsafe fn exp_sub_inplace_avx2(d: &mut [f32], mx: f32) {
+    use std::arch::x86_64::*;
+    let n = d.len();
+    let mxv = _mm256_set1_ps(mx);
+    let clamp = _mm256_set1_ps(-87.336_544);
+    let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+    let magic = _mm256_set1_ps(12_582_912.0); // 1.5 * 2^23
+    let ln2_hi = _mm256_set1_ps(0.693_359_375);
+    let ln2_lo = _mm256_set1_ps(-2.121_944_4e-4);
+    let c5 = _mm256_set1_ps(1.987_569_1e-4);
+    let c4 = _mm256_set1_ps(1.398_199_9e-3);
+    let c3 = _mm256_set1_ps(8.333_452e-3);
+    let c2 = _mm256_set1_ps(4.166_579_6e-2);
+    let c1 = _mm256_set1_ps(1.666_666_5e-1);
+    let c0 = _mm256_set1_ps(5.000_000_4e-1);
+    let one = _mm256_set1_ps(1.0);
+    let bias = _mm256_set1_epi32(127 - 0x4B40_0000);
+    let mut i = 0;
+    while i + 8 <= n {
+        let x0 = _mm256_sub_ps(_mm256_loadu_ps(d.as_ptr().add(i)), mxv);
+        let x = _mm256_max_ps(x0, clamp);
+        let u = _mm256_add_ps(_mm256_mul_ps(x, log2e), magic);
+        let nf = _mm256_sub_ps(u, magic);
+        let r = _mm256_sub_ps(
+            _mm256_sub_ps(x, _mm256_mul_ps(nf, ln2_hi)),
+            _mm256_mul_ps(nf, ln2_lo),
+        );
+        // Same Horner nesting as the scalar polynomial, mul+add pairs only.
+        let mut p = _mm256_add_ps(_mm256_mul_ps(c5, r), c4);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), c3);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), c2);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), c1);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), c0);
+        p = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(_mm256_mul_ps(p, r), r), r), one);
+        let npb = _mm256_add_epi32(_mm256_castps_si256(u), bias);
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32(npb, 23));
+        _mm256_storeu_ps(d.as_mut_ptr().add(i), _mm256_mul_ps(p, scale));
+        i += 8;
+    }
+    while i < n {
+        d[i] = crate::ndarray::exp_nonpos(d[i] - mx);
+        i += 1;
+    }
+}
+
+/// `row[i] *= c` in place (softmax normalization), at the process-wide
+/// [`active_tier`].
+pub fn scale_inplace(row: &mut [f32], c: f32) {
+    scale_inplace_at(active_tier(), row, c);
+}
+
+/// [`scale_inplace`] at an explicit tier (for equivalence tests).
+pub fn scale_inplace_at(tier: Tier, row: &mut [f32], c: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        return unsafe { scale_inplace_avx2(row, c) };
+    }
+    let _ = tier;
+    for v in row.iter_mut() {
+        *v *= c;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scale_inplace_avx2(row: &mut [f32], c: f32) {
+    use std::arch::x86_64::*;
+    let n = row.len();
+    let cv = _mm256_set1_ps(c);
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(row.as_ptr().add(i));
+        _mm256_storeu_ps(row.as_mut_ptr().add(i), _mm256_mul_ps(v, cv));
+        i += 8;
+    }
+    while i < n {
+        row[i] *= c;
+        i += 1;
+    }
+}
+
+/// One softmax row behind a single tier dispatch: `row = exp_nonpos(row -
+/// max(row))`, then normalise by `1.0 / sum(row)` — exactly the
+/// [`row_max_at`] / [`exp_sub_inplace_at`] / [`row_sum_at`] /
+/// [`scale_inplace_at`] sequence, fused. Attention softmaxes run ~10k short
+/// rows per forward, and crossing multiple non-inlinable
+/// `#[target_feature]` boundaries per row costs more than the row math
+/// itself; on AVX2 the helpers inline into one kernel instead.
+pub fn softmax_row_at(tier: Tier, row: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if tier == Tier::Avx2 {
+        // SAFETY: AVX2 presence is what put us on this tier.
+        return unsafe { softmax_row_avx2(row) };
+    }
+    let mx = row_max_at(tier, row);
+    exp_sub_inplace_at(tier, row, mx);
+    let inv = 1.0 / row_sum_at(tier, row);
+    scale_inplace_at(tier, row, inv);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn softmax_row_avx2(row: &mut [f32]) {
+    // The SSE2 reduction trees are plain fns, so they inline here; the two
+    // AVX2 helpers inline because the caller carries the same target
+    // feature. Same instructions as the unfused sequence, one call boundary.
+    let mx = row_max_sse2(row);
+    exp_sub_inplace_avx2(row, mx);
+    let inv = 1.0 / row_sum_sse2(row);
+    scale_inplace_avx2(row, inv);
+}
+
+// ---------------------------------------------------------------------------
+// Row reductions (fixed 4-lane trees)
+// ---------------------------------------------------------------------------
+
+/// Max of a row via four independent lanes. Max is associative, so the
+/// value matches a naive fold for any NaN-free input; for `-0.0`/`+0.0`
+/// ties the chosen bit pattern may differ between a naive fold and this
+/// one, but SIMD tiers fold the four lanes in the identical association as
+/// the scalar 4-lane code, so tiers agree bitwise with each other. Runs at
+/// the process-wide [`active_tier`].
+#[inline]
+pub fn row_max(row: &[f32]) -> f32 {
+    row_max_at(active_tier(), row)
+}
+
+/// [`row_max`] at an explicit tier (for equivalence tests).
+pub fn row_max_at(tier: Tier, row: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if tier >= Tier::Sse2 {
+        // The reduction tree is pinned at 4 lanes (SSE width): widening to 8
+        // under AVX2 would change the lane-assignment of every element and
+        // with it the fold order, breaking tier bit-equality.
+        return row_max_sse2(row);
+    }
+    let _ = tier;
+    row_max_scalar(row)
+}
+
+fn row_max_scalar(row: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 4];
+    let mut it = row.chunks_exact(4);
+    for ch in &mut it {
+        for (l, &v) in lanes.iter_mut().zip(ch) {
+            *l = l.max(v);
+        }
+    }
+    let mut m = (lanes[0].max(lanes[1])).max(lanes[2].max(lanes[3]));
+    for &v in it.remainder() {
+        m = m.max(v);
+    }
+    m
+}
+
+#[cfg(target_arch = "x86_64")]
+fn row_max_sse2(row: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = row.len();
+    let full = n / 4 * 4;
+    // SAFETY: SSE2 is the x86-64 baseline; bounds hold by construction.
+    let mut lanes = [f32::NEG_INFINITY; 4];
+    unsafe {
+        let mut acc = _mm_set1_ps(f32::NEG_INFINITY);
+        let mut i = 0;
+        while i < full {
+            // Inputs are NaN-free (softmax operands; non-finite values trip
+            // the graph's debug asserts upstream), so `_mm_max_ps` and the
+            // scalar `f32::max` agree on every lane except possibly the bit
+            // pattern of ±0.0 ties — and every caller subtracts the max,
+            // where both zeros act identically.
+            acc = _mm_max_ps(acc, _mm_loadu_ps(row.as_ptr().add(i)));
+            i += 4;
+        }
+        _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+    }
+    let mut m = (lanes[0].max(lanes[1])).max(lanes[2].max(lanes[3]));
+    for &v in &row[full..] {
+        m = m.max(v);
+    }
+    m
+}
+
+/// Sum of a row in four fixed lanes: lane `i` accumulates positions
+/// `i, i+4, ...` in ascending order, lanes fold as `(l0+l1)+(l2+l3)`, then
+/// remainder elements add in order. A fixed function of the row length —
+/// never of thread count or SIMD tier (the SSE2 kernel *is* the 4-lane
+/// tree; AVX2 deliberately reuses it rather than widening to 8 lanes) — so
+/// results are reproducible run-to-run. Runs at the process-wide
+/// [`active_tier`].
+#[inline]
+pub fn row_sum(row: &[f32]) -> f32 {
+    row_sum_at(active_tier(), row)
+}
+
+/// [`row_sum`] at an explicit tier (for equivalence tests).
+pub fn row_sum_at(tier: Tier, row: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if tier >= Tier::Sse2 {
+        return row_sum_sse2(row);
+    }
+    let _ = tier;
+    row_sum_scalar(row)
+}
+
+fn row_sum_scalar(row: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 4];
+    let mut it = row.chunks_exact(4);
+    for ch in &mut it {
+        for (l, &v) in lanes.iter_mut().zip(ch) {
+            *l += v;
+        }
+    }
+    let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &v in it.remainder() {
+        s += v;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+fn row_sum_sse2(row: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = row.len();
+    let full = n / 4 * 4;
+    let mut lanes = [0.0f32; 4];
+    // SAFETY: SSE2 is the x86-64 baseline; bounds hold by construction.
+    unsafe {
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0;
+        while i < full {
+            acc = _mm_add_ps(acc, _mm_loadu_ps(row.as_ptr().add(i)));
+            i += 4;
+        }
+        _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+    }
+    // Fold in the exact scalar association: (l0+l1)+(l2+l3).
+    let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &v in &row[full..] {
+        s += v;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_order_reflects_capability() {
+        assert!(Tier::Scalar < Tier::Sse2);
+        assert!(Tier::Sse2 < Tier::Avx2);
+    }
+
+    #[test]
+    fn active_tier_is_stable() {
+        assert_eq!(active_tier(), active_tier());
+    }
+
+    #[test]
+    fn binary_tiers_agree_on_odd_lengths() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32).cos()).collect();
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul] {
+            let mut scalar = vec![0.0f32; 37];
+            binary_at(Tier::Scalar, op, &mut scalar, &a, &b);
+            for tier in [Tier::Sse2, Tier::Avx2] {
+                if tier > detect() {
+                    continue;
+                }
+                let mut out = vec![0.0f32; 37];
+                binary_at(tier, op, &mut out, &a, &b);
+                let eq = out.iter().zip(&scalar).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(eq, "{op:?} diverged at tier {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_reductions_tiers_agree() {
+        let row: Vec<f32> = (0..23).map(|i| ((i * 37 % 11) as f32) - 5.0).collect();
+        for tier in [Tier::Sse2, Tier::Avx2] {
+            if tier > detect() {
+                continue;
+            }
+            assert_eq!(row_sum_at(tier, &row).to_bits(), row_sum_at(Tier::Scalar, &row).to_bits());
+            assert_eq!(row_max_at(tier, &row).to_bits(), row_max_at(Tier::Scalar, &row).to_bits());
+        }
+    }
+}

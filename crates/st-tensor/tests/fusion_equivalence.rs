@@ -1,0 +1,156 @@
+//! Fused tape ops vs their unfused chains: bitwise equality, forward and
+//! backward.
+//!
+//! The graph layer exposes four fused ops (`gated_unit`,
+//! `scaled_softmax_last`, `add_scale`, `matmul_bias`) that each collapse a
+//! chain of primitive nodes into one tape entry. Fusion is only sound here
+//! because it is *bitwise invisible*: the fused forward performs the exact
+//! same f32 operation sequence per element as the chain it replaces, and the
+//! fused backward rule reproduces the chain's accumulated gradients to the
+//! bit. This suite pins that contract by evaluating each fused op and its
+//! unfused spelling in two graphs over identical parameters, driving a
+//! non-uniform upstream gradient through both, and comparing the outputs and
+//! every parameter gradient with `to_bits`.
+
+use st_check::prelude::*;
+use st_rand::SeedableRng;
+use st_rand::StdRng;
+use st_tensor::graph::{Graph, Tx};
+use st_tensor::ndarray::NdArray;
+use st_tensor::param::ParamStore;
+
+fn assert_bits_equal(got: &NdArray, want: &NdArray, what: &str) -> Result<(), String> {
+    prop_assert_eq!(got.shape(), want.shape(), "{} shape mismatch", what);
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        prop_assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{}: element {} diverges: {} vs {}",
+            what,
+            i,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+/// Run `build` twice over the same store — once spelling the op fused, once
+/// unfused — weight the output by a random mask (so the upstream gradient is
+/// non-uniform), and assert outputs and all parameter gradients match
+/// bitwise.
+fn check_pair(
+    store: &ParamStore,
+    mask: &NdArray,
+    build: &dyn Fn(&mut Graph, bool) -> Tx,
+    what: &str,
+) -> Result<(), String> {
+    let mut outs = Vec::new();
+    let mut grads = Vec::new();
+    for fused in [true, false] {
+        let mut g = Graph::new(store);
+        let out = build(&mut g, fused);
+        let mi = g.input(mask.clone());
+        let weighted = g.mul(out, mi);
+        let loss = g.sum_all(weighted);
+        outs.push(g.value(out).clone());
+        grads.push(g.backward(loss));
+    }
+    assert_bits_equal(&outs[0], &outs[1], &format!("{what} forward"))?;
+    let (gf, gu) = (&grads[0], &grads[1]);
+    prop_assert_eq!(gf.len(), gu.len(), "{} gradient count mismatch", what);
+    for (name, fused_grad) in gf.iter() {
+        let unfused_grad = gu
+            .get(name)
+            .ok_or_else(|| format!("{what}: unfused graph missing grad for `{name}`"))?;
+        assert_bits_equal(fused_grad, unfused_grad, &format!("{what} grad `{name}`"))?;
+    }
+    Ok(())
+}
+
+properties! {
+    /// `gated_unit(x)` == `tanh(x[.., :d]) * sigmoid(x[.., d:])`.
+    #[test]
+    fn gated_unit_matches_chain(rows in 1usize..12, d in 1usize..20, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        store.insert("x", NdArray::randn(&[rows, 2 * d], &mut rng));
+        let mask = NdArray::randn(&[rows, d], &mut rng);
+        check_pair(&store, &mask, &|g, fused| {
+            let x = g.param("x");
+            if fused {
+                g.gated_unit(x)
+            } else {
+                let a = g.slice_last(x, 0, d);
+                let b = g.slice_last(x, d, d);
+                let t = g.tanh(a);
+                let s = g.sigmoid(b);
+                g.mul(t, s)
+            }
+        }, "gated_unit")?;
+    }
+
+    /// `scaled_softmax_last(x, c)` == `softmax_last(x * c)`.
+    #[test]
+    fn scaled_softmax_matches_chain(b in 1usize..6, rows in 1usize..8, d in 1usize..20, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = 1.0 / (d as f32).sqrt();
+        let mut store = ParamStore::new();
+        store.insert("x", NdArray::randn(&[b, rows, d], &mut rng));
+        let mask = NdArray::randn(&[b, rows, d], &mut rng);
+        check_pair(&store, &mask, &|g, fused| {
+            let x = g.param("x");
+            if fused {
+                g.scaled_softmax_last(x, c)
+            } else {
+                let s = g.scale(x, c);
+                g.softmax_last(s)
+            }
+        }, "scaled_softmax")?;
+    }
+
+    /// `add_scale(a, b, c)` == `(a + b) * c`.
+    #[test]
+    fn add_scale_matches_chain(rows in 1usize..12, d in 1usize..20, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = 0.5f32.sqrt();
+        let mut store = ParamStore::new();
+        store.insert("a", NdArray::randn(&[rows, d], &mut rng));
+        store.insert("b", NdArray::randn(&[rows, d], &mut rng));
+        let mask = NdArray::randn(&[rows, d], &mut rng);
+        check_pair(&store, &mask, &|g, fused| {
+            let a = g.param("a");
+            let b = g.param("b");
+            if fused {
+                g.add_scale(a, b, c)
+            } else {
+                let s = g.add(a, b);
+                g.scale(s, c)
+            }
+        }, "add_scale")?;
+    }
+
+    /// `matmul_bias(a, w, bias)` == `a @ w + bias` (broadcast add), with
+    /// shapes sweeping past the `worthwhile` gate edges of the banded
+    /// dispatch.
+    #[test]
+    fn matmul_bias_matches_chain(m in 1usize..34, k in 1usize..20, n in 1usize..24, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        store.insert("a", NdArray::randn(&[m, k], &mut rng));
+        store.insert("w", NdArray::randn(&[k, n], &mut rng));
+        store.insert("bias", NdArray::randn(&[n], &mut rng));
+        let mask = NdArray::randn(&[m, n], &mut rng);
+        check_pair(&store, &mask, &|g, fused| {
+            let a = g.param("a");
+            let w = g.param("w");
+            let bias = g.param("bias");
+            if fused {
+                g.matmul_bias(a, w, bias)
+            } else {
+                let p = g.matmul(a, w);
+                g.add(p, bias)
+            }
+        }, "matmul_bias")?;
+    }
+}

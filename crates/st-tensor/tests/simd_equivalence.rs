@@ -1,0 +1,220 @@
+//! Cross-tier bit-equality for every SIMD kernel.
+//!
+//! `kernel_equivalence.rs` pins the *active-tier* kernels against naive
+//! references; this suite pins the tiers against **each other** inside one
+//! process: for every dispatchable kernel, the Scalar, Sse2 and Avx2 paths
+//! (whichever the host supports) must produce bit-identical buffers over
+//! shape sweeps that hit full `MR x NR` tiles, every fixed-width edge strip,
+//! runtime-width tails, and sub-vector remainders. The same sweeps assert
+//! that the overwriting `*_set` matmul variants match `+=` on a `+0.0`
+//! buffer — the contract that lets the forward path skip output zeroing —
+//! and that `NdArray`-level dispatch is invariant under `st_par` thread
+//! counts 1 and 4.
+
+use st_check::prelude::*;
+use st_rand::SeedableRng;
+use st_rand::StdRng;
+use st_tensor::ndarray::NdArray;
+use st_tensor::simd::{self, BinOp, Tier};
+
+/// Every tier the host can actually run (Avx2 is detected, never assumed).
+fn tiers() -> Vec<Tier> {
+    let mut t = vec![Tier::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        t.push(Tier::Sse2);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            t.push(Tier::Avx2);
+        }
+    }
+    t
+}
+
+fn rand_buf(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    NdArray::randn(&[len.max(1)], rng).into_vec()[..len].to_vec()
+}
+
+/// Assert two buffers agree to the bit, reporting the first divergence.
+fn assert_bits_equal(got: &[f32], want: &[f32], what: &str) -> Result<(), String> {
+    prop_assert_eq!(got.len(), want.len(), "{} length mismatch", what);
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{}: element {} diverges: {} vs {}",
+            what,
+            i,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+properties! {
+    /// All tiers of the three matmul kernels agree bitwise, `+=` and `set`
+    /// flavours both, across tile-grid edge cases (m spans partial MR rows,
+    /// n spans the 4/8/12/16 fixed strips plus odd tails).
+    #[test]
+    fn matmul_kernels_tier_bit_equal(m in 1usize..26, k in 1usize..20, n in 1usize..36, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_buf(m * k, &mut rng);
+        let b = rand_buf(k * n, &mut rng);
+        let bt = rand_buf(n * k, &mut rng);
+        let at = rand_buf(k * m, &mut rng);
+        let base = rand_buf(m * n, &mut rng);
+        let ts = tiers();
+        let (t0, rest) = ts.split_first().unwrap();
+
+        // Accumulating flavour starts from a shared random prefill.
+        let mut want = base.clone();
+        simd::matmul_kernel_at(*t0, &mut want, &a, &b, m, k, n);
+        for &t in rest {
+            let mut got = base.clone();
+            simd::matmul_kernel_at(t, &mut got, &a, &b, m, k, n);
+            assert_bits_equal(&got, &want, &format!("matmul {t:?}"))?;
+        }
+        // Overwriting flavour must equal `+=` on a +0.0 output, every tier.
+        let mut zeroed = vec![0.0f32; m * n];
+        simd::matmul_kernel_at(*t0, &mut zeroed, &a, &b, m, k, n);
+        for &t in &ts {
+            let mut got = rand_buf(m * n, &mut rng); // dirty prefill: must be ignored
+            simd::matmul_kernel_set_at(t, &mut got, &a, &b, m, k, n);
+            assert_bits_equal(&got, &zeroed, &format!("matmul_set {t:?}"))?;
+        }
+
+        let mut want = base.clone();
+        simd::matmul_transb_kernel_at(*t0, &mut want, &a, &bt, m, k, n);
+        for &t in rest {
+            let mut got = base.clone();
+            simd::matmul_transb_kernel_at(t, &mut got, &a, &bt, m, k, n);
+            assert_bits_equal(&got, &want, &format!("matmul_transb {t:?}"))?;
+        }
+
+        let mut want = base.clone();
+        simd::matmul_transa_kernel_at(*t0, &mut want, &at, &b, m, k, n);
+        for &t in rest {
+            let mut got = base.clone();
+            simd::matmul_transa_kernel_at(t, &mut got, &at, &b, m, k, n);
+            assert_bits_equal(&got, &want, &format!("matmul_transa {t:?}"))?;
+        }
+    }
+
+    /// Element-wise kernels: binary, scalar-broadcast binary (both operand
+    /// orders), axpy, in-place scale and add — all tiers bit-identical over
+    /// lengths spanning sub-vector, one-vector, and ragged multi-vector
+    /// buffers.
+    #[test]
+    fn elementwise_tier_bit_equal(len in 1usize..70, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_buf(len, &mut rng);
+        let b = rand_buf(len, &mut rng);
+        let c = rand_buf(1, &mut rng)[0];
+        let ts = tiers();
+        let (t0, rest) = ts.split_first().unwrap();
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul] {
+            let mut want = vec![0.0f32; len];
+            simd::binary_at(*t0, op, &mut want, &a, &b);
+            for &t in rest {
+                let mut got = vec![0.0f32; len];
+                simd::binary_at(t, op, &mut got, &a, &b);
+                assert_bits_equal(&got, &want, &format!("binary {op:?} {t:?}"))?;
+            }
+            for scalar_left in [false, true] {
+                let mut want = vec![0.0f32; len];
+                simd::binary_scalar_at(*t0, op, &mut want, &a, c, scalar_left);
+                for &t in rest {
+                    let mut got = vec![0.0f32; len];
+                    simd::binary_scalar_at(t, op, &mut got, &a, c, scalar_left);
+                    assert_bits_equal(&got, &want, &format!("binary_scalar {op:?} {t:?}"))?;
+                }
+            }
+        }
+        let mut want = b.clone();
+        simd::axpy_at(*t0, &mut want, c, &a);
+        for &t in rest {
+            let mut got = b.clone();
+            simd::axpy_at(t, &mut got, c, &a);
+            assert_bits_equal(&got, &want, &format!("axpy {t:?}"))?;
+        }
+        let mut want = a.clone();
+        simd::scale_inplace_at(*t0, &mut want, c);
+        for &t in rest {
+            let mut got = a.clone();
+            simd::scale_inplace_at(t, &mut got, c);
+            assert_bits_equal(&got, &want, &format!("scale_inplace {t:?}"))?;
+        }
+        let mut want = a.clone();
+        simd::add_inplace_at(*t0, &mut want, &b);
+        for &t in rest {
+            let mut got = a.clone();
+            simd::add_inplace_at(t, &mut got, &b);
+            assert_bits_equal(&got, &want, &format!("add_inplace {t:?}"))?;
+        }
+    }
+
+    /// The softmax row pipeline — max / exp / sum reductions and the fused
+    /// `softmax_row_at` — agrees bitwise across tiers, including rows with
+    /// 4-lane and 8-lane remainders.
+    #[test]
+    fn softmax_rows_tier_bit_equal(len in 1usize..70, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let row = rand_buf(len, &mut rng);
+        let ts = tiers();
+        let (t0, rest) = ts.split_first().unwrap();
+        let mx0 = simd::row_max_at(*t0, &row);
+        let sum0 = simd::row_sum_at(*t0, &row);
+        for &t in rest {
+            prop_assert_eq!(simd::row_max_at(t, &row).to_bits(), mx0.to_bits(), "row_max {:?}", t);
+            prop_assert_eq!(simd::row_sum_at(t, &row).to_bits(), sum0.to_bits(), "row_sum {:?}", t);
+        }
+        let mut want = row.clone();
+        simd::exp_sub_inplace_at(*t0, &mut want, mx0);
+        for &t in rest {
+            let mut got = row.clone();
+            simd::exp_sub_inplace_at(t, &mut got, mx0);
+            assert_bits_equal(&got, &want, &format!("exp_sub_inplace {t:?}"))?;
+        }
+        let mut want = row.clone();
+        simd::softmax_row_at(*t0, &mut want);
+        for &t in rest {
+            let mut got = row.clone();
+            simd::softmax_row_at(t, &mut got);
+            assert_bits_equal(&got, &want, &format!("softmax_row {t:?}"))?;
+        }
+        // The fused row must also equal the unfused sequence at every tier.
+        for &t in &ts {
+            let mut unfused = row.clone();
+            let mx = simd::row_max_at(t, &unfused);
+            simd::exp_sub_inplace_at(t, &mut unfused, mx);
+            let inv = 1.0 / simd::row_sum_at(t, &unfused);
+            simd::scale_inplace_at(t, &mut unfused, inv);
+            let mut fused = row.clone();
+            simd::softmax_row_at(t, &mut fused);
+            assert_bits_equal(&fused, &unfused, &format!("softmax_row vs unfused {t:?}"))?;
+        }
+    }
+
+    /// `NdArray`-level dispatch (banded matmul_bias, batched attention
+    /// products, softmax) is bitwise invariant under `st_par` thread count:
+    /// the chunking is shape-derived, so 1 and 4 threads see identical bands.
+    #[test]
+    fn ndarray_dispatch_thread_invariant(seed in 0u64..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Big enough that the matmul-family `worthwhile` gates are exercised.
+        let x = NdArray::randn(&[96, 40], &mut rng);
+        let w = NdArray::randn(&[40, 24], &mut rng);
+        let bias = NdArray::randn(&[24], &mut rng);
+        let q = NdArray::randn(&[6, 9, 5], &mut rng);
+        let kk = NdArray::randn(&[6, 9, 5], &mut rng);
+        st_par::set_threads(1);
+        let mb1 = x.matmul_bias(&w, &bias);
+        let sc1 = q.batch_matmul_transb(&kk).scaled_softmax_last(0.25);
+        st_par::set_threads(4);
+        let mb4 = x.matmul_bias(&w, &bias);
+        let sc4 = q.batch_matmul_transb(&kk).scaled_softmax_last(0.25);
+        st_par::set_threads(0);
+        assert_bits_equal(mb1.data(), mb4.data(), "matmul_bias t1 vs t4")?;
+        assert_bits_equal(sc1.data(), sc4.data(), "scaled_softmax t1 vs t4")?;
+    }
+}

@@ -26,6 +26,11 @@ ST_PAR_THREADS=1 cargo test -q --workspace --offline
 echo "== cargo test -q --workspace (offline, ST_PAR_THREADS=4) =="
 ST_PAR_THREADS=4 cargo test -q --workspace --offline
 
+# Forced-scalar leg: ST_SIMD=0 pins the dispatch to the scalar tier, so the
+# goldens and both equivalence suites prove the SIMD paths change no bits.
+echo "== cargo test -q --workspace (offline, ST_SIMD=0 scalar tier) =="
+ST_SIMD=0 cargo test -q --workspace --offline
+
 echo "== cargo clippy --all-targets (offline, deny warnings) =="
 cargo clippy --all-targets --offline -- -D warnings
 

@@ -14,6 +14,7 @@
 //!                 [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]
 //! pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt] [--quick]
 //! pristi bench    --compare OLD,NEW [--threshold-pct P]
+//! pristi bench    --filter <substr> [--quick] [--json]
 //! ```
 //!
 //! `impute` trains PriSTI on the visible values of the panel (self-supervised
@@ -78,7 +79,7 @@ fn main() -> ExitCode {
         Some("serve") => run_serve(parse_flags(&args[1..])),
         Some("loadtest") => loadtest::run(&args[1..]),
         Some("profile") => profile::run(&args[1..]),
-        Some("bench") => run_bench_compare(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
         Some("checkpoint") => match args.get(1).map(String::as_str) {
             Some("save") => run_checkpoint_save(parse_flags(&args[2..])),
             Some("load-verify") => run_checkpoint_verify(parse_flags(&args[2..])),
@@ -105,9 +106,77 @@ fn main() -> ExitCode {
             eprintln!("  pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt]");
             eprintln!("                  [--quick]");
             eprintln!("  pristi bench --compare OLD,NEW [--threshold-pct P]");
+            eprintln!("  pristi bench --filter <substr> [--quick] [--json]");
             ExitCode::from(2)
         }
     }
+}
+
+/// `pristi bench` dispatcher:
+///
+/// * `--compare OLD,NEW [--threshold-pct P]` — diff two bench reports;
+/// * `--filter <substr> [--quick] [--json]` — run the matching subset of the
+///   micro-benchmark cases in-process, so a kernel iteration doesn't require
+///   running the full `cargo bench` suite.
+fn run_bench(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--compare") {
+        run_bench_compare(args)
+    } else {
+        run_bench_filter(args)
+    }
+}
+
+/// `pristi bench --filter <substr> [--quick] [--json]` — time only the micro
+/// cases whose name contains `<substr>` (the same case set and timing loop as
+/// `cargo bench -p pristi-bench`; `--json` rewrites `BENCH_micro.json` with
+/// just the matched entries, so leave it off when iterating on one kernel).
+fn run_bench_filter(args: &[String]) -> ExitCode {
+    let mut filter: Option<String> = None;
+    let mut quick = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--filter" => {
+                let Some(value) = args.get(i + 1).filter(|a| !a.starts_with("--")) else {
+                    eprintln!("--filter needs a substring");
+                    eprintln!("usage: pristi bench --filter <substr> [--quick] [--json]");
+                    return ExitCode::from(2);
+                };
+                filter = Some(value.clone());
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: pristi bench --compare OLD,NEW [--threshold-pct P]");
+                eprintln!("       pristi bench --filter <substr> [--quick] [--json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut h = pristi_bench::micro::MicroHarness::new(filter, quick);
+    pristi_bench::micro::run_all(&mut h);
+    if h.results().is_empty() {
+        eprintln!("no bench case matched the filter");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        let path = pristi_bench::micro::JSON_PATH;
+        if let Err(e) = std::fs::write(path, h.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} entries to {path}", h.results().len());
+    }
+    ExitCode::SUCCESS
 }
 
 /// `pristi bench --compare OLD,NEW [--threshold-pct P]` — diff two bench

@@ -488,9 +488,10 @@ fn build_report(
     })
 }
 
-/// Regression flag threshold: tmax is "regressing" when it takes >10 % more
-/// wall time than t1 for the same pinned work.
-const REGRESSION_RATIO: f64 = 1.10;
+// The tmax-vs-t1 verdict logic lives in `pristi_bench::scaling` so the
+// dispatch-policy regression tests can evaluate the same code this report
+// prints (see crates/bench/tests/dispatch_policy.rs).
+use pristi_bench::scaling::REGRESSION_RATIO;
 
 impl Report {
     fn leaf_pct(&self) -> f64 {
@@ -500,16 +501,10 @@ impl Report {
         100.0 * self.leaf_self_ns as f64 / self.root_ns as f64
     }
 
-    /// `(op, t1_ns, tmax_ns, ratio)` of the worst regressing op: the largest
-    /// tmax/t1 ratio among ops big enough to matter (≥1 % of scan-t1 time).
+    /// `(op, t1_ns, tmax_ns, ratio)` of the worst regressing op (see
+    /// [`pristi_bench::scaling::worst_scaling`]).
     fn worst_scaling(&self) -> Option<(String, u64, u64, f64)> {
-        let t1_total: u64 = self.scaling.values().map(|&(t1, _)| t1).sum();
-        let floor = t1_total / 100;
-        self.scaling
-            .iter()
-            .filter(|(_, &(t1, _))| t1 > floor.max(1))
-            .map(|(op, &(t1, tmax))| (op.clone(), t1, tmax, tmax as f64 / t1.max(1) as f64))
-            .max_by(|a, b| a.3.total_cmp(&b.3))
+        pristi_bench::scaling::worst_scaling(&self.scaling)
     }
 
     fn to_json(&self) -> String {
@@ -713,7 +708,12 @@ impl Report {
             Some((op, _, _, ratio)) => out.push_str(&format!(
                 "verdict: no parallel regression — worst op `{op}` at {ratio:.2}x\n"
             )),
-            None => out.push_str("verdict: no scaling data collected\n"),
+            None if self.scaling.is_empty() => {
+                out.push_str("verdict: no scaling data collected\n")
+            }
+            None => out.push_str(
+                "verdict: no parallel regression — no op cleared the ratio + delta bars\n",
+            ),
         }
         out
     }
