@@ -34,6 +34,7 @@ pub mod report;
 pub mod scale;
 pub mod scaling;
 pub mod serve_report;
+pub mod sweep;
 
 pub use compare::{compare_reports, extract_metrics, CompareOutcome, CompareRow, Metric};
 pub use datasets::{build_dataset, Setting};
@@ -44,3 +45,4 @@ pub use serve_report::{
     percentile, strip_report_timing, validate_serve_report, ServeEntry, ServeReport, ServeTiming,
     SERVE_SCHEMA,
 };
+pub use sweep::{run_sweep, SweepOpts, SweepReport, SweepRow};

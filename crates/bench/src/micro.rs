@@ -410,6 +410,22 @@ fn bench_serve_batching(h: &mut MicroHarness) {
                 .expect("bench batch is valid"),
         );
     });
+
+    // Per-solver few-step entries on the same coalesced batch, specs via the
+    // shared parser. Against the DDPM entry above (8 network evaluations on
+    // this tiny schedule) these measure what few-step solvers buy end to end;
+    // the steps-vs-CRPS sweep (`pristi bench --sweep`) covers accuracy.
+    for (name, spec) in [
+        ("impute_ddim_4req_x2samples", "ddim:4"),
+        ("impute_pndm_4req_x2samples", "pndm:3"),
+        ("impute_refine_4req_x2samples", "refine:3"),
+    ] {
+        let sampler: Sampler = spec.parse().expect("bench solver specs are valid");
+        h.bench(name, || {
+            let mut items = make_items();
+            black_box(impute_batch(&trained, &mut items, sampler).expect("bench batch is valid"));
+        });
+    }
 }
 
 /// Run every micro-benchmark case against `h` (its filter decides which

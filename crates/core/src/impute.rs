@@ -19,37 +19,26 @@
 //! requests share its batch. This is the property the `st-serve` micro-batching
 //! service builds on; `crates/st-serve/tests/service.rs` pins it under
 //! concurrent load.
+//!
+//! # Solvers
+//!
+//! The reverse loop is generic over
+//! [`st_diffusion::process::GenerativeProcess`]: the [`Sampler`] spec picks a
+//! solver, the solver owns the schedule walk and the deterministic update,
+//! and this driver owns the batch tensor, the network evaluations, and every
+//! random draw. See `crates/core/src/sampler.rs` for the spec surface and
+//! DESIGN.md §15 for the contract.
 
 use crate::error::{PristiError, Result};
 use crate::train::{build_cond, TrainedModel};
+pub use crate::sampler::Sampler;
 use st_data::dataset::Window;
-use st_diffusion::{
-    add_reverse_noise_slice, ddim_mean, ddim_noise_scale, ddim_timesteps, p_sample_mean,
-    p_sample_noise_scale,
-};
+use st_diffusion::add_reverse_noise_slice;
+use st_diffusion::process::ChainInit;
 use st_metrics::quantile_of_sorted;
 use st_rand::StdRng;
 use st_tensor::ndarray::NdArray;
 use std::sync::OnceLock;
-
-/// How the reverse process is sampled.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub enum Sampler {
-    /// Full `T`-step ancestral DDPM sampling (Algorithm 2).
-    #[default]
-    Ddpm,
-    /// Accelerated DDIM sampling (the efficiency direction named in the
-    /// paper's conclusion): `steps` network evaluations instead of `T`, with
-    /// `eta` interpolating between deterministic DDIM (0.0) and ancestral
-    /// DDPM noise levels (1.0). 8–12 steps typically match the full loop
-    /// closely.
-    Ddim {
-        /// Number of denoising steps (network evaluations).
-        steps: usize,
-        /// Stochasticity knob `η ∈ [0, 1]`.
-        eta: f64,
-    },
-}
 
 /// Whether the reverse loop reuses the step-invariant prior tensors.
 ///
@@ -289,16 +278,7 @@ pub fn impute_batch_with(
         return Ok(Vec::new());
     }
     let (n, l) = (trained.model.n_nodes(), trained.model.window_len());
-    if let Sampler::Ddim { steps, eta } = sampler {
-        if steps < 1 {
-            return Err(PristiError::DegenerateConfig("DDIM needs at least one step".into()));
-        }
-        if !eta.is_finite() || eta < 0.0 {
-            return Err(PristiError::DegenerateConfig(format!(
-                "DDIM eta must be finite and non-negative, got {eta}"
-            )));
-        }
-    }
+    sampler.validate()?;
     for item in items.iter() {
         if item.n_samples < 1 {
             return Err(PristiError::DegenerateConfig(
@@ -321,14 +301,16 @@ pub fn impute_batch_with(
         }
     }
     let s_total: usize = items.iter().map(|i| i.n_samples).sum();
+    // The solver owns the schedule walk; `pairs.len()` is the NFE cost of
+    // this request batch (one network evaluation per pair).
+    let mut solver = sampler.solver();
+    solver.reset();
+    let pairs = solver.timesteps(&trained.schedule);
     let _span = st_obs::span!(
         "impute",
         requests = items.len() as u64,
         samples = s_total as u64,
-        ddim_steps = match sampler {
-            Sampler::Ddim { steps, .. } => steps as u64,
-            Sampler::Ddpm => 0u64,
-        },
+        nfe = pairs.len() as u64,
     );
 
     // Per-request conditioning (normalised values, masks, interpolated 𝒳).
@@ -390,60 +372,38 @@ pub fn impute_batch_with(
         }
     };
 
-    // Initial noise, one slice per request from its own stream.
+    // Chain head, one noise slice per request from its own stream. Every
+    // solver draws exactly one `randn` per request here (stream-invariance
+    // across solvers); a `NoisedPrior` init additionally mixes in the
+    // request's interpolated conditional — the deterministic prior estimate —
+    // which is already replicated per sample in `cond_b`.
     let mut x = NdArray::zeros(&[s_total, n, l]);
     for (item, &(start, len)) in items.iter_mut().zip(&spans) {
         let noise = NdArray::randn(&[item.n_samples, n, l], &mut item.rng);
         x.data_mut()[start..start + len].copy_from_slice(noise.data());
     }
+    if let ChainInit::NoisedPrior { t_start } = solver.init(&trained.schedule) {
+        let ab = trained.schedule.alpha_bar(t_start);
+        let (a, b) = (ab.sqrt() as f32, (1.0 - ab).sqrt() as f32);
+        x = cond_b.zip_map(&x, |p, z| a * p + b * z);
+    }
     x = x.mul(&tmask_b);
 
-    // Reverse process: the mean update is element-wise over the whole batch
-    // (bitwise equal to computing each slice alone); the noise is added per
-    // request slice from that request's stream.
-    match sampler {
-        Sampler::Ddpm => {
-            for t in (1..=trained.schedule.t_steps()).rev() {
-                let _step_span = st_obs::span!("denoise_step", t = t as u64);
-                let eps_hat = match &cache {
-                    Some(c) => trained.model.predict_eps_eval_cached(c, &x, t),
-                    None => trained.model.predict_eps_eval(&x, &cond_b, t),
-                };
-                let t0 = st_obs::op_start();
-                let mut next = p_sample_mean(&x, &eps_hat, &trained.schedule, t);
-                add_noise_per_request(
-                    &mut next,
-                    items,
-                    &spans,
-                    p_sample_noise_scale(&trained.schedule, t),
-                );
-                st_obs::record_op(st_obs::Phase::Fwd, "p_sample_step", t0, next.numel() as u64);
-                x = next.mul(&tmask_b);
-            }
-        }
-        Sampler::Ddim { steps, eta } => {
-            let taus = ddim_timesteps(trained.schedule.t_steps(), steps);
-            for i in (0..taus.len()).rev() {
-                let t = taus[i];
-                let t_prev = if i == 0 { 0 } else { taus[i - 1] };
-                let _step_span =
-                    st_obs::span!("denoise_step", t = t as u64, t_prev = t_prev as u64);
-                let eps_hat = match &cache {
-                    Some(c) => trained.model.predict_eps_eval_cached(c, &x, t),
-                    None => trained.model.predict_eps_eval(&x, &cond_b, t),
-                };
-                let t0 = st_obs::op_start();
-                let mut next = ddim_mean(&x, &eps_hat, &trained.schedule, t, t_prev, eta);
-                add_noise_per_request(
-                    &mut next,
-                    items,
-                    &spans,
-                    ddim_noise_scale(&trained.schedule, t, t_prev, eta),
-                );
-                st_obs::record_op(st_obs::Phase::Fwd, "ddim_step", t0, next.numel() as u64);
-                x = next.mul(&tmask_b);
-            }
-        }
+    // Reverse process: the solver's mean update is element-wise over the
+    // whole batch (bitwise equal to computing each slice alone); the noise is
+    // added per request slice from that request's stream.
+    for &(t, t_prev) in &pairs {
+        let _step_span = st_obs::span!("denoise_step", t = t as u64, t_prev = t_prev as u64);
+        let eps_hat = match &cache {
+            Some(c) => trained.model.predict_eps_eval_cached(c, &x, t),
+            None => trained.model.predict_eps_eval(&x, &cond_b, t),
+        };
+        let t0 = st_obs::op_start();
+        let step = solver.step(&x, &eps_hat, &trained.schedule, t, t_prev);
+        let mut next = step.mean;
+        add_noise_per_request(&mut next, items, &spans, step.noise_scale);
+        st_obs::record_op(st_obs::Phase::Fwd, solver.op_label(), t0, next.numel() as u64);
+        x = next.mul(&tmask_b);
     }
 
     // Merge with conditioned values and denormalise per sample
@@ -482,40 +442,6 @@ fn add_noise_per_request(
     for (item, &(start, len)) in items.iter_mut().zip(spans) {
         add_reverse_noise_slice(&mut data[start..start + len], scale, &mut item.rng);
     }
-}
-
-/// Pre-redesign entry point: full DDPM sampling with a positional sample
-/// count. Panics on invalid input; migrate to [`impute`] for typed errors.
-#[deprecated(note = "use `impute` with `ImputeOptions { n_samples, sampler: Sampler::Ddpm }`")]
-pub fn impute_window(
-    trained: &TrainedModel,
-    window: &Window,
-    n_samples: usize,
-    rng: &mut StdRng,
-) -> ImputationResult {
-    impute(trained, window, &ImputeOptions { n_samples, sampler: Sampler::Ddpm }, rng)
-        .expect("impute_window: invalid input (migrate to `impute` for typed errors)")
-}
-
-/// Pre-redesign entry point: deterministic DDIM sampling with positional
-/// arguments. Panics on invalid input; migrate to [`impute`] for typed errors.
-#[deprecated(
-    note = "use `impute` with `ImputeOptions { n_samples, sampler: Sampler::Ddim { steps, eta: 0.0 } }`"
-)]
-pub fn impute_window_fast(
-    trained: &TrainedModel,
-    window: &Window,
-    n_samples: usize,
-    ddim_steps: usize,
-    rng: &mut StdRng,
-) -> ImputationResult {
-    impute(
-        trained,
-        window,
-        &ImputeOptions { n_samples, sampler: Sampler::Ddim { steps: ddim_steps, eta: 0.0 } },
-        rng,
-    )
-    .expect("impute_window_fast: invalid input (migrate to `impute` for typed errors)")
 }
 
 #[cfg(test)]
@@ -696,7 +622,12 @@ mod tests {
         let windows = data.windows(Split::Test, 12, 12);
         let w0 = &windows[0];
         let w1 = &windows[windows.len() - 1];
-        for sampler in [Sampler::Ddpm, Sampler::Ddim { steps: 4, eta: 0.5 }] {
+        for sampler in [
+            Sampler::Ddpm,
+            Sampler::Ddim { steps: 4, eta: 0.5 },
+            Sampler::Pndm { steps: 4, order: 4 },
+            Sampler::Refine { steps: 3, strength: 0.5 },
+        ] {
             let solo0 = {
                 let mut rng = StdRng::seed_from_u64(100);
                 impute(&trained, w0, &ImputeOptions { n_samples: 2, sampler }, &mut rng).unwrap()
@@ -732,7 +663,12 @@ mod tests {
         let windows = data.windows(Split::Test, 12, 12);
         let w0 = &windows[0];
         let w1 = &windows[windows.len() - 1];
-        for sampler in [Sampler::Ddpm, Sampler::Ddim { steps: 4, eta: 0.5 }] {
+        for sampler in [
+            Sampler::Ddpm,
+            Sampler::Ddim { steps: 4, eta: 0.5 },
+            Sampler::Pndm { steps: 4, order: 4 },
+            Sampler::Refine { steps: 3, strength: 0.5 },
+        ] {
             for n_requests in [1usize, 4] {
                 let make_items = || -> Vec<BatchItem<'_>> {
                     (0..n_requests)
@@ -801,6 +737,15 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, PristiError::DegenerateConfig(_)));
+        // out-of-range PNDM order / refine strength
+        for sampler in [
+            Sampler::Pndm { steps: 4, order: 5 },
+            Sampler::Refine { steps: 4, strength: 2.0 },
+        ] {
+            let err =
+                impute(&trained, w, &ImputeOptions { n_samples: 2, sampler }, &mut rng).unwrap_err();
+            assert!(matches!(err, PristiError::DegenerateConfig(_)));
+        }
         // wrong window length
         let short = data.window_at(0, 6);
         let err = impute(&trained, &short, &ddpm_opts(2), &mut rng).unwrap_err();
@@ -810,17 +755,4 @@ mod tests {
         ));
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        let (data, trained) = trained_setup();
-        let w = &data.windows(Split::Test, 12, 12)[0];
-        let mut r1 = StdRng::seed_from_u64(12);
-        let mut r2 = StdRng::seed_from_u64(12);
-        let via_wrapper = impute_window(&trained, w, 2, &mut r1);
-        let via_new = impute(&trained, w, &ddpm_opts(2), &mut r2).unwrap();
-        for (a, b) in via_wrapper.samples.iter().zip(&via_new.samples) {
-            assert!(a.to_bytes() == b.to_bytes());
-        }
-    }
 }

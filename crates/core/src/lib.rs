@@ -80,15 +80,15 @@ pub mod error;
 pub mod impute;
 pub mod model;
 pub mod noise_estimation;
+pub mod sampler;
 pub mod train;
 
 pub use config::{ModelVariant, PristiConfig};
 pub use error::{PristiError, Result};
 pub use impute::{
     impute, impute_batch, impute_batch_with, BatchItem, ImputationResult, ImputeOptions,
-    PriorMode, Sampler,
+    PriorMode,
 };
-#[allow(deprecated)]
-pub use impute::{impute_window, impute_window_fast};
 pub use model::{PriorCache, PristiModel};
+pub use sampler::Sampler;
 pub use train::{train, Reporter, TrainConfig, TrainedModel};

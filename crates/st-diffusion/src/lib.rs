@@ -15,6 +15,7 @@
 
 pub mod ddim;
 pub mod ddpm;
+pub mod process;
 pub mod schedule;
 
 pub use ddim::{ddim_mean, ddim_noise_scale, ddim_sample, ddim_step, ddim_timesteps};
@@ -22,4 +23,5 @@ pub use ddpm::{
     add_reverse_noise_slice, p_sample_mean, p_sample_noise_scale, p_sample_step, q_sample,
     reverse_sample, NoisePredictor,
 };
+pub use process::{ChainInit, Ddim as DdimSolver, Ddpm as DdpmSolver, GenerativeProcess, Pndm, Refine, SolverStep};
 pub use schedule::{BetaSchedule, DiffusionSchedule};

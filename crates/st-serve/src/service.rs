@@ -379,16 +379,9 @@ impl ImputeService {
                 "need at least one sample per request".into(),
             ));
         }
-        if let Sampler::Ddim { steps, eta } = req.sampler {
-            if steps < 1 {
-                return Err(PristiError::DegenerateConfig("DDIM needs at least one step".into()));
-            }
-            if !eta.is_finite() || eta < 0.0 {
-                return Err(PristiError::DegenerateConfig(format!(
-                    "DDIM eta must be finite and non-negative, got {eta}"
-                )));
-            }
-        }
+        // Same sampler-spec rules as `impute_batch` and the CLI parser — one
+        // validation surface (`Sampler::validate`) for the whole system.
+        req.sampler.validate()?;
         if req.window.n_nodes() != self.shared.n_nodes {
             return Err(PristiError::ShapeMismatch {
                 what: "window node count",
@@ -448,8 +441,13 @@ fn worker_loop(shared: &Shared, trained: &TrainedModel, widx: usize) {
                 q = shared.notify.wait(q).unwrap_or_else(|e| e.into_inner());
             }
             // Coalesce the longest same-sampler prefix that fits the sample
-            // budget. FIFO order: requests are never reordered, so a request
-            // is only ever delayed by work already ahead of it.
+            // budget. The coalescing key is the sampler *spec* (`Sampler`
+            // equality, i.e. the same string the JSONL `"sampler"` field
+            // carries) and nothing else — in particular it is
+            // checkpoint-independent: a service always serves one checkpoint,
+            // so two requests batch together iff their specs match. FIFO
+            // order: requests are never reordered, so a request is only ever
+            // delayed by work already ahead of it.
             let first = q.items.pop_front().expect("loop above ensures non-empty");
             let sampler = first.req.sampler;
             let mut total = first.req.n_samples;

@@ -202,6 +202,69 @@ fn failure_modes_are_typed_errors() {
     }
 }
 
+/// Concurrent requests spread across every solver family: coalescing keys on
+/// the full sampler spec (checkpoint-independent), so mixed traffic splits
+/// into per-spec micro-batches and every response is still bit-for-bit the
+/// solo `impute` result for that request's RNG stream.
+#[test]
+fn mixed_solver_traffic_is_bitwise_deterministic() {
+    let (data, trained) = trained_setup();
+    let windows = data.windows(Split::Test, 12, 12);
+    let base_seed = 55;
+    let samplers = [
+        Sampler::Ddpm,
+        Sampler::Ddim { steps: 4, eta: 0.0 },
+        Sampler::Pndm { steps: 4, order: 4 },
+        Sampler::Refine { steps: 3, strength: 0.5 },
+    ];
+
+    let expected: Vec<Vec<Vec<u8>>> = (0..12u64)
+        .map(|id| {
+            let w = &windows[id as usize % windows.len()];
+            let mut rng = request_rng(base_seed, id);
+            let res = impute(
+                &trained,
+                w,
+                &ImputeOptions {
+                    n_samples: 1 + (id as usize % 3),
+                    sampler: samplers[id as usize % samplers.len()],
+                },
+                &mut rng,
+            )
+            .unwrap();
+            res.samples.iter().map(|s| s.to_bytes()).collect()
+        })
+        .collect();
+
+    let service = Arc::new(
+        ImputeService::start(
+            trained,
+            ServeConfig { base_seed, max_batch_samples: 8, ..Default::default() },
+        )
+        .unwrap(),
+    );
+    let handles: Vec<_> = (0..12u64)
+        .map(|id| {
+            let service = Arc::clone(&service);
+            let w = windows[id as usize % windows.len()].clone();
+            let sampler = samplers[id as usize % samplers.len()];
+            std::thread::spawn(move || {
+                let mut req = request(id, &w, 1 + (id as usize % 3));
+                req.sampler = sampler;
+                let res = service.submit(req).unwrap();
+                (id, res.samples.iter().map(|s| s.to_bytes()).collect::<Vec<_>>())
+            })
+        })
+        .collect();
+    for h in handles {
+        let (id, got) = h.join().unwrap();
+        assert_eq!(
+            got, expected[id as usize],
+            "request {id}: mixed-solver batched result diverges from solo impute"
+        );
+    }
+}
+
 /// DDIM requests are served and batch among themselves.
 #[test]
 fn ddim_requests_round_trip_through_the_service() {

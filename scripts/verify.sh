@@ -56,7 +56,10 @@ for entry in \
     p_sample_step_cached_8x36x24 \
     p_sample_step_uncached_8x36x24 \
     impute_cached_4req_x2samples \
-    impute_uncached_4req_x2samples; do
+    impute_uncached_4req_x2samples \
+    impute_ddim_4req_x2samples \
+    impute_pndm_4req_x2samples \
+    impute_refine_4req_x2samples; do
     grep -q "\"$entry\"" BENCH_micro.json \
         || { echo "error: BENCH_micro.json missing bench entry $entry" >&2; exit 1; }
 done
@@ -79,15 +82,18 @@ for _ in $(seq 2 "$N_CELLS"); do ROWS="$ROWS,$ROW"; done
 for id in 1 2 3; do
     echo "{\"id\":$id,\"values\":[$ROWS],\"n_samples\":2,\"ddim_steps\":4}"
 done > "$SMOKE_DIR/requests.jsonl"
+# One request per new solver family via the "sampler" spec field.
+echo "{\"id\":4,\"values\":[$ROWS],\"n_samples\":2,\"sampler\":\"pndm:3\"}" >> "$SMOKE_DIR/requests.jsonl"
+echo "{\"id\":5,\"values\":[$ROWS],\"n_samples\":2,\"sampler\":\"refine:3\"}" >> "$SMOKE_DIR/requests.jsonl"
 "$PRISTI" serve --ckpt "$SMOKE_DIR/model.ckpt" \
     < "$SMOKE_DIR/requests.jsonl" > "$SMOKE_DIR/responses.jsonl" 2>/dev/null
-[ "$(wc -l < "$SMOKE_DIR/responses.jsonl")" -eq 3 ] \
-    || { echo "error: serve smoke expected 3 response lines" >&2; exit 1; }
-for id in 1 2 3; do
+[ "$(wc -l < "$SMOKE_DIR/responses.jsonl")" -eq 5 ] \
+    || { echo "error: serve smoke expected 5 response lines" >&2; exit 1; }
+for id in 1 2 3 4 5; do
     grep -q "^{\"id\":$id,\"ok\":true,\"median\":\[\[" "$SMOKE_DIR/responses.jsonl" \
         || { echo "error: serve smoke missing ok response for id $id" >&2; exit 1; }
 done
-echo "serve smoke: 3 requests -> 3 well-formed responses"
+echo "serve smoke: 5 requests -> 5 well-formed responses"
 
 echo "== multi-worker serve smoke (--workers 4, same requests) =="
 "$PRISTI" serve --ckpt "$SMOKE_DIR/model.ckpt" --workers 4 \
@@ -103,7 +109,7 @@ echo "== loadtest: schema, entries, and seeded determinism =="
 "$PRISTI" loadtest --quick --seed 7 --out "$SMOKE_DIR/serve_a.json" 2>/dev/null
 grep -q '"schema":"st-serve-bench/1"' "$SMOKE_DIR/serve_a.json" \
     || { echo "error: BENCH_serve report missing st-serve-bench/1 schema" >&2; exit 1; }
-for entry in closed_loop_w1 closed_loop_w4 shed_storm timeout_storm; do
+for entry in closed_loop_w1 closed_loop_w4 mixed_solver_w1 mixed_solver_w4 shed_storm timeout_storm; do
     grep -q "\"name\":\"$entry\"" "$SMOKE_DIR/serve_a.json" \
         || { echo "error: BENCH_serve report missing entry $entry" >&2; exit 1; }
 done
@@ -137,6 +143,22 @@ LEAF_PCT="$(sed -nE 's/.*"leaf_pct": *([0-9]+(\.[0-9]+)?).*/\1/p' "$SMOKE_DIR/pr
 awk -v p="$LEAF_PCT" 'BEGIN { exit !(p >= 95.0) }' \
     || { echo "error: leaf attribution $LEAF_PCT% below the 95% gate" >&2; exit 1; }
 echo "profile: stripped reports byte-identical, leaf attribution ${LEAF_PCT}%"
+
+echo "== steps-vs-CRPS sweep (quick): few-step accuracy gate =="
+# pndm:6 / refine:4 must stay within the pinned CRPS/MAE tolerances of the
+# 50-step DDIM reference (the CLI exits nonzero on a violation).
+"$PRISTI" bench --sweep --quick --out "$SMOKE_DIR/steps_vs_crps.csv" >/dev/null
+grep -q '^pndm:6,' "$SMOKE_DIR/steps_vs_crps.csv" \
+    || { echo "error: sweep CSV missing the pndm:6 row" >&2; exit 1; }
+grep -q '^refine:4,' "$SMOKE_DIR/steps_vs_crps.csv" \
+    || { echo "error: sweep CSV missing the refine:4 row" >&2; exit 1; }
+echo "sweep: quick gate passes, CSV rows present"
+
+echo "== per-solver impute micro-bench entries run standalone =="
+"$PRISTI" bench --filter impute_ > "$SMOKE_DIR/impute_bench.txt"
+[ "$(grep -c 'ns/iter' "$SMOKE_DIR/impute_bench.txt")" -eq 5 ] \
+    || { echo "error: bench --filter impute_ expected 5 entries" >&2; exit 1; }
+echo "bench filter: all 5 impute entries timed"
 
 echo "== pristi bench --compare: regression gate =="
 # Fresh quick run vs the committed baseline must pass (generous threshold:

@@ -3,17 +3,19 @@
 //! ```text
 //! pristi generate --kind aqi --out panel.csv --coords-out coords.csv
 //! pristi impute   --data panel.csv --coords coords.csv --out imputed.csv \
-//!                 [--epochs 30] [--samples 16] [--window 24] [--ddim 8] \
+//!                 [--epochs 30] [--samples 16] [--window 24] \
+//!                 [--sampler SPEC | --ddim 8] \
 //!                 [--quantiles lo.csv,hi.csv] [--steps-per-day 24]
 //! pristi checkpoint save        --data panel.csv --coords coords.csv --out model.ckpt \
 //!                               [--epochs 30] [--window 24] [--seed N] [--steps-per-day 24]
 //! pristi checkpoint load-verify --ckpt model.ckpt
-//! pristi serve    --ckpt model.ckpt [--samples 8] [--ddim K] [--batch 32] \
-//!                 [--deadline-ms 30000] [--seed N] [--workers N]
+//! pristi serve    --ckpt model.ckpt [--samples 8] [--sampler SPEC | --ddim K] \
+//!                 [--batch 32] [--deadline-ms 30000] [--seed N] [--workers N]
 //! pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4] \
 //!                 [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]
 //! pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt] [--quick]
 //! pristi bench    --compare OLD,NEW [--threshold-pct P]
+//! pristi bench    --sweep [--quick] [--seed N] [--out results/steps_vs_crps.csv]
 //! pristi bench    --filter <substr> [--quick] [--json]
 //! ```
 //!
@@ -35,11 +37,15 @@
 //! failure:  {"id": 1, "ok": false, "error": "shape mismatch for ..."}
 //! ```
 //!
-//! `null` cells are the missing values to impute; `ddim_steps` switches that
-//! request to DDIM sampling (and an optional `"tier"` of `"interactive"` or
-//! `"best_effort"` selects the admission-control tier). Responses reproduce
-//! bit-for-bit for the same checkpoint, `--seed`, and request `id`,
-//! regardless of batching or `--workers` count.
+//! `null` cells are the missing values to impute; a `"sampler"` spec string
+//! (`"ddpm"`, `"ddim:K[:ETA]"`, `"pndm:K[:ORDER]"`, `"refine:K[:STRENGTH]"` —
+//! the same grammar as the `--sampler` flag) picks the reverse-process solver
+//! per request, with the older `"ddim_steps": K` integer kept as an alias for
+//! `"ddim:K"` (and an optional `"tier"` of `"interactive"` or `"best_effort"`
+//! selects the admission-control tier). Requests batch together exactly when
+//! their sampler specs are equal. Responses reproduce bit-for-bit for the
+//! same checkpoint, `--seed`, and request `id`, regardless of batching or
+//! `--workers` count.
 //!
 //! `loadtest` drives the same service with a seeded closed-loop schedule and
 //! writes `BENCH_serve.json` (see the [`loadtest`] module docs).
@@ -95,17 +101,20 @@ fn main() -> ExitCode {
             eprintln!("usage: pristi <impute|generate|checkpoint|serve|loadtest> [--flag value]...");
             eprintln!("  pristi generate --kind aqi|metr-la|pems-bay --out panel.csv --coords-out coords.csv");
             eprintln!("  pristi impute --data panel.csv --coords coords.csv --out imputed.csv");
-            eprintln!("                [--epochs N] [--samples S] [--window L] [--ddim K]");
+            eprintln!("                [--epochs N] [--samples S] [--window L]");
+            eprintln!("                [--sampler ddpm|ddim:K[:ETA]|pndm:K[:ORDER]|refine:K[:STRENGTH] | --ddim K]");
             eprintln!("                [--steps-per-day N] [--quantiles lo.csv,hi.csv] [--seed N]");
             eprintln!("  pristi checkpoint save --data panel.csv --coords coords.csv --out model.ckpt");
             eprintln!("  pristi checkpoint load-verify --ckpt model.ckpt");
-            eprintln!("  pristi serve --ckpt model.ckpt [--samples S] [--ddim K] [--batch S_max]");
-            eprintln!("               [--deadline-ms N] [--seed N] [--workers N]   (JSONL requests on stdin)");
+            eprintln!("  pristi serve --ckpt model.ckpt [--samples S] [--sampler SPEC | --ddim K]");
+            eprintln!("               [--batch S_max] [--deadline-ms N] [--seed N] [--workers N]");
+            eprintln!("               (JSONL requests on stdin)");
             eprintln!("  pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4]");
             eprintln!("                  [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]");
             eprintln!("  pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt]");
             eprintln!("                  [--quick]");
             eprintln!("  pristi bench --compare OLD,NEW [--threshold-pct P]");
+            eprintln!("  pristi bench --sweep [--quick] [--seed N] [--out PATH]");
             eprintln!("  pristi bench --filter <substr> [--quick] [--json]");
             ExitCode::from(2)
         }
@@ -115,15 +124,85 @@ fn main() -> ExitCode {
 /// `pristi bench` dispatcher:
 ///
 /// * `--compare OLD,NEW [--threshold-pct P]` — diff two bench reports;
+/// * `--sweep [--quick] [--seed N] [--out PATH]` — the steps-vs-CRPS solver
+///   accuracy sweep (exits nonzero when a gated few-step configuration
+///   drifts from the 50-step reference);
 /// * `--filter <substr> [--quick] [--json]` — run the matching subset of the
 ///   micro-benchmark cases in-process, so a kernel iteration doesn't require
 ///   running the full `cargo bench` suite.
 fn run_bench(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--compare") {
         run_bench_compare(args)
+    } else if args.iter().any(|a| a == "--sweep") {
+        run_bench_sweep(args)
     } else {
         run_bench_filter(args)
     }
+}
+
+/// `pristi bench --sweep [--quick] [--seed N] [--out PATH]` — train a seeded
+/// `T = 50` model and score every solver × step-count configuration against
+/// the 50-step DDIM reference (see `pristi_bench::sweep`). Writes the CSV to
+/// `--out` (default `results/steps_vs_crps.csv`) and fails when a gated spec
+/// exceeds the pinned CRPS/MAE ratio tolerances.
+fn run_bench_sweep(args: &[String]) -> ExitCode {
+    let mut opts = pristi_bench::SweepOpts::default();
+    let mut out = "results/steps_vs_crps.csv".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sweep" => i += 1,
+            "--quick" => {
+                opts.quick = true;
+                i += 1;
+            }
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs a number");
+                    return ExitCode::from(2);
+                };
+                opts.seed = v;
+                i += 2;
+            }
+            "--out" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                };
+                out = v.clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: pristi bench --sweep [--quick] [--seed N] [--out PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!(
+        "sweep: training T=50 model and scoring solvers ({} mode)...",
+        if opts.quick { "quick" } else { "full" }
+    );
+    let report = match pristi_bench::run_sweep(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_table());
+    if let Err(e) = std::fs::write(&out, report.to_csv()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("sweep table -> {out}");
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("SWEEP GATE VIOLATION: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// `pristi bench --filter <substr> [--quick] [--json]` — time only the micro
@@ -274,6 +353,25 @@ fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usiz
     flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Resolve the sampler from `--sampler SPEC` (the shared spec grammar:
+/// `ddpm`, `ddim:K[:ETA]`, `pndm:K[:ORDER]`, `refine:K[:STRENGTH]`) with
+/// `--ddim K` kept as a back-compat alias for `ddim:K`. Neither flag means
+/// `default` (full DDPM for the CLI entry points).
+fn parse_sampler_flags(
+    flags: &HashMap<String, String>,
+    default: Sampler,
+) -> Result<Sampler, String> {
+    match (flags.get("sampler"), flags.get("ddim")) {
+        (Some(_), Some(_)) => Err("--sampler and --ddim are mutually exclusive".into()),
+        (Some(spec), None) => spec.parse::<Sampler>().map_err(|e| e.to_string()),
+        (None, Some(k)) => {
+            let steps = k.parse::<usize>().map_err(|_| format!("bad --ddim value `{k}`"))?;
+            Ok(Sampler::Ddim { steps, eta: 0.0 })
+        }
+        (None, None) => Ok(default),
+    }
+}
+
 fn run_generate(flags: HashMap<String, String>) -> ExitCode {
     let kind = flags.get("kind").map(String::as_str).unwrap_or("aqi");
     let out = flags.get("out").map(String::as_str).unwrap_or("panel.csv");
@@ -337,7 +435,13 @@ fn run_impute(flags: HashMap<String, String>) -> ExitCode {
     let epochs = get_usize(&flags, "epochs", 30);
     let n_samples = get_usize(&flags, "samples", 16);
     let window = get_usize(&flags, "window", 24);
-    let ddim = flags.get("ddim").and_then(|v| v.parse::<usize>().ok());
+    let sampler = match parse_sampler_flags(&flags, Sampler::Ddpm) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
     let seed = get_usize(&flags, "seed", 7) as u64;
 
     let data = match load_dataset(Path::new(data_path), Path::new(coords_path), steps_per_day) {
@@ -395,10 +499,6 @@ fn run_impute(flags: HashMap<String, String>) -> ExitCode {
     }
     for (wi, &t0) in starts.iter().enumerate() {
         let w = data.window_at(t0, window);
-        let sampler = match ddim {
-            Some(k) => Sampler::Ddim { steps: k, eta: 0.0 },
-            None => Sampler::Ddpm,
-        };
         let res = match impute(&trained, &w, &ImputeOptions { n_samples, sampler }, &mut rng) {
             Ok(r) => r,
             Err(e) => {
@@ -541,7 +641,13 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
         return ExitCode::from(2);
     };
     let default_samples = get_usize(&flags, "samples", 8);
-    let default_ddim = flags.get("ddim").and_then(|v| v.parse::<usize>().ok());
+    let default_sampler = match parse_sampler_flags(&flags, Sampler::Ddpm) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
     let cfg = ServeConfig {
         max_batch_samples: get_usize(&flags, "batch", 32),
         workers: get_usize(&flags, "workers", 1),
@@ -582,7 +688,7 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        let response = match parse_request(&line, default_samples, default_ddim) {
+        let response = match parse_request(&line, default_samples, default_sampler) {
             Ok(req) => {
                 let id = req.id;
                 match service.submit(req) {
@@ -613,10 +719,14 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
 
 /// Parse one JSONL request line into an [`ImputeRequest`]. `null` cells are
 /// missing; everything shape-related is left to the service's validation.
+///
+/// The sampler comes from the `"sampler"` spec string (shared grammar, e.g.
+/// `"pndm:6"`), with the pre-spec `"ddim_steps"` integer field kept as an
+/// alias for `ddim:K`; with neither the serve-level default applies.
 fn parse_request(
     line: &str,
     default_samples: usize,
-    default_ddim: Option<usize>,
+    default_sampler: Sampler,
 ) -> Result<ImputeRequest, String> {
     let req = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
     let id = req
@@ -660,14 +770,19 @@ fn parse_request(
         .get("n_samples")
         .and_then(Json::as_u64)
         .map_or(default_samples, |v| v as usize);
-    let ddim_steps = req
-        .get("ddim_steps")
-        .and_then(Json::as_u64)
-        .map(|v| v as usize)
-        .or(default_ddim);
-    let sampler = match ddim_steps {
-        Some(steps) => Sampler::Ddim { steps, eta: 0.0 },
-        None => Sampler::Ddpm,
+    let sampler = match (req.get("sampler"), req.get("ddim_steps")) {
+        (Some(_), Some(_)) => {
+            return Err("\"sampler\" and \"ddim_steps\" are mutually exclusive".into())
+        }
+        (Some(spec), None) => {
+            let spec = spec.as_str().ok_or("\"sampler\" must be a spec string")?;
+            spec.parse::<Sampler>().map_err(|e| e.to_string())?
+        }
+        (None, Some(steps)) => {
+            let steps = steps.as_u64().ok_or("\"ddim_steps\" must be a non-negative integer")?;
+            Sampler::Ddim { steps: steps as usize, eta: 0.0 }
+        }
+        (None, None) => default_sampler,
     };
     let tier = match req.get("tier").and_then(Json::as_str) {
         None | Some("interactive") => AdmissionTier::Interactive,

@@ -16,6 +16,10 @@
 //!   requests back-to-back (closed loop, so concurrency never exceeds C and
 //!   the admission queue — sized above C — deterministically never sheds or
 //!   times out). All phases share one schedule, so their checksums must agree.
+//! * `mixed_solver_w{N}` — the same closed loop, but each request draws one
+//!   of the four solver specs (`ddpm`, `ddim:4`, `pndm:4`, `refine:3`) from
+//!   the seeded schedule, exercising same-spec batch coalescing; the
+//!   order-independent checksum must agree across worker counts.
 //! * `shed_storm` — `shed_threshold: 0` with all-best-effort clients: every
 //!   request is deterministically shed by admission control.
 //! * `timeout_storm` — every request carries a zero deadline: the worker
@@ -49,17 +53,27 @@ struct LoadtestOpts {
 }
 
 /// One request slot in the seeded schedule (client `c`, position `r`).
+/// `solver` is an index into the phase's solver set: the closed-loop phases
+/// map `3` to DDIM and everything else to DDPM (~25 % DDIM, as before the
+/// solver redesign); the mixed-solver phases use all four entries of
+/// [`MIXED_SOLVER_SPECS`].
 #[derive(Clone, Copy)]
 struct ReqSpec {
     window_idx: usize,
     n_samples: usize,
-    ddim: bool,
+    solver: usize,
 }
+
+/// The mixed-solver phase's per-request solver set, written in the shared
+/// `Sampler` spec grammar (the same strings a JSONL `"sampler"` field or
+/// `--sampler` flag would carry).
+const MIXED_SOLVER_SPECS: [&str; 4] = ["ddpm", "ddim:4", "pndm:4", "refine:3"];
 
 /// What a phase does besides the closed loop.
 #[derive(Clone, Copy, PartialEq)]
 enum PhaseKind {
     ClosedLoop,
+    MixedSolver,
     ShedStorm,
     TimeoutStorm,
 }
@@ -119,6 +133,14 @@ pub fn run(args: &[String]) -> ExitCode {
         .iter()
         .map(|&w| (format!("closed_loop_w{w}"), w, PhaseKind::ClosedLoop))
         .collect();
+    // Mixed-solver phases: the same seeded schedule, but each request picks
+    // one of the four solver specs — so same-sampler coalescing runs, and the
+    // checksum must still be worker-count invariant.
+    phases.extend(
+        opts.workers
+            .iter()
+            .map(|&w| (format!("mixed_solver_w{w}"), w, PhaseKind::MixedSolver)),
+    );
     phases.push(("shed_storm".into(), opts.workers[0], PhaseKind::ShedStorm));
     phases.push(("timeout_storm".into(), opts.workers[0], PhaseKind::TimeoutStorm));
 
@@ -141,17 +163,21 @@ pub fn run(args: &[String]) -> ExitCode {
     }
 
     // Cross-phase invariant (the tentpole): worker count is bitwise
-    // invisible, so every closed-loop checksum must match.
-    let closed: Vec<&ServeEntry> =
-        entries.iter().filter(|e| e.name.starts_with("closed_loop_")).collect();
-    if let Some(first) = closed.first() {
-        for e in &closed[1..] {
-            if e.checksum != first.checksum {
-                eprintln!(
-                    "DETERMINISM VIOLATION: {} checksum {:#x} != {} checksum {:#x}",
-                    e.name, e.checksum, first.name, first.checksum
-                );
-                return ExitCode::FAILURE;
+    // invisible, so within each phase family every checksum must match —
+    // including the mixed-solver family, where same-spec coalescing decides
+    // which requests share a batch.
+    for family in ["closed_loop_", "mixed_solver_"] {
+        let group: Vec<&ServeEntry> =
+            entries.iter().filter(|e| e.name.starts_with(family)).collect();
+        if let Some(first) = group.first() {
+            for e in &group[1..] {
+                if e.checksum != first.checksum {
+                    eprintln!(
+                        "DETERMINISM VIOLATION: {} checksum {:#x} != {} checksum {:#x}",
+                        e.name, e.checksum, first.name, first.checksum
+                    );
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
@@ -272,7 +298,7 @@ fn build_schedule(seed: u64, clients: usize, per_client: usize, n_windows: usize
                 .map(|_| ReqSpec {
                     window_idx: rng.random_range(0..n_windows),
                     n_samples: 1 + rng.random_range(0..3usize),
-                    ddim: rng.random::<f64>() < 0.25,
+                    solver: rng.random_range(0..MIXED_SOLVER_SPECS.len()),
                 })
                 .collect()
         })
@@ -301,12 +327,20 @@ fn run_phase(
     };
     let service = Arc::new(ImputeService::start(trained, cfg).map_err(|e| e.to_string())?);
 
+    // The mixed-solver set goes through the shared spec parser — the same
+    // path a `--sampler` flag or JSONL `"sampler"` field takes.
+    let mixed: Vec<Sampler> = MIXED_SOLVER_SPECS
+        .iter()
+        .map(|s| s.parse::<Sampler>().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
     let start = Instant::now();
     let handles: Vec<_> = (0..opts.clients)
         .map(|c| {
             let service = Arc::clone(&service);
             let specs = schedule[c].clone();
             let windows = windows.to_vec();
+            let mixed = mixed.clone();
             std::thread::spawn(move || {
                 let mut outcome = ClientOutcome::default();
                 for (r, spec) in specs.iter().enumerate() {
@@ -315,10 +349,10 @@ fn run_phase(
                         id,
                         window: windows[spec.window_idx].clone(),
                         n_samples: spec.n_samples,
-                        sampler: if spec.ddim {
-                            Sampler::Ddim { steps: 4, eta: 0.0 }
-                        } else {
-                            Sampler::Ddpm
+                        sampler: match kind {
+                            PhaseKind::MixedSolver => mixed[spec.solver],
+                            _ if spec.solver == 3 => Sampler::Ddim { steps: 4, eta: 0.0 },
+                            _ => Sampler::Ddpm,
                         },
                         tier: if kind == PhaseKind::ShedStorm {
                             AdmissionTier::BestEffort
