@@ -428,6 +428,114 @@ fn bench_serve_batching(h: &mut MicroHarness) {
     }
 }
 
+/// Streaming online imputation vs full-window recompute (the streaming
+/// tentpole): both entries process the same deterministic 16-tick feed —
+/// a mostly-observed sensor network where one gap opens at the head of the
+/// log, is revised while inside the horizon, then settles — the realistic
+/// regime streaming targets. `stream_tick_amortized_16t` drives a
+/// [`st_serve::StreamSession`], which shifts the window in place, maintains
+/// the interpolated conditional incrementally, and **skips the reverse pass
+/// on ticks with no open gap**; `stream_tick_recompute_16t` is the naive
+/// online baseline — a cold full-window `impute` (interpolation + prior
+/// build + reverse pass) on every tick. Both use the same few-step solver
+/// and ensemble size, so the ratio is the amortised per-tick win
+/// (`scripts/verify.sh` gates it at ≥ 2×; EXPERIMENTS.md has the table).
+fn bench_stream_tick(h: &mut MicroHarness) {
+    use pristi_core::train::{train, TrainConfig};
+    use pristi_core::{impute, ImputeOptions, Sampler};
+    use st_data::dataset::Window;
+    use st_data::generators::{generate_air_quality, AirQualityConfig};
+    use st_data::missing::inject_point_missing;
+    use st_serve::{stream_rng, StreamConfig, StreamSession};
+    use std::sync::Arc;
+
+    let (n, l, ticks) = (8usize, 12usize, 16usize);
+    let mut data = generate_air_quality(&AirQualityConfig {
+        n_nodes: n,
+        n_days: 4,
+        seed: 9,
+        episodes_per_week: 0.0,
+        ..Default::default()
+    });
+    data.eval_mask = inject_point_missing(&data.observed_mask, 0.2, 10);
+    let mut cfg = pristi_core::PristiConfig::small();
+    cfg.d_model = 8;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.t_steps = 8;
+    cfg.time_emb_dim = 8;
+    cfg.node_emb_dim = 4;
+    cfg.step_emb_dim = 8;
+    cfg.virtual_nodes = 4;
+    cfg.adaptive_dim = 2;
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        window_len: l,
+        window_stride: l,
+        seed: 11,
+        ..Default::default()
+    };
+    let trained = Arc::new(train(&data, cfg, &tc).expect("bench training config is valid"));
+
+    // The tick feed: a healthy mostly-observed network — one sensor drops a
+    // reading on the first tick of the log, every other cell reports. The
+    // gap stays open for `horizon` ticks (revised each tick), then settles
+    // and the remaining ticks skip the reverse pass.
+    let mut rng = StdRng::seed_from_u64(13);
+    let feed: Vec<Vec<Option<f32>>> = (0..ticks)
+        .map(|t| {
+            (0..n)
+                .map(|i| {
+                    use st_rand::Rng;
+                    let v = 18.0 + (rng.random::<f32>() - 0.5) * 10.0;
+                    (t % 16 != 0 || i != t % n).then_some(v)
+                })
+                .collect()
+        })
+        .collect();
+    let stream_cfg = StreamConfig {
+        n_samples: 2,
+        sampler: Sampler::Pndm { steps: 4, order: 4 },
+        horizon: 4,
+        base_seed: 17,
+    };
+
+    h.bench("stream_tick_amortized_16t", || {
+        let mut session = StreamSession::new(Arc::clone(&trained), stream_cfg, 0)
+            .expect("bench stream config is valid");
+        for cells in &feed {
+            black_box(session.data_tick(cells).expect("bench feed is valid"));
+        }
+    });
+
+    // Baseline windows (one per tick position), assembled outside the timed
+    // region — the baseline pays only for the per-tick cold impute.
+    let windows: Vec<Window> = (0..ticks)
+        .map(|t| {
+            let mut values = NdArray::zeros(&[n, l]);
+            let mut observed = NdArray::zeros(&[n, l]);
+            for (back, cells) in feed[..=t].iter().rev().take(l).enumerate() {
+                let col = l - 1 - back;
+                for i in 0..n {
+                    if let Some(v) = cells[i] {
+                        values.data_mut()[i * l + col] = v;
+                        observed.data_mut()[i * l + col] = 1.0;
+                    }
+                }
+            }
+            Window { values, observed, eval: NdArray::zeros(&[n, l]), t_start: 0 }
+        })
+        .collect();
+    let opts = ImputeOptions { n_samples: stream_cfg.n_samples, sampler: stream_cfg.sampler };
+    h.bench("stream_tick_recompute_16t", || {
+        for (t, w) in windows.iter().enumerate() {
+            let mut rng = stream_rng(stream_cfg.base_seed, 0, t as u64);
+            black_box(impute(&trained, w, &opts, &mut rng).expect("bench window is valid"));
+        }
+    });
+}
+
 /// Run every micro-benchmark case against `h` (its filter decides which
 /// actually time).
 pub fn run_all(h: &mut MicroHarness) {
@@ -440,4 +548,5 @@ pub fn run_all(h: &mut MicroHarness) {
     bench_prior_cache(h);
     bench_quantile_cache(h);
     bench_serve_batching(h);
+    bench_stream_tick(h);
 }

@@ -68,6 +68,38 @@ pub enum PristiError {
     Io(String),
 }
 
+impl PristiError {
+    /// Stable machine-readable label for this error's variant, used as the
+    /// `error.kind` field of the serve/stream JSONL wire format (see README
+    /// §Command line). The human-readable `Display` rendering becomes
+    /// `error.detail`; `kind` is the field clients are meant to match on.
+    ///
+    /// ```
+    /// use pristi_core::PristiError;
+    /// let err = PristiError::DegenerateConfig("zero samples".into());
+    /// assert_eq!(err.kind(), "degenerate_config");
+    /// ```
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PristiError::ShapeMismatch { .. } => "shape_mismatch",
+            PristiError::DegenerateConfig(_) => "degenerate_config",
+            PristiError::CheckpointCorrupt(_) => "checkpoint_corrupt",
+            PristiError::CheckpointVersionMismatch { .. } => "checkpoint_version_mismatch",
+            PristiError::Timeout { .. } => "timeout",
+            PristiError::QueueFull { shed, .. } => {
+                if *shed {
+                    "shed"
+                } else {
+                    "queue_full"
+                }
+            }
+            PristiError::ServiceStopped => "service_stopped",
+            PristiError::WorkerPanicked(_) => "worker_panicked",
+            PristiError::Io(_) => "io",
+        }
+    }
+}
+
 impl fmt::Display for PristiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -30,6 +30,7 @@
 //! DESIGN.md §15 for the contract.
 
 use crate::error::{PristiError, Result};
+use crate::model::PriorCache;
 use crate::train::{build_cond, TrainedModel};
 pub use crate::sampler::Sampler;
 use st_data::dataset::Window;
@@ -72,6 +73,127 @@ pub struct ImputeOptions {
 impl Default for ImputeOptions {
     fn default() -> Self {
         Self { n_samples: 8, sampler: Sampler::Ddpm }
+    }
+}
+
+/// Per-request conditioning, precomputed once: normalised values, masks and
+/// the interpolated conditional `𝒳`.
+///
+/// [`impute_batch`] builds these internally per request; streaming callers
+/// build one *incrementally* (maintaining `values_z` and the interpolation
+/// across window shifts, see `st-serve`'s `StreamSession`) and hand it to
+/// [`impute_prepared`], skipping the per-tick `cond_prep` stage entirely.
+#[derive(Debug, Clone)]
+pub struct PreparedWindow {
+    values_z: NdArray,
+    cond_mask: NdArray,
+    target_mask: NdArray,
+    cond: NdArray,
+}
+
+impl PreparedWindow {
+    /// Prepare a cold window: normalise, derive masks, build the conditional.
+    ///
+    /// Returns [`PristiError::ShapeMismatch`] when the window disagrees with
+    /// the model's node count / window length.
+    pub fn prepare(trained: &TrainedModel, window: &Window) -> Result<Self> {
+        let (n, l) = (trained.model.n_nodes(), trained.model.window_len());
+        if window.n_nodes() != n {
+            return Err(PristiError::ShapeMismatch {
+                what: "window node count",
+                expected: vec![n],
+                got: vec![window.n_nodes()],
+            });
+        }
+        if window.len() != l {
+            return Err(PristiError::ShapeMismatch {
+                what: "window length",
+                expected: vec![l],
+                got: vec![window.len()],
+            });
+        }
+        let mut values_z = window.values.clone();
+        trained.normalizer.normalize_window(&mut values_z);
+        let cond_mask = window.cond_mask();
+        // Everything not conditioned on is the imputation target
+        // (Algorithm 2: "the imputation target is all missing values").
+        let target_mask = cond_mask.map(|v| 1.0 - v);
+        let cond = build_cond(&values_z, &cond_mask, trained.model.cfg.use_interpolation);
+        Ok(Self { values_z, cond_mask, target_mask, cond })
+    }
+
+    /// Assemble a prepared window from caller-maintained parts: already
+    /// normalised values `values_z` (`[N, L]`), the conditioning mask, and —
+    /// when the model conditions on interpolation — the interpolated
+    /// conditional `interp`.
+    ///
+    /// The caller guarantees provenance: `interp` must be bitwise what
+    /// `st_data::linear_interpolate(values_z, cond_mask, 0.0)` would return
+    /// (e.g. maintained incrementally by `st_data::SlidingInterp`), otherwise
+    /// the warm path diverges from a cold [`PreparedWindow::prepare`].
+    ///
+    /// Returns [`PristiError::ShapeMismatch`] on shape disagreements and
+    /// [`PristiError::DegenerateConfig`] when the model needs interpolation
+    /// but `interp` is `None`.
+    pub fn from_parts(
+        trained: &TrainedModel,
+        values_z: NdArray,
+        cond_mask: NdArray,
+        interp: Option<&NdArray>,
+    ) -> Result<Self> {
+        let (n, l) = (trained.model.n_nodes(), trained.model.window_len());
+        for (what, shape) in
+            [("prepared values_z", values_z.shape()), ("prepared cond_mask", cond_mask.shape())]
+        {
+            if shape != [n, l] {
+                return Err(PristiError::ShapeMismatch {
+                    what,
+                    expected: vec![n, l],
+                    got: shape.to_vec(),
+                });
+            }
+        }
+        let target_mask = cond_mask.map(|v| 1.0 - v);
+        let cond = if trained.model.cfg.use_interpolation {
+            let interp = interp.ok_or_else(|| {
+                PristiError::DegenerateConfig(
+                    "model conditions on interpolation: PreparedWindow::from_parts needs interp"
+                        .into(),
+                )
+            })?;
+            if interp.shape() != [n, l] {
+                return Err(PristiError::ShapeMismatch {
+                    what: "prepared interp",
+                    expected: vec![n, l],
+                    got: interp.shape().to_vec(),
+                });
+            }
+            interp.clone()
+        } else {
+            values_z.mul(&cond_mask)
+        };
+        Ok(Self { values_z, cond_mask, target_mask, cond })
+    }
+
+    /// The conditional `𝒳` this window feeds the denoiser (interpolated when
+    /// the model uses interpolation, masked values otherwise).
+    pub fn cond(&self) -> &NdArray {
+        &self.cond
+    }
+
+    /// Mask of positions that will be imputed (1) rather than conditioned on.
+    pub fn target_mask(&self) -> &NdArray {
+        &self.target_mask
+    }
+
+    /// Build the step-invariant prior cache for `n_samples` ensemble members
+    /// of this window — the reusable half of the denoiser. Streaming callers
+    /// keep the returned cache across ticks while the window content is
+    /// unchanged and pass it to [`impute_prepared`].
+    pub fn build_prior(&self, trained: &TrainedModel, n_samples: usize) -> PriorCache {
+        let (n, l) = (trained.model.n_nodes(), trained.model.window_len());
+        let cond_r = NdArray::from_vec(&[1, n, l], self.cond.data().to_vec());
+        trained.model.build_prior_cache(&cond_r, &[n_samples])
     }
 }
 
@@ -277,30 +399,102 @@ pub fn impute_batch_with(
     if items.is_empty() {
         return Ok(Vec::new());
     }
-    let (n, l) = (trained.model.n_nodes(), trained.model.window_len());
-    sampler.validate()?;
     for item in items.iter() {
         if item.n_samples < 1 {
             return Err(PristiError::DegenerateConfig(
                 "need at least one sample per request".into(),
             ));
         }
-        if item.window.n_nodes() != n {
-            return Err(PristiError::ShapeMismatch {
-                what: "window node count",
-                expected: vec![n],
-                got: vec![item.window.n_nodes()],
-            });
-        }
-        if item.window.len() != l {
-            return Err(PristiError::ShapeMismatch {
-                what: "window length",
-                expected: vec![l],
-                got: vec![item.window.len()],
-            });
-        }
     }
-    let s_total: usize = items.iter().map(|i| i.n_samples).sum();
+    // Per-request conditioning (normalised values, masks, interpolated 𝒳).
+    // Window shape validation lives in `PreparedWindow::prepare`.
+    sampler.validate()?;
+    let prep_span = st_obs::span!("cond_prep");
+    let preps = items
+        .iter()
+        .map(|item| PreparedWindow::prepare(trained, item.window))
+        .collect::<Result<Vec<_>>>()?;
+    drop(prep_span);
+    let counts: Vec<usize> = items.iter().map(|i| i.n_samples).collect();
+    let mut rngs: Vec<&mut StdRng> = items.iter_mut().map(|i| &mut i.rng).collect();
+    let prior = match prior_mode {
+        PriorMode::Cached => PriorSource::Build,
+        PriorMode::Recompute => PriorSource::Recompute,
+    };
+    run_reverse(trained, &preps, &counts, &mut rngs, sampler, prior)
+}
+
+/// Impute one *warm-started* window — the streaming entry point.
+///
+/// A [`PreparedWindow`] skips the per-request `cond_prep` stage; an optional
+/// caller-held [`PriorCache`] (from [`PreparedWindow::build_prior`]) skips
+/// the prior-cache build as well, so a tick whose window content has not
+/// changed pays only for the reverse pass. The result is bitwise identical
+/// to a cold [`impute`] of the same window with the same RNG state —
+/// `crates/core/tests/` and `st-serve`'s stream suite pin this.
+///
+/// Returns [`PristiError::DegenerateConfig`] when `prior` was built for a
+/// different total sample count than `opts.n_samples`, when `opts.n_samples`
+/// is zero, or when the sampler spec is degenerate. The caller guarantees
+/// the cache was built from *this* prepared window's conditional; a stale
+/// cache silently conditions on the old window (which is exactly the
+/// isolation boundary the streaming dirty-tracking maintains).
+pub fn impute_prepared(
+    trained: &TrainedModel,
+    prep: &PreparedWindow,
+    opts: &ImputeOptions,
+    rng: &mut StdRng,
+    prior: Option<&PriorCache>,
+) -> Result<ImputationResult> {
+    if opts.n_samples < 1 {
+        return Err(PristiError::DegenerateConfig("need at least one sample per request".into()));
+    }
+    opts.sampler.validate()?;
+    let source = match prior {
+        Some(cache) => {
+            if cache.n_samples_total() != opts.n_samples {
+                return Err(PristiError::DegenerateConfig(format!(
+                    "prior cache was built for {} samples, request wants {}",
+                    cache.n_samples_total(),
+                    opts.n_samples
+                )));
+            }
+            PriorSource::Reuse(cache)
+        }
+        None => PriorSource::Build,
+    };
+    let preps = std::slice::from_ref(prep);
+    let mut rngs = [rng];
+    let mut results =
+        run_reverse(trained, preps, &[opts.n_samples], &mut rngs, opts.sampler, source)?;
+    Ok(results.pop().expect("one prepared window in, one result out"))
+}
+
+/// Where the reverse pass gets its step-invariant prior tensors.
+enum PriorSource<'a> {
+    /// Build a fresh [`PriorCache`] for this batch (the default).
+    Build,
+    /// Rebuild the full graph — prior included — at every denoise step.
+    Recompute,
+    /// Reuse a caller-held cache built from these windows' conditionals.
+    Reuse(&'a PriorCache),
+}
+
+/// The shared reverse-pass core behind [`impute_batch_with`] and
+/// [`impute_prepared`]: batch the prepared conditioners along the sample
+/// axis, resolve the prior source, walk the solver's schedule, merge and
+/// denormalise. `preps`, `counts` and `rngs` run parallel, one entry per
+/// request.
+fn run_reverse(
+    trained: &TrainedModel,
+    preps: &[PreparedWindow],
+    counts: &[usize],
+    rngs: &mut [&mut StdRng],
+    sampler: Sampler,
+    prior: PriorSource<'_>,
+) -> Result<Vec<ImputationResult>> {
+    let (n, l) = (trained.model.n_nodes(), trained.model.window_len());
+    let s_total: usize = counts.iter().sum();
     // The solver owns the schedule walk; `pairs.len()` is the NFE cost of
     // this request batch (one network evaluation per pair).
     let mut solver = sampler.solver();
@@ -308,67 +502,49 @@ pub fn impute_batch_with(
     let pairs = solver.timesteps(&trained.schedule);
     let _span = st_obs::span!(
         "impute",
-        requests = items.len() as u64,
+        requests = preps.len() as u64,
         samples = s_total as u64,
         nfe = pairs.len() as u64,
     );
 
-    // Per-request conditioning (normalised values, masks, interpolated 𝒳).
-    let prep_span = st_obs::span!("cond_prep");
-    struct Prep {
-        values_z: NdArray,
-        cond_mask: NdArray,
-        target_mask: NdArray,
-        cond: NdArray,
-    }
-    let preps: Vec<Prep> = items
-        .iter()
-        .map(|item| {
-            let mut values_z = item.window.values.clone();
-            trained.normalizer.normalize_window(&mut values_z);
-            let cond_mask = item.window.cond_mask();
-            // Everything not conditioned on is the imputation target
-            // (Algorithm 2: "the imputation target is all missing values").
-            let target_mask = cond_mask.map(|v| 1.0 - v);
-            let cond = build_cond(&values_z, &cond_mask, trained.model.cfg.use_interpolation);
-            Prep { values_z, cond_mask, target_mask, cond }
-        })
-        .collect();
-
     // Batch every request's ensemble along the sample axis: [S_total, N, L]
     // with each request's conditioner replicated over its samples. `spans`
     // records each request's flat element range.
+    let batch_span = st_obs::span!("batch_assemble");
     let mut cond_b = NdArray::zeros(&[s_total, n, l]);
     let mut tmask_b = NdArray::zeros(&[s_total, n, l]);
-    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(items.len());
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(preps.len());
     let mut offset = 0usize;
-    for (item, prep) in items.iter().zip(&preps) {
-        for s in 0..item.n_samples {
+    for (&count, prep) in counts.iter().zip(preps) {
+        for s in 0..count {
             let base = (offset + s) * n * l;
             cond_b.data_mut()[base..base + n * l].copy_from_slice(prep.cond.data());
             tmask_b.data_mut()[base..base + n * l].copy_from_slice(prep.target_mask.data());
         }
-        spans.push((offset * n * l, item.n_samples * n * l));
-        offset += item.n_samples;
+        spans.push((offset * n * l, count * n * l));
+        offset += count;
     }
-    drop(prep_span);
+    drop(batch_span);
 
     // Step-invariant prior tensors, computed once per batch on the
     // deduplicated per-request conditional (R rows, not S_total) and
-    // replicated per sample inside `build_prior_cache`.
-    let cache = {
+    // replicated per sample inside `build_prior_cache` — or reused outright
+    // when a streaming caller kept the cache across ticks.
+    let built;
+    let cache: Option<&PriorCache> = {
         let _cache_span = st_obs::span!("prior_cache");
-        match prior_mode {
-            PriorMode::Cached => {
-                let mut cond_r = NdArray::zeros(&[items.len(), n, l]);
+        match prior {
+            PriorSource::Build => {
+                let mut cond_r = NdArray::zeros(&[preps.len(), n, l]);
                 for (i, prep) in preps.iter().enumerate() {
                     cond_r.data_mut()[i * n * l..(i + 1) * n * l]
                         .copy_from_slice(prep.cond.data());
                 }
-                let counts: Vec<usize> = items.iter().map(|i| i.n_samples).collect();
-                Some(trained.model.build_prior_cache(&cond_r, &counts))
+                built = trained.model.build_prior_cache(&cond_r, counts);
+                Some(&built)
             }
-            PriorMode::Recompute => None,
+            PriorSource::Recompute => None,
+            PriorSource::Reuse(cache) => Some(cache),
         }
     };
 
@@ -378,8 +554,8 @@ pub fn impute_batch_with(
     // request's interpolated conditional — the deterministic prior estimate —
     // which is already replicated per sample in `cond_b`.
     let mut x = NdArray::zeros(&[s_total, n, l]);
-    for (item, &(start, len)) in items.iter_mut().zip(&spans) {
-        let noise = NdArray::randn(&[item.n_samples, n, l], &mut item.rng);
+    for ((&count, rng), &(start, len)) in counts.iter().zip(rngs.iter_mut()).zip(&spans) {
+        let noise = NdArray::randn(&[count, n, l], *rng);
         x.data_mut()[start..start + len].copy_from_slice(noise.data());
     }
     if let ChainInit::NoisedPrior { t_start } = solver.init(&trained.schedule) {
@@ -394,14 +570,14 @@ pub fn impute_batch_with(
     // added per request slice from that request's stream.
     for &(t, t_prev) in &pairs {
         let _step_span = st_obs::span!("denoise_step", t = t as u64, t_prev = t_prev as u64);
-        let eps_hat = match &cache {
+        let eps_hat = match cache {
             Some(c) => trained.model.predict_eps_eval_cached(c, &x, t),
             None => trained.model.predict_eps_eval(&x, &cond_b, t),
         };
         let t0 = st_obs::op_start();
         let step = solver.step(&x, &eps_hat, &trained.schedule, t, t_prev);
         let mut next = step.mean;
-        add_noise_per_request(&mut next, items, &spans, step.noise_scale);
+        add_noise_per_request(&mut next, rngs, &spans, step.noise_scale);
         st_obs::record_op(st_obs::Phase::Fwd, solver.op_label(), t0, next.numel() as u64);
         x = next.mul(&tmask_b);
     }
@@ -410,10 +586,10 @@ pub fn impute_batch_with(
     // (sample-parallel: each ensemble member is independent).
     let merge_span = st_obs::span!("denorm_merge");
     let xd = x.data();
-    let mut out = Vec::with_capacity(items.len());
-    for (item, (prep, &(start, _))) in items.iter().zip(preps.iter().zip(&spans)) {
+    let mut out = Vec::with_capacity(preps.len());
+    for ((&count, prep), &(start, _)) in counts.iter().zip(preps).zip(&spans) {
         let cond_part = prep.values_z.mul(&prep.cond_mask);
-        let samples = st_par::par_map("denorm_samples", item.n_samples, |s| {
+        let samples = st_par::par_map("denorm_samples", count, |s| {
             let sample =
                 NdArray::from_vec(&[n, l], xd[start + s * n * l..start + (s + 1) * n * l].to_vec());
             let mut merged = sample.mul(&prep.target_mask).add(&cond_part);
@@ -431,7 +607,7 @@ pub fn impute_batch_with(
 /// `scale == 0`, e.g. the final DDPM step or deterministic DDIM).
 fn add_noise_per_request(
     x: &mut NdArray,
-    items: &mut [BatchItem<'_>],
+    rngs: &mut [&mut StdRng],
     spans: &[(usize, usize)],
     scale: f64,
 ) {
@@ -439,8 +615,8 @@ fn add_noise_per_request(
         return;
     }
     let data = x.data_mut();
-    for (item, &(start, len)) in items.iter_mut().zip(spans) {
-        add_reverse_noise_slice(&mut data[start..start + len], scale, &mut item.rng);
+    for (rng, &(start, len)) in rngs.iter_mut().zip(spans) {
+        add_reverse_noise_slice(&mut data[start..start + len], scale, rng);
     }
 }
 
@@ -718,6 +894,89 @@ mod tests {
         assert!(cache.bytes() > 0);
         let d = trained.model.cfg.d_model;
         assert_eq!(cache.h_pri().expect("full model has a prior").shape(), &[1, n, l, d]);
+    }
+
+    /// The streaming keystone: a warm [`impute_prepared`] call — prepared
+    /// window assembled from parts, prior cache built once and reused across
+    /// calls — is bitwise identical to a cold [`impute`] with the same RNG
+    /// state, for every solver family.
+    #[test]
+    fn prepared_and_reused_prior_bitwise_match_cold_impute() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        for sampler in [
+            Sampler::Ddpm,
+            Sampler::Pndm { steps: 4, order: 4 },
+            Sampler::Refine { steps: 3, strength: 0.5 },
+        ] {
+            let opts = ImputeOptions { n_samples: 3, sampler };
+            let cold = {
+                let mut rng = StdRng::seed_from_u64(77);
+                impute(&trained, w, &opts, &mut rng).unwrap()
+            };
+            // Warm path A: prepared via `prepare`, cache built internally.
+            let prep = PreparedWindow::prepare(&trained, w).unwrap();
+            let warm = {
+                let mut rng = StdRng::seed_from_u64(77);
+                impute_prepared(&trained, &prep, &opts, &mut rng, None).unwrap()
+            };
+            // Warm path B: prepared from caller-maintained parts, prior
+            // cache built once and reused across two calls.
+            let mut values_z = w.values.clone();
+            trained.normalizer.normalize_window(&mut values_z);
+            let cond_mask = w.cond_mask();
+            let interp = st_data::linear_interpolate(&values_z, &cond_mask, 0.0);
+            let parts =
+                PreparedWindow::from_parts(&trained, values_z, cond_mask, Some(&interp)).unwrap();
+            let cache = parts.build_prior(&trained, 3);
+            for _ in 0..2 {
+                let reused = {
+                    let mut rng = StdRng::seed_from_u64(77);
+                    impute_prepared(&trained, &parts, &opts, &mut rng, Some(&cache)).unwrap()
+                };
+                for (a, b) in cold.samples.iter().zip(&reused.samples) {
+                    assert!(
+                        a.to_bytes() == b.to_bytes(),
+                        "reused-cache warm impute diverges from cold ({sampler:?})"
+                    );
+                }
+            }
+            for (a, b) in cold.samples.iter().zip(&warm.samples) {
+                assert!(
+                    a.to_bytes() == b.to_bytes(),
+                    "warm impute diverges from cold ({sampler:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_window_rejects_mismatched_parts() {
+        let (data, trained) = trained_setup();
+        let w = &data.windows(Split::Test, 12, 12)[0];
+        let prep = PreparedWindow::prepare(&trained, w).unwrap();
+        // cache sample count must match the request
+        let cache = prep.build_prior(&trained, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = impute_prepared(
+            &trained,
+            &prep,
+            &ImputeOptions { n_samples: 3, sampler: Sampler::Ddpm },
+            &mut rng,
+            Some(&cache),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PristiError::DegenerateConfig(_)));
+        // interpolation-conditioned model requires interp in from_parts
+        let mut values_z = w.values.clone();
+        trained.normalizer.normalize_window(&mut values_z);
+        let err = PreparedWindow::from_parts(&trained, values_z.clone(), w.cond_mask(), None)
+            .unwrap_err();
+        assert!(matches!(err, PristiError::DegenerateConfig(_)));
+        // wrong-shaped parts are a typed error
+        let bad = NdArray::zeros(&[2, 2]);
+        let err = PreparedWindow::from_parts(&trained, bad, w.cond_mask(), None).unwrap_err();
+        assert!(matches!(err, PristiError::ShapeMismatch { .. }));
     }
 
     #[test]

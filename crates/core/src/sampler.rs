@@ -166,6 +166,30 @@ impl FromStr for Sampler {
     /// Parse a spec string (see the module docs for the grammar). The parsed
     /// spec is [`validate`](Sampler::validate)d, so a syntactically valid but
     /// degenerate spec (e.g. `ddim:0`) is rejected here too.
+    ///
+    /// ```
+    /// use pristi_core::Sampler;
+    ///
+    /// // The full grammar: ddpm | ddim:K[:eta] | pndm:K[:order] | refine:K[:strength].
+    /// assert_eq!("ddpm".parse::<Sampler>().unwrap(), Sampler::Ddpm);
+    /// assert_eq!(
+    ///     "ddim:8".parse::<Sampler>().unwrap(),
+    ///     Sampler::Ddim { steps: 8, eta: 0.0 },
+    /// );
+    /// assert_eq!(
+    ///     "pndm:6:2".parse::<Sampler>().unwrap(),
+    ///     Sampler::Pndm { steps: 6, order: 2 },
+    /// );
+    /// assert_eq!(
+    ///     "refine:4".parse::<Sampler>().unwrap(),
+    ///     Sampler::Refine { steps: 4, strength: 0.5 },
+    /// );
+    /// // Specs round-trip through Display — the serve coalescing key.
+    /// assert_eq!("pndm:6:2".parse::<Sampler>().unwrap().to_string(), "pndm:6:2");
+    /// // Degenerate specs are typed errors, not panics.
+    /// assert!("ddim:0".parse::<Sampler>().is_err());
+    /// assert!("warp:3".parse::<Sampler>().is_err());
+    /// ```
     fn from_str(s: &str) -> Result<Self> {
         let deg = |msg: String| PristiError::DegenerateConfig(msg);
         let mut parts = s.split(':');

@@ -8,6 +8,8 @@
 //! observation; a node with no observations at all falls back to `fallback`
 //! (0 in normalised space, i.e. the training mean).
 
+use std::collections::VecDeque;
+
 use st_tensor::NdArray;
 
 /// Linearly interpolate a `[N, L]` window along its time axis.
@@ -54,6 +56,163 @@ pub fn linear_interpolate(values: &NdArray, mask: &NdArray, fallback: f32) -> Nd
         }
     }
     out
+}
+
+/// Incrementally maintained linear interpolation of a sliding `[N, L]`
+/// window, bitwise-identical to rerunning [`linear_interpolate`] on the full
+/// window after every shift.
+///
+/// The streaming server shifts its window one timestep per tick; rebuilding
+/// the conditional prior from scratch is `O(N·L)` per tick even though at
+/// most one column of observation support changed. `SlidingInterp` keeps the
+/// interpolated window and, per [`shift`](SlidingInterp::shift), recomputes
+/// only the regions whose supporting observations changed:
+///
+/// * the tail segment from the previous last observation when the incoming
+///   column is observed (it was constant extrapolation, now it is a linear
+///   segment),
+/// * the single appended cell when the incoming column is missing (constant
+///   extrapolation of the last observation, or `fallback`),
+/// * the head region up to the new first observation when the departing
+///   column carried the row's first observation (it was a linear segment,
+///   now it is constant extrapolation),
+/// * the whole row in the two degenerate transitions (last observation
+///   departs → `fallback` row; first observation arrives → constant row).
+///
+/// **Why this is bitwise-equal to a full rebuild:** every value
+/// [`linear_interpolate`] produces is either a trusted observation, the
+/// `fallback`, a copy of the nearest edge observation, or
+/// `va + frac·(vb−va)` with `frac = (t−a)/(b−a)` — a function of the
+/// *difference* between window-relative indices, never of the absolute
+/// positions. Shifting the window subtracts the same constant from `t`, `a`
+/// and `b`, so a segment computed when it formed yields the exact same f32
+/// inputs — and therefore the exact same bits — as a recompute at any later
+/// shift. DESIGN.md §16 spells out the full argument.
+///
+/// ```
+/// use st_data::interpolate::{linear_interpolate, SlidingInterp};
+/// use st_tensor::NdArray;
+///
+/// let mut inc = SlidingInterp::new(1, 4, 0.0);
+/// for (v, obs) in [(1.0, true), (0.0, false), (3.0, true), (0.0, false)] {
+///     inc.shift(&[v], &[obs]);
+/// }
+/// // window is now [1.0, gap, 3.0, gap]
+/// let full = linear_interpolate(
+///     &NdArray::from_vec(&[1, 4], vec![1.0, 0.0, 3.0, 0.0]),
+///     &NdArray::from_vec(&[1, 4], vec![1.0, 0.0, 1.0, 0.0]),
+///     0.0,
+/// );
+/// assert_eq!(inc.cond().data(), full.data());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingInterp {
+    n: usize,
+    l: usize,
+    fallback: f32,
+    /// Window-relative indices of observed positions, ascending, per row.
+    obs: Vec<VecDeque<usize>>,
+    /// The interpolated window `[N, L]`.
+    cond: NdArray,
+}
+
+impl SlidingInterp {
+    /// A sliding interpolator over `n` nodes and window length `l`, starting
+    /// from an all-missing window (every cell is `fallback`).
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `l == 0`.
+    pub fn new(n: usize, l: usize, fallback: f32) -> Self {
+        assert!(n > 0 && l > 0, "SlidingInterp needs a non-empty window");
+        SlidingInterp {
+            n,
+            l,
+            fallback,
+            obs: vec![VecDeque::new(); n],
+            cond: NdArray::from_vec(&[n, l], vec![fallback; n * l]),
+        }
+    }
+
+    /// The current interpolated window, `[N, L]`.
+    pub fn cond(&self) -> &NdArray {
+        &self.cond
+    }
+
+    /// Number of observed positions currently inside row `node`'s window.
+    pub fn observed_count(&self, node: usize) -> usize {
+        self.obs[node].len()
+    }
+
+    /// Shift the window one timestep: drop the oldest column, append one new
+    /// column. `vals[i]` is the trusted value for node `i` when
+    /// `observed[i]` is true; when false `vals[i]` is ignored.
+    ///
+    /// # Panics
+    /// Panics when `vals` or `observed` is not `N` long.
+    pub fn shift(&mut self, vals: &[f32], observed: &[bool]) {
+        assert_eq!(vals.len(), self.n, "vals length != N");
+        assert_eq!(observed.len(), self.n, "observed length != N");
+        let l = self.l;
+        for i in 0..self.n {
+            let obs = &mut self.obs[i];
+            let row = &mut self.cond.data_mut()[i * l..(i + 1) * l];
+            // 1. retire the departing column and re-address survivors
+            let first_obs_departed = obs.front() == Some(&0);
+            if first_obs_departed {
+                obs.pop_front();
+            }
+            for o in obs.iter_mut() {
+                *o -= 1;
+            }
+            // 2. slide the interpolated row left by one
+            row.copy_within(1.., 0);
+            // 3. integrate the appended column
+            if observed[i] {
+                let val = vals[i];
+                if let Some(&p) = obs.back() {
+                    // the old constant tail (p, L-1] becomes a linear segment
+                    let va = row[p];
+                    let span = (l - 1 - p) as f32;
+                    for t in (p + 1)..(l - 1) {
+                        let frac = (t - p) as f32 / span;
+                        row[t] = va + frac * (val - va);
+                    }
+                } else {
+                    // first observation in the window: constant row
+                    for v in row.iter_mut() {
+                        *v = val;
+                    }
+                }
+                row[l - 1] = val;
+                obs.push_back(l - 1);
+            } else {
+                row[l - 1] = match obs.back() {
+                    Some(&p) => row[p],
+                    None => self.fallback,
+                };
+            }
+            // 4. head fix-up: the departed column held the first observation
+            if first_obs_departed {
+                match obs.front() {
+                    Some(&f) => {
+                        // the old linear head segment becomes constant
+                        // extrapolation of the new first observation
+                        let v = row[f];
+                        for t in 0..f {
+                            row[t] = v;
+                        }
+                    }
+                    // no observation left anywhere (the appended-column case
+                    // already rebuilt the row if it was observed)
+                    None => {
+                        for v in row.iter_mut() {
+                            *v = self.fallback;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +270,64 @@ mod tests {
     fn single_observation_fills_constant() {
         let out = interp(vec![0.0, 2.5, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]);
         assert_eq!(out, vec![2.5, 2.5, 2.5, 2.5]);
+    }
+
+    /// Drive a `SlidingInterp` with a pseudo-random tick stream and assert
+    /// after every shift that its window is bitwise-identical to a cold
+    /// `linear_interpolate` over the materialised values/mask — the
+    /// incremental ≡ rebuild contract DESIGN.md §16 rests on.
+    #[test]
+    fn sliding_matches_full_recompute_bitwise() {
+        use st_rand::{Rng, SeedableRng, StdRng};
+        let (n, l, fallback) = (4usize, 7usize, 0.0f32);
+        let mut rng = StdRng::seed_from_u64(0x51_1D1);
+        let mut inc = SlidingInterp::new(n, l, fallback);
+        // materialised window the reference recompute sees
+        let mut values = vec![0.0f32; n * l];
+        let mut mask = vec![0.0f32; n * l];
+        for tick in 0..64 {
+            let mut vals = vec![0.0f32; n];
+            let mut observed = vec![false; n];
+            for i in 0..n {
+                // per-row density ranges from dense to fully missing so the
+                // stream exercises every head/tail/degenerate transition
+                let density = [0.9, 0.5, 0.15, 0.0][i % 4];
+                observed[i] = rng.random_bool(density);
+                vals[i] = (rng.random::<f32>() - 0.5) * 4.0;
+            }
+            inc.shift(&vals, &observed);
+            for i in 0..n {
+                let row_v = &mut values[i * l..(i + 1) * l];
+                let row_m = &mut mask[i * l..(i + 1) * l];
+                row_v.copy_within(1.., 0);
+                row_m.copy_within(1.., 0);
+                row_v[l - 1] = if observed[i] { vals[i] } else { 0.0 };
+                row_m[l - 1] = if observed[i] { 1.0 } else { 0.0 };
+            }
+            let full = linear_interpolate(
+                &NdArray::from_vec(&[n, l], values.clone()),
+                &NdArray::from_vec(&[n, l], mask.clone()),
+                fallback,
+            );
+            for (a, b) in inc.cond().data().iter().zip(full.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "tick {tick}: {a} != {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_observed_count_tracks_mask() {
+        let mut inc = SlidingInterp::new(1, 3, 0.0);
+        assert_eq!(inc.observed_count(0), 0);
+        inc.shift(&[1.0], &[true]);
+        inc.shift(&[2.0], &[true]);
+        inc.shift(&[0.0], &[false]);
+        assert_eq!(inc.observed_count(0), 2);
+        // both observations slide out over the next three shifts
+        inc.shift(&[0.0], &[false]);
+        inc.shift(&[0.0], &[false]);
+        inc.shift(&[0.0], &[false]);
+        assert_eq!(inc.observed_count(0), 0);
+        assert_eq!(inc.cond().data(), &[0.0, 0.0, 0.0]);
     }
 }

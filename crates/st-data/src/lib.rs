@@ -25,6 +25,6 @@ pub mod missing;
 pub mod normalize;
 
 pub use dataset::{SpatioTemporalDataset, Split, Window};
-pub use interpolate::linear_interpolate;
+pub use interpolate::{linear_interpolate, SlidingInterp};
 pub use mask_strategy::MaskStrategy;
 pub use normalize::Normalizer;

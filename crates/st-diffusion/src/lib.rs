@@ -6,8 +6,26 @@
 //! `q(X̃ᵗ | X̃⁰)`, and the reverse sampling loop of Algorithm 2, generic over
 //! a [`NoisePredictor`] so the same loop drives PriSTI, CSDI and ablated
 //! variants.
+//!
+//! ```
+//! use st_diffusion::{q_sample, DiffusionSchedule};
+//! use st_rand::{SeedableRng, StdRng};
+//! use st_tensor::NdArray;
+//!
+//! // The paper's quadratic schedule (Eq. 13), steps t ∈ 1..=T:
+//! // ᾱ_t decays toward 0 as t → T.
+//! let schedule = DiffusionSchedule::pristi_default(50);
+//! assert!(schedule.alpha_bar(50) < schedule.alpha_bar(1));
+//!
+//! // Forward noising: x_t = √ᾱ_t · x0 + √(1-ᾱ_t) · ε, shape-preserving.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x0 = NdArray::randn(&[2, 4, 8], &mut rng);
+//! let eps = NdArray::randn(&[2, 4, 8], &mut rng);
+//! let x_t = q_sample(&x0, &eps, &schedule, 25);
+//! assert_eq!(x_t.shape(), x0.shape());
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-based loops over several parallel buffers are the clearest way to
 // write the numeric kernels in this workspace.
 #![allow(clippy::needless_range_loop)]

@@ -115,14 +115,15 @@ pub fn is_id_field(key: &str) -> bool {
 
 /// True for metric names whose values reflect scheduling or allocator
 /// activity rather than computed results: the `pool.` namespace (worker
-/// claims, inline runs, buffer-pool hit rates) and the `serve.` namespace
-/// (queue depth, batch coalescing, per-worker latency histograms). Like
+/// claims, inline runs, buffer-pool hit rates), the `serve.` namespace
+/// (queue depth, batch coalescing, per-worker latency histograms) and the
+/// `stream.` namespace (per-tick latency, per-shard session gauges). Like
 /// timings, these legitimately vary between two same-seed runs — a warm
 /// buffer pool hits where a cold one missed, a racier queue coalesces larger
 /// batches — so the determinism contract strips their values (the events
 /// themselves, and thus event order/count, stay).
 pub fn is_activity_metric(name: &str) -> bool {
-    name.starts_with("pool.") || name.starts_with("serve.")
+    name.starts_with("pool.") || name.starts_with("serve.") || name.starts_with("stream.")
 }
 
 /// Fields of gauge/counter/hist events that carry activity-dependent values

@@ -59,8 +59,24 @@
 //!
 //! Workers never talk to the recorder; only the dispatching thread does, so
 //! event count and order are a pure function of the dispatch sequence.
+//!
+//! ```
+//! // Results come back in index order regardless of which thread ran what,
+//! // so folds over them are thread-count independent.
+//! let squares = st_par::par_map("doc_squares", 5, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+//!
+//! // Disjoint in-place chunks: boundaries derive from the data shape only.
+//! let mut buf = vec![1.0f32; 6];
+//! st_par::par_chunks_mut("doc_scale", &mut buf, 2, |ci, chunk| {
+//!     for v in chunk {
+//!         *v *= (ci + 1) as f32;
+//!     }
+//! });
+//! assert_eq!(buf, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -26,6 +26,7 @@
 
 pub mod ckpt;
 pub mod service;
+pub mod stream;
 
 pub use ckpt::{
     checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint, CKPT_MAGIC,
@@ -33,4 +34,8 @@ pub use ckpt::{
 };
 pub use service::{
     request_rng, AdmissionTier, FaultHook, ImputeRequest, ImputeService, ServeConfig,
+};
+pub use stream::{
+    run_stream, stream_rng, StreamConfig, StreamServerConfig, StreamSession, StreamSummary, Tick,
+    TickOutput,
 };

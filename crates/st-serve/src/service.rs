@@ -574,15 +574,19 @@ fn serve_batch(shared: &Shared, trained: &TrainedModel, widx: usize, batch: Vec<
                 .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
                 .unwrap_or_else(|| "panic with non-string payload".into());
             st_obs::counter_add("serve.worker_panics", 1.0);
-            for p in &live {
-                let _ = p.tx.send(Err(PristiError::WorkerPanicked(detail.clone())));
-            }
+            // Poison BEFORE answering the batch: a caller that has seen its
+            // typed error must find the service already stopping, so a
+            // follow-up submit can never race past the flag onto a healthy
+            // worker.
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             q.stopping = true;
             q.poisoned = true;
             drain_with_errors(&mut q);
             drop(q);
             shared.notify.notify_all();
+            for p in &live {
+                let _ = p.tx.send(Err(PristiError::WorkerPanicked(detail.clone())));
+            }
         }
     }
 }

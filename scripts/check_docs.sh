@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Docs drift lint: keeps DESIGN.md, README.md, and the CLI surface in
+# lockstep. Pure grep/sed over committed files — no build required — so it
+# runs first in scripts/verify.sh and cheaply in any pre-commit hook.
+#
+# Checks:
+#   1. DESIGN.md `## N.` sections are numbered consecutively from 1.
+#   2. Every `DESIGN.md §N` cross-reference in the prose docs points at a
+#      section that exists.
+#   3. The README documentation map links every top-level doc.
+#   4. Every `pristi` CLI subcommand dispatched in src/bin/pristi.rs is
+#      mentioned in README.md, and vice versa for the flags the README
+#      showcases (`--stream`, `--workers`, `--sampler`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+fail=0
+
+# -- 1: DESIGN.md section numbering ------------------------------------------
+expected=1
+while read -r num; do
+    if [ "$num" -ne "$expected" ]; then
+        echo "check_docs: DESIGN.md numbering broken: expected '## $expected.', found '## $num.'" >&2
+        fail=1
+        expected=$((num + 1))
+    else
+        expected=$((expected + 1))
+    fi
+done < <(sed -nE 's/^## ([0-9]+)\..*/\1/p' DESIGN.md)
+max_section=$((expected - 1))
+[ "$max_section" -ge 1 ] || { echo "check_docs: DESIGN.md has no numbered sections" >&2; fail=1; }
+
+# -- 2: §N cross-references resolve ------------------------------------------
+while read -r ref; do
+    if [ "$ref" -lt 1 ] || [ "$ref" -gt "$max_section" ]; then
+        echo "check_docs: dangling reference 'DESIGN.md §$ref' (sections run 1..$max_section)" >&2
+        fail=1
+    fi
+done < <(grep -ohE 'DESIGN\.md §[0-9]+' README.md EXPERIMENTS.md ROADMAP.md results/README.md \
+         | grep -oE '[0-9]+' | sort -un)
+
+# -- 3: README documentation map ---------------------------------------------
+for doc in DESIGN.md EXPERIMENTS.md ROADMAP.md results/README.md; do
+    grep -q "]($doc)" README.md \
+        || { echo "check_docs: README documentation map missing a link to $doc" >&2; fail=1; }
+done
+
+# -- 4: CLI subcommands documented -------------------------------------------
+# Top-level dispatch arms in src/bin/pristi.rs look like `Some("impute") =>`;
+# nested arms (checkpoint save/load-verify) are covered by the parent name.
+while read -r cmd; do
+    case "$cmd" in save|load-verify|interactive|best_effort) continue ;; esac
+    grep -q -- "pristi -- $cmd\|pristi $cmd\|\`$cmd\`" README.md \
+        || grep -q -- "-- $cmd " README.md \
+        || { echo "check_docs: README never shows CLI subcommand '$cmd'" >&2; fail=1; }
+done < <(sed -nE 's/^ *Some\("([a-z-]+)"\) =>.*/\1/p' src/bin/pristi.rs | sort -u)
+
+# Flags the README documents must still exist in the CLI sources.
+for flag in --stream --workers --sampler --quick; do
+    grep -qr -- "\"${flag#--}\"" src/bin/ \
+        || { echo "check_docs: README/CLI drift: flag '$flag' not found in src/bin/" >&2; fail=1; }
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: OK (DESIGN.md sections 1..$max_section, references and CLI surface in sync)"

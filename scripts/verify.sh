@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== docs drift lint (scripts/check_docs.sh) =="
+./scripts/check_docs.sh
+
 echo "== cargo tree: dependency graph must be path-local =="
 if cargo tree --offline --workspace --prefix none | grep -vE '^\[|^$' | grep -qv '(/'; then
     echo "error: found a non-path dependency in the workspace tree" >&2
@@ -59,10 +62,22 @@ for entry in \
     impute_uncached_4req_x2samples \
     impute_ddim_4req_x2samples \
     impute_pndm_4req_x2samples \
-    impute_refine_4req_x2samples; do
+    impute_refine_4req_x2samples \
+    stream_tick_amortized_16t \
+    stream_tick_recompute_16t; do
     grep -q "\"$entry\"" BENCH_micro.json \
         || { echo "error: BENCH_micro.json missing bench entry $entry" >&2; exit 1; }
 done
+
+# Streaming amortization gate: the session's per-tick cost over the 16-tick
+# feed must be >= 2x cheaper than a full-window recompute every tick.
+STREAM_NS="$(sed -nE 's/.*"stream_tick_amortized_16t","ns_per_iter":([0-9]+).*/\1/p' BENCH_micro.json)"
+RECOMPUTE_NS="$(sed -nE 's/.*"stream_tick_recompute_16t","ns_per_iter":([0-9]+).*/\1/p' BENCH_micro.json)"
+[ -n "$STREAM_NS" ] && [ -n "$RECOMPUTE_NS" ] \
+    || { echo "error: could not extract stream_tick ns_per_iter values" >&2; exit 1; }
+awk -v s="$STREAM_NS" -v r="$RECOMPUTE_NS" 'BEGIN { exit !(r >= 2.0 * s) }' \
+    || { echo "error: streaming amortization below 2x (stream $STREAM_NS ns vs recompute $RECOMPUTE_NS ns)" >&2; exit 1; }
+echo "stream bench: amortized $STREAM_NS ns vs recompute $RECOMPUTE_NS ns (>= 2x)"
 
 echo "== checkpoint round-trip + serve smoke (offline CLI) =="
 SMOKE_DIR="$(mktemp -d)"
@@ -105,11 +120,50 @@ cmp -s "$SMOKE_DIR/responses.sorted" "$SMOKE_DIR/responses_w4.sorted" \
     || { echo "error: --workers 4 responses diverge from --workers 1" >&2; exit 1; }
 echo "serve smoke: --workers 4 responses byte-identical to --workers 1"
 
+echo "== streaming serve smoke (--stream, 12-tick JSONL, bitwise replay) =="
+# 12 ticks over the 36-sensor model: a null opens a gap on ticks 1 and 7,
+# every 4th tick is fully observed. Replaying the log must reproduce the
+# response bytes exactly, and --workers 4 must not change a byte either.
+: > "$SMOKE_DIR/ticks.jsonl"
+for t in $(seq 1 12); do
+    CELLS="$t.5"
+    for i in $(seq 2 "$N_CELLS"); do
+        if { [ "$t" -eq 1 ] || [ "$t" -eq 7 ]; } && [ "$i" -eq 3 ]; then
+            CELLS="$CELLS,null"
+        else
+            CELLS="$CELLS,$i.$t"
+        fi
+    done
+    echo "{\"id\":$t,\"tick\":[$CELLS]}" >> "$SMOKE_DIR/ticks.jsonl"
+done
+echo '{"id":13,"reimpute":true}' >> "$SMOKE_DIR/ticks.jsonl"
+"$PRISTI" serve --stream --ckpt "$SMOKE_DIR/model.ckpt" --samples 2 \
+    < "$SMOKE_DIR/ticks.jsonl" > "$SMOKE_DIR/stream_a.jsonl" 2>/dev/null
+"$PRISTI" serve --stream --ckpt "$SMOKE_DIR/model.ckpt" --samples 2 \
+    < "$SMOKE_DIR/ticks.jsonl" > "$SMOKE_DIR/stream_b.jsonl" 2>/dev/null
+cmp -s "$SMOKE_DIR/stream_a.jsonl" "$SMOKE_DIR/stream_b.jsonl" \
+    || { echo "error: stream replay responses are not byte-identical" >&2; exit 1; }
+"$PRISTI" serve --stream --ckpt "$SMOKE_DIR/model.ckpt" --samples 2 --workers 4 \
+    < "$SMOKE_DIR/ticks.jsonl" > "$SMOKE_DIR/stream_w4.jsonl" 2>/dev/null
+cmp -s "$SMOKE_DIR/stream_a.jsonl" "$SMOKE_DIR/stream_w4.jsonl" \
+    || { echo "error: stream --workers 4 responses diverge from --workers 1" >&2; exit 1; }
+[ "$(wc -l < "$SMOKE_DIR/stream_a.jsonl")" -eq 13 ] \
+    || { echo "error: stream smoke expected 13 response lines" >&2; exit 1; }
+grep -q '"ok":false' "$SMOKE_DIR/stream_a.jsonl" \
+    && { echo "error: stream smoke produced an error response" >&2; exit 1; }
+grep -q '"imputed":true' "$SMOKE_DIR/stream_a.jsonl" \
+    || { echo "error: stream smoke never imputed" >&2; exit 1; }
+grep -q '"imputed":false' "$SMOKE_DIR/stream_a.jsonl" \
+    || { echo "error: stream smoke never skipped a gap-free tick" >&2; exit 1; }
+grep -q '"watermark":' "$SMOKE_DIR/stream_a.jsonl" \
+    || { echo "error: stream responses missing the settled watermark" >&2; exit 1; }
+echo "stream smoke: 13 ticks, replay + --workers 4 byte-identical"
+
 echo "== loadtest: schema, entries, and seeded determinism =="
-"$PRISTI" loadtest --quick --seed 7 --out "$SMOKE_DIR/serve_a.json" 2>/dev/null
+"$PRISTI" loadtest --quick --stream --seed 7 --out "$SMOKE_DIR/serve_a.json" 2>/dev/null
 grep -q '"schema":"st-serve-bench/1"' "$SMOKE_DIR/serve_a.json" \
     || { echo "error: BENCH_serve report missing st-serve-bench/1 schema" >&2; exit 1; }
-for entry in closed_loop_w1 closed_loop_w4 mixed_solver_w1 mixed_solver_w4 shed_storm timeout_storm; do
+for entry in closed_loop_w1 closed_loop_w4 mixed_solver_w1 mixed_solver_w4 shed_storm timeout_storm stream_w1 stream_w4; do
     grep -q "\"name\":\"$entry\"" "$SMOKE_DIR/serve_a.json" \
         || { echo "error: BENCH_serve report missing entry $entry" >&2; exit 1; }
 done
@@ -119,7 +173,7 @@ for key in p50_ms p99_ms p999_ms rps shed timeout checksum; do
 done
 # Same seed -> byte-identical report once per-entry "timing":{...} objects
 # (the only run-varying fields) are blanked.
-"$PRISTI" loadtest --quick --seed 7 --out "$SMOKE_DIR/serve_b.json" 2>/dev/null
+"$PRISTI" loadtest --quick --stream --seed 7 --out "$SMOKE_DIR/serve_b.json" 2>/dev/null
 sed -E 's/"timing":\{[^}]*\}/"timing":{}/g' "$SMOKE_DIR/serve_a.json" > "$SMOKE_DIR/serve_a.stripped"
 sed -E 's/"timing":\{[^}]*\}/"timing":{}/g' "$SMOKE_DIR/serve_b.json" > "$SMOKE_DIR/serve_b.stripped"
 cmp -s "$SMOKE_DIR/serve_a.stripped" "$SMOKE_DIR/serve_b.stripped" \

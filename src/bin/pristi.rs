@@ -11,8 +11,10 @@
 //! pristi checkpoint load-verify --ckpt model.ckpt
 //! pristi serve    --ckpt model.ckpt [--samples 8] [--sampler SPEC | --ddim K] \
 //!                 [--batch 32] [--deadline-ms 30000] [--seed N] [--workers N]
+//! pristi serve    --stream --ckpt model.ckpt [--samples 8] [--sampler SPEC] \
+//!                 [--horizon H] [--seed N] [--workers N]
 //! pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4] \
-//!                 [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]
+//!                 [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick] [--stream]
 //! pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt] [--quick]
 //! pristi bench    --compare OLD,NEW [--threshold-pct P]
 //! pristi bench    --sweep [--quick] [--seed N] [--out results/steps_vs_crps.csv]
@@ -34,8 +36,21 @@
 //! request:  {"id": 1, "values": [[1.0, null, ...], ...N rows of L cells...],
 //!            "n_samples": 8, "ddim_steps": 4}
 //! response: {"id": 1, "ok": true, "median": [[...]], "q05": [[...]], "q95": [[...]]}
-//! failure:  {"id": 1, "ok": false, "error": "shape mismatch for ..."}
+//! failure:  {"id": 1, "ok": false, "error": {"kind": "shape_mismatch",
+//!            "detail": "shape mismatch for ...", "line": 1}}
 //! ```
+//!
+//! Failures share one typed shape across request and stream modes:
+//! `error.kind` is the stable machine-readable label
+//! ([`pristi_core::PristiError::kind`] for service errors, `bad_json` /
+//! `bad_request` for parse failures), `error.detail` the human-readable
+//! message, and `error.line` the 1-based stdin line that caused it.
+//!
+//! `serve --stream` switches the same binary into sliding-window streaming:
+//! JSONL *ticks* in (one column of sensor readings per line), revised
+//! quantiles for still-open gaps out, with the conditional prior updated
+//! incrementally between ticks — see [`st_serve::stream`] for the wire
+//! format and README §Streaming for a runnable example.
 //!
 //! `null` cells are the missing values to impute; a `"sampler"` spec string
 //! (`"ddpm"`, `"ddim:K[:ETA]"`, `"pndm:K[:ORDER]"`, `"refine:K[:STRENGTH]"` —
@@ -60,8 +75,10 @@ use st_data::generators::{generate_air_quality, generate_traffic, AirQualityConf
 use st_data::io::{load_dataset, panel_to_csv};
 use st_data::SpatioTemporalDataset;
 use st_obs::json::{self, Json};
+use st_serve::stream::error_line;
 use st_serve::{
-    load_checkpoint, save_checkpoint, AdmissionTier, ImputeRequest, ImputeService, ServeConfig,
+    load_checkpoint, run_stream, save_checkpoint, AdmissionTier, ImputeRequest, ImputeService,
+    ServeConfig, StreamConfig, StreamServerConfig,
 };
 use st_tensor::NdArray;
 use std::collections::HashMap;
@@ -82,7 +99,22 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("impute") => run_impute(parse_flags(&args[1..])),
         Some("generate") => run_generate(parse_flags(&args[1..])),
-        Some("serve") => run_serve(parse_flags(&args[1..])),
+        Some("serve") => {
+            // `--stream` is a boolean mode switch, not a `--key value` pair.
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let stream = match rest.iter().position(|a| a == "--stream") {
+                Some(pos) => {
+                    rest.remove(pos);
+                    true
+                }
+                None => false,
+            };
+            if stream {
+                run_serve_stream(parse_flags(&rest))
+            } else {
+                run_serve(parse_flags(&rest))
+            }
+        }
         Some("loadtest") => loadtest::run(&args[1..]),
         Some("profile") => profile::run(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
@@ -109,8 +141,12 @@ fn main() -> ExitCode {
             eprintln!("  pristi serve --ckpt model.ckpt [--samples S] [--sampler SPEC | --ddim K]");
             eprintln!("               [--batch S_max] [--deadline-ms N] [--seed N] [--workers N]");
             eprintln!("               (JSONL requests on stdin)");
+            eprintln!("  pristi serve --stream --ckpt model.ckpt [--samples S] [--sampler SPEC]");
+            eprintln!("               [--horizon H] [--seed N] [--workers N]");
+            eprintln!("               (JSONL ticks on stdin, revised imputations out)");
             eprintln!("  pristi loadtest [--seed N] [--clients C] [--requests R] [--workers 1,4]");
             eprintln!("                  [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]");
+            eprintln!("                  [--stream]");
             eprintln!("  pristi profile  [--seed N] [--out PROFILE.json] [--folded PROFILE_folded.txt]");
             eprintln!("                  [--quick]");
             eprintln!("  pristi bench --compare OLD,NEW [--threshold-pct P]");
@@ -677,6 +713,7 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
 
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
+    let mut line_no = 0u64;
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(l) => l,
@@ -685,6 +722,7 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        line_no += 1;
         if line.trim().is_empty() {
             continue;
         }
@@ -703,10 +741,10 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
                             grid_json(&q95)
                         )
                     }
-                    Err(e) => error_json(Some(id), &e.to_string()),
+                    Err(e) => error_line(Some(id), e.kind(), &e.to_string(), line_no),
                 }
             }
-            Err(msg) => error_json(None, &msg),
+            Err((kind, detail)) => error_line(None, kind, &detail, line_no),
         };
         // Piped stdout is block-buffered; a serving loop must flush per line
         // or clients waiting on a response deadlock.
@@ -717,6 +755,62 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pristi serve --stream`: a sliding-window streaming loop over stdin
+/// JSONL ticks (see [`st_serve::stream`] for the wire format and the
+/// incremental-prior design, and README §Streaming for a quickstart).
+fn run_serve_stream(flags: HashMap<String, String>) -> ExitCode {
+    let Some(ckpt_path) = flags.get("ckpt") else {
+        eprintln!("--ckpt <model.ckpt> is required");
+        return ExitCode::from(2);
+    };
+    // Streaming revises gaps every tick, so the default solver is the
+    // few-step `pndm:4` rather than full DDPM.
+    let default_sampler = match parse_sampler_flags(&flags, Sampler::Pndm { steps: 4, order: 4 }) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = StreamServerConfig {
+        session: StreamConfig {
+            n_samples: get_usize(&flags, "samples", 8),
+            sampler: default_sampler,
+            horizon: get_usize(&flags, "horizon", 4),
+            base_seed: get_usize(&flags, "seed", 0) as u64,
+        },
+        workers: get_usize(&flags, "workers", 1),
+    };
+    let trained = match load_checkpoint(Path::new(ckpt_path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load checkpoint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (n_nodes, window_len) = (trained.model.n_nodes(), trained.model.window_len());
+    eprintln!(
+        "streaming {ckpt_path} ({n_nodes} sensors, window {window_len}, horizon {}, \
+         sampler {default_sampler}); reading JSONL ticks from stdin",
+        cfg.session.horizon
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout().lock();
+    match run_stream(std::sync::Arc::new(trained), &cfg, stdin.lock(), stdout) {
+        Ok(summary) => {
+            eprintln!(
+                "stream closed: {} ok ({} imputed, {} skipped), {} errors",
+                summary.ok, summary.imputes, summary.skips, summary.errors
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stream I/O failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Parse one JSONL request line into an [`ImputeRequest`]. `null` cells are
 /// missing; everything shape-related is left to the service's validation.
 ///
@@ -724,6 +818,17 @@ fn run_serve(flags: HashMap<String, String>) -> ExitCode {
 /// `"pndm:6"`), with the pre-spec `"ddim_steps"` integer field kept as an
 /// alias for `ddim:K`; with neither the serve-level default applies.
 fn parse_request(
+    line: &str,
+    default_samples: usize,
+    default_sampler: Sampler,
+) -> Result<ImputeRequest, (&'static str, String)> {
+    parse_request_inner(line, default_samples, default_sampler).map_err(|detail| {
+        let kind = if detail.starts_with("bad JSON") { "bad_json" } else { "bad_request" };
+        (kind, detail)
+    })
+}
+
+fn parse_request_inner(
     line: &str,
     default_samples: usize,
     default_sampler: Sampler,
@@ -827,11 +932,6 @@ fn grid_json(a: &NdArray) -> String {
     }
     out.push(']');
     out
-}
-
-fn error_json(id: Option<u64>, msg: &str) -> String {
-    let id = id.map_or_else(|| "null".to_string(), |v| v.to_string());
-    format!("{{\"id\":{id},\"ok\":false,\"error\":{}}}", json::escape(msg))
 }
 
 fn write_window(panel: &mut NdArray, mask: &NdArray, win: &NdArray, t0: usize, n: usize, l: usize) {

@@ -35,7 +35,10 @@ use st_data::dataset::Window;
 use st_data::generators::{generate_air_quality, AirQualityConfig};
 use st_data::missing::inject_point_missing;
 use st_rand::{Rng, SeedableRng, StdRng};
-use st_serve::{checkpoint_from_bytes, checkpoint_to_bytes, AdmissionTier, ImputeRequest, ImputeService, ServeConfig};
+use st_serve::{
+    checkpoint_from_bytes, checkpoint_to_bytes, AdmissionTier, ImputeRequest, ImputeService,
+    ServeConfig, StreamConfig, StreamServerConfig,
+};
 use st_tensor::NdArray;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -50,6 +53,7 @@ struct LoadtestOpts {
     out: String,
     ckpt: Option<String>,
     quick: bool,
+    stream: bool,
 }
 
 /// One request slot in the seeded schedule (client `c`, position `r`).
@@ -76,6 +80,10 @@ enum PhaseKind {
     MixedSolver,
     ShedStorm,
     TimeoutStorm,
+    /// `--stream`: drive the JSONL streaming engine with a seeded tick log;
+    /// the checksum runs over the response bytes, which must be invariant to
+    /// the worker count (sessions are sharded, responses reordered).
+    Stream,
 }
 
 pub fn run(args: &[String]) -> ExitCode {
@@ -85,7 +93,8 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!("{msg}");
             eprintln!(
                 "usage: pristi loadtest [--seed N] [--clients C] [--requests R] \
-                 [--workers 1,4] [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick]"
+                 [--workers 1,4] [--out BENCH_serve.json] [--ckpt model.ckpt] [--quick] \
+                 [--stream]"
             );
             return ExitCode::from(2);
         }
@@ -143,6 +152,16 @@ pub fn run(args: &[String]) -> ExitCode {
     );
     phases.push(("shed_storm".into(), opts.workers[0], PhaseKind::ShedStorm));
     phases.push(("timeout_storm".into(), opts.workers[0], PhaseKind::TimeoutStorm));
+    // `--stream`: one streaming phase per worker count, all over the same
+    // seeded tick log, so the response-byte checksums must agree.
+    if opts.stream {
+        phases.extend(
+            opts.workers.iter().map(|&w| (format!("stream_w{w}"), w, PhaseKind::Stream)),
+        );
+    }
+    let tick_log = opts
+        .stream
+        .then(|| synth_tick_log(opts.seed, opts.clients, opts.requests_per_client, n_nodes));
 
     for (name, workers, kind) in phases {
         let trained = match checkpoint_from_bytes(&ckpt_bytes) {
@@ -153,7 +172,18 @@ pub fn run(args: &[String]) -> ExitCode {
             }
         };
         eprintln!("phase {name}: {} clients x {} requests, {workers} worker(s)...", opts.clients, opts.requests_per_client);
-        match run_phase(&name, trained, workers, kind, &opts, &windows, &schedule) {
+        let outcome = if kind == PhaseKind::Stream {
+            run_stream_phase(
+                &name,
+                trained,
+                workers,
+                &opts,
+                tick_log.as_deref().expect("stream phases imply a tick log"),
+            )
+        } else {
+            run_phase(&name, trained, workers, kind, &opts, &windows, &schedule)
+        };
+        match outcome {
             Ok(entry) => entries.push(entry),
             Err(msg) => {
                 eprintln!("phase {name} failed: {msg}");
@@ -166,7 +196,7 @@ pub fn run(args: &[String]) -> ExitCode {
     // invisible, so within each phase family every checksum must match —
     // including the mixed-solver family, where same-spec coalescing decides
     // which requests share a batch.
-    for family in ["closed_loop_", "mixed_solver_"] {
+    for family in ["closed_loop_", "mixed_solver_", "stream_"] {
         let group: Vec<&ServeEntry> =
             entries.iter().filter(|e| e.name.starts_with(family)).collect();
         if let Some(first) = group.first() {
@@ -201,6 +231,7 @@ fn parse_opts(args: &[String]) -> Result<LoadtestOpts, String> {
         out: "BENCH_serve.json".into(),
         ckpt: None,
         quick: false,
+        stream: false,
     };
     let (mut clients, mut requests) = (None, None);
     let mut i = 0;
@@ -208,6 +239,11 @@ fn parse_opts(args: &[String]) -> Result<LoadtestOpts, String> {
         let key = args[i].strip_prefix("--").ok_or_else(|| format!("unexpected argument `{}`", args[i]))?;
         if key == "quick" {
             opts.quick = true;
+            i += 1;
+            continue;
+        }
+        if key == "stream" {
+            opts.stream = true;
             i += 1;
             continue;
         }
@@ -415,6 +451,95 @@ fn run_phase(
             p99_ms: percentile(&merged.latencies_ms, 0.99),
             p999_ms: percentile(&merged.latencies_ms, 0.999),
             rps: merged.ok as f64 / wall_s,
+            wall_ms: wall.as_secs_f64() * 1e3,
+        },
+    })
+}
+
+/// The seeded streaming tick log: `sessions` interleaved feeds of `ticks`
+/// data ticks each — mostly-observed cells with ~15 % gaps, plus a dense
+/// fully-observed block every 8 ticks (so the skip path runs) and one
+/// `reimpute` line per session at the end (so the prior-cache reuse path
+/// runs). Derived only from the seed and counts: two same-seed runs replay
+/// the identical log, and response bytes must match across worker counts.
+fn synth_tick_log(seed: u64, sessions: usize, ticks: usize, n_nodes: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57AE_A41C);
+    let mut lines = Vec::new();
+    let mut id = 0u64;
+    for t in 0..ticks {
+        for s in 0..sessions {
+            id += 1;
+            let dense = t % 8 >= 4;
+            let cells = (0..n_nodes)
+                .map(|_| {
+                    let v = (rng.random::<f32>() - 0.5) * 4.0;
+                    if !dense && rng.random::<f64>() < 0.15 {
+                        "null".to_string()
+                    } else {
+                        format!("{v}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            lines.push(format!("{{\"id\":{id},\"session\":{s},\"tick\":[{cells}]}}"));
+        }
+    }
+    for s in 0..sessions {
+        id += 1;
+        lines.push(format!("{{\"id\":{id},\"session\":{s},\"reimpute\":true}}"));
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Run one `stream_w{N}` phase: drive the JSONL streaming engine over the
+/// in-memory tick log, checksum the response bytes. Per-line latencies are
+/// not observable through the batch driver, so only wall time and RPS land
+/// in the (stripped) timing object.
+fn run_stream_phase(
+    name: &str,
+    trained: TrainedModel,
+    workers: usize,
+    opts: &LoadtestOpts,
+    tick_log: &str,
+) -> Result<ServeEntry, String> {
+    let cfg = StreamServerConfig {
+        session: StreamConfig {
+            n_samples: 2,
+            sampler: Sampler::Pndm { steps: 4, order: 4 },
+            horizon: 4,
+            base_seed: opts.seed,
+        },
+        workers,
+    };
+    let mut out = Vec::new();
+    let start = Instant::now();
+    let summary = st_serve::run_stream(
+        Arc::new(trained),
+        &cfg,
+        std::io::Cursor::new(tick_log.as_bytes()),
+        &mut out,
+    )
+    .map_err(|e| format!("stream I/O failed: {e}"))?;
+    let wall = start.elapsed();
+    if summary.errors > 0 {
+        return Err(format!("{} unexpected error response(s)", summary.errors));
+    }
+    let requests = summary.ok + summary.errors;
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    Ok(ServeEntry {
+        name: name.to_string(),
+        workers,
+        clients: opts.clients,
+        requests,
+        ok: summary.ok,
+        shed: 0,
+        timeout: 0,
+        checksum: fnv1a_bytes(0xcbf2_9ce4_8422_2325, &out),
+        timing: ServeTiming {
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+            p999_ms: 0.0,
+            rps: summary.ok as f64 / wall_s,
             wall_ms: wall.as_secs_f64() * 1e3,
         },
     })
